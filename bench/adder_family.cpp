@@ -1,0 +1,40 @@
+// State-of-the-art survey (Sec. 2): delay and area of every implemented
+// exact adder architecture across widths — the context in which the
+// "traditional adder" baseline of Fig. 8 is selected.
+
+#include <iostream>
+
+#include "adders/adders.hpp"
+#include "bench_common.hpp"
+#include "netlist/sta.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  bench::banner("Exact adder family — delay (ns) / area by architecture");
+
+  for (int n : {64, 256, 1024}) {
+    std::cout << "\nwidth " << n << ":\n";
+    util::Table table({"architecture", "delay ns", "area", "cells",
+                       "logic levels", "max fanout"});
+    for (auto kind : adders::all_adder_kinds()) {
+      const auto adder = adders::build_adder(kind, n);
+      const auto timing = netlist::analyze_timing(adder.nl);
+      const auto area = netlist::analyze_area(adder.nl);
+      table.add_row({adders::adder_kind_name(kind),
+                     util::Table::num(timing.critical_delay_ns, 3),
+                     util::Table::num(area.total_area, 0),
+                     std::to_string(area.num_cells),
+                     std::to_string(timing.logic_levels),
+                     std::to_string(area.max_fanout)});
+    }
+    table.print(std::cout);
+    const auto best = adders::fastest_traditional(n);
+    std::cout << "fastest (the Fig. 8 'traditional adder'): "
+              << adders::adder_kind_name(best.kind) << " at "
+              << util::Table::num(best.delay_ns, 3) << " ns\n";
+  }
+  std::cout << "\n(carry-skip is measured pessimistically: its skip path "
+               "is a false path our STA does not prune)\n";
+  return 0;
+}

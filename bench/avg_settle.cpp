@@ -1,0 +1,53 @@
+// The paper's premise, measured at the gate level: on random operands
+// the carry propagates only ~log n positions, so an adder's *typical*
+// settle time sits far below its static critical path.  Event-driven
+// timing simulation over random back-to-back additions, per
+// architecture — this is the data-dependent delay that asynchronous
+// speculative-completion adders (Nowick, Sec. 2) exploit and that the
+// VLSA converts into a synchronous win.
+
+#include <iostream>
+
+#include "adders/adders.hpp"
+#include "bench_common.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/event_sim.hpp"
+#include "netlist/sta.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  bench::banner("Average vs worst-case settle time (event-driven, 64-bit)");
+
+  const int n = 64;
+  const int trials = 500;
+  util::Table table({"circuit", "static critical ns", "mean settle ns",
+                     "p99 settle ns", "max settle ns", "mean/static"});
+
+  auto add_row = [&](const char* name, const netlist::Netlist& nl) {
+    const double critical = netlist::analyze_timing(nl).critical_delay_ns;
+    const auto stats = netlist::measure_settle_distribution(nl, trials, 0x5e7);
+    table.add_row({name, util::Table::num(critical, 3),
+                   util::Table::num(stats.mean_ns, 3),
+                   util::Table::num(stats.p99_ns, 3),
+                   util::Table::num(stats.max_ns, 3),
+                   util::Table::num(stats.mean_ns / critical, 2)});
+  };
+
+  for (auto kind :
+       {adders::AdderKind::RippleCarry, adders::AdderKind::CarrySelect,
+        adders::AdderKind::BrentKung, adders::AdderKind::KoggeStone}) {
+    const auto adder = adders::build_adder(kind, n);
+    add_row(adders::adder_kind_name(kind), adder.nl);
+  }
+  const auto aca = core::build_aca(n, bench::window_9999(n));
+  add_row("ACA (k=99.99% point)", aca.nl);
+
+  table.print(std::cout);
+  std::cout << "\nReading: the ripple adder's mean settle is a small"
+            << " fraction of its critical path (short typical carry\n"
+            << "chains); the ACA turns that average-case behaviour into a"
+            << " guaranteed short clock period at the cost of rare,\n"
+            << "detected errors.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#pragma once
+// Shared helpers for the benchmark harnesses.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/aca_probability.hpp"
+
+namespace vlsa::bench {
+
+/// The paper's Fig. 8 sweep.
+inline std::vector<int> paper_widths() {
+  return {64, 128, 256, 512, 1024, 2048};
+}
+
+/// Window of the "99.99% accurate ACA" design point used throughout the
+/// paper's evaluation: smallest k with P(flag) <= 1e-4 on uniform inputs.
+inline int window_9999(int width) {
+  return analysis::choose_window(width, 1e-4);
+}
+
+/// Section banner for the combined bench log.
+inline void banner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace vlsa::bench

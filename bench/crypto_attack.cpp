@@ -1,0 +1,66 @@
+// Reproduces the Sec. 1 application study: a ciphertext-only
+// frequency-analysis attack on TEA whose key-trial decryptions run on
+// exact vs speculative (ACA) adders.  Reports attack success, corrupted
+// blocks, score separation, and the wall-clock of the software model
+// (the hardware win is the Fig. 8 delay ratio; the software model just
+// has to show the attack outcome is unchanged).
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "crypto/attack.hpp"
+#include "crypto/tea.hpp"
+#include "crypto/text_model.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  bench::banner("Ciphertext-only frequency attack — exact vs ACA decryption");
+
+  util::Rng rng(0xc1f3);
+  const std::string text = crypto::generate_english_like_text(16384, rng);
+  const std::vector<std::uint8_t> plain(text.begin(), text.end());
+  const crypto::TeaCipher::Key true_key{0x243f6a88, 0x85a308d3, 0x13198a2e,
+                                        0x03707344};
+  const auto ciphertext = crypto::TeaCipher(true_key).encrypt(plain);
+
+  util::Table table({"decryption adder", "true-key rank", "wrong blocks",
+                     "total blocks", "true-key chi2", "best decoy chi2",
+                     "attack time ms"});
+  struct Case {
+    const char* name;
+    crypto::Adder32 adder;
+  };
+  const Case cases[] = {
+      {"exact", crypto::Adder32::exact()},
+      {"ACA k=16", crypto::Adder32::speculative(16)},
+      {"ACA k=14", crypto::Adder32::speculative(14)},
+      {"ACA k=12", crypto::Adder32::speculative(12)},
+      {"ACA k=10 (too aggressive)", crypto::Adder32::speculative(10)},
+  };
+  for (const Case& c : cases) {
+    crypto::AttackConfig config;
+    config.candidate_keys = 48;
+    config.seed = 7;
+    config.adder = c.adder;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result =
+        crypto::ciphertext_only_attack(ciphertext, true_key, config);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    table.add_row({c.name, std::to_string(result.true_key_rank),
+                   std::to_string(result.wrong_blocks_true_key),
+                   std::to_string(result.total_blocks),
+                   util::Table::num(result.true_key_score, 0),
+                   util::Table::num(result.best_decoy_score, 0),
+                   util::Table::num(elapsed.count(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper check (Sec. 1): with a sanely chosen window the"
+            << " attack still ranks the true key first while a few\n"
+            << "blocks decrypt wrongly; each TEA block chains ~256 adds,"
+            << " so the window budget is set by the block error rate.\n";
+  return 0;
+}

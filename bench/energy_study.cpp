@@ -1,0 +1,72 @@
+// Energy view (the paper's Sec. 2 situates itself against energy-driven
+// error tolerance: probabilistic arithmetic, Razor, soft DSP).  Switching
+// energy per addition from the event-driven simulator — glitches
+// included — for the exact baselines and the speculative datapath, plus
+// the combinational-vs-clock-gated accounting for the full VLSA.
+
+#include <iostream>
+
+#include "adders/adders.hpp"
+#include "analysis/aca_probability.hpp"
+#include "bench_common.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/event_sim.hpp"
+#include "util/rng.hpp"
+#include "netlist/sta.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  bench::banner("Switching energy per random addition (64-bit, fJ)");
+
+  const int n = 64;
+  const int k = bench::window_9999(n);
+  const int trials = 400;
+
+  util::Table table({"circuit", "mean energy fJ", "events/op",
+                     "energy x delay (fJ*ns)"});
+  auto row = [&](const char* name, const netlist::Netlist& nl) {
+    const auto stats = netlist::measure_settle_distribution(nl, trials, 0xe6);
+    // events/op via one extra pass (cheap at these sizes).
+    netlist::EventSimulator sim(nl);
+    util::Rng rng(0xe7);
+    std::vector<bool> vec(nl.inputs().size());
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+    sim.settle_initial(vec);
+    long long events = 0;
+    for (int t = 0; t < 100; ++t) {
+      for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+      events += sim.apply(vec).events;
+    }
+    const double delay = netlist::analyze_timing(nl).critical_delay_ns;
+    table.add_row({name, util::Table::num(stats.mean_energy_fj, 1),
+                   util::Table::num(static_cast<double>(events) / 100, 1),
+                   util::Table::num(stats.mean_energy_fj * delay, 0)});
+    return stats.mean_energy_fj;
+  };
+
+  const auto rca = adders::build_adder(adders::AdderKind::RippleCarry, n);
+  const auto trad =
+      adders::build_adder(adders::fastest_traditional(n).kind, n);
+  const auto aca = core::build_aca(n, k, /*with_error_flag=*/true);
+  const auto det = core::build_error_detector(n, k);
+  const auto vlsa = core::build_vlsa(n, k);
+
+  row("ripple-carry (exact)", rca.nl);
+  row("traditional fast (exact)", trad.nl);
+  const double e_aca = row("ACA + ER", aca.nl);
+  row("error detector alone", det.nl);
+  const double e_vlsa = row("full VLSA (combinational)", vlsa.nl);
+  table.print(std::cout);
+
+  const double p_flag = analysis::aca_flag_probability(n, k);
+  const double gated = e_aca + p_flag * (e_vlsa - e_aca);
+  std::cout << "\nClock-gated VLSA estimate: ACA+ER energy plus the "
+            << "recovery stage's share only on flagged ops:\n  "
+            << util::Table::num(gated, 1) << " fJ/add  (recovery gated in "
+            << "only P(flag) = " << p_flag << " of cycles)\n";
+  std::cout << "A combinational VLSA burns the recovery cone on every "
+            << "addition — the clocked wrapper of Fig. 6 is what makes\n"
+            << "the design energy-sane, not just latency-sane.\n";
+  return 0;
+}

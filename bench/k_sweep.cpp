@@ -1,0 +1,46 @@
+// Design-space sweep over the speculation window k — the knob the whole
+// paper turns.  For a fixed width, larger k buys exponentially lower
+// error probability at logarithmically growing delay; this table makes
+// the trade-off concrete and marks the paper's two design points
+// (99% and 99.99% accuracy).
+
+#include <iostream>
+#include <string>
+
+#include "analysis/aca_probability.hpp"
+#include "bench_common.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/sta.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  const int n = 1024;
+  bench::banner("k sweep at width " + std::to_string(n));
+
+  const int k99 = analysis::choose_window(n, 1e-2);
+  const int k9999 = analysis::choose_window(n, 1e-4);
+
+  util::Table table({"k", "P(flag)", "P(wrong)", "T_ACA ns", "A_ACA",
+                     "E[cycles] (rec=2)", "note"});
+  for (int k = 4; k <= 32; k += 2) {
+    const auto aca = core::build_aca(n, k);
+    const auto timing = netlist::analyze_timing(aca.nl);
+    const auto area = netlist::analyze_area(aca.nl);
+    std::string note;
+    if (k == k99 || k == k99 + 1) note = "~99% design point";
+    if (k == k9999 || k == k9999 + 1) note = "~99.99% design point";
+    table.add_row({std::to_string(k),
+                   util::Table::num(analysis::aca_flag_probability(n, k), 8),
+                   util::Table::num(analysis::aca_wrong_probability(n, k), 8),
+                   util::Table::num(timing.critical_delay_ns, 3),
+                   util::Table::num(area.total_area, 0),
+                   util::Table::num(analysis::expected_vlsa_cycles(n, k, 2), 5),
+                   note});
+  }
+  table.print(std::cout);
+  std::cout << "\n(exact design points: k99 = " << k99 << ", k9999 = "
+            << k9999 << "; delay grows with log k while the error"
+            << " probability halves per unit of k)\n";
+  return 0;
+}

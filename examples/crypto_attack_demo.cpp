@@ -1,0 +1,69 @@
+// The paper's motivating application (Sec. 1), end to end: a
+// ciphertext-only frequency-analysis attack on TEA where the key-trial
+// decryptions run on speculative adders.
+//
+// The printed story: the attacker holds ciphertext of English-like text,
+// tries a pool of candidate keys, scores each decryption against English
+// letter statistics — and the ranking is identical whether the trial
+// hardware adds exactly or speculatively, even though the speculative
+// decryption got a handful of blocks wrong.
+
+#include <iostream>
+#include <string>
+
+#include "crypto/attack.hpp"
+#include "crypto/tea.hpp"
+#include "crypto/text_model.hpp"
+#include "util/rng.hpp"
+
+using vlsa::crypto::Adder32;
+using vlsa::crypto::TeaCipher;
+
+int main() {
+  // 1. The victim encrypts English-like text under a secret key.
+  vlsa::util::Rng rng(0xbeef);
+  const std::string text =
+      vlsa::crypto::generate_english_like_text(8192, rng);
+  const std::vector<std::uint8_t> plain(text.begin(), text.end());
+  const TeaCipher::Key secret{0xdeadbeef, 0x0badf00d, 0xfeedface, 0xcafe1234};
+  const auto ciphertext = TeaCipher(secret).encrypt(plain);
+  std::cout << "Victim: encrypted " << plain.size()
+            << " bytes of text with TEA/ECB ("
+            << plain.size() / TeaCipher::kBlockBytes << " blocks).\n";
+  std::cout << "Plaintext preview : " << text.substr(0, 48) << "...\n\n";
+
+  // 2. The attacker tries candidate keys on two kinds of hardware.
+  for (const bool speculative : {false, true}) {
+    vlsa::crypto::AttackConfig config;
+    config.candidate_keys = 24;
+    config.seed = 99;
+    config.adder = speculative ? Adder32::speculative(14) : Adder32::exact();
+    const auto result =
+        vlsa::crypto::ciphertext_only_attack(ciphertext, secret, config);
+
+    std::cout << (speculative ? "ACA (k=14) hardware" : "Exact hardware")
+              << ": true key ranked #" << result.true_key_rank << " of "
+              << config.candidate_keys << " (chi2 "
+              << result.true_key_score << " vs best decoy "
+              << result.best_decoy_score << ")";
+    if (speculative) {
+      std::cout << "; " << result.wrong_blocks_true_key << "/"
+                << result.total_blocks << " blocks decrypted wrongly";
+    }
+    std::cout << '\n';
+
+    // 3. Show the recovered text — with the speculative adder a few
+    //    blocks are garbled, but the message (and the key) is out.
+    const auto recovered =
+        TeaCipher(secret).decrypt(ciphertext, config.adder);
+    std::string preview(recovered.begin(), recovered.begin() + 48);
+    for (char& c : preview) {
+      if ((c < 'a' || c > 'z') && c != ' ') c = '#';
+    }
+    std::cout << "  recovered preview: " << preview << "...\n\n";
+  }
+
+  std::cout << "Once the key is known, any garbled blocks are re-decrypted "
+               "on an exact adder (paper Sec. 1).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's introduction, §1: "applications ... that attempt to deduce
+// a conclusion by repeating some operations on many different inputs.
+// If the conclusion is not sensitive to the result of the operation on
+// any individual input, then the small percentage of incorrect results
+// will not adversely affect the outcome."
+//
+// This example shows the claim — and its boundary.  Estimating pi by
+// Monte Carlo in Q16 fixed point:
+//
+//   * the per-sample work (x^2 + y^2) through a bare ACA: a few hundred
+//     of 2M samples get misclassified, and pi comes out the same — the
+//     intro's application class, no recovery hardware needed;
+//   * the *running hit counter* through the ACA as well: every rare
+//     error is absorbed into state and poisons every later count — the
+//     estimate collapses.  Aggregation state is NOT the "independent
+//     inputs" class; keep it exact (it is one narrow counter; the wide
+//     speculative adder goes where the work is).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/aca_probability.hpp"
+#include "crypto/adder32.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+double estimate_pi(long long samples, vlsa::util::Rng& rng,
+                   const vlsa::crypto::Adder32& sample_adder,
+                   const vlsa::crypto::Adder32& counter_adder) {
+  std::uint32_t hits = 0;
+  for (long long s = 0; s < samples; ++s) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.next_u64()) >> 16;
+    const std::uint32_t y = static_cast<std::uint32_t>(rng.next_u64()) >> 16;
+    const std::uint32_t xx = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(x) * x) >> 16);
+    const std::uint32_t yy = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(y) * y) >> 16);
+    const std::uint32_t dist = sample_adder.add(xx, yy);
+    if (dist < (1u << 16)) hits = counter_adder.add(hits, 1);
+  }
+  return 4.0 * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main() {
+  const long long samples = 2'000'000;
+  const int k = 12;
+  const auto exact = vlsa::crypto::Adder32::exact();
+  const auto aca = vlsa::crypto::Adder32::speculative(k);
+  std::cout << "Monte-Carlo pi, " << samples
+            << " samples, Q16 fixed point, ACA window k = " << k
+            << " (per-add error probability "
+            << vlsa::analysis::aca_wrong_probability(32, k) << ")\n\n";
+
+  struct Config {
+    const char* name;
+    const vlsa::crypto::Adder32& sample;
+    const vlsa::crypto::Adder32& counter;
+  };
+  const Config configs[] = {
+      {"exact everywhere            ", exact, exact},
+      {"ACA on per-sample work      ", aca, exact},
+      {"ACA on the counter state too", aca, aca},
+  };
+  for (const Config& config : configs) {
+    vlsa::util::Rng rng(0x314159);  // same sample stream for all rows
+    const double pi =
+        estimate_pi(samples, rng, config.sample, config.counter);
+    std::cout << config.name << "  pi ~= " << pi << "\n";
+  }
+  std::cout
+      << "\nReading: speculating the independent per-input operations is "
+         "free (the intro's claim);\nspeculating *accumulator state* is "
+         "not — errors persist and compound.  Deploy the ACA on the\n"
+         "wide per-input datapath and keep the narrow aggregation "
+         "counters exact.\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+// vlsa_tool — the repository's EDA toolbox as one command-line program.
+//
+//   vlsa_tool stats    <circuit> <width> [k]       timing/area/structure
+//   vlsa_tool emit     <circuit> <width> [k] --verilog|--vhdl|--dot|--text
+//   vlsa_tool equiv    <circuit-a> <circuit-b> <width> [k]
+//   vlsa_tool faults   <circuit> <width> [k]       stuck-at coverage
+//   vlsa_tool settle   <circuit> <width> [k]       average-case delay
+//   vlsa_tool datasheet <width> <accuracy>         size a VLSA design
+//
+// <circuit> is an adder architecture name (ripple-carry, kogge-stone,
+// brent-kung, ...), "aca", "errdet" or "vlsa" (the latter three take k;
+// default = the 99.99% design window).
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adders/adders.hpp"
+#include "analysis/aca_probability.hpp"
+#include "core/aca_netlist.hpp"
+#include "core/vlsa.hpp"
+#include "netlist/dot.hpp"
+#include "netlist/emit.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/event_sim.hpp"
+#include "netlist/fault.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/serialize.hpp"
+#include "netlist/sta.hpp"
+
+namespace {
+
+using vlsa::netlist::Netlist;
+
+std::optional<vlsa::adders::AdderKind> adder_kind_by_name(
+    const std::string& name) {
+  for (auto kind : vlsa::adders::all_adder_kinds()) {
+    if (name == vlsa::adders::adder_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+// Build any named circuit at the given width/window.
+Netlist build_circuit(const std::string& name, int width, int window) {
+  if (const auto kind = adder_kind_by_name(name)) {
+    return vlsa::adders::build_adder(*kind, width).nl;
+  }
+  if (name == "aca") {
+    return vlsa::core::build_aca(width, window, false).nl;
+  }
+  if (name == "aca+er") {
+    return vlsa::core::build_aca(width, window, true).nl;
+  }
+  if (name == "errdet") {
+    return vlsa::core::build_error_detector(width, window).nl;
+  }
+  if (name == "vlsa") {
+    return vlsa::core::build_vlsa(width, window).nl;
+  }
+  throw std::invalid_argument("unknown circuit '" + name +
+                              "' (adder name, aca, aca+er, errdet or vlsa)");
+}
+
+int cmd_stats(const Netlist& nl) {
+  const auto timing = vlsa::netlist::analyze_timing(nl);
+  const auto area = vlsa::netlist::analyze_area(nl);
+  const auto structure = vlsa::netlist::analyze_structure(nl);
+  std::cout << nl.module_name() << ":\n"
+            << "  delay        " << timing.critical_delay_ns << " ns ("
+            << timing.logic_levels << " logic levels)\n"
+            << "  area         " << area.total_area << " NAND2-eq ("
+            << area.num_cells << " cells)\n"
+            << "  max fanout   " << area.max_fanout << " (inputs: "
+            << area.max_input_fanout << ")\n"
+            << "  dead gates   " << structure.dead_gates << "\n";
+  return 0;
+}
+
+int cmd_emit(const Netlist& nl, const std::string& format) {
+  if (format == "--verilog") {
+    std::cout << vlsa::netlist::to_verilog(nl);
+  } else if (format == "--vhdl") {
+    std::cout << vlsa::netlist::to_vhdl(nl);
+  } else if (format == "--dot") {
+    const auto timing = vlsa::netlist::analyze_timing(nl);
+    std::cout << vlsa::netlist::to_dot(nl, timing.critical_path);
+  } else if (format == "--text") {
+    std::cout << vlsa::netlist::to_text(nl);
+  } else {
+    std::cerr << "unknown format " << format << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_equiv(const Netlist& a, const Netlist& b) {
+  const auto result = vlsa::netlist::check_equivalence(a, b, 8192);
+  if (result.equivalent) {
+    std::cout << "EQUIVALENT (" << result.vectors_checked << " vectors"
+              << (result.exhaustive ? ", exhaustive" : "") << ")\n";
+    return 0;
+  }
+  std::cout << "NOT equivalent: output '" << result.mismatched_output
+            << "' differs; counterexample inputs (LSB first):\n  ";
+  for (bool bit : result.counterexample) std::cout << (bit ? '1' : '0');
+  std::cout << "\n";
+  return 2;
+}
+
+int cmd_faults(const Netlist& nl) {
+  const auto coverage = vlsa::netlist::measure_fault_coverage(nl, 32, 0xf1);
+  std::cout << nl.module_name() << ": " << coverage.detected << "/"
+            << coverage.total_faults << " single-stuck-at faults detected ("
+            << coverage.coverage * 100 << "% with 32x64 random vectors)\n";
+  return 0;
+}
+
+int cmd_settle(const Netlist& nl) {
+  const auto timing = vlsa::netlist::analyze_timing(nl);
+  const auto stats = vlsa::netlist::measure_settle_distribution(nl, 400, 7);
+  std::cout << nl.module_name() << ": static " << timing.critical_delay_ns
+            << " ns; settle mean " << stats.mean_ns << " ns, p99 "
+            << stats.p99_ns << " ns, max " << stats.max_ns
+            << " ns; mean switching energy " << stats.mean_energy_fj
+            << " fJ/op\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) {
+      std::cerr << "usage: vlsa_tool "
+                   "stats|emit|equiv|faults|settle|datasheet ...\n";
+      return 1;
+    }
+    const std::string& cmd = args[0];
+    if (cmd == "datasheet") {
+      if (args.size() < 3) {
+        std::cerr << "usage: vlsa_tool datasheet <width> <accuracy>\n";
+        return 1;
+      }
+      std::cout << vlsa::core::VlsaDesign::design(std::stoi(args[1]),
+                                                  std::stod(args[2]))
+                       .datasheet();
+      return 0;
+    }
+    if (cmd == "equiv") {
+      if (args.size() < 4) {
+        std::cerr << "usage: vlsa_tool equiv <a> <b> <width> [k]\n";
+        return 1;
+      }
+      const int width = std::stoi(args[3]);
+      const int k = args.size() > 4
+                        ? std::stoi(args[4])
+                        : vlsa::analysis::choose_window(width, 1e-4);
+      return cmd_equiv(build_circuit(args[1], width, k),
+                       build_circuit(args[2], width, k));
+    }
+    if (args.size() < 3) {
+      std::cerr << "usage: vlsa_tool " << cmd << " <circuit> <width> [k]\n";
+      return 1;
+    }
+    const int width = std::stoi(args[2]);
+    int k = vlsa::analysis::choose_window(width, 1e-4);
+    std::size_t next = 3;
+    if (args.size() > next && args[next][0] != '-') {
+      k = std::stoi(args[next]);
+      ++next;
+    }
+    const Netlist nl = build_circuit(args[1], width, k);
+    if (cmd == "stats") return cmd_stats(nl);
+    if (cmd == "emit") {
+      return cmd_emit(nl, args.size() > next ? args[next] : "--verilog");
+    }
+    if (cmd == "faults") return cmd_faults(nl);
+    if (cmd == "settle") return cmd_settle(nl);
+    std::cerr << "unknown command " << cmd << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+#pragma once
+// Netlist generators for the classical exact ("reliable") adders the paper
+// measures against.
+//
+// The paper's baseline is the Synopsys DesignWare adder, a tuned
+// parallel-prefix design we cannot ship; our "traditional adder" datapoint
+// is therefore the *fastest member* of this family at each width (see
+// `fastest_traditional`).  All generators share the operand/port
+// convention: input buses "a" and "b" (LSB first), output bus "sum" and
+// single-bit output "cout"; carry-in is architecturally 0, as in the
+// paper's two-operand adders.
+
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlsa::adders {
+
+/// The implemented exact adder architectures.
+enum class AdderKind {
+  RippleCarry,
+  CarryLookahead4,  ///< hierarchical 4-bit-group CLA
+  CarrySkip,        ///< fixed near-sqrt(n) blocks
+  CarrySelect,      ///< fixed near-sqrt(n) blocks, duplicated sums
+  CarrySelectVariable,  ///< blocks growing 2,3,4,... (balances ripple vs
+                        ///  select chain; the classic sqrt(2n) design)
+  ConditionalSum,   ///< Sklansky 1960 conditional-sum recursion
+  KoggeStone,
+  Sklansky,
+  BrentKung,
+  HanCarlson,       ///< sparse-2 Kogge-Stone
+  LadnerFischer,    ///< sparse-2 Sklansky
+  Knowles2,         ///< Knowles family, lateral fanout 2 per level
+  Knowles4,         ///< Knowles family, lateral fanout 4 per level
+  KoggeStoneRadix3, ///< valency-3 nodes, depth log3(n)
+};
+
+/// All kinds, in enum order.
+std::vector<AdderKind> all_adder_kinds();
+
+/// Kinds with O(log n) delay — the candidate pool for the "traditional
+/// (DesignWare-class) adder" baseline.
+std::vector<AdderKind> fast_adder_kinds();
+
+const char* adder_kind_name(AdderKind kind);
+
+/// A generated adder plus its port nets.
+struct AdderNetlist {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;    ///< LSB first
+  std::vector<netlist::NetId> b;
+  std::vector<netlist::NetId> sum;
+  netlist::NetId carry_out = netlist::kNoNet;
+};
+
+/// Build an n-bit adder of the given architecture (n >= 1).
+AdderNetlist build_adder(AdderKind kind, int width);
+
+/// Result of the best-of-family baseline selection.
+struct TraditionalChoice {
+  AdderKind kind;
+  double delay_ns;
+  double area;
+};
+
+/// Pick the fastest member of `fast_adder_kinds()` at this width under the
+/// library's timing model — the stand-in for the DesignWare adder.
+TraditionalChoice fastest_traditional(
+    int width, const netlist::CellLibrary& lib = netlist::CellLibrary::umc18());
+
+}  // namespace vlsa::adders

@@ -1,0 +1,102 @@
+// Hierarchical carry look-ahead adder with 4-bit groups.
+//
+// An up-sweep reduces (g, p) pairs in groups of four into block (G, P)
+// signals; a down-sweep distributes carries back to every bit.  This is
+// the classical recursive CLA (delay Θ(log₄ n)) and is also reused by the
+// ACA error-recovery circuit, which runs the same structure over the
+// k-bit block signals the ACA already computed (paper Sec. 4.2).
+
+#include "adders/cla.hpp"
+
+#include <algorithm>
+
+#include "adders/detail.hpp"
+
+namespace vlsa::adders {
+
+namespace {
+
+// One recursion step: reduce `level` (LSB-first spans) into groups of up
+// to 4, remembering for each group the left-prefix spans needed to derive
+// child carry-ins on the way down.
+struct GroupNode {
+  // For a group with children x0..x_{m-1} (x0 least significant),
+  // prefix[j] spans children 0..j (combined), j in [0, m-1).  The carry
+  // into child j+1 is prefix[j] applied to the group's carry-in.
+  std::vector<PG> prefix;
+  int first_child = 0;
+  int num_children = 0;
+};
+
+}  // namespace
+
+std::vector<NetId> cla_carry_network(Netlist& nl, const std::vector<PG>& pg,
+                                     NetId carry_in) {
+  // ---- up-sweep: build levels of group nodes ----
+  std::vector<std::vector<PG>> levels{pg};
+  std::vector<std::vector<GroupNode>> groups;
+  while (levels.back().size() > 1) {
+    const std::vector<PG>& cur = levels.back();
+    std::vector<PG> next;
+    std::vector<GroupNode> level_groups;
+    std::size_t i = 0;
+    while (i < cur.size()) {
+      const int m = static_cast<int>(std::min<std::size_t>(4, cur.size() - i));
+      GroupNode node;
+      node.first_child = static_cast<int>(i);
+      node.num_children = m;
+      PG span = cur[i];
+      for (int j = 1; j < m; ++j) {
+        node.prefix.push_back(span);
+        span = combine(nl, cur[i + static_cast<std::size_t>(j)], span);
+      }
+      next.push_back(span);
+      level_groups.push_back(std::move(node));
+      i += static_cast<std::size_t>(m);
+    }
+    levels.push_back(std::move(next));
+    groups.push_back(std::move(level_groups));
+  }
+
+  // ---- down-sweep: compute the carry into every span of every level ----
+  // carry_into[L][i] = carry into the i-th span of level L.
+  std::vector<std::vector<NetId>> carry_into(levels.size());
+  carry_into.back() = {carry_in};
+  for (int level = static_cast<int>(groups.size()) - 1; level >= 0; --level) {
+    const auto& level_groups = groups[static_cast<std::size_t>(level)];
+    auto& child_carries = carry_into[static_cast<std::size_t>(level)];
+    child_carries.assign(levels[static_cast<std::size_t>(level)].size(),
+                         netlist::kNoNet);
+    for (std::size_t gi = 0; gi < level_groups.size(); ++gi) {
+      const GroupNode& node = level_groups[gi];
+      const NetId cin = carry_into[static_cast<std::size_t>(level) + 1][gi];
+      child_carries[static_cast<std::size_t>(node.first_child)] = cin;
+      for (int j = 1; j < node.num_children; ++j) {
+        const PG& span = node.prefix[static_cast<std::size_t>(j - 1)];
+        child_carries[static_cast<std::size_t>(node.first_child + j)] =
+            apply_carry(nl, span, cin);
+      }
+    }
+  }
+
+  // carry OUT of bit i = g_i | p_i & carry_into_bit_i.
+  const int n = static_cast<int>(pg.size());
+  std::vector<NetId> carry(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    carry[static_cast<std::size_t>(i)] =
+        apply_carry(nl, pg[static_cast<std::size_t>(i)],
+                    carry_into[0][static_cast<std::size_t>(i)]);
+  }
+  return carry;
+}
+
+AdderNetlist build_carry_lookahead4(int width) {
+  AdderNetlist adder = detail::make_frame("cla4_" + std::to_string(width), width);
+  Netlist& nl = adder.nl;
+  const std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+  const std::vector<NetId> carry = cla_carry_network(nl, pg, nl.const0());
+  detail::finish_from_carries(adder, pg, carry);
+  return adder;
+}
+
+}  // namespace vlsa::adders

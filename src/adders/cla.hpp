@@ -1,0 +1,17 @@
+#pragma once
+// Carry look-ahead building block shared with the ACA error-recovery
+// circuit (paper Sec. 4.2): given per-span (g, p) pairs and a carry-in,
+// produce the carry out of every span using a 4-ary up/down tree.
+
+#include <vector>
+
+#include "adders/pg.hpp"
+
+namespace vlsa::adders {
+
+/// Returns carry-out nets, one per input span (LSB-first); delay is
+/// Θ(log₄ n) combine levels each way.
+std::vector<NetId> cla_carry_network(Netlist& nl, const std::vector<PG>& pg,
+                                     NetId carry_in);
+
+}  // namespace vlsa::adders

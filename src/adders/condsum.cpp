@@ -1,0 +1,78 @@
+// Conditional-sum adder (Sklansky, 1960).
+//
+// Every block computes its sum twice — once assuming carry-in 0, once
+// assuming carry-in 1 — and a logarithmic tree of multiplexers selects
+// the right variant as real carries become known.  Delay Θ(log n), area
+// Θ(n log n).
+
+#include "adders/detail.hpp"
+
+namespace vlsa::adders {
+
+namespace {
+
+// Conditional sums of a bit range for both possible carry-ins.
+// `sum1`/`cout1` are only populated when the caller needs them.
+struct CondSums {
+  std::vector<NetId> sum0, sum1;
+  NetId cout0 = netlist::kNoNet;
+  NetId cout1 = netlist::kNoNet;
+};
+
+CondSums cond_build(Netlist& nl, const std::vector<PG>& pg,
+                    std::span<const NetId> a, std::span<const NetId> b,
+                    int lo, int hi, bool need1) {
+  CondSums out;
+  if (hi - lo == 1) {
+    const PG& bit = pg[static_cast<std::size_t>(lo)];
+    out.sum0 = {bit.p};
+    out.cout0 = bit.g;
+    if (need1) {
+      out.sum1 = {nl.xnor2(a[static_cast<std::size_t>(lo)],
+                           b[static_cast<std::size_t>(lo)])};
+      out.cout1 = nl.or2(a[static_cast<std::size_t>(lo)],
+                         b[static_cast<std::size_t>(lo)]);
+    }
+    return out;
+  }
+  const int mid = lo + (hi - lo) / 2;
+  // The low half needs its cin=1 variant only if we do; the high half is
+  // always selected by a runtime carry, so it needs both.
+  const CondSums low = cond_build(nl, pg, a, b, lo, mid, need1);
+  const CondSums high = cond_build(nl, pg, a, b, mid, hi, /*need1=*/true);
+
+  auto select_high = [&](NetId sel, CondSums& dst_half,
+                         std::vector<NetId>& dst_sums) {
+    for (std::size_t i = 0; i < high.sum0.size(); ++i) {
+      dst_sums.push_back(nl.mux2(sel, high.sum0[i], high.sum1[i]));
+    }
+    dst_half.cout0 = nl.mux2(sel, high.cout0, high.cout1);
+  };
+
+  out.sum0 = low.sum0;
+  CondSums picked0;
+  select_high(low.cout0, picked0, out.sum0);
+  out.cout0 = picked0.cout0;
+  if (need1) {
+    out.sum1 = low.sum1;
+    CondSums picked1;
+    select_high(low.cout1, picked1, out.sum1);
+    out.cout1 = picked1.cout0;
+  }
+  return out;
+}
+
+}  // namespace
+
+AdderNetlist build_conditional_sum(int width) {
+  AdderNetlist adder =
+      detail::make_frame("condsum" + std::to_string(width), width);
+  Netlist& nl = adder.nl;
+  const std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+  CondSums top =
+      cond_build(nl, pg, adder.a, adder.b, 0, width, /*need1=*/false);
+  detail::finish_from_sums(adder, std::move(top.sum0), top.cout0);
+  return adder;
+}
+
+}  // namespace vlsa::adders

@@ -1,0 +1,49 @@
+#pragma once
+// Shared scaffolding for adder netlist generators (internal header).
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adders/adders.hpp"
+#include "adders/pg.hpp"
+
+namespace vlsa::adders::detail {
+
+/// Create the netlist with its "a"/"b" input buses.
+inline AdderNetlist make_frame(const std::string& module, int width) {
+  if (width < 1) throw std::invalid_argument("adder width must be >= 1");
+  AdderNetlist out{netlist::Netlist(module), {}, {}, {}, netlist::kNoNet};
+  out.a = out.nl.add_input_bus("a", width);
+  out.b = out.nl.add_input_bus("b", width);
+  return out;
+}
+
+/// Finish an adder whose per-bit carries are known: sum_i = p_i XOR c_{i-1}
+/// (carry-in is 0), cout = c_{n-1}; marks the output ports.
+inline void finish_from_carries(AdderNetlist& adder, const std::vector<PG>& pg,
+                                const std::vector<netlist::NetId>& carry_out_of_bit) {
+  const int n = static_cast<int>(pg.size());
+  adder.sum.resize(static_cast<std::size_t>(n));
+  adder.sum[0] = pg[0].p;
+  for (int i = 1; i < n; ++i) {
+    adder.sum[static_cast<std::size_t>(i)] =
+        adder.nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                      carry_out_of_bit[static_cast<std::size_t>(i - 1)]);
+  }
+  adder.carry_out = carry_out_of_bit[static_cast<std::size_t>(n - 1)];
+  adder.nl.mark_output_bus("sum", adder.sum);
+  adder.nl.mark_output(adder.carry_out, "cout");
+}
+
+/// Mark ports when sums were produced directly.
+inline void finish_from_sums(AdderNetlist& adder,
+                             std::vector<netlist::NetId> sums,
+                             netlist::NetId cout) {
+  adder.sum = std::move(sums);
+  adder.carry_out = cout;
+  adder.nl.mark_output_bus("sum", adder.sum);
+  adder.nl.mark_output(adder.carry_out, "cout");
+}
+
+}  // namespace vlsa::adders::detail

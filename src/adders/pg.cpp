@@ -1,0 +1,45 @@
+#include "adders/pg.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::adders {
+
+std::vector<PG> bitwise_pg(Netlist& nl, std::span<const NetId> a,
+                           std::span<const NetId> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("bitwise_pg: operand width mismatch");
+  }
+  std::vector<PG> pg(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pg[i].g = nl.and2(a[i], b[i]);
+    pg[i].p = nl.xor2(a[i], b[i]);
+  }
+  return pg;
+}
+
+PG combine(Netlist& nl, const PG& hi, const PG& lo) {
+  PG out;
+  out.g = nl.or2(hi.g, nl.and2(hi.p, lo.g));
+  out.p = nl.and2(hi.p, lo.p);
+  return out;
+}
+
+NetId combine_g(Netlist& nl, const PG& hi, const PG& lo) {
+  return nl.or2(hi.g, nl.and2(hi.p, lo.g));
+}
+
+PG combine3(Netlist& nl, const PG& hi, const PG& mid, const PG& lo) {
+  // G = g_hi | p_hi g_mid | p_hi p_mid g_lo ; P = p_hi p_mid p_lo.
+  PG out;
+  const NetId hi_mid_g = nl.and2(hi.p, mid.g);
+  const NetId hi_mid_p = nl.and2(hi.p, mid.p);
+  out.g = nl.or3(hi.g, hi_mid_g, nl.and2(hi_mid_p, lo.g));
+  out.p = nl.and2(hi_mid_p, lo.p);
+  return out;
+}
+
+NetId apply_carry(Netlist& nl, const PG& span, NetId cin) {
+  return nl.or2(span.g, nl.and2(span.p, cin));
+}
+
+}  // namespace vlsa::adders

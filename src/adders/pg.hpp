@@ -1,0 +1,49 @@
+#pragma once
+// Generate/propagate signal pairs and the prefix combine operator.
+//
+// Carry computation in every adder in this repository is expressed over
+// (g, p) pairs with the associative operator of Sec. 3.1 of the paper
+// (there written as a 2x2 boolean matrix product):
+//
+//   (g, p) • (g', p')  =  (g OR (p AND g'),  p AND p')
+//
+// where the left operand covers the more significant span.  Using one
+// shared implementation for the baselines *and* the ACA strips keeps the
+// delay/area comparison of Fig. 8 apples-to-apples.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::adders {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Block generate/propagate pair over some bit span.
+struct PG {
+  NetId g = netlist::kNoNet;
+  NetId p = netlist::kNoNet;
+};
+
+/// Bitwise (g_i, p_i) from operand bit nets: g = a AND b, p = a XOR b.
+std::vector<PG> bitwise_pg(Netlist& nl, std::span<const NetId> a,
+                           std::span<const NetId> b);
+
+/// Prefix combine: `hi` spans the more significant bits.
+PG combine(Netlist& nl, const PG& hi, const PG& lo);
+
+/// Combine when only the generate output is needed downstream
+/// (saves the AND cell for p).
+NetId combine_g(Netlist& nl, const PG& hi, const PG& lo);
+
+/// Valency-3 combine: one node merges three adjacent spans
+/// (hi • mid • lo) using 3-input cells — the higher-radix node used by
+/// low-depth industrial prefix trees.
+PG combine3(Netlist& nl, const PG& hi, const PG& mid, const PG& lo);
+
+/// carry = g OR (p AND cin) — applying a span to an incoming carry.
+NetId apply_carry(Netlist& nl, const PG& span, NetId cin);
+
+}  // namespace vlsa::adders

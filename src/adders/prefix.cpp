@@ -1,0 +1,193 @@
+#include "adders/prefix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "adders/detail.hpp"
+
+namespace vlsa::adders {
+
+void kogge_stone_core(Netlist& nl, std::vector<PG>& pg) {
+  const int n = static_cast<int>(pg.size());
+  for (int d = 1; d < n; d <<= 1) {
+    std::vector<PG> next = pg;
+    for (int i = d; i < n; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          combine(nl, pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(i - d)]);
+    }
+    pg = std::move(next);
+  }
+}
+
+void sklansky_core(Netlist& nl, std::vector<PG>& pg) {
+  const int n = static_cast<int>(pg.size());
+  for (int level = 0; (1 << level) < n; ++level) {
+    // Indices with bit `level` set combine with the top of the preceding
+    // 2^level-aligned block; sources have that bit clear, so the in-place
+    // update never reads a value written in the same level.
+    for (int i = 0; i < n; ++i) {
+      if ((i >> level) & 1) {
+        const int lo = ((i >> level) << level) - 1;
+        pg[static_cast<std::size_t>(i)] =
+            combine(nl, pg[static_cast<std::size_t>(i)],
+                    pg[static_cast<std::size_t>(lo)]);
+      }
+    }
+  }
+}
+
+void brent_kung_core(Netlist& nl, std::vector<PG>& pg) {
+  const int n = static_cast<int>(pg.size());
+  // Up-sweep.
+  int dmax = 1;
+  for (int d = 1; d < n; d <<= 1) {
+    for (int i = 2 * d - 1; i < n; i += 2 * d) {
+      pg[static_cast<std::size_t>(i)] =
+          combine(nl, pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(i - d)]);
+    }
+    dmax = d;
+  }
+  // Down-sweep.
+  for (int d = dmax; d >= 2; d >>= 1) {
+    for (int i = d + d / 2 - 1; i < n; i += d) {
+      pg[static_cast<std::size_t>(i)] =
+          combine(nl, pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(i - d / 2)]);
+    }
+  }
+}
+
+void sparse2_core(Netlist& nl, std::vector<PG>& pg,
+                  void (*inner)(Netlist&, std::vector<PG>&)) {
+  const int n = static_cast<int>(pg.size());
+  if (n <= 2) {
+    if (n == 2) pg[1] = combine(nl, pg[1], pg[0]);
+    return;
+  }
+  // Level 0: pair each odd position with its even neighbour.
+  std::vector<PG> odds;
+  for (int i = 1; i < n; i += 2) {
+    pg[static_cast<std::size_t>(i)] =
+        combine(nl, pg[static_cast<std::size_t>(i)],
+                pg[static_cast<std::size_t>(i - 1)]);
+    odds.push_back(pg[static_cast<std::size_t>(i)]);
+  }
+  // Inner prefix over the compressed (half-length) sequence.
+  inner(nl, odds);
+  for (int i = 1, j = 0; i < n; i += 2, ++j) {
+    pg[static_cast<std::size_t>(i)] = odds[static_cast<std::size_t>(j)];
+  }
+  // Final level: every even position (except bit 0) joins the full prefix
+  // of its odd neighbour below.
+  for (int i = 2; i < n; i += 2) {
+    pg[static_cast<std::size_t>(i)] =
+        combine(nl, pg[static_cast<std::size_t>(i)],
+                pg[static_cast<std::size_t>(i - 1)]);
+  }
+}
+
+void knowles_core(Netlist& nl, std::vector<PG>& pg, int max_fanout) {
+  if (max_fanout < 1 || (max_fanout & (max_fanout - 1)) != 0) {
+    throw std::invalid_argument("knowles_core: fanout must be a power of 2");
+  }
+  const int n = static_cast<int>(pg.size());
+  for (int s = 1; s < n; s <<= 1) {
+    const int f = std::min(max_fanout, s);
+    std::vector<PG> next = pg;
+    for (int i = s; i < n; ++i) {
+      const int j = (i - s) / f * f + (f - 1);
+      next[static_cast<std::size_t>(i)] =
+          combine(nl, pg[static_cast<std::size_t>(i)],
+                  pg[static_cast<std::size_t>(j)]);
+    }
+    pg = std::move(next);
+  }
+}
+
+void kogge_stone_radix3_core(Netlist& nl, std::vector<PG>& pg) {
+  const int n = static_cast<int>(pg.size());
+  for (long long d = 1; d < n; d *= 3) {
+    std::vector<PG> next = pg;
+    for (int i = 0; i < n; ++i) {
+      const long long lo1 = i - d;
+      const long long lo2 = i - 2 * d;
+      if (lo2 >= 0) {
+        next[static_cast<std::size_t>(i)] =
+            combine3(nl, pg[static_cast<std::size_t>(i)],
+                     pg[static_cast<std::size_t>(lo1)],
+                     pg[static_cast<std::size_t>(lo2)]);
+      } else if (lo1 >= 0) {
+        next[static_cast<std::size_t>(i)] =
+            combine(nl, pg[static_cast<std::size_t>(i)],
+                    pg[static_cast<std::size_t>(lo1)]);
+      }
+    }
+    pg = std::move(next);
+  }
+}
+
+namespace {
+
+AdderNetlist build_prefix(const char* name, int width,
+                          void (*network)(Netlist&, std::vector<PG>&)) {
+  AdderNetlist adder =
+      detail::make_frame(std::string(name) + std::to_string(width), width);
+  Netlist& nl = adder.nl;
+  std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+  std::vector<PG> prefix = pg;
+  network(nl, prefix);
+  std::vector<NetId> carry(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    carry[static_cast<std::size_t>(i)] = prefix[static_cast<std::size_t>(i)].g;
+  }
+  detail::finish_from_carries(adder, pg, carry);
+  return adder;
+}
+
+void han_carlson_network(Netlist& nl, std::vector<PG>& pg) {
+  sparse2_core(nl, pg, &kogge_stone_core);
+}
+void ladner_fischer_network(Netlist& nl, std::vector<PG>& pg) {
+  sparse2_core(nl, pg, &sklansky_core);
+}
+
+}  // namespace
+
+AdderNetlist build_kogge_stone(int width) {
+  return build_prefix("ks", width, &kogge_stone_core);
+}
+AdderNetlist build_kogge_stone_radix3(int width) {
+  return build_prefix("ks3_", width, &kogge_stone_radix3_core);
+}
+AdderNetlist build_sklansky(int width) {
+  return build_prefix("sklansky", width, &sklansky_core);
+}
+AdderNetlist build_brent_kung(int width) {
+  return build_prefix("bk", width, &brent_kung_core);
+}
+AdderNetlist build_han_carlson(int width) {
+  return build_prefix("hc", width, &han_carlson_network);
+}
+AdderNetlist build_ladner_fischer(int width) {
+  return build_prefix("lf", width, &ladner_fischer_network);
+}
+
+AdderNetlist build_knowles(int width, int max_fanout) {
+  AdderNetlist adder = detail::make_frame(
+      "knowles_f" + std::to_string(max_fanout) + "_" + std::to_string(width),
+      width);
+  Netlist& nl = adder.nl;
+  std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+  std::vector<PG> prefix = pg;
+  knowles_core(nl, prefix, max_fanout);
+  std::vector<NetId> carry(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    carry[static_cast<std::size_t>(i)] = prefix[static_cast<std::size_t>(i)].g;
+  }
+  detail::finish_from_carries(adder, pg, carry);
+  return adder;
+}
+
+}  // namespace vlsa::adders

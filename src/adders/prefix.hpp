@@ -1,0 +1,39 @@
+#pragma once
+// Parallel-prefix carry networks (Kogge-Stone, Sklansky, Brent-Kung and
+// their sparse-2 variants Han-Carlson / Ladner-Fischer).
+//
+// Each core transforms pg[i] (the bitwise (g_i, p_i) pair) in place into
+// the prefix span (G[0..i], P[0..i]); the carry out of bit i is then
+// simply G[0..i] because the adder's carry-in is 0.
+
+#include <vector>
+
+#include "adders/pg.hpp"
+
+namespace vlsa::adders {
+
+/// All-prefix networks; `pg` is LSB-first and updated in place.
+void kogge_stone_core(Netlist& nl, std::vector<PG>& pg);
+void sklansky_core(Netlist& nl, std::vector<PG>& pg);
+void brent_kung_core(Netlist& nl, std::vector<PG>& pg);
+
+/// Sparse-2 wrapper: pairs bits, runs `inner` over the odd positions,
+/// then fixes the even positions with one extra level.  Han-Carlson is
+/// sparse(kogge_stone); Ladner-Fischer is sparse(sklansky).
+void sparse2_core(Netlist& nl, std::vector<PG>& pg,
+                  void (*inner)(Netlist&, std::vector<PG>&));
+
+/// Knowles family: minimal depth like Kogge-Stone, with per-level lateral
+/// fanout `f` trading wire count against fanout (Knowles, ARITH 2001).
+/// At level l (span s = 2^l) node i combines with node
+/// floor((i-s)/f)*f + f-1, where f = min(max_fanout, s); f = 1 is exactly
+/// Kogge-Stone, f = s is exactly Sklansky, and the prefix operator's
+/// idempotency makes every intermediate setting correct (verified against
+/// the behavioral model and by equivalence checking in the tests).
+void knowles_core(Netlist& nl, std::vector<PG>& pg, int max_fanout);
+
+/// Radix-3 Kogge-Stone: spans triple per level (depth log3 n) using
+/// valency-3 combine nodes — fewer levels, fatter nodes.
+void kogge_stone_radix3_core(Netlist& nl, std::vector<PG>& pg);
+
+}  // namespace vlsa::adders

@@ -1,0 +1,23 @@
+// Ripple-carry adder — the smallest adder (area Θ(n), delay Θ(n)).
+
+#include "adders/detail.hpp"
+
+namespace vlsa::adders {
+
+AdderNetlist build_ripple_carry(int width) {
+  AdderNetlist adder = detail::make_frame("rca" + std::to_string(width), width);
+  Netlist& nl = adder.nl;
+  const std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+
+  std::vector<NetId> carry(static_cast<std::size_t>(width));
+  carry[0] = pg[0].g;  // carry-in is 0, so the first stage is a half adder
+  for (int i = 1; i < width; ++i) {
+    carry[static_cast<std::size_t>(i)] =
+        apply_carry(nl, pg[static_cast<std::size_t>(i)],
+                    carry[static_cast<std::size_t>(i - 1)]);
+  }
+  detail::finish_from_carries(adder, pg, carry);
+  return adder;
+}
+
+}  // namespace vlsa::adders

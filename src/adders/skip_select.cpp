@@ -1,0 +1,127 @@
+// Carry-skip and carry-select adders with near-√n fixed blocks.
+// Both are Θ(√n)-delay designs; they sit between the ripple-carry and the
+// logarithmic adders in the delay/area trade-off space.
+
+#include <algorithm>
+#include <cmath>
+
+#include "adders/detail.hpp"
+
+namespace vlsa::adders {
+
+namespace {
+
+int block_size(int width) {
+  const int b = static_cast<int>(std::lround(std::sqrt(width)));
+  return b < 2 ? 2 : b;
+}
+
+}  // namespace
+
+AdderNetlist build_carry_skip(int width) {
+  AdderNetlist adder =
+      detail::make_frame("cskip" + std::to_string(width), width);
+  Netlist& nl = adder.nl;
+  const std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+  const int b = block_size(width);
+
+  std::vector<NetId> carry(static_cast<std::size_t>(width));
+  NetId block_cin = nl.const0();
+  for (int lo = 0; lo < width; lo += b) {
+    const int hi = std::min(lo + b, width);  // [lo, hi)
+    // Ripple within the block from the block carry-in.
+    NetId c = block_cin;
+    std::vector<NetId> block_p;
+    for (int i = lo; i < hi; ++i) {
+      c = apply_carry(nl, pg[static_cast<std::size_t>(i)], c);
+      carry[static_cast<std::size_t>(i)] = c;
+      block_p.push_back(pg[static_cast<std::size_t>(i)].p);
+    }
+    // Skip path: if every bit propagates, the block carry-in skips ahead.
+    // Skip mux. Note: the skip only helps under false-path-aware timing;
+    // our STA (like an untuned commercial STA) reports the structural
+    // ripple path, so this design is measured pessimistically.  It is not
+    // part of the "fast" baseline pool, so this does not affect Fig. 8.
+    const NetId all_p = nl.and_tree(block_p);
+    block_cin = nl.mux2(all_p, /*d0=*/c, /*d1=*/block_cin);
+  }
+  detail::finish_from_carries(adder, pg, carry);
+  return adder;
+}
+
+namespace {
+
+// Shared carry-select body over an explicit block-size schedule.
+AdderNetlist build_carry_select_blocks(const std::string& module, int width,
+                                       const std::vector<int>& blocks) {
+  AdderNetlist adder = detail::make_frame(module, width);
+  Netlist& nl = adder.nl;
+  const std::vector<PG> pg = bitwise_pg(nl, adder.a, adder.b);
+
+  std::vector<NetId> sums(static_cast<std::size_t>(width));
+  NetId block_cin = nl.const0();
+  NetId last_carry = netlist::kNoNet;
+  int lo = 0;
+  for (std::size_t blk = 0; blk < blocks.size() && lo < width; ++blk) {
+    const int hi = std::min(lo + blocks[blk], width);
+    if (lo == 0) {
+      // First block: single ripple chain with carry-in 0.
+      NetId c = nl.const0();
+      for (int i = lo; i < hi; ++i) {
+        sums[static_cast<std::size_t>(i)] =
+            (i == 0) ? pg[0].p : nl.xor2(pg[static_cast<std::size_t>(i)].p, c);
+        c = apply_carry(nl, pg[static_cast<std::size_t>(i)], c);
+      }
+      block_cin = c;
+      last_carry = c;
+      lo = hi;
+      continue;
+    }
+    // Two speculative ripple chains (cin = 0 and cin = 1), then select.
+    NetId c0 = nl.const0();
+    NetId c1 = nl.const1();
+    std::vector<NetId> s0, s1;
+    for (int i = lo; i < hi; ++i) {
+      const PG& bit = pg[static_cast<std::size_t>(i)];
+      s0.push_back(nl.xor2(bit.p, c0));
+      s1.push_back(nl.xor2(bit.p, c1));
+      c0 = apply_carry(nl, bit, c0);
+      c1 = apply_carry(nl, bit, c1);
+    }
+    for (int i = lo; i < hi; ++i) {
+      sums[static_cast<std::size_t>(i)] =
+          nl.mux2(block_cin, s0[static_cast<std::size_t>(i - lo)],
+                  s1[static_cast<std::size_t>(i - lo)]);
+    }
+    last_carry = nl.mux2(block_cin, c0, c1);
+    block_cin = last_carry;
+    lo = hi;
+  }
+  detail::finish_from_sums(adder, std::move(sums), last_carry);
+  return adder;
+}
+
+}  // namespace
+
+AdderNetlist build_carry_select(int width) {
+  const int b = block_size(width);
+  std::vector<int> blocks;
+  for (int covered = 0; covered < width; covered += b) blocks.push_back(b);
+  return build_carry_select_blocks("csel" + std::to_string(width), width,
+                                   blocks);
+}
+
+AdderNetlist build_carry_select_variable(int width) {
+  // Growing blocks: each block's ripple must finish just as the select
+  // chain reaches it, so sizes increase by one per block.
+  std::vector<int> blocks;
+  int covered = 0;
+  for (int size = 2; covered < width; ++size) {
+    blocks.push_back(size);
+    covered += size;
+  }
+  return build_carry_select_blocks("cselvar" + std::to_string(width), width,
+                                   blocks);
+}
+
+}  // namespace vlsa::adders

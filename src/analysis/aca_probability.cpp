@@ -1,0 +1,82 @@
+#include "analysis/aca_probability.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/longest_run.hpp"
+
+namespace vlsa::analysis {
+
+double aca_wrong_probability(int n, int k) {
+  if (n < 1 || k < 1) {
+    throw std::invalid_argument("aca_wrong_probability: bad arguments");
+  }
+  if (k > n) return 0.0;  // window covers every carry exactly
+  // State: run length r in [0, k-1] of the current trailing propagate run,
+  // crossed with whether the symbol just below that run is a generate.
+  // Reaching r == k with the generate flag set is the absorbing error
+  // state.  A run touching bit 0 has carry-in 0, modeled by flag = false.
+  std::vector<double> no_gen(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> with_gen(static_cast<std::size_t>(k), 0.0);
+  no_gen[0] = 1.0;  // "below bit 0" behaves like a kill
+  double error = 0.0;
+  for (int pos = 0; pos < n; ++pos) {
+    std::vector<double> next_no(static_cast<std::size_t>(k), 0.0);
+    std::vector<double> next_gen(static_cast<std::size_t>(k), 0.0);
+    double kill_mass = 0.0;
+    double gen_mass = 0.0;
+    for (int r = 0; r < k; ++r) {
+      const double n0 = no_gen[static_cast<std::size_t>(r)];
+      const double n1 = with_gen[static_cast<std::size_t>(r)];
+      if (n0 == 0.0 && n1 == 0.0) continue;
+      // propagate (1/2): run grows
+      if (r + 1 < k) {
+        next_no[static_cast<std::size_t>(r + 1)] += 0.5 * n0;
+        next_gen[static_cast<std::size_t>(r + 1)] += 0.5 * n1;
+      } else {
+        // run reaches k: an activated run is an error; an unactivated run
+        // of length >= k stays harmless no matter how much longer it
+        // grows (the incoming carry is genuinely 0), so it collapses to
+        // the same "long dead run" behaviour as r = k-1 without a
+        // generate below... but its *next* non-propagate symbol resets
+        // the state anyway, so parking it at (k-1, no_gen) is exact.
+        error += 0.5 * n1;
+        next_no[static_cast<std::size_t>(k - 1)] += 0.5 * n0;
+      }
+      // generate (1/4) / kill (1/4): run resets with the matching flag
+      gen_mass += 0.25 * (n0 + n1);
+      kill_mass += 0.25 * (n0 + n1);
+    }
+    next_gen[0] += gen_mass;
+    next_no[0] += kill_mass;
+    no_gen = std::move(next_no);
+    with_gen = std::move(next_gen);
+  }
+  return error;
+}
+
+double aca_flag_probability(int n, int k) {
+  if (n < 1 || k < 1) {
+    throw std::invalid_argument("aca_flag_probability: bad arguments");
+  }
+  return prob_longest_run_at_least(n, k);
+}
+
+double aca_false_positive_probability(int n, int k) {
+  return aca_flag_probability(n, k) - aca_wrong_probability(n, k);
+}
+
+int choose_window(int n, double max_flag_probability) {
+  if (n < 1 || max_flag_probability <= 0.0) {
+    throw std::invalid_argument("choose_window: bad arguments");
+  }
+  // P(run >= k) <= target  ⟺  P(run <= k-1) >= 1 - target.
+  const int bound = longest_run_quantile(n, 1.0 - max_flag_probability);
+  return bound + 1;
+}
+
+double expected_vlsa_cycles(int n, int k, int recovery_cycles) {
+  return 1.0 + recovery_cycles * aca_flag_probability(n, k);
+}
+
+}  // namespace vlsa::analysis

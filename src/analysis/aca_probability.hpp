@@ -1,0 +1,40 @@
+#pragma once
+// Exact probabilities for the ACA under uniform random operands.
+//
+// Parameterization used across this repository: ACA(n, k) computes every
+// carry c_i from the k bit positions [i-k+1 .. i] (clamped at bit 0),
+// assuming the carry into that window is 0.  Consequences:
+//
+//   * the sum is wrong  iff some propagate run of length >= k is
+//     "activated" — immediately preceded (below) by a generate;
+//   * the error flag ER fires iff some propagate run of length >= k
+//     exists at all (activated or not), so ER = 0 implies exactness.
+//
+// For uniform independent operands each bit position is i.i.d. with
+// P(propagate) = 1/2, P(generate) = P(kill) = 1/4, which makes both
+// probabilities computable by a small Markov DP.
+
+namespace vlsa::analysis {
+
+/// P(ACA(n, k) produces a wrong sum) — exact DP over the
+/// (run-length, preceded-by-generate) state space.
+double aca_wrong_probability(int n, int k);
+
+/// P(ER = 1) = P(longest propagate run >= k); exact (delegates to the
+/// longest-run recurrence).
+double aca_flag_probability(int n, int k);
+
+/// P(ER = 1 but the sum is correct) — the detector's false-positive mass
+/// (it costs a recovery cycle without having been necessary).
+double aca_false_positive_probability(int n, int k);
+
+/// Smallest window k such that P(ER) <= max_flag_probability, i.e. the
+/// design point "accuracy >= 1 - max_flag_probability" used for the
+/// paper's 99.99%-accurate ACAs.
+int choose_window(int n, double max_flag_probability);
+
+/// Expected VLSA latency in cycles when a flagged addition costs
+/// `recovery_cycles` extra cycles (Sec. 4.3: 1 + c * P(ER)).
+double expected_vlsa_cycles(int n, int k, int recovery_cycles = 2);
+
+}  // namespace vlsa::analysis

@@ -1,0 +1,125 @@
+#include "analysis/biguint.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace vlsa::analysis {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+BigUint BigUint::pow2(int exponent) {
+  if (exponent < 0) throw std::invalid_argument("BigUint::pow2: negative");
+  BigUint v;
+  v.limbs_.assign(static_cast<std::size_t>(exponent / 64) + 1, 0);
+  v.limbs_.back() = std::uint64_t{1} << (exponent % 64);
+  return v;
+}
+
+int BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const int top = 64 - std::countl_zero(limbs_.back());
+  return static_cast<int>(limbs_.size() - 1) * 64 + top;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t r = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    if (r == 0 && carry == 0 && i >= rhs.limbs_.size()) break;
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(limbs_[i]) + r + carry;
+    limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  if (carry) limbs_.push_back(1);
+  return *this;
+}
+
+BigUint BigUint::operator+(const BigUint& rhs) const {
+  BigUint out = *this;
+  out += rhs;
+  return out;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigUint: negative result");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t r = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    if (r == 0 && borrow == 0 && i >= rhs.limbs_.size()) break;
+    const unsigned __int128 sub =
+        static_cast<unsigned __int128>(r) + borrow;
+    const unsigned __int128 before = limbs_[i];
+    borrow = before < sub ? 1 : 0;
+    limbs_[i] = static_cast<std::uint64_t>(
+        before + (static_cast<unsigned __int128>(1) << 64) - sub);
+  }
+  trim();
+  return *this;
+}
+
+BigUint BigUint::operator-(const BigUint& rhs) const {
+  BigUint out = *this;
+  out -= rhs;
+  return out;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+double BigUint::ratio_to_pow2(int exponent) const {
+  if (is_zero()) return 0.0;
+  const int len = bit_length();
+  // Take the top (up to) 64 bits as the mantissa.
+  std::uint64_t mantissa = 0;
+  int mantissa_exp = 0;  // value ≈ mantissa * 2^mantissa_exp
+  if (len <= 64) {
+    mantissa = limbs_[0];
+  } else {
+    const int shift = len - 64;  // drop `shift` low bits
+    const std::size_t limb = static_cast<std::size_t>(shift) / 64;
+    const int off = shift % 64;
+    mantissa = limbs_[limb] >> off;
+    if (off != 0 && limb + 1 < limbs_.size()) {
+      mantissa |= limbs_[limb + 1] << (64 - off);
+    }
+    mantissa_exp = shift;
+  }
+  return std::ldexp(static_cast<double>(mantissa), mantissa_exp - exponent);
+}
+
+std::uint64_t BigUint::to_u64() const {
+  if (limbs_.size() > 1) throw std::overflow_error("BigUint::to_u64");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      const int v = static_cast<int>((limbs_[i] >> (nib * 4)) & 0xf);
+      if (out.empty() && v == 0) continue;
+      out.push_back(kHex[v]);
+    }
+  }
+  return out;
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+}  // namespace vlsa::analysis

@@ -1,0 +1,59 @@
+#pragma once
+// Arbitrary-precision unsigned integers.
+//
+// The exact longest-run recurrence A_n(x) of Sec. 3.1 counts n-bit
+// strings, so its values reach 2^2048 for the paper's widest adders —
+// far beyond native integers.  Only the operations the recurrence needs
+// are provided: addition, subtraction, comparison and conversion of
+// ratios against powers of two to double.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlsa::analysis {
+
+/// Unsigned big integer on 64-bit little-endian limbs (no leading zero
+/// limbs stored).
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  /// 2^exponent.
+  static BigUint pow2(int exponent);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  int bit_length() const;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint operator+(const BigUint& rhs) const;
+
+  /// Subtraction; throws std::underflow_error if rhs > *this.
+  BigUint& operator-=(const BigUint& rhs);
+  BigUint operator-(const BigUint& rhs) const;
+
+  std::strong_ordering operator<=>(const BigUint& rhs) const;
+  bool operator==(const BigUint& rhs) const = default;
+
+  /// this / 2^exponent as a double (accurate to double precision even
+  /// when bit_length() far exceeds 1024, as long as the *ratio* is
+  /// representable).
+  double ratio_to_pow2(int exponent) const;
+
+  /// Exact value when it fits in 64 bits; throws std::overflow_error
+  /// otherwise.
+  std::uint64_t to_u64() const;
+
+  /// Lower-case hex string ("0" for zero).
+  std::string to_hex() const;
+
+ private:
+  void trim();
+  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace vlsa::analysis

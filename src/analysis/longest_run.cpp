@@ -1,0 +1,97 @@
+#include "analysis/longest_run.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlsa::analysis {
+
+LongestRunCounter::LongestRunCounter(int max_run) : max_run_(max_run) {
+  if (max_run < 0) {
+    throw std::invalid_argument("LongestRunCounter: negative max_run");
+  }
+  memo_.push_back(BigUint(1));  // A_0 = 1 (the empty string)
+  window_sum_ = BigUint(1);
+}
+
+const BigUint& LongestRunCounter::count(int n) {
+  if (n < 0) throw std::invalid_argument("LongestRunCounter::count: n < 0");
+  while (static_cast<int>(memo_.size()) <= n) {
+    const int m = static_cast<int>(memo_.size());
+    BigUint next;
+    if (m <= max_run_) {
+      next = BigUint::pow2(m);
+    } else {
+      // A_m = sum_{j=0..x} A_{m-1-j}; `window_sum_` already holds the sum
+      // of memo_[m-1-x .. m-1].
+      next = window_sum_;
+    }
+    // Slide the window: add the new value, drop the one that falls out.
+    window_sum_ += next;
+    const int drop = m - max_run_ - 1;
+    if (drop >= 0) window_sum_ -= memo_[static_cast<std::size_t>(drop)];
+    memo_.push_back(std::move(next));
+  }
+  return memo_[static_cast<std::size_t>(n)];
+}
+
+double LongestRunCounter::prob_at_most(int n) {
+  return count(n).ratio_to_pow2(n);
+}
+
+double prob_longest_run_at_most(int n, int x) {
+  if (x < 0) return n == 0 ? 1.0 : 0.0;
+  if (x >= n) return 1.0;
+  LongestRunCounter counter(x);
+  return counter.prob_at_most(n);
+}
+
+double prob_longest_run_at_least(int n, int x) {
+  if (x <= 0) return 1.0;
+  if (x > n) return 0.0;
+  LongestRunCounter counter(x - 1);
+  const BigUint bad = BigUint::pow2(n) - counter.count(n);
+  return bad.ratio_to_pow2(n);
+}
+
+int longest_run_quantile(int n, double prob) {
+  for (int x = 0; x <= n; ++x) {
+    if (prob_longest_run_at_most(n, x) >= prob) return x;
+  }
+  return n;
+}
+
+double schilling_expected_run(int n) {
+  return std::log2(static_cast<double>(n)) - 2.0 / 3.0;
+}
+
+double schilling_run_variance() {
+  const double ln2 = std::log(2.0);
+  const double pi = 3.14159265358979323846;
+  return pi * pi / (6.0 * ln2 * ln2) + 1.0 / 12.0;
+}
+
+RunMoments longest_run_moments(int n) {
+  if (n < 1) throw std::invalid_argument("longest_run_moments: n < 1");
+  RunMoments m;
+  double prev_cdf = 0.0;
+  for (int x = 0; x <= n; ++x) {
+    const double cdf = prob_longest_run_at_most(n, x);
+    const double pmf = cdf - prev_cdf;
+    m.mean += x * pmf;
+    m.variance += static_cast<double>(x) * x * pmf;
+    prev_cdf = cdf;
+    if (cdf > 1.0 - 1e-15) break;
+  }
+  m.variance -= m.mean * m.mean;
+  return m;
+}
+
+double gordon_prob_run_at_least(int n, int x) {
+  if (x <= 0) return 1.0;
+  if (x > n) return 0.0;
+  const double expected_starts =
+      static_cast<double>(n - x + 1) * std::pow(2.0, -(x + 1));
+  return 1.0 - std::exp(-expected_starts);
+}
+
+}  // namespace vlsa::analysis

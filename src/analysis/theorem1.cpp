@@ -1,0 +1,46 @@
+#include "analysis/theorem1.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::analysis {
+
+std::uint64_t expected_flips_closed_form(int k) {
+  if (k < 1 || k > 62) {
+    throw std::invalid_argument("expected_flips_closed_form: k out of range");
+  }
+  return (std::uint64_t{1} << (k + 1)) - 2;
+}
+
+double expected_flips_recurrence(int k) {
+  if (k < 1) throw std::invalid_argument("expected_flips_recurrence: k < 1");
+  // From the line-graph argument: advancing from node j-1 to node j takes
+  // on average avg(1, 1 + T_{j-1} + (advance again)) — solving the one-step
+  // equation gives T_j = 2*T_{j-1} + 2.
+  double t = 0.0;
+  for (int j = 1; j <= k; ++j) t = 2.0 * t + 2.0;
+  return t;
+}
+
+double expected_flips_monte_carlo(int k, int trials, util::Rng& rng) {
+  if (k < 1 || trials < 1) {
+    throw std::invalid_argument("expected_flips_monte_carlo: bad arguments");
+  }
+  std::uint64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    int run = 0;
+    std::uint64_t flips = 0;
+    while (run < k) {
+      // Consume random bits 64 at a time.
+      std::uint64_t word = rng.next_u64();
+      for (int b = 0; b < 64 && run < k; ++b) {
+        flips += 1;
+        run = (word & 1) ? run + 1 : 0;
+        word >>= 1;
+      }
+    }
+    total += flips;
+  }
+  return static_cast<double>(total) / trials;
+}
+
+}  // namespace vlsa::analysis

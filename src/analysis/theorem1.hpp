@@ -1,0 +1,28 @@
+#pragma once
+// Theorem 1 of the paper: the expected number of fair-coin flips needed
+// to first observe a run of k heads is 2^(k+1) - 2.
+//
+// The proof walks the infinite line graph of Fig. 2 with the recurrence
+// T_k = T_{k-1} + (T_{k-1} + 2)/... solved to T_k = 2^(k+1) - 2.  We
+// expose the closed form, an independent numeric solution of the Markov
+// recurrence, and a Monte-Carlo estimator — the bench cross-checks all
+// three.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace vlsa::analysis {
+
+/// Closed form 2^(k+1) - 2 (k >= 1; k <= 62 to fit in uint64).
+std::uint64_t expected_flips_closed_form(int k);
+
+/// Numeric solution of T_j = 2*T_{j-1} + 2, T_0 = 0 — independent of the
+/// closed form.
+double expected_flips_recurrence(int k);
+
+/// Monte-Carlo mean number of flips to reach a run of k heads over
+/// `trials` independent experiments.
+double expected_flips_monte_carlo(int k, int trials, util::Rng& rng);
+
+}  // namespace vlsa::analysis

@@ -1,0 +1,122 @@
+#include "approx/approx_adders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/aca.hpp"
+
+namespace vlsa::approx {
+
+const char* approx_kind_name(ApproxKind kind) {
+  switch (kind) {
+    case ApproxKind::AcaWindow:
+      return "ACA (sliding window)";
+    case ApproxKind::EtaBlock:
+      return "ETAII-style blocks";
+    case ApproxKind::LowerOr:
+      return "LOA (lower-part OR)";
+    case ApproxKind::Truncated:
+      return "truncated";
+  }
+  throw std::invalid_argument("approx_kind_name: bad kind");
+}
+
+namespace {
+
+void check(const BitVec& a, const BitVec& b, int param) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("approx_add: width mismatch");
+  }
+  if (param < 1) throw std::invalid_argument("approx_add: param < 1");
+}
+
+// Aligned-block carries: block j's carry-in is the carry out of block
+// j-1 computed with carry-in 0 (one block of lookahead, as in ETAII).
+BitVec eta_block_add(const BitVec& a, const BitVec& b, int block) {
+  const int n = a.width();
+  BitVec sum(n);
+  bool carry_into_block = false;  // carry into the current block
+  for (int lo = 0; lo < n; lo += block) {
+    const int hi = std::min(lo + block, n);
+    bool c = carry_into_block;
+    bool c_from_zero = false;  // same block rippled with carry-in 0
+    for (int i = lo; i < hi; ++i) {
+      const bool ai = a.bit(i), bi = b.bit(i);
+      sum.set_bit(i, ai ^ bi ^ c);
+      c = (ai && bi) || ((ai != bi) && c);
+      c_from_zero = (ai && bi) || ((ai != bi) && c_from_zero);
+    }
+    carry_into_block = c_from_zero;  // next block sees the truncated carry
+  }
+  return sum;
+}
+
+BitVec lower_or_add(const BitVec& a, const BitVec& b, int low_bits) {
+  const int n = a.width();
+  const int l = std::min(low_bits, n);
+  BitVec sum(n);
+  for (int i = 0; i < l; ++i) sum.set_bit(i, a.bit(i) || b.bit(i));
+  // Exact upper part; LOA feeds it carry-in a_{l-1} & b_{l-1}.
+  bool c = l > 0 && a.bit(l - 1) && b.bit(l - 1);
+  for (int i = l; i < n; ++i) {
+    const bool ai = a.bit(i), bi = b.bit(i);
+    sum.set_bit(i, ai ^ bi ^ c);
+    c = (ai && bi) || ((ai != bi) && c);
+  }
+  return sum;
+}
+
+BitVec truncated_add(const BitVec& a, const BitVec& b, int low_bits) {
+  const int n = a.width();
+  const int l = std::min(low_bits, n);
+  BitVec sum(n);
+  // Constant all-ones low part (halves the expected truncation error
+  // versus all-zeros) and an exact upper adder with carry-in 0.
+  for (int i = 0; i < l; ++i) sum.set_bit(i, true);
+  bool c = false;
+  for (int i = l; i < n; ++i) {
+    const bool ai = a.bit(i), bi = b.bit(i);
+    sum.set_bit(i, ai ^ bi ^ c);
+    c = (ai && bi) || ((ai != bi) && c);
+  }
+  return sum;
+}
+
+}  // namespace
+
+BitVec approx_add(ApproxKind kind, const BitVec& a, const BitVec& b,
+                  int param) {
+  check(a, b, param);
+  switch (kind) {
+    case ApproxKind::AcaWindow:
+      return core::aca_add(a, b, param).sum;
+    case ApproxKind::EtaBlock:
+      return eta_block_add(a, b, param);
+    case ApproxKind::LowerOr:
+      return lower_or_add(a, b, param);
+    case ApproxKind::Truncated:
+      return truncated_add(a, b, param);
+  }
+  throw std::invalid_argument("approx_add: bad kind");
+}
+
+int carry_span(ApproxKind kind, int width, int param) {
+  switch (kind) {
+    case ApproxKind::AcaWindow:
+      return std::min(param, width);
+    case ApproxKind::EtaBlock:
+      // A block plus its predecessor's lookahead.
+      return std::min(2 * param, width);
+    case ApproxKind::LowerOr:
+    case ApproxKind::Truncated:
+      // The exact upper adder dominates.
+      return std::max(width - param, 1);
+  }
+  throw std::invalid_argument("carry_span: bad kind");
+}
+
+bool has_error_flag(ApproxKind kind) {
+  return kind == ApproxKind::AcaWindow;
+}
+
+}  // namespace vlsa::approx

@@ -1,0 +1,55 @@
+#pragma once
+// A small zoo of classical approximate adders, for positioning the ACA.
+//
+// The paper seeded a large approximate-arithmetic literature; the designs
+// here are the standard comparison points that followed it.  All share
+// the same contract: break the carry chain somewhere and accept errors.
+// They differ in *where* the error mass goes:
+//
+//   * ACA (this paper)    — sliding k-window carries; errors are rare but
+//                           large, and uniquely: *detectable* (ER).
+//   * ETAII-style blocks  — aligned s-bit blocks, each block's carry-in
+//                           computed from the previous block only; a
+//                           coarser (cheaper, weaker) version of the
+//                           sliding window.
+//   * LOA (lower-part OR) — low l bits approximated as a|b, exact adder
+//                           on top; errors are frequent but tiny.
+//   * Truncation          — low l bits forced to 1...1; the crudest
+//                           trade-off, kept as the floor of the design
+//                           space.
+//
+// Every variant reports a "carry span" (the number of consecutive bit
+// positions its longest exact carry chain crosses), which is the
+// log-delay proxy used for like-for-like comparisons.
+
+#include <string>
+
+#include "util/bitvec.hpp"
+
+namespace vlsa::approx {
+
+using util::BitVec;
+
+enum class ApproxKind {
+  AcaWindow,     ///< param = k (the paper's design)
+  EtaBlock,      ///< param = block size s
+  LowerOr,       ///< param = approximated low bits l
+  Truncated,     ///< param = truncated low bits l
+};
+
+const char* approx_kind_name(ApproxKind kind);
+
+/// Approximate sum (mod 2^width); `param` as documented per kind.
+BitVec approx_add(ApproxKind kind, const BitVec& a, const BitVec& b,
+                  int param);
+
+/// Longest exact carry chain the design can resolve — the delay proxy
+/// (the exact adder over the un-approximated part dominates for
+/// LOA/truncation, hence width - param there).
+int carry_span(ApproxKind kind, int width, int param);
+
+/// True iff the design exposes a sound error-detection flag (only the
+/// ACA does; this is its differentiator in the zoo).
+bool has_error_flag(ApproxKind kind);
+
+}  // namespace vlsa::approx

@@ -1,0 +1,128 @@
+#include "core/aca.hpp"
+
+#include <stdexcept>
+
+#include "analysis/aca_probability.hpp"
+
+namespace vlsa::core {
+
+namespace {
+
+void check_args(const BitVec& a, const BitVec& b, int k) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("aca_add: operand width mismatch");
+  }
+  if (a.width() < 1) throw std::invalid_argument("aca_add: empty operands");
+  if (k < 1) throw std::invalid_argument("aca_add: window must be >= 1");
+}
+
+}  // namespace
+
+AcaResult aca_add(const BitVec& a, const BitVec& b, int k, bool carry_in) {
+  check_args(a, b, k);
+  const int n = a.width();
+  const BitVec p = a ^ b;
+  const BitVec g = a & b;
+
+  AcaResult out{BitVec(n), false, false};
+  int run = 0;           // propagate run length ending at the current bit
+  bool carry_prev = carry_in;  // speculative c_{i-1}; c_{-1} = carry_in
+  for (int i = 0; i < n; ++i) {
+    out.sum.set_bit(i, p.bit(i) ^ carry_prev);
+    // Speculative carry out of bit i.
+    run = p.bit(i) ? run + 1 : 0;
+    if (run >= k) out.flagged = true;
+    bool carry;
+    if (run >= k) {
+      // Window is all-propagate: speculate 0 (this is the error source).
+      carry = false;
+    } else if (run > i) {
+      // Window extends past bit 0: the architectural carry-in is known
+      // exactly and propagates through the (short) chain.
+      carry = carry_in;
+    } else {
+      // The nearest non-propagate position inside the window decides.
+      carry = g.bit(i - run);
+    }
+    carry_prev = carry;
+  }
+  out.carry_out = carry_prev;
+  return out;
+}
+
+AcaResult aca_sub(const BitVec& a, const BitVec& b, int k) {
+  return aca_add(a, ~b, k, /*carry_in=*/true);
+}
+
+bool aca_flag(const BitVec& a, const BitVec& b, int k) {
+  check_args(a, b, k);
+  return (a ^ b).longest_one_run() >= k;
+}
+
+bool aca_is_exact(const BitVec& a, const BitVec& b, int k) {
+  return aca_add(a, b, k).sum == a + b;
+}
+
+int longest_propagate_chain(const BitVec& a, const BitVec& b) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("longest_propagate_chain: width mismatch");
+  }
+  return (a ^ b).longest_one_run();
+}
+
+SpeculativeAdder::SpeculativeAdder(int width, int window)
+    : width_(width), window_(window) {
+  if (width < 1 || window < 1) {
+    throw std::invalid_argument("SpeculativeAdder: bad configuration");
+  }
+}
+
+SpeculativeAdder SpeculativeAdder::with_target_accuracy(
+    int width, double target_accuracy) {
+  if (target_accuracy <= 0.0 || target_accuracy >= 1.0) {
+    throw std::invalid_argument(
+        "SpeculativeAdder: accuracy must be in (0, 1)");
+  }
+  const int k = analysis::choose_window(width, 1.0 - target_accuracy);
+  return SpeculativeAdder(width, k);
+}
+
+SpeculativeAdder::Outcome SpeculativeAdder::add(const BitVec& a,
+                                                const BitVec& b) {
+  if (a.width() != width_ || b.width() != width_) {
+    throw std::invalid_argument("SpeculativeAdder::add: width mismatch");
+  }
+  const AcaResult spec = aca_add(a, b, window_);
+  const auto exact = a.add_with_carry(b);
+  Outcome out{spec.sum, exact.sum, exact.carry_out, spec.flagged,
+              spec.sum != exact.sum || spec.carry_out != exact.carry_out};
+  total_ += 1;
+  if (out.flagged) flagged_ += 1;
+  if (out.was_wrong) wrong_ += 1;
+  return out;
+}
+
+SpeculativeAdder::Outcome SpeculativeAdder::sub(const BitVec& a,
+                                                const BitVec& b) {
+  if (a.width() != width_ || b.width() != width_) {
+    throw std::invalid_argument("SpeculativeAdder::sub: width mismatch");
+  }
+  const AcaResult spec = aca_sub(a, b, window_);
+  const auto exact = a.add_with_carry(~b, /*carry_in=*/true);
+  Outcome out{spec.sum, exact.sum, exact.carry_out, spec.flagged,
+              spec.sum != exact.sum || spec.carry_out != exact.carry_out};
+  total_ += 1;
+  if (out.flagged) flagged_ += 1;
+  if (out.was_wrong) wrong_ += 1;
+  return out;
+}
+
+double SpeculativeAdder::observed_flag_rate() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(flagged_) / total_;
+}
+
+double SpeculativeAdder::observed_error_rate() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(wrong_) / total_;
+}
+
+}  // namespace vlsa::core

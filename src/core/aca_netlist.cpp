@@ -1,0 +1,388 @@
+#include "core/aca_netlist.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "adders/cla.hpp"
+#include "adders/pg.hpp"
+#include "adders/prefix.hpp"
+
+namespace vlsa::core {
+
+using adders::PG;
+using adders::apply_carry;
+using adders::bitwise_pg;
+using adders::combine;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+void check_dims(int width, int window) {
+  if (width < 1) throw std::invalid_argument("ACA: width must be >= 1");
+  if (window < 1) throw std::invalid_argument("ACA: window must be >= 1");
+}
+
+// Shared window-product strips (Fig. 3/4).  strip(d)[i] is the matrix
+// product over bit span [max(0, i-d+1) .. i] for power-of-two d; windows
+// of arbitrary length are composed from the binary decomposition of the
+// length, memoized so equal spans share gates.
+class WindowStrips {
+ public:
+  WindowStrips(Netlist& nl, std::vector<PG> bit_pg, int max_len)
+      : nl_(nl), strips_{std::move(bit_pg)} {
+    const int n = static_cast<int>(strips_[0].size());
+    // Build strips of length 2, 4, ..., up to the largest power of two
+    // that any window decomposition can use (2d <= max_len).
+    for (int d = 1; d * 2 <= max_len; d *= 2) {
+      const std::vector<PG>& prev = strips_.back();
+      std::vector<PG> next(prev.size());
+      for (int i = 0; i < n; ++i) {
+        next[static_cast<std::size_t>(i)] =
+            i >= d ? combine(nl_, prev[static_cast<std::size_t>(i)],
+                             prev[static_cast<std::size_t>(i - d)])
+                   : prev[static_cast<std::size_t>(i)];  // clamped at bit 0
+      }
+      strips_.push_back(std::move(next));
+    }
+  }
+
+  /// Product over [max(0, top-len+1) .. top]; len in [1, max_len].
+  PG window(int top, int len) {
+    if (len <= 0 || top < 0) {
+      throw std::invalid_argument("WindowStrips::window: bad span");
+    }
+    if (len > top + 1) len = top + 1;  // clamp at bit 0
+    const auto key = std::make_pair(top, len);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Largest power-of-two strip that fits, then recurse on the rest.
+    // The resulting chain folds the *smaller* (earlier-ready) pieces
+    // first, which aligns with strip arrival times: a deliberately
+    // unbalanced tree that a balanced reduction measurably loses to
+    // under the fanout-aware delay model.
+    int d = 1, level = 0;
+    while (d * 2 <= len) {
+      d *= 2;
+      level += 1;
+    }
+    const PG hi = strips_[static_cast<std::size_t>(level)]
+                         [static_cast<std::size_t>(top)];
+    PG result = hi;
+    if (len > d && top - d >= 0) {
+      const PG lo = window(top - d, len - d);
+      result = combine(nl_, hi, lo);
+    }
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  Netlist& nl_;
+  std::vector<std::vector<PG>> strips_;  // strips_[l][i]: length 2^l at i
+  std::map<std::pair<int, int>, PG> memo_;
+};
+
+// Speculative carries c_0..c_{n-1} plus (optionally) the ER signal, all
+// from shared strips.
+struct SpecCarries {
+  std::vector<NetId> carry;
+  NetId error = kNoNet;
+};
+
+SpecCarries speculative_carries(Netlist& nl, WindowStrips& strips, int n,
+                                int k, bool with_error_flag) {
+  SpecCarries out;
+  out.carry.resize(static_cast<std::size_t>(n));
+  std::vector<NetId> er_terms;
+  for (int i = 0; i < n; ++i) {
+    const PG w = strips.window(i, k);
+    // Assumed window carry-in is 0, so c_i is just the window generate.
+    out.carry[static_cast<std::size_t>(i)] = w.g;
+    // ER term: a full k-long window that is all-propagate (only windows
+    // that do not clamp at bit 0 can misspeculate).
+    if (with_error_flag && i >= k - 1) er_terms.push_back(w.p);
+  }
+  if (with_error_flag) out.error = nl.or_tree(er_terms);
+  return out;
+}
+
+}  // namespace
+
+AcaNets build_aca_into(Netlist& nl, std::span<const NetId> a,
+                       std::span<const NetId> b, int window,
+                       bool with_error_flag) {
+  const int width = static_cast<int>(a.size());
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("build_aca_into: operand width mismatch");
+  }
+  check_dims(width, window);
+  const std::vector<PG> pg = bitwise_pg(nl, a, b);
+  WindowStrips strips(nl, pg, window);
+  const SpecCarries spec =
+      speculative_carries(nl, strips, width, window, with_error_flag);
+  AcaNets out;
+  out.sum.resize(static_cast<std::size_t>(width));
+  out.sum[0] = pg[0].p;
+  for (int i = 1; i < width; ++i) {
+    out.sum[static_cast<std::size_t>(i)] =
+        nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                spec.carry[static_cast<std::size_t>(i - 1)]);
+  }
+  out.carry_out = spec.carry[static_cast<std::size_t>(width - 1)];
+  out.error = spec.error;
+  return out;
+}
+
+AcaNetlist build_aca(int width, int window, bool with_error_flag) {
+  check_dims(width, window);
+  AcaNetlist aca{Netlist("aca" + std::to_string(width) + "_k" +
+                         std::to_string(window)),
+                 {}, {}, {}, kNoNet, kNoNet};
+  Netlist& nl = aca.nl;
+  aca.a = nl.add_input_bus("a", width);
+  aca.b = nl.add_input_bus("b", width);
+  AcaNets nets = build_aca_into(nl, aca.a, aca.b, window, with_error_flag);
+  aca.sum = std::move(nets.sum);
+  aca.carry_out = nets.carry_out;
+  nl.mark_output_bus("sum", aca.sum);
+  nl.mark_output(aca.carry_out, "cout");
+  if (with_error_flag) {
+    aca.error = nets.error;
+    nl.mark_output(aca.error, "error");
+  }
+  return aca;
+}
+
+AcaNetlist build_aca_naive(int width, int window) {
+  check_dims(width, window);
+  AcaNetlist aca{Netlist("aca_naive" + std::to_string(width) + "_k" +
+                         std::to_string(window)),
+                 {}, {}, {}, kNoNet, kNoNet};
+  Netlist& nl = aca.nl;
+  aca.a = nl.add_input_bus("a", width);
+  aca.b = nl.add_input_bus("b", width);
+
+  // One independent sub-adder per output bit, each recomputing its own
+  // propagate/generate signals straight from the primary inputs (this is
+  // what blows up input fanout in Fig. 2).
+  auto window_carry = [&](int i) -> NetId {
+    const int lo = i - window + 1 < 0 ? 0 : i - window + 1;
+    NetId carry = kNoNet;  // carry into position `lo` is assumed 0
+    for (int j = lo; j <= i; ++j) {
+      const NetId gj = nl.and2(aca.a[static_cast<std::size_t>(j)],
+                               aca.b[static_cast<std::size_t>(j)]);
+      if (carry == kNoNet) {
+        carry = gj;
+      } else {
+        const NetId pj = nl.xor2(aca.a[static_cast<std::size_t>(j)],
+                                 aca.b[static_cast<std::size_t>(j)]);
+        carry = nl.or2(gj, nl.and2(pj, carry));
+      }
+    }
+    return carry;
+  };
+
+  aca.sum.resize(static_cast<std::size_t>(width));
+  aca.sum[0] = nl.xor2(aca.a[0], aca.b[0]);
+  for (int i = 1; i < width; ++i) {
+    const NetId p_i = nl.xor2(aca.a[static_cast<std::size_t>(i)],
+                              aca.b[static_cast<std::size_t>(i)]);
+    aca.sum[static_cast<std::size_t>(i)] = nl.xor2(p_i, window_carry(i - 1));
+  }
+  aca.carry_out = window_carry(width - 1);
+  nl.mark_output_bus("sum", aca.sum);
+  nl.mark_output(aca.carry_out, "cout");
+  return aca;
+}
+
+ErrorDetectorNetlist build_error_detector(int width, int window) {
+  check_dims(width, window);
+  ErrorDetectorNetlist det{Netlist("errdet" + std::to_string(width) + "_k" +
+                                   std::to_string(window)),
+                           {}, {}, kNoNet};
+  Netlist& nl = det.nl;
+  det.a = nl.add_input_bus("a", width);
+  det.b = nl.add_input_bus("b", width);
+  if (window > width) {
+    // No full window exists; ER is constantly 0.
+    det.error = nl.const0();
+    nl.mark_output(det.error, "error");
+    return det;
+  }
+  // Propagate bits, then AND-strips of doubling length (sharing exactly
+  // as in the ACA, but only the P half — simple gates only, Sec. 4.1).
+  std::vector<NetId> strip(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    strip[static_cast<std::size_t>(i)] =
+        nl.xor2(det.a[static_cast<std::size_t>(i)],
+                det.b[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::vector<NetId>> strips{strip};
+  for (int d = 1; d * 2 <= window; d *= 2) {
+    const std::vector<NetId>& prev = strips.back();
+    std::vector<NetId> next(prev.size(), kNoNet);
+    // A length-2d strip entry needs a full length-d entry at i-d, which
+    // only exists from position d-1 — so start at i = 2d-1.
+    for (int i = 2 * d - 1; i < width; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          nl.and2(prev[static_cast<std::size_t>(i)],
+                  prev[static_cast<std::size_t>(i - d)]);
+    }
+    strips.push_back(std::move(next));
+  }
+  // window-length AND at position i composed from the binary
+  // decomposition of `window`.
+  auto window_and = [&](int top) -> NetId {
+    NetId acc = kNoNet;
+    int pos = top;
+    int remaining = window;
+    while (remaining > 0) {
+      int d = 1, level = 0;
+      while (d * 2 <= remaining) {
+        d *= 2;
+        level += 1;
+      }
+      const NetId piece = strips[static_cast<std::size_t>(level)]
+                                [static_cast<std::size_t>(pos)];
+      acc = acc == kNoNet ? piece : nl.and2(acc, piece);
+      pos -= d;
+      remaining -= d;
+    }
+    return acc;
+  };
+  std::vector<NetId> terms;
+  for (int i = window - 1; i < width; ++i) terms.push_back(window_and(i));
+  det.error = nl.or_tree(terms);
+  nl.mark_output(det.error, "error");
+  return det;
+}
+
+namespace {
+std::vector<NetId> reuse_block_recovery_impl(Netlist& nl, WindowStrips& strips,
+                                             int width, int window);
+}  // namespace
+
+VlsaNets build_vlsa_into(Netlist& nl, std::span<const NetId> a,
+                         std::span<const NetId> b, int window,
+                         RecoveryStyle style) {
+  const int width = static_cast<int>(a.size());
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("build_vlsa_into: operand width mismatch");
+  }
+  check_dims(width, window);
+  VlsaNets v;
+  const std::vector<PG> pg = bitwise_pg(nl, a, b);
+  WindowStrips strips(nl, pg, window);
+
+  // --- speculative half (the ACA + ER of Fig. 6) ---
+  const SpecCarries spec =
+      speculative_carries(nl, strips, width, window, /*with_error_flag=*/true);
+  v.speculative_sum.resize(static_cast<std::size_t>(width));
+  v.speculative_sum[0] = pg[0].p;
+  for (int i = 1; i < width; ++i) {
+    v.speculative_sum[static_cast<std::size_t>(i)] =
+        nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                spec.carry[static_cast<std::size_t>(i - 1)]);
+  }
+  v.speculative_carry_out = spec.carry[static_cast<std::size_t>(width - 1)];
+  v.error = spec.error == kNoNet ? nl.const0() : spec.error;
+
+  // --- error recovery ---
+  std::vector<NetId> exact_carry(static_cast<std::size_t>(width));
+  if (style == RecoveryStyle::ReplicatedAdder) {
+    // Strawman: an independent Kogge-Stone prefix network over the same
+    // bitwise (g, p) signals — no reuse of the ACA's matrix products.
+    std::vector<PG> prefix = pg;
+    adders::kogge_stone_core(nl, prefix);
+    for (int i = 0; i < width; ++i) {
+      exact_carry[static_cast<std::size_t>(i)] =
+          prefix[static_cast<std::size_t>(i)].g;
+    }
+  } else {
+    exact_carry = reuse_block_recovery_impl(nl, strips, width, window);
+  }
+  v.exact_sum.resize(static_cast<std::size_t>(width));
+  v.exact_sum[0] = pg[0].p;
+  for (int i = 1; i < width; ++i) {
+    v.exact_sum[static_cast<std::size_t>(i)] =
+        nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                exact_carry[static_cast<std::size_t>(i - 1)]);
+  }
+  v.exact_carry_out = exact_carry[static_cast<std::size_t>(width - 1)];
+  return v;
+}
+
+VlsaNetlist build_vlsa(int width, int window, RecoveryStyle style) {
+  check_dims(width, window);
+  VlsaNetlist v{Netlist("vlsa" + std::to_string(width) + "_k" +
+                        std::to_string(window)),
+                {}, {}, {}, {}, kNoNet, kNoNet, kNoNet, kNoNet};
+  Netlist& nl = v.nl;
+  v.a = nl.add_input_bus("a", width);
+  v.b = nl.add_input_bus("b", width);
+  VlsaNets nets = build_vlsa_into(nl, v.a, v.b, window, style);
+  v.speculative_sum = std::move(nets.speculative_sum);
+  v.exact_sum = std::move(nets.exact_sum);
+  v.speculative_carry_out = nets.speculative_carry_out;
+  v.exact_carry_out = nets.exact_carry_out;
+  v.error = nets.error;
+  v.valid = nl.inv(v.error);
+  nl.mark_output_bus("spec_sum", v.speculative_sum);
+  nl.mark_output(v.speculative_carry_out, "spec_cout");
+  nl.mark_output_bus("sum", v.exact_sum);
+  nl.mark_output(v.exact_carry_out, "cout");
+  nl.mark_output(v.error, "error");
+  nl.mark_output(v.valid, "valid");
+  return v;
+}
+
+namespace {
+
+// Fig. 5: the k-bit block (G, P) signals come straight from the ACA's
+// shared window products; an n/k-bit CLA produces the block carries and
+// the shared strips provide the intra-block spans.
+std::vector<NetId> reuse_block_recovery_impl(Netlist& nl, WindowStrips& strips,
+                                             int width, int window) {
+  std::vector<PG> block_pg;
+  std::vector<int> block_lo;
+  for (int lo = 0; lo < width; lo += window) {
+    const int hi = std::min(lo + window, width) - 1;
+    block_pg.push_back(strips.window(hi, hi - lo + 1));
+    block_lo.push_back(lo);
+  }
+  // n/k-bit carry look-ahead over the block signals.
+  const std::vector<NetId> block_carry =
+      adders::cla_carry_network(nl, block_pg, nl.const0());
+
+  // Exact carry for every bit: within block j the local span
+  // [block_lo .. i] (again from the shared strips) is applied to the
+  // carry into the block.
+  std::vector<NetId> exact_carry(static_cast<std::size_t>(width));
+  for (std::size_t j = 0; j < block_lo.size(); ++j) {
+    const int lo = block_lo[j];
+    const int hi = std::min(lo + window, width) - 1;
+    const NetId cin = j == 0 ? nl.const0() : block_carry[j - 1];
+    for (int i = lo; i <= hi; ++i) {
+      if (i == hi) {
+        exact_carry[static_cast<std::size_t>(i)] = block_carry[j];
+      } else if (j == 0) {
+        // Block 0 sees the architectural carry-in 0: the clamped window
+        // products are already exact.
+        exact_carry[static_cast<std::size_t>(i)] =
+            strips.window(i, i + 1).g;
+      } else {
+        const PG span = strips.window(i, i - lo + 1);
+        exact_carry[static_cast<std::size_t>(i)] = apply_carry(nl, span, cin);
+      }
+    }
+  }
+  return exact_carry;
+}
+
+}  // namespace
+
+}  // namespace vlsa::core

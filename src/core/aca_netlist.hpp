@@ -1,0 +1,111 @@
+#pragma once
+// Gate-level generators for the ACA family (the paper's experimental
+// artifact, Sec. 3.2-4.3 and Fig. 2-6).
+//
+//  * build_aca            — shared-strip construction of Fig. 3/4: window
+//                           matrix products of lengths 1,2,4,...  are
+//                           computed once and reused, giving O(n log k)
+//                           area and bounded fanout.
+//  * build_aca_naive      — the strawman of Fig. 2: one independent
+//                           (k+1)-bit sub-adder per output bit, O(n k)
+//                           area and O(k) input fanout; kept as the
+//                           ablation baseline for the sharing idea.
+//  * build_error_detector — standalone ER circuit (Sec. 4.1): AND-windows
+//                           of k consecutive propagates OR-reduced, all
+//                           simple gates.
+//  * build_vlsa           — ACA + error detection + error recovery wired
+//                           as in Fig. 5/6: exact sum outputs, plus the
+//                           speculative sum and the error flag.  Its
+//                           critical path is the recovery path the paper
+//                           plots as "ACA + error recovery".
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::core {
+
+/// A generated speculative adder with its port nets.
+struct AcaNetlist {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;          ///< LSB first
+  std::vector<netlist::NetId> b;
+  std::vector<netlist::NetId> sum;        ///< speculative sum
+  netlist::NetId carry_out = netlist::kNoNet;
+  netlist::NetId error = netlist::kNoNet; ///< ER (kNoNet if not requested)
+};
+
+/// Shared-strip ACA; `with_error_flag` adds the ER output reusing the
+/// window products (the P half of the same matrices).
+AcaNetlist build_aca(int width, int window, bool with_error_flag = false);
+
+/// Composable form: instantiate the shared-strip ACA *inside* an existing
+/// netlist over arbitrary operand nets (used e.g. as the final adder of
+/// the speculative multiplier).  `error` is kNoNet unless requested.
+struct AcaNets {
+  std::vector<netlist::NetId> sum;
+  netlist::NetId carry_out = netlist::kNoNet;
+  netlist::NetId error = netlist::kNoNet;
+};
+AcaNets build_aca_into(netlist::Netlist& nl,
+                       std::span<const netlist::NetId> a,
+                       std::span<const netlist::NetId> b, int window,
+                       bool with_error_flag);
+
+/// Naive replicated-sub-adder ACA (Fig. 2 strawman, ablation only).
+AcaNetlist build_aca_naive(int width, int window);
+
+/// Standalone error detector: inputs a/b, single output "error".
+struct ErrorDetectorNetlist {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;
+  std::vector<netlist::NetId> b;
+  netlist::NetId error = netlist::kNoNet;
+};
+ErrorDetectorNetlist build_error_detector(int width, int window);
+
+/// How the exact (recovery) sum is produced.
+enum class RecoveryStyle {
+  /// Fig. 5: reuse the ACA's k-bit block (G, P) products and run an
+  /// n/k-bit carry look-ahead over them — the paper's contribution.
+  ReuseBlocks,
+  /// The strawman the paper mentions first in Sec. 4.2: bolt a complete
+  /// traditional (Kogge-Stone) adder next to the ACA.  Kept for the
+  /// ablation bench.
+  ReplicatedAdder,
+};
+
+/// Full variable-latency datapath, combinational view: speculative sum,
+/// ER, and the recovered (always exact) sum built from the ACA's block
+/// (G, P) signals plus an n/k-bit carry look-ahead (Fig. 5).
+struct VlsaNetlist {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;
+  std::vector<netlist::NetId> b;
+  std::vector<netlist::NetId> speculative_sum;
+  std::vector<netlist::NetId> exact_sum;
+  netlist::NetId speculative_carry_out = netlist::kNoNet;
+  netlist::NetId exact_carry_out = netlist::kNoNet;
+  netlist::NetId error = netlist::kNoNet;
+  netlist::NetId valid = netlist::kNoNet;  ///< NOT error
+};
+VlsaNetlist build_vlsa(int width, int window,
+                       RecoveryStyle style = RecoveryStyle::ReuseBlocks);
+
+/// Composable form of the VLSA datapath over existing operand nets
+/// (used by the sequential Fig. 6 wrapper, which feeds it from operand
+/// registers).
+struct VlsaNets {
+  std::vector<netlist::NetId> speculative_sum;
+  std::vector<netlist::NetId> exact_sum;
+  netlist::NetId speculative_carry_out = netlist::kNoNet;
+  netlist::NetId exact_carry_out = netlist::kNoNet;
+  netlist::NetId error = netlist::kNoNet;
+};
+VlsaNets build_vlsa_into(netlist::Netlist& nl,
+                         std::span<const netlist::NetId> a,
+                         std::span<const netlist::NetId> b, int window,
+                         RecoveryStyle style = RecoveryStyle::ReuseBlocks);
+
+}  // namespace vlsa::core

@@ -1,0 +1,71 @@
+#include "core/error_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/aca.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa::core {
+
+namespace {
+
+// value / 2^width as a double; exact in the leading 53 bits.
+double normalized_value(const util::BitVec& v) {
+  double acc = 0.0;
+  const auto& limbs = v.limbs();
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    acc += std::ldexp(static_cast<double>(limbs[i]),
+                      static_cast<int>(i) * 64 - v.width());
+  }
+  return acc;
+}
+
+}  // namespace
+
+double normalized_distance(const util::BitVec& a, const util::BitVec& b) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("normalized_distance: width mismatch");
+  }
+  const double da = normalized_value(a);
+  const double db = normalized_value(b);
+  return da >= db ? da - db : db - da;
+}
+
+ErrorMagnitude measure_error_magnitude(int width, int window, int trials,
+                                       std::uint64_t seed) {
+  if (width < 1 || window < 1 || trials < 1) {
+    throw std::invalid_argument("measure_error_magnitude: bad arguments");
+  }
+  util::Rng rng(seed);
+  ErrorMagnitude m;
+  m.trials = trials;
+  double med_acc = 0.0;
+  double mred_acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const util::BitVec a = rng.next_bits(width);
+    const util::BitVec b = rng.next_bits(width);
+    const auto spec = aca_add(a, b, window);
+    const util::BitVec exact = a + b;
+    if (spec.sum == exact) continue;
+    m.wrong += 1;
+    const double distance = normalized_distance(spec.sum, exact);
+    med_acc += distance;
+    const double exact_value = normalized_value(exact);
+    mred_acc += distance / (exact_value > 0.0 ? exact_value
+                                              : std::ldexp(1.0, -width));
+    const util::BitVec diff_bits = spec.sum ^ exact;
+    for (int i = 0; i < width; ++i) {
+      if (diff_bits.bit(i)) {
+        if (m.min_error_bit < 0 || i < m.min_error_bit) m.min_error_bit = i;
+        break;
+      }
+    }
+  }
+  m.error_rate = static_cast<double>(m.wrong) / trials;
+  m.normalized_med = med_acc / trials;
+  m.mred_given_wrong = m.wrong > 0 ? mred_acc / m.wrong : 0.0;
+  return m;
+}
+
+}  // namespace vlsa::core

@@ -1,0 +1,40 @@
+#pragma once
+// Error-magnitude metrics for the ACA, in the vocabulary the
+// approximate-computing literature that followed this paper settled on
+// (error distance, MED, MRED).
+//
+// The ACA's error structure is distinctive: a misspeculated carry flips
+// sum bits only at positions >= k-1, so when it is wrong it is wrong by
+// at least 2^(k-1) — large absolute errors with tiny probability, the
+// opposite trade-off from truncation-style approximate adders.  These
+// metrics quantify that signature.
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace vlsa::core {
+
+/// Monte-Carlo error-magnitude summary over uniform random operands.
+struct ErrorMagnitude {
+  long long trials = 0;
+  long long wrong = 0;
+  double error_rate = 0.0;
+  /// Mean error distance |spec - exact| normalized by 2^width, over ALL
+  /// trials (correct ones contribute 0) — the normalized MED.
+  double normalized_med = 0.0;
+  /// Mean relative error distance |spec - exact| / max(exact, 1) over the
+  /// wrong trials only (0 when nothing went wrong).
+  double mred_given_wrong = 0.0;
+  /// Lowest sum-bit index that ever differed (-1 if none did); the ACA
+  /// guarantees this is >= window - 1.
+  int min_error_bit = -1;
+};
+
+ErrorMagnitude measure_error_magnitude(int width, int window, int trials,
+                                       std::uint64_t seed);
+
+/// |a - b| / 2^width as a double (helper, exposed for tests).
+double normalized_distance(const util::BitVec& a, const util::BitVec& b);
+
+}  // namespace vlsa::core

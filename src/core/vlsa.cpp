@@ -1,0 +1,77 @@
+#include "core/vlsa.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/aca_probability.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/sta.hpp"
+
+namespace vlsa::core {
+
+VlsaDesign VlsaDesign::design(int width, double target_accuracy,
+                              int recovery_cycles) {
+  if (target_accuracy <= 0.0 || target_accuracy >= 1.0) {
+    throw std::invalid_argument("VlsaDesign: accuracy must be in (0, 1)");
+  }
+  return with_window(width,
+                     analysis::choose_window(width, 1.0 - target_accuracy),
+                     recovery_cycles);
+}
+
+VlsaDesign VlsaDesign::with_window(int width, int window,
+                                   int recovery_cycles) {
+  if (width < 2 || window < 1 || recovery_cycles < 1) {
+    throw std::invalid_argument("VlsaDesign: bad configuration");
+  }
+  VlsaDesign d;
+  d.width_ = width;
+  d.window_ = window;
+  d.recovery_cycles_ = recovery_cycles;
+  d.flag_probability_ = analysis::aca_flag_probability(width, window);
+  d.wrong_probability_ = analysis::aca_wrong_probability(width, window);
+
+  const auto aca = build_aca(width, window, /*with_error_flag=*/false);
+  const auto det = build_error_detector(width, window);
+  const auto vlsa = build_vlsa(width, window);
+  d.aca_delay_ns_ = netlist::analyze_timing(aca.nl).critical_delay_ns;
+  d.error_detect_delay_ns_ =
+      netlist::analyze_timing(det.nl).critical_delay_ns;
+  d.recovery_delay_ns_ = netlist::analyze_timing(vlsa.nl).critical_delay_ns;
+  d.clock_period_ns_ =
+      1.05 * std::max(d.aca_delay_ns_, d.error_detect_delay_ns_);
+  d.expected_latency_cycles_ =
+      1.0 + recovery_cycles * d.flag_probability_;
+
+  const auto trad = adders::fastest_traditional(width);
+  d.traditional_kind_ = trad.kind;
+  d.traditional_delay_ns_ = trad.delay_ns;
+  d.traditional_area_ = trad.area;
+  d.aca_area_ = netlist::analyze_area(aca.nl).total_area;
+  d.vlsa_area_ = netlist::analyze_area(vlsa.nl).total_area;
+  return d;
+}
+
+std::string VlsaDesign::datasheet() const {
+  std::ostringstream os;
+  os << "VLSA design point — " << width_ << "-bit, window k = " << window_
+     << "\n";
+  os << "  P(flag)  = " << flag_probability_
+     << "   P(wrong sum if unflagged) = 0 (detector is sound)\n";
+  os << "  P(speculation actually wrong) = " << wrong_probability_ << "\n";
+  os << "  T_ACA = " << aca_delay_ns_ << " ns,  T_errdet = "
+     << error_detect_delay_ns_ << " ns,  T_recovery = " << recovery_delay_ns_
+     << " ns\n";
+  os << "  clock = " << clock_period_ns_ << " ns,  E[latency] = "
+     << expected_latency_cycles_ << " cycles,  effective delay = "
+     << effective_delay_ns() << " ns\n";
+  os << "  baseline: " << adders::adder_kind_name(traditional_kind_)
+     << " at " << traditional_delay_ns_ << " ns  ->  average speedup "
+     << average_speedup() << "x\n";
+  os << "  area (NAND2-eq): ACA " << aca_area_ << ", full VLSA "
+     << vlsa_area_ << ", baseline " << traditional_area_ << "\n";
+  return os.str();
+}
+
+}  // namespace vlsa::core

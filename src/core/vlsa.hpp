@@ -1,0 +1,93 @@
+#pragma once
+// VlsaDesign — the datasheet-level API a downstream integrator uses.
+//
+// One call sizes a complete variable-latency speculative adder for a
+// width and a target accuracy: it picks the window from the exact
+// longest-run analysis, generates the ACA / error-detection / recovery
+// netlists, runs the timing model, and exposes every number the paper's
+// evaluation reports (clock period, expected latency, average speedup
+// over the fastest traditional adder, areas).  Construction is the
+// expensive part; the resulting object is an immutable report plus a
+// software adder for functional use.
+
+#include <string>
+
+#include "adders/adders.hpp"
+#include "core/aca.hpp"
+
+namespace vlsa::core {
+
+class VlsaDesign {
+ public:
+  /// Size a design: `target_accuracy` in (0, 1), e.g. 0.9999 for the
+  /// paper's design points.  Builds and times all three circuits.
+  static VlsaDesign design(int width, double target_accuracy,
+                           int recovery_cycles = 2);
+
+  /// Same, but with an explicitly chosen window.
+  static VlsaDesign with_window(int width, int window,
+                                int recovery_cycles = 2);
+
+  // ----- configuration -----
+  int width() const { return width_; }
+  int window() const { return window_; }
+  int recovery_cycles() const { return recovery_cycles_; }
+
+  // ----- probabilities (uniform operands) -----
+  double flag_probability() const { return flag_probability_; }
+  double wrong_probability() const { return wrong_probability_; }
+
+  // ----- timing (built-in 0.18 µm-class model) -----
+  double aca_delay_ns() const { return aca_delay_ns_; }
+  double error_detect_delay_ns() const { return error_detect_delay_ns_; }
+  double recovery_delay_ns() const { return recovery_delay_ns_; }
+  /// 5% margin over max(T_ACA, T_ER), as in Fig. 6.
+  double clock_period_ns() const { return clock_period_ns_; }
+  double expected_latency_cycles() const { return expected_latency_cycles_; }
+  /// clock_period * expected latency.
+  double effective_delay_ns() const {
+    return clock_period_ns_ * expected_latency_cycles_;
+  }
+
+  // ----- baseline -----
+  adders::AdderKind traditional_kind() const { return traditional_kind_; }
+  double traditional_delay_ns() const { return traditional_delay_ns_; }
+  /// Average speedup of the VLSA over the fastest traditional adder.
+  double average_speedup() const {
+    return traditional_delay_ns_ / effective_delay_ns();
+  }
+
+  // ----- area (NAND2 equivalents) -----
+  double aca_area() const { return aca_area_; }
+  double vlsa_area() const { return vlsa_area_; }
+  double traditional_area() const { return traditional_area_; }
+
+  /// Functional software twin configured with this design's window.
+  SpeculativeAdder make_adder() const {
+    return SpeculativeAdder(width_, window_);
+  }
+
+  /// Multi-line human-readable datasheet.
+  std::string datasheet() const;
+
+ private:
+  VlsaDesign() = default;
+
+  int width_ = 0;
+  int window_ = 0;
+  int recovery_cycles_ = 0;
+  double flag_probability_ = 0.0;
+  double wrong_probability_ = 0.0;
+  double aca_delay_ns_ = 0.0;
+  double error_detect_delay_ns_ = 0.0;
+  double recovery_delay_ns_ = 0.0;
+  double clock_period_ns_ = 0.0;
+  double expected_latency_cycles_ = 0.0;
+  adders::AdderKind traditional_kind_ = adders::AdderKind::KoggeStone;
+  double traditional_delay_ns_ = 0.0;
+  double aca_area_ = 0.0;
+  double vlsa_area_ = 0.0;
+  double traditional_area_ = 0.0;
+};
+
+}  // namespace vlsa::core

@@ -1,0 +1,80 @@
+#include "core/vlsa_sequential.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vlsa::core {
+
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+
+SequentialVlsa build_sequential_vlsa(int width, int window) {
+  if (width < 2 || window < 1) {
+    throw std::invalid_argument("build_sequential_vlsa: bad dimensions");
+  }
+  SequentialVlsa v{Netlist("vlsa_seq" + std::to_string(width) + "_k" +
+                           std::to_string(window)),
+                   {}, {}, {}, kNoNet, kNoNet, kNoNet, kNoNet};
+  Netlist& nl = v.nl;
+  v.a = nl.add_input_bus("a", width);
+  v.b = nl.add_input_bus("b", width);
+
+  // State flip-flops (created first so control logic can reference Q).
+  v.state0 = nl.dff();  // 1 during REC1
+  v.state1 = nl.dff();  // 1 during REC2
+  const NetId in_eval = nl.nor2(v.state0, v.state1);
+  const NetId is_rec2 = v.state1;
+
+  // Operand registers with capture-enable.
+  std::vector<NetId> a_q(static_cast<std::size_t>(width));
+  std::vector<NetId> b_q(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    a_q[static_cast<std::size_t>(i)] = nl.dff();
+    b_q[static_cast<std::size_t>(i)] = nl.dff();
+  }
+
+  // Datapath from the registers: speculative sum + ER + recovered sum.
+  const VlsaNets nets = build_vlsa_into(nl, a_q, b_q, window);
+
+  // Control.
+  const NetId er_eval = nl.and2(nets.error, in_eval);
+  // EVAL & ER -> REC1; REC1 -> REC2; REC2/EVAL&!ER -> EVAL.
+  nl.connect_dff(v.state0, er_eval);
+  nl.connect_dff(v.state1, v.state0);
+
+  // Capture next operands when presenting a valid result.  The raw
+  // capture signal would drive 2*width mux selects; buffer it per 8-bit
+  // slice so the fanout penalty stays flat across widths (a synthesis
+  // tool would insert the same tree).
+  const NetId capture =
+      nl.or2(nl.and2(in_eval, nl.inv(nets.error)), is_rec2);
+  std::vector<NetId> capture_buf;
+  for (int lo = 0; lo < width; lo += 8) {
+    capture_buf.push_back(nl.buf(capture));
+  }
+  for (int i = 0; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const NetId cap = capture_buf[static_cast<std::size_t>(i / 8)];
+    nl.connect_dff(a_q[idx], nl.mux2(cap, a_q[idx], v.a[idx]));
+    nl.connect_dff(b_q[idx], nl.mux2(cap, b_q[idx], v.b[idx]));
+  }
+
+  // Outputs: speculative sum during EVAL, recovered sum during REC2.
+  v.sum.resize(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    v.sum[idx] = nl.mux2(is_rec2, nets.speculative_sum[idx],
+                         nets.exact_sum[idx]);
+  }
+  v.valid = capture;  // valid exactly when a result is presented
+  v.stall = nl.inv(v.valid);
+
+  nl.mark_output_bus("sum", v.sum);
+  nl.mark_output(v.valid, "valid");
+  nl.mark_output(v.stall, "stall");
+  nl.check_dffs_connected();
+  return v;
+}
+
+}  // namespace vlsa::core

@@ -1,0 +1,45 @@
+#pragma once
+// The clocked VLSA of Fig. 6, as an actual sequential netlist.
+//
+// Operands are captured into registers at the clock edge; during the
+// following cycle the ACA and the error detector evaluate from the
+// registers.  On a hit, VALID rises and the next operands are captured.
+// On a miss the FSM walks two recovery states while the (multicycle)
+// recovery cone settles, then presents the exact sum with VALID = 1 —
+// exactly the Fig. 7 waveform:
+//
+//   state EVAL  : sum = speculative, VALID = !ER, capture next if !ER
+//   state REC1  : VALID = 0, STALL = 1 (recovery cone settling)
+//   state REC2  : sum = recovered (exact), VALID = 1, capture next
+//
+// Timing contract (checked by analyze_sequential_timing + the bench):
+// the single-cycle paths are the ACA/ER cones (register -> output /
+// register -> state FF); the recovery cone register -> sum is a declared
+// 2-cycle multicycle path, which is why the clock can sit just above
+// max(T_ACA, T_ER) instead of at the recovery delay.
+
+#include <vector>
+
+#include "core/aca_netlist.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlsa::core {
+
+struct SequentialVlsa {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;    ///< primary inputs (LSB first)
+  std::vector<netlist::NetId> b;
+  std::vector<netlist::NetId> sum;  ///< output bus
+  netlist::NetId valid = netlist::kNoNet;
+  netlist::NetId stall = netlist::kNoNet;
+  /// State flip-flop Q nets (bit0: entering REC1, bit1: in REC2).
+  netlist::NetId state0 = netlist::kNoNet;
+  netlist::NetId state1 = netlist::kNoNet;
+  /// Cycles from operand capture to VALID on a flagged operation.
+  static constexpr int kRecoveryLatency = 2;
+};
+
+/// Build the clocked VLSA (width >= 2, window >= 1).
+SequentialVlsa build_sequential_vlsa(int width, int window);
+
+}  // namespace vlsa::core

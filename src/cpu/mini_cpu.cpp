@@ -1,0 +1,145 @@
+#include "cpu/mini_cpu.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::cpu {
+
+RunStats run_program(const Program& program, const CpuConfig& config) {
+  if (config.width < 1 || config.registers < 1) {
+    throw std::invalid_argument("run_program: bad configuration");
+  }
+  core::SpeculativeAdder adder(config.width, config.window);
+
+  RunStats stats;
+  stats.registers.assign(static_cast<std::size_t>(config.registers),
+                         BitVec(config.width));
+  auto reg = [&](int r) -> BitVec& {
+    if (r < 0 || r >= config.registers) {
+      throw std::out_of_range("run_program: bad register");
+    }
+    return stats.registers[static_cast<std::size_t>(r)];
+  };
+
+  std::size_t pc = 0;
+  while (stats.cycles < config.max_cycles) {
+    if (pc >= program.size()) {
+      throw std::out_of_range("run_program: fell off the program");
+    }
+    const Instruction& insn = program[pc];
+    stats.cycles += 1;        // every instruction takes at least a cycle
+    stats.instructions += 1;
+    bool jumped = false;
+    switch (insn.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::LoadImm:
+        reg(insn.rd) = BitVec::from_u64(config.width, insn.imm);
+        break;
+      case Opcode::Move:
+        reg(insn.rd) = reg(insn.rs1);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub: {
+        stats.alu_ops += 1;
+        const BitVec& a = reg(insn.rs1);
+        const BitVec& b = reg(insn.rs2);
+        if (config.speculative_alu) {
+          const auto out =
+              insn.op == Opcode::Add ? adder.add(a, b) : adder.sub(a, b);
+          if (out.flagged) {
+            stats.flagged_alu_ops += 1;
+            stats.cycles += config.recovery_cycles;  // VALID=0 stall
+          }
+          reg(insn.rd) = out.exact;  // recovery guarantees exactness
+        } else {
+          reg(insn.rd) = insn.op == Opcode::Add ? a + b : a - b;
+        }
+        break;
+      }
+      case Opcode::Xor:
+        reg(insn.rd) = reg(insn.rs1) ^ reg(insn.rs2);
+        break;
+      case Opcode::And:
+        reg(insn.rd) = reg(insn.rs1) & reg(insn.rs2);
+        break;
+      case Opcode::Shl1:
+        reg(insn.rd) = reg(insn.rs1).shl(1);
+        break;
+      case Opcode::Dec:
+        // Dedicated decrementer: exact, single cycle, no speculation.
+        reg(insn.rd) =
+            reg(insn.rs1) - BitVec::from_u64(config.width, 1);
+        break;
+      case Opcode::Bnez:
+        if (!reg(insn.rs1).is_zero()) {
+          pc = static_cast<std::size_t>(insn.target);
+          jumped = true;
+        }
+        break;
+      case Opcode::Halt:
+        stats.halted = true;
+        stats.cpi = stats.instructions == 0
+                        ? 0.0
+                        : static_cast<double>(stats.cycles) /
+                              static_cast<double>(stats.instructions);
+        return stats;
+    }
+    if (!jumped) pc += 1;
+  }
+  stats.cpi = stats.instructions == 0
+                  ? 0.0
+                  : static_cast<double>(stats.cycles) /
+                        static_cast<double>(stats.instructions);
+  return stats;  // halted == false: budget exhausted
+}
+
+Program kernel_sum_loop(std::uint64_t n) {
+  // r1 = accumulator, r2 = i, r3 = 1; loop: r1 += r2; r2 -= r3 (through
+  // the speculative ALU — deliberately); bnez r2.
+  return Program{
+      {Opcode::LoadImm, 1, 0, 0, 0, 0},
+      {Opcode::LoadImm, 2, 0, 0, n, 0},
+      {Opcode::LoadImm, 3, 0, 0, 1, 0},
+      /*3:*/ {Opcode::Add, 1, 1, 2, 0, 0},
+      {Opcode::Sub, 2, 2, 3, 0, 0},
+      {Opcode::Bnez, 0, 2, 0, 0, 3},
+      {Opcode::Halt, 0, 0, 0, 0, 0},
+  };
+}
+
+Program kernel_fibonacci(int n) {
+  // r1 = F(k), r2 = F(k-1), r4 = counter.
+  return Program{
+      {Opcode::LoadImm, 1, 0, 0, 1, 0},
+      {Opcode::LoadImm, 2, 0, 0, 0, 0},
+      {Opcode::LoadImm, 3, 0, 0, 1, 0},
+      {Opcode::LoadImm, 4, 0, 0, static_cast<std::uint64_t>(n), 0},
+      /*4:*/ {Opcode::Add, 5, 1, 2, 0, 0},   // r5 = F(k) + F(k-1)
+      {Opcode::Move, 2, 1, 0, 0, 0},
+      {Opcode::Move, 1, 5, 0, 0, 0},
+      {Opcode::Dec, 4, 4, 0, 0, 0},          // loop control off the ALU
+      {Opcode::Bnez, 0, 4, 0, 0, 4},
+      {Opcode::Halt, 0, 0, 0, 0, 0},
+  };
+}
+
+Program kernel_mixed(std::uint64_t iterations) {
+  // Weyl-sequence accumulator: r2 walks a golden-ratio arithmetic
+  // progression (uniform-looking addends) and r1 accumulates; loop
+  // control goes through the dedicated decrementer, so only the
+  // benign-operand adds exercise the speculative ALU.
+  return Program{
+      {Opcode::LoadImm, 1, 0, 0, 0, 0},
+      {Opcode::LoadImm, 2, 0, 0, 0x2545f4914f6cdd1dULL, 0},
+      {Opcode::LoadImm, 3, 0, 0, 1, 0},
+      {Opcode::LoadImm, 4, 0, 0, iterations, 0},
+      {Opcode::LoadImm, 6, 0, 0, 0x9e3779b97f4a7c15ULL, 0},
+      /*5:*/ {Opcode::Add, 2, 2, 6, 0, 0},  // weyl step
+      {Opcode::Add, 1, 1, 2, 0, 0},         // accumulate
+      {Opcode::Dec, 4, 4, 0, 0, 0},         // loop control off the ALU
+      {Opcode::Bnez, 0, 4, 0, 0, 5},
+      {Opcode::Halt, 0, 0, 0, 0, 0},
+  };
+}
+
+}  // namespace vlsa::cpu

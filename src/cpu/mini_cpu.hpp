@@ -1,0 +1,87 @@
+#pragma once
+// A minimal in-order scalar core with a pluggable ALU adder — the
+// "inside a processor" deployment the paper sketches in Sec. 4.2: ACA
+// additions and the error signal are produced in one (short) cycle; on
+// the rare error the pipeline stalls for the recovery cycles.
+//
+// The architectural contract is unchanged (recovery always yields the
+// exact result), so an exact-ALU run and a VLSA-ALU run of the same
+// program retire identical register states; only the cycle accounting —
+// and, crucially, the cycle *time* — differ.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::cpu {
+
+using util::BitVec;
+
+enum class Opcode {
+  Nop,
+  LoadImm,   ///< rd <- imm
+  Move,      ///< rd <- rs1
+  Add,       ///< rd <- rs1 + rs2   (through the ALU adder)
+  Sub,       ///< rd <- rs1 - rs2   (through the ALU adder)
+  Xor,       ///< rd <- rs1 ^ rs2   (carry-free, never stalls)
+  And,       ///< rd <- rs1 & rs2
+  Shl1,      ///< rd <- rs1 << 1
+  Dec,       ///< rd <- rs1 - 1 via a dedicated small decrementer (loop
+             ///  control hardware; never touches the speculative ALU)
+  Bnez,      ///< if rs1 != 0 jump to `target`
+  Halt,
+};
+
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  int rd = 0;
+  int rs1 = 0;
+  int rs2 = 0;
+  std::uint64_t imm = 0;
+  int target = 0;  ///< Bnez destination (instruction index)
+};
+
+using Program = std::vector<Instruction>;
+
+/// Machine configuration.
+struct CpuConfig {
+  int width = 64;          ///< register/datapath width
+  int registers = 16;
+  bool speculative_alu = false;  ///< false: exact adder, 1 cycle per op
+  int window = 12;               ///< ACA window when speculative
+  int recovery_cycles = 2;       ///< extra cycles on a flagged ALU op
+  long long max_cycles = 10'000'000;
+};
+
+/// Result of a program run.
+struct RunStats {
+  long long cycles = 0;
+  long long instructions = 0;
+  long long alu_ops = 0;         ///< Add/Sub through the adder
+  long long flagged_alu_ops = 0; ///< ALU ops that took the recovery path
+  bool halted = false;           ///< false: hit max_cycles
+  double cpi = 0.0;
+  std::vector<BitVec> registers; ///< final architectural state
+};
+
+/// Execute `program` from instruction 0 until Halt (or max_cycles).
+RunStats run_program(const Program& program, const CpuConfig& config);
+
+// ----- ready-made kernels for the benches/tests -----
+
+/// sum += i for i = n..1, with the loop counter decremented *through the
+/// ALU* — deliberately exhibits the counter-decrement pitfall (x - 1 on a
+/// small x always flags).  Result in r1.
+Program kernel_sum_loop(std::uint64_t n);
+
+/// Fibonacci: r1 = F(n) mod 2^width (dependent adds).
+Program kernel_fibonacci(int n);
+
+/// Random-walk accumulator: XOR-mixed adds over a seeded LCG-in-registers
+/// (stress: operands with varied propagate structure); result in r1.
+Program kernel_mixed(std::uint64_t iterations);
+
+}  // namespace vlsa::cpu

@@ -1,0 +1,35 @@
+#include "crypto/adder32.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::crypto {
+
+std::uint32_t aca_add_u32(std::uint32_t a, std::uint32_t b, int window) {
+  if (window < 1) throw std::invalid_argument("aca_add_u32: window < 1");
+  const std::uint32_t p = a ^ b;
+  const std::uint32_t g = a & b;
+  std::uint32_t sum = 0;
+  int run = 0;            // propagate run length ending at bit i
+  bool carry_prev = false;  // speculative carry out of bit i-1
+  for (int i = 0; i < 32; ++i) {
+    sum |= (((p >> i) & 1u) ^ static_cast<std::uint32_t>(carry_prev)) << i;
+    run = ((p >> i) & 1u) ? run + 1 : 0;
+    bool carry;
+    if (run >= window || run > i) {
+      carry = false;  // all-propagate window or clamped at bit 0
+    } else {
+      carry = (g >> (i - run)) & 1u;
+    }
+    carry_prev = carry;
+  }
+  return sum;
+}
+
+Adder32 Adder32::speculative(int window) {
+  if (window < 1) {
+    throw std::invalid_argument("Adder32::speculative: window < 1");
+  }
+  return Adder32(window);
+}
+
+}  // namespace vlsa::crypto

@@ -1,0 +1,45 @@
+#pragma once
+// Pluggable 32-bit adder: exact or speculative (ACA).
+//
+// The paper's motivating application (Sec. 1) replaces the adder inside a
+// block cipher's datapath with an ACA to speed up brute-force
+// ciphertext-only attacks.  This type is that plug: the cipher code below
+// is written against it, so the same attack can run with an exact adder
+// or with ACA(32, k) word arithmetic.
+
+#include <cstdint>
+
+namespace vlsa::crypto {
+
+/// Windowed speculative 32-bit addition, bit-identical to
+/// core::aca_add on 32-bit BitVecs (tested).  window >= 32 is exact.
+std::uint32_t aca_add_u32(std::uint32_t a, std::uint32_t b, int window);
+
+/// Value-semantic adder configuration.
+class Adder32 {
+ public:
+  /// Exact two's-complement addition.
+  static Adder32 exact() { return Adder32(0); }
+
+  /// ACA with the given window (>= 1).
+  static Adder32 speculative(int window);
+
+  bool is_speculative() const { return window_ > 0; }
+  int window() const { return window_; }
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const {
+    return window_ == 0 ? a + b : aca_add_u32(a, b, window_);
+  }
+
+  /// Subtraction via exact negation + (possibly speculative) addition —
+  /// negation is carry-free hardware, so only the add speculates.
+  std::uint32_t sub(std::uint32_t a, std::uint32_t b) const {
+    return add(a, ~b + 1u);
+  }
+
+ private:
+  explicit Adder32(int window) : window_(window) {}
+  int window_;  // 0 = exact
+};
+
+}  // namespace vlsa::crypto

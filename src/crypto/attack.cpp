@@ -1,0 +1,75 @@
+#include "crypto/attack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/text_model.hpp"
+
+namespace vlsa::crypto {
+
+AttackResult ciphertext_only_attack(std::span<const std::uint8_t> ciphertext,
+                                    const TeaCipher::Key& true_key,
+                                    const AttackConfig& config) {
+  if (config.candidate_keys < 2) {
+    throw std::invalid_argument("attack: need at least two candidate keys");
+  }
+  if (ciphertext.empty()) {
+    throw std::invalid_argument("attack: empty ciphertext");
+  }
+
+  // Candidate pool: the true key planted among seeded decoys.
+  util::Rng rng(config.seed);
+  std::vector<TeaCipher::Key> pool;
+  pool.push_back(true_key);
+  for (int i = 1; i < config.candidate_keys; ++i) {
+    pool.push_back(TeaCipher::Key{
+        static_cast<std::uint32_t>(rng.next_u64()),
+        static_cast<std::uint32_t>(rng.next_u64()),
+        static_cast<std::uint32_t>(rng.next_u64()),
+        static_cast<std::uint32_t>(rng.next_u64())});
+  }
+
+  AttackResult result;
+  result.total_blocks =
+      static_cast<long long>(ciphertext.size() / TeaCipher::kBlockBytes);
+  result.ranking.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const TeaCipher cipher(pool[i]);
+    const auto plain = cipher.decrypt(ciphertext, config.adder);
+    ScoredKey scored;
+    scored.key = pool[i];
+    scored.chi_square = chi_square_vs_english(plain);
+    scored.is_true_key = i == 0;
+    result.ranking.push_back(scored);
+
+    if (i == 0 && config.adder.is_speculative()) {
+      const auto exact_plain = cipher.decrypt(ciphertext, Adder32::exact());
+      for (std::size_t off = 0; off < plain.size();
+           off += TeaCipher::kBlockBytes) {
+        if (!std::equal(plain.begin() + static_cast<std::ptrdiff_t>(off),
+                        plain.begin() + static_cast<std::ptrdiff_t>(
+                                            off + TeaCipher::kBlockBytes),
+                        exact_plain.begin() +
+                            static_cast<std::ptrdiff_t>(off))) {
+          result.wrong_blocks_true_key += 1;
+        }
+      }
+    }
+  }
+
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [](const ScoredKey& a, const ScoredKey& b) {
+              return a.chi_square < b.chi_square;
+            });
+  for (std::size_t i = 0; i < result.ranking.size(); ++i) {
+    if (result.ranking[i].is_true_key) {
+      result.true_key_rank = static_cast<int>(i) + 1;
+      result.true_key_score = result.ranking[i].chi_square;
+    } else if (result.best_decoy_score == 0.0) {
+      result.best_decoy_score = result.ranking[i].chi_square;
+    }
+  }
+  return result;
+}
+
+}  // namespace vlsa::crypto

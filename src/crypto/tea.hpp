@@ -1,0 +1,50 @@
+#pragma once
+// TEA (Tiny Encryption Algorithm) with a pluggable adder.
+//
+// TEA is an add-rotate-xor block cipher: 64-bit blocks, 128-bit key,
+// 32 rounds, and — crucially for the paper's argument — additions on the
+// critical path of every round.  Encryption always uses exact arithmetic
+// (the ciphertext under attack was produced by the real system);
+// *decryption* takes an Adder32, so the brute-force attack of Sec. 1 can
+// run its key trials on speculative hardware.  ECB mode keeps each
+// 8-byte block independent, exactly the property the paper relies on:
+// a misspeculated add corrupts one block, not the corpus statistics.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/adder32.hpp"
+
+namespace vlsa::crypto {
+
+class TeaCipher {
+ public:
+  using Key = std::array<std::uint32_t, 4>;
+  static constexpr int kRounds = 32;
+  static constexpr std::uint32_t kDelta = 0x9e3779b9;
+  static constexpr std::size_t kBlockBytes = 8;
+
+  explicit TeaCipher(const Key& key) : key_(key) {}
+
+  /// One 64-bit block, exact arithmetic (the encrypting party is real
+  /// hardware producing correct ciphertext).
+  void encrypt_block(std::uint32_t& v0, std::uint32_t& v1) const;
+
+  /// One 64-bit block with the supplied (possibly speculative) adder.
+  void decrypt_block(std::uint32_t& v0, std::uint32_t& v1,
+                     const Adder32& adder) const;
+
+  /// ECB over a whole buffer; size must be a multiple of 8 bytes.
+  std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> plain) const;
+  std::vector<std::uint8_t> decrypt(std::span<const std::uint8_t> cipher,
+                                    const Adder32& adder) const;
+
+  const Key& key() const { return key_; }
+
+ private:
+  Key key_;
+};
+
+}  // namespace vlsa::crypto

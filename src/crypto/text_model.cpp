@@ -1,0 +1,99 @@
+#include "crypto/text_model.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace vlsa::crypto {
+
+namespace {
+
+// Letter frequencies (percent) from standard English corpora, plus a
+// space weight chosen so words average ~5 letters.
+constexpr std::array<double, 26> kLetterPercent = {
+    8.167, 1.492, 2.782, 4.253, 12.702, 2.228, 2.015, 6.094, 6.966,
+    0.153, 0.772, 4.025, 2.406, 6.749,  7.507, 1.929, 0.095, 5.987,
+    6.327, 9.056, 2.758, 0.978, 2.360,  0.150, 1.974, 0.074};
+constexpr double kSpaceWeight = 0.1934;  // ≈ 1 space per 5.2 letters
+
+struct Model {
+  std::array<double, 27> prob;    // 26 letters + space, sums to 1
+  std::array<double, 27> cumul;
+  Model() {
+    double total = 0;
+    for (double p : kLetterPercent) total += p / 100.0;
+    const double scale = (1.0 - kSpaceWeight) / total;
+    double acc = 0;
+    for (std::size_t i = 0; i < 26; ++i) {
+      prob[i] = kLetterPercent[i] / 100.0 * scale;
+      acc += prob[i];
+      cumul[i] = acc;
+    }
+    prob[26] = kSpaceWeight;
+    cumul[26] = 1.0;
+  }
+};
+
+const Model& model() {
+  static const Model m;
+  return m;
+}
+
+}  // namespace
+
+double english_frequency(char c) {
+  if (c >= 'a' && c <= 'z') {
+    return model().prob[static_cast<std::size_t>(c - 'a')];
+  }
+  if (c == ' ') return model().prob[26];
+  return 0.0;
+}
+
+std::string generate_english_like_text(std::size_t length, util::Rng& rng) {
+  std::string text(length, ' ');
+  for (auto& c : text) {
+    const double u = rng.next_double();
+    std::size_t lo = 0, hi = 26;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (model().cumul[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    c = lo == 26 ? ' ' : static_cast<char>('a' + lo);
+  }
+  return text;
+}
+
+double chi_square_vs_english(std::span<const std::uint8_t> text) {
+  if (text.empty()) {
+    throw std::invalid_argument("chi_square_vs_english: empty buffer");
+  }
+  std::array<long long, 28> counts{};  // 26 letters, space, other
+  for (std::uint8_t byte : text) {
+    const char c = static_cast<char>(byte);
+    if (c >= 'a' && c <= 'z') {
+      counts[static_cast<std::size_t>(c - 'a')] += 1;
+    } else if (c == ' ') {
+      counts[26] += 1;
+    } else {
+      counts[27] += 1;
+    }
+  }
+  const double n = static_cast<double>(text.size());
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < 27; ++i) {
+    const double expected = n * model().prob[i];
+    const double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  // Out-of-alphabet bytes: expected ~0 under the model; charge them as if
+  // the model allowed a vanishing epsilon mass.
+  const double epsilon_expected = n * 1e-4;
+  const double other_diff = static_cast<double>(counts[27]) - epsilon_expected;
+  chi2 += other_diff * other_diff / epsilon_expected;
+  return chi2;
+}
+
+}  // namespace vlsa::crypto

@@ -1,0 +1,34 @@
+#pragma once
+// English letter-frequency model for the ciphertext-only attack.
+//
+// The attack of Sec. 1 scores candidate decryptions by how close their
+// character histogram is to natural language.  We model text as i.i.d.
+// draws from the published relative frequencies of the 26 letters plus
+// space (the paper quotes 'e' ≈ 12.7%, 'x' ≈ 0.15%); this is exactly the
+// statistic frequency analysis exploits.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vlsa::crypto {
+
+/// Relative frequency of symbol `c` in the model ('a'..'z' and ' ');
+/// 0 for anything else.
+double english_frequency(char c);
+
+/// Sample `length` characters from the frequency model (lower case +
+/// spaces).  `length` is rounded *up* to a TEA block multiple by the
+/// caller if needed.
+std::string generate_english_like_text(std::size_t length, util::Rng& rng);
+
+/// Chi-square distance between the byte buffer's histogram and the
+/// English model.  Bytes outside the model's alphabet are charged to a
+/// penalty bucket, so random-looking plaintexts (wrong key) score orders
+/// of magnitude worse than text.
+double chi_square_vs_english(std::span<const std::uint8_t> text);
+
+}  // namespace vlsa::crypto

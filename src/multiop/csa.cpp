@@ -1,0 +1,86 @@
+#include "multiop/csa.hpp"
+
+namespace vlsa::multiop {
+
+using netlist::NetId;
+using netlist::Netlist;
+using util::BitVec;
+
+std::pair<BitVec, BitVec> csa_reduce_words(std::vector<BitVec> addends,
+                                           int width) {
+  while (addends.size() > 2) {
+    std::vector<BitVec> next;
+    std::size_t i = 0;
+    while (addends.size() - i >= 3) {
+      const BitVec& x = addends[i];
+      const BitVec& y = addends[i + 1];
+      const BitVec& z = addends[i + 2];
+      next.push_back(x ^ y ^ z);
+      next.push_back(((x & y) | (x & z) | (y & z)).shl(1));
+      i += 3;
+    }
+    for (; i < addends.size(); ++i) next.push_back(addends[i]);
+    addends = std::move(next);
+  }
+  if (addends.empty()) return {BitVec(width), BitVec(width)};
+  if (addends.size() == 1) return {addends[0], BitVec(width)};
+  return {addends[0], addends[1]};
+}
+
+namespace {
+
+struct CsaBit {
+  NetId sum;
+  NetId carry;
+};
+
+CsaBit full_adder(Netlist& nl, NetId x, NetId y, NetId z) {
+  const NetId xy = nl.xor2(x, y);
+  // majority(x, y, z) = (x & y) | ((x ^ y) & z)
+  return {nl.xor2(xy, z), nl.or2(nl.and2(x, y), nl.and2(xy, z))};
+}
+
+CsaBit half_adder(Netlist& nl, NetId x, NetId y) {
+  return {nl.xor2(x, y), nl.and2(x, y)};
+}
+
+}  // namespace
+
+std::pair<std::vector<NetId>, std::vector<NetId>> csa_reduce_columns(
+    Netlist& nl, std::vector<std::vector<NetId>> columns) {
+  const std::size_t wide = columns.size();
+  bool more = true;
+  while (more) {
+    more = false;
+    std::vector<std::vector<NetId>> next(wide);
+    for (std::size_t col = 0; col < wide; ++col) {
+      auto& bits = columns[col];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const CsaBit fa = full_adder(nl, bits[i], bits[i + 1], bits[i + 2]);
+        next[col].push_back(fa.sum);
+        if (col + 1 < wide) next[col + 1].push_back(fa.carry);
+        i += 3;
+      }
+      if (bits.size() - i == 2 && bits.size() > 2) {
+        const CsaBit ha = half_adder(nl, bits[i], bits[i + 1]);
+        next[col].push_back(ha.sum);
+        if (col + 1 < wide) next[col + 1].push_back(ha.carry);
+        i += 2;
+      }
+      for (; i < bits.size(); ++i) next[col].push_back(bits[i]);
+    }
+    columns = std::move(next);
+    for (const auto& col : columns) {
+      if (col.size() > 2) more = true;
+    }
+  }
+  std::vector<NetId> row0(wide), row1(wide);
+  for (std::size_t col = 0; col < wide; ++col) {
+    row0[col] = columns[col].empty() ? nl.const0() : columns[col][0];
+    row1[col] = columns[col].size() < 2 ? nl.const0() : columns[col][1];
+  }
+  return {row0, row1};
+}
+
+}  // namespace vlsa::multiop

@@ -1,0 +1,31 @@
+#pragma once
+// Carry-save (3:2) reduction — shared by the speculative multiplier and
+// the multi-operand adder.
+//
+// A 3:2 compressor column never propagates a carry more than one
+// position, so arbitrarily many addends can be reduced to two in
+// O(log_{3/2} m) levels with *no* long carry chain; the single
+// carry-propagate step left at the end is where speculation pays
+// (paper Sec. 2 on redundant number systems, Sec. 6 future work).
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::multiop {
+
+/// Word-level reduction of `addends` (all of width `width`, mod 2^width)
+/// to two addends whose sum equals the total.
+std::pair<util::BitVec, util::BitVec> csa_reduce_words(
+    std::vector<util::BitVec> addends, int width);
+
+/// Gate-level column-wise reduction: columns[c] holds the bit nets of
+/// weight c; returns two rows of `columns.size()` nets each.  Columns may
+/// have unequal heights (multiplier trapezoids).
+std::pair<std::vector<netlist::NetId>, std::vector<netlist::NetId>>
+csa_reduce_columns(netlist::Netlist& nl,
+                   std::vector<std::vector<netlist::NetId>> columns);
+
+}  // namespace vlsa::multiop

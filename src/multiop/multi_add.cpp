@@ -1,0 +1,109 @@
+#include "multiop/multi_add.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "adders/pg.hpp"
+#include "adders/prefix.hpp"
+#include "core/aca.hpp"
+#include "core/aca_netlist.hpp"
+#include "multiop/csa.hpp"
+
+namespace vlsa::multiop {
+
+using adders::PG;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+void check_addends(std::span<const BitVec> addends) {
+  if (addends.empty()) {
+    throw std::invalid_argument("multi_add: no addends");
+  }
+  for (const BitVec& a : addends) {
+    if (a.width() != addends[0].width()) {
+      throw std::invalid_argument("multi_add: width mismatch");
+    }
+  }
+}
+
+}  // namespace
+
+BitVec exact_multi_add(std::span<const BitVec> addends) {
+  check_addends(addends);
+  BitVec acc(addends[0].width());
+  for (const BitVec& a : addends) acc = acc + a;
+  return acc;
+}
+
+SpecSumResult speculative_multi_add(std::span<const BitVec> addends,
+                                    int window) {
+  check_addends(addends);
+  const int width = addends[0].width();
+  auto [x, y] =
+      csa_reduce_words({addends.begin(), addends.end()}, width);
+  const auto sum = core::aca_add(x, y, window);
+  return {sum.sum, sum.flagged};
+}
+
+namespace {
+
+MultiAdderNetlist build_multi(int width, int operands, int window,
+                              bool speculative) {
+  if (width < 1 || operands < 2) {
+    throw std::invalid_argument("multi_adder: need width >= 1, operands >= 2");
+  }
+  MultiAdderNetlist m{
+      Netlist(std::string(speculative ? "specmadd" : "madd") +
+              std::to_string(width) + "x" + std::to_string(operands)),
+      {}, {}, kNoNet};
+  Netlist& nl = m.nl;
+  std::vector<std::vector<NetId>> columns(static_cast<std::size_t>(width));
+  for (int op = 0; op < operands; ++op) {
+    auto bus = nl.add_input_bus("x" + std::to_string(op), width);
+    for (int b = 0; b < width; ++b) {
+      columns[static_cast<std::size_t>(b)].push_back(
+          bus[static_cast<std::size_t>(b)]);
+    }
+    m.operands.push_back(std::move(bus));
+  }
+  auto [row0, row1] = csa_reduce_columns(nl, std::move(columns));
+
+  if (speculative) {
+    core::AcaNets nets = core::build_aca_into(nl, row0, row1, window,
+                                              /*with_error_flag=*/true);
+    m.sum = std::move(nets.sum);
+    m.error = nets.error;
+    nl.mark_output(m.error, "error");
+  } else {
+    std::vector<PG> pg = adders::bitwise_pg(nl, row0, row1);
+    std::vector<PG> prefix = pg;
+    adders::kogge_stone_core(nl, prefix);
+    m.sum.resize(static_cast<std::size_t>(width));
+    m.sum[0] = pg[0].p;
+    for (int i = 1; i < width; ++i) {
+      m.sum[static_cast<std::size_t>(i)] =
+          nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                  prefix[static_cast<std::size_t>(i - 1)].g);
+    }
+  }
+  nl.mark_output_bus("sum", m.sum);
+  return m;
+}
+
+}  // namespace
+
+MultiAdderNetlist build_exact_multi_adder(int width, int operands) {
+  return build_multi(width, operands, /*window=*/0, /*speculative=*/false);
+}
+
+MultiAdderNetlist build_speculative_multi_adder(int width, int operands,
+                                                int window) {
+  if (window < 1) throw std::invalid_argument("multi_adder: window < 1");
+  return build_multi(width, operands, window, /*speculative=*/true);
+}
+
+}  // namespace vlsa::multiop

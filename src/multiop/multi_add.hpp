@@ -1,0 +1,49 @@
+#pragma once
+// Speculative multi-operand addition (paper Sec. 6 future work).
+//
+// Summing m operands costs one carry-save tree (carry-free, shallow)
+// plus a single carry-propagate addition — so the relative win from
+// speculating that last addition *grows* with m, because the CSA tree is
+// shared by both designs and the exact final adder is the only Θ(log n)
+// part left.  ER semantics carry over unchanged: the flag refers to the
+// final addition's propagate chains.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::multiop {
+
+using util::BitVec;
+
+/// Exact sum of all addends, mod 2^width (all must share one width).
+BitVec exact_multi_add(std::span<const BitVec> addends);
+
+struct SpecSumResult {
+  BitVec sum;     ///< mod 2^width
+  bool flagged;   ///< final adder's ER; false implies `sum` is exact
+};
+
+/// CSA-reduce to two addends, then ACA(width, window) for the final add.
+SpecSumResult speculative_multi_add(std::span<const BitVec> addends,
+                                    int window);
+
+/// Gate-level m-operand adder.
+struct MultiAdderNetlist {
+  netlist::Netlist nl;
+  std::vector<std::vector<netlist::NetId>> operands;  ///< m buses, LSB first
+  std::vector<netlist::NetId>
+      sum;  ///< width bits (the total mod 2^width, as the behavioral model)
+  netlist::NetId error = netlist::kNoNet;  ///< kNoNet for the exact variant
+};
+
+/// Exact variant: CSA tree + Kogge-Stone final adder.
+MultiAdderNetlist build_exact_multi_adder(int width, int operands);
+
+/// Speculative variant: CSA tree + ACA final adder + ER.
+MultiAdderNetlist build_speculative_multi_adder(int width, int operands,
+                                                int window);
+
+}  // namespace vlsa::multiop

@@ -1,0 +1,195 @@
+// Radix-4 Booth multiplier (signed), behavioral and gate level.
+//
+// Digits d_j = b[2j-1] + b[2j] - 2*b[2j+1] in {-2,...,2} select
+// {0, ±a, ±2a}; negative selections are implemented as bitwise inversion
+// plus a +1 injected into the partial product's own column, so the CSA
+// tree absorbs the corrections for free.  Rows are fully sign-extended
+// to the product width — simple and correct; the sign-extension-
+// prevention encoding is a known area optimization we deliberately skip
+// (the speculative-final-adder comparison is unaffected by it).
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adders/pg.hpp"
+#include "adders/prefix.hpp"
+#include "core/aca.hpp"
+#include "core/aca_netlist.hpp"
+#include "multiop/csa.hpp"
+#include "multiplier/spec_multiplier.hpp"
+
+namespace vlsa::multiplier {
+
+using adders::PG;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+
+BitVec exact_multiply_signed(const BitVec& a, const BitVec& b) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("exact_multiply_signed: width mismatch");
+  }
+  const int n = a.width();
+  const int wide = 2 * n;
+  // Sign-extend both operands to 2n bits; the product mod 2^2n of the
+  // extensions equals the signed product's two's-complement encoding.
+  auto sext = [&](const BitVec& v) {
+    BitVec out = v.resized(wide);
+    if (n > 0 && v.bit(n - 1)) {
+      for (int i = n; i < wide; ++i) out.set_bit(i, true);
+    }
+    return out;
+  };
+  const BitVec wa = sext(a);
+  const BitVec wb = sext(b);
+  BitVec acc(wide);
+  for (int j = 0; j < wide; ++j) {
+    if (wb.bit(j)) acc = acc + wa.shl(j);
+  }
+  return acc;
+}
+
+namespace {
+
+// Booth digit selector bits for row j of multiplier `b` (signed).
+struct BoothDigit {
+  bool one;   // |d| == 1
+  bool two;   // |d| == 2
+  bool neg;   // d < 0 (also set for the harmless -0 encoding "111")
+};
+
+BoothDigit booth_digit(const BitVec& b, int j) {
+  const int n = b.width();
+  auto bit = [&](int i) {
+    if (i < 0) return false;
+    return b.bit(i < n ? i : n - 1);  // signed extension above the MSB
+  };
+  const bool b_hi = bit(2 * j + 1);
+  const bool b_mid = bit(2 * j);
+  const bool b_lo = bit(2 * j - 1);
+  BoothDigit d;
+  d.one = b_mid != b_lo;
+  d.two = (b_hi && !b_mid && !b_lo) || (!b_hi && b_mid && b_lo);
+  d.neg = b_hi;
+  return d;
+}
+
+int booth_rows(int n) { return (n + 1) / 2; }
+
+}  // namespace
+
+SpecMulResult speculative_multiply_booth(const BitVec& a, const BitVec& b,
+                                         int window) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("speculative_multiply_booth: width mismatch");
+  }
+  const int n = a.width();
+  const int wide = 2 * n;
+  // Sign-extended a and 2a at product width.
+  BitVec wa = a.resized(wide);
+  if (a.bit(n - 1)) {
+    for (int i = n; i < wide; ++i) wa.set_bit(i, true);
+  }
+  const BitVec wa2 = wa.shl(1);
+
+  std::vector<BitVec> addends;
+  for (int j = 0; j < booth_rows(n); ++j) {
+    const BoothDigit d = booth_digit(b, j);
+    BitVec row(wide);
+    if (d.one) {
+      row = wa;
+    } else if (d.two) {
+      row = wa2;
+    }
+    if (d.neg) row = ~row;
+    addends.push_back(row.shl(2 * j));
+    if (d.neg) {
+      // The +1 of the two's complement, at the row's own column.  Bits
+      // shifted out of `row` by shl(2j) were sign-extension copies, so
+      // inject the correction at column 2j directly.
+      BitVec plus_one(wide);
+      plus_one.set_bit(2 * j, true);
+      addends.push_back(plus_one);
+    }
+  }
+  const auto [x, y] = multiop::csa_reduce_words(std::move(addends), wide);
+  const auto sum = core::aca_add(x, y, window);
+  return {sum.sum, sum.flagged};
+}
+
+MultiplierNetlist build_booth_multiplier(int width, int window) {
+  if (width < 2) {
+    throw std::invalid_argument("booth multiplier: width must be >= 2");
+  }
+  if (window < 0) {
+    throw std::invalid_argument("booth multiplier: window must be >= 0");
+  }
+  const bool speculative = window >= 1;
+  MultiplierNetlist m{
+      Netlist(std::string(speculative ? "booth_spec" : "booth") +
+              std::to_string(width)),
+      {}, {}, {}, kNoNet};
+  Netlist& nl = m.nl;
+  m.a = nl.add_input_bus("a", width);
+  m.b = nl.add_input_bus("b", width);
+  const int wide = 2 * width;
+
+  // Signed-extended multiplicand bit i (i in [-1, wide)).
+  auto a_bit = [&](int i) -> NetId {
+    if (i < 0) return nl.const0();
+    return m.a[static_cast<std::size_t>(i < width ? i : width - 1)];
+  };
+  auto b_bit = [&](int i) -> NetId {
+    if (i < 0) return nl.const0();
+    return m.b[static_cast<std::size_t>(i < width ? i : width - 1)];
+  };
+
+  std::vector<std::vector<NetId>> columns(static_cast<std::size_t>(wide));
+  for (int j = 0; j < booth_rows(width); ++j) {
+    // Booth encoder for row j.
+    const NetId hi = b_bit(2 * j + 1);
+    const NetId mid = b_bit(2 * j);
+    const NetId lo = b_bit(2 * j - 1);
+    const NetId one = nl.xor2(mid, lo);
+    // two = (hi & !mid & !lo) | (!hi & mid & lo) = hi XOR mid, when
+    // mid == lo; i.e. two = !one & (hi ^ mid).
+    const NetId two = nl.and2(nl.inv(one), nl.xor2(hi, mid));
+    const NetId neg = hi;
+
+    // Row bits: (one ? a_i : two ? a_{i-1} : 0) ^ neg, sign-extended.
+    for (int i = 0; 2 * j + i < wide; ++i) {
+      const NetId base = nl.or2(nl.and2(one, a_bit(i)),
+                                nl.and2(two, a_bit(i - 1)));
+      columns[static_cast<std::size_t>(2 * j + i)].push_back(
+          nl.xor2(base, neg));
+    }
+    // Two's-complement correction for negative digits.
+    columns[static_cast<std::size_t>(2 * j)].push_back(neg);
+  }
+
+  auto [row0, row1] = multiop::csa_reduce_columns(nl, std::move(columns));
+  if (speculative) {
+    core::AcaNets nets = core::build_aca_into(nl, row0, row1, window,
+                                              /*with_error_flag=*/true);
+    m.product = std::move(nets.sum);
+    m.error = nets.error;
+    nl.mark_output(m.error, "error");
+  } else {
+    std::vector<PG> pg = adders::bitwise_pg(nl, row0, row1);
+    std::vector<PG> prefix = pg;
+    adders::kogge_stone_core(nl, prefix);
+    m.product.resize(static_cast<std::size_t>(wide));
+    m.product[0] = pg[0].p;
+    for (int i = 1; i < wide; ++i) {
+      m.product[static_cast<std::size_t>(i)] =
+          nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                  prefix[static_cast<std::size_t>(i - 1)].g);
+    }
+  }
+  nl.mark_output_bus("product", m.product);
+  return m;
+}
+
+}  // namespace vlsa::multiplier

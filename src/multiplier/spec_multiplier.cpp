@@ -1,0 +1,105 @@
+#include "multiplier/spec_multiplier.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "adders/pg.hpp"
+#include "adders/prefix.hpp"
+#include "core/aca.hpp"
+#include "core/aca_netlist.hpp"
+#include "multiop/csa.hpp"
+
+namespace vlsa::multiplier {
+
+using adders::PG;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+
+BitVec exact_multiply(const BitVec& a, const BitVec& b) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("exact_multiply: width mismatch");
+  }
+  const int n = a.width();
+  BitVec acc(2 * n);
+  const BitVec wide_a = a.resized(2 * n);
+  for (int j = 0; j < n; ++j) {
+    if (b.bit(j)) acc = acc + wide_a.shl(j);
+  }
+  return acc;
+}
+
+SpecMulResult speculative_multiply(const BitVec& a, const BitVec& b,
+                                   int window) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument("speculative_multiply: width mismatch");
+  }
+  const int n = a.width();
+  const int wide = 2 * n;
+  std::vector<BitVec> pps;
+  const BitVec wide_a = a.resized(wide);
+  for (int j = 0; j < n; ++j) {
+    if (b.bit(j)) pps.push_back(wide_a.shl(j));
+  }
+  const auto [x, y] = multiop::csa_reduce_words(std::move(pps), wide);
+  const auto sum = core::aca_add(x, y, window);
+  return {sum.sum, sum.flagged};
+}
+
+namespace {
+
+MultiplierNetlist build_multiplier(int width, int window, bool speculative) {
+  if (width < 1) throw std::invalid_argument("multiplier: width < 1");
+  MultiplierNetlist m{Netlist(std::string(speculative ? "specmul" : "mul") +
+                              std::to_string(width)),
+                      {}, {}, {}, kNoNet};
+  Netlist& nl = m.nl;
+  m.a = nl.add_input_bus("a", width);
+  m.b = nl.add_input_bus("b", width);
+  const int wide = 2 * width;
+
+  // AND-array partial products, arranged per output column.
+  std::vector<std::vector<NetId>> columns(static_cast<std::size_t>(wide));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      columns[static_cast<std::size_t>(i + j)].push_back(
+          nl.and2(m.a[static_cast<std::size_t>(i)],
+                  m.b[static_cast<std::size_t>(j)]));
+    }
+  }
+  auto [row0, row1] = multiop::csa_reduce_columns(nl, std::move(columns));
+
+  if (speculative) {
+    core::AcaNets nets =
+        core::build_aca_into(nl, row0, row1, window, /*with_error_flag=*/true);
+    m.product = std::move(nets.sum);
+    m.error = nets.error;
+    nl.mark_output(m.error, "error");
+  } else {
+    std::vector<PG> pg = adders::bitwise_pg(nl, row0, row1);
+    std::vector<PG> prefix = pg;
+    adders::kogge_stone_core(nl, prefix);
+    m.product.resize(static_cast<std::size_t>(wide));
+    m.product[0] = pg[0].p;
+    for (int i = 1; i < wide; ++i) {
+      m.product[static_cast<std::size_t>(i)] =
+          nl.xor2(pg[static_cast<std::size_t>(i)].p,
+                  prefix[static_cast<std::size_t>(i - 1)].g);
+    }
+  }
+  nl.mark_output_bus("product", m.product);
+  return m;
+}
+
+}  // namespace
+
+MultiplierNetlist build_exact_multiplier(int width) {
+  return build_multiplier(width, /*window=*/0, /*speculative=*/false);
+}
+
+MultiplierNetlist build_speculative_multiplier(int width, int window) {
+  if (window < 1) throw std::invalid_argument("multiplier: window < 1");
+  return build_multiplier(width, window, /*speculative=*/true);
+}
+
+}  // namespace vlsa::multiplier

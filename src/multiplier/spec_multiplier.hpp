@@ -1,0 +1,71 @@
+#pragma once
+// Speculative multiplication — the paper's future-work extension (Sec. 6).
+//
+// A multiplier is partial-product generation, a carry-save reduction tree
+// and one final carry-propagate addition.  The reduction tree is
+// carry-free (3:2 compressors never propagate), so the *only* long carry
+// chain sits in the final adder — exactly where the ACA slots in.  The
+// result is an almost-correct multiplier whose error flag comes for free
+// from the final adder's detector.
+
+#include "util/bitvec.hpp"
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::multiplier {
+
+using util::BitVec;
+
+/// Exact 2n-bit product of two n-bit operands (schoolbook reference).
+BitVec exact_multiply(const BitVec& a, const BitVec& b);
+
+/// Result of a speculative multiplication.
+struct SpecMulResult {
+  BitVec product;    ///< 2n bits
+  bool flagged;      ///< final adder's ER — false implies exact product
+};
+
+/// Wallace-style 3:2 reduction to two addends, then ACA(2n, window) for
+/// the final addition.
+SpecMulResult speculative_multiply(const BitVec& a, const BitVec& b,
+                                   int window);
+
+/// Gate-level multiplier: AND-array partial products, full-adder
+/// reduction tree, and either an exact Kogge-Stone or a speculative ACA
+/// final adder.
+struct MultiplierNetlist {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> a;        ///< n bits
+  std::vector<netlist::NetId> b;        ///< n bits
+  std::vector<netlist::NetId> product;  ///< 2n bits
+  netlist::NetId error = netlist::kNoNet;  ///< only for the speculative one
+};
+
+/// Exact multiplier (Kogge-Stone final adder).
+MultiplierNetlist build_exact_multiplier(int width);
+
+/// Almost-correct multiplier (ACA final adder + error flag).
+MultiplierNetlist build_speculative_multiplier(int width, int window);
+
+// ----- radix-4 Booth (signed two's complement) -----
+//
+// Booth recoding halves the partial-product count, and — unlike the
+// AND-array — handles *signed* operands natively.  The speculative final
+// adder slots in unchanged.
+
+/// Exact signed product of two n-bit two's-complement operands, as a
+/// 2n-bit two's-complement value (reference model).
+BitVec exact_multiply_signed(const BitVec& a, const BitVec& b);
+
+/// Behavioral radix-4 Booth multiply (signed) with an ACA final addition.
+SpecMulResult speculative_multiply_booth(const BitVec& a, const BitVec& b,
+                                         int window);
+
+/// Gate-level signed Booth multiplier; `window` = 0 selects the exact
+/// Kogge-Stone final adder (error output absent), >= 1 the ACA.
+MultiplierNetlist build_booth_multiplier(int width, int window);
+
+}  // namespace vlsa::multiplier

@@ -1,0 +1,76 @@
+#include "netlist/cell_library.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::netlist {
+
+namespace {
+// Representative 0.18 µm-class values.  Area is in NAND2 equivalents;
+// delays are intrinsic-at-fanout-1 plus a per-extra-fanout slope.  Simple
+// NAND/NOR are fastest; XOR/XNOR and MUX cost roughly two simple gates;
+// AOI/OAI sit in between (single complex stage).
+constexpr CellSpec kUmc18Specs[kNumCellKinds] = {
+    // kind            name     fanin area  intr   slope  energy inverting
+    {CellKind::Input, "INPUT", 0, 0.00, 0.000, 0.000, 0.0, false},
+    {CellKind::Const0, "TIE0", 0, 0.00, 0.000, 0.000, 0.0, false},
+    {CellKind::Const1, "TIE1", 0, 0.00, 0.000, 0.000, 0.0, false},
+    {CellKind::Buf, "BUFX2", 1, 0.67, 0.080, 0.008, 1.5, false},
+    {CellKind::Inv, "INVX1", 1, 0.50, 0.040, 0.012, 1.0, true},
+    {CellKind::And2, "AND2X1", 2, 1.33, 0.090, 0.013, 2.2, false},
+    {CellKind::Or2, "OR2X1", 2, 1.33, 0.100, 0.014, 2.2, false},
+    {CellKind::Nand2, "NAND2X1", 2, 1.00, 0.055, 0.014, 1.8, true},
+    {CellKind::Nor2, "NOR2X1", 2, 1.00, 0.065, 0.016, 1.8, true},
+    {CellKind::Xor2, "XOR2X1", 2, 2.33, 0.130, 0.018, 3.6, false},
+    {CellKind::Xnor2, "XNOR2X1", 2, 2.33, 0.130, 0.018, 3.6, false},
+    {CellKind::And3, "AND3X1", 3, 1.67, 0.110, 0.015, 2.8, false},
+    {CellKind::Or3, "OR3X1", 3, 1.67, 0.120, 0.016, 2.8, false},
+    {CellKind::Aoi21, "AOI21X1", 3, 1.33, 0.080, 0.016, 2.4, true},
+    {CellKind::Oai21, "OAI21X1", 3, 1.33, 0.080, 0.016, 2.4, true},
+    {CellKind::Mux2, "MUX2X1", 3, 2.00, 0.120, 0.016, 3.2, false},
+    {CellKind::Dff, "DFFX1", 1, 4.50, 0.150, 0.010, 4.0, false},
+};
+}  // namespace
+
+CellLibrary::CellLibrary(std::string name) : name_(std::move(name)) {
+  for (int i = 0; i < kNumCellKinds; ++i) specs_[i] = kUmc18Specs[i];
+}
+
+const CellLibrary& CellLibrary::umc18() {
+  static const CellLibrary lib("umc18-class");
+  return lib;
+}
+
+CellLibrary CellLibrary::scaled(std::string name, double delay_scale,
+                                double area_scale, double energy_scale) {
+  if (delay_scale <= 0 || area_scale <= 0 || energy_scale <= 0) {
+    throw std::invalid_argument("CellLibrary::scaled: bad scale");
+  }
+  CellLibrary lib(std::move(name));
+  for (auto& spec : lib.specs_) {
+    spec.intrinsic_ns *= delay_scale;
+    spec.slope_ns *= delay_scale;
+    spec.area *= area_scale;
+    spec.energy_fj *= energy_scale;
+  }
+  return lib;
+}
+
+const CellSpec& CellLibrary::spec(CellKind kind) const {
+  const int i = static_cast<int>(kind);
+  if (i < 0 || i >= kNumCellKinds) {
+    throw std::out_of_range("CellLibrary::spec: bad kind");
+  }
+  return specs_[i];
+}
+
+double CellLibrary::delay_ns(CellKind kind, int fanout) const {
+  const CellSpec& s = spec(kind);
+  const int extra = fanout > 1 ? fanout - 1 : 0;
+  return s.intrinsic_ns + s.slope_ns * extra;
+}
+
+const char* cell_kind_name(CellKind kind) {
+  return CellLibrary::umc18().spec(kind).name;
+}
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,95 @@
+#pragma once
+// Technology cell library with a linear delay model.
+//
+// The paper synthesizes its generated circuits with a UMC 0.18 µm
+// standard-cell library and compares delays/areas of circuits built from
+// the *same* library, so all of its claims are relative.  We reproduce
+// that with a self-contained library of combinational cells whose delay
+// is modeled as
+//
+//     delay(cell, fanout) = intrinsic_ns + slope_ns * fanout
+//
+// and whose area is expressed in NAND2-equivalent gate units.  The values
+// below are representative of a 0.18 µm-class process (sub-nanosecond
+// simple gates, XOR ≈ 2× NAND, AOI between the two) — the *ratios* are
+// what matter for reproducing Fig. 8.
+
+#include <cstdint>
+#include <string>
+
+namespace vlsa::netlist {
+
+/// Combinational cell kinds available to netlist generators.
+/// `Input` is a pseudo-cell for primary inputs; `Const0`/`Const1` are tie
+/// cells.
+enum class CellKind : std::uint8_t {
+  Input,
+  Const0,
+  Const1,
+  Buf,
+  Inv,
+  And2,
+  Or2,
+  Nand2,
+  Nor2,
+  Xor2,
+  Xnor2,
+  And3,
+  Or3,
+  Aoi21,  // out = !((a & b) | c)
+  Oai21,  // out = !((a | b) & c)
+  Mux2,   // out = sel ? d1 : d0   (inputs: sel, d0, d1)
+  Dff,    // positive-edge D flip-flop (input: d); intrinsic = clk->Q
+};
+
+/// Number of distinct cell kinds (for table sizing).
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::Dff) + 1;
+
+/// Setup time charged on every flip-flop D pin by the sequential STA.
+inline constexpr double kDffSetupNs = 0.10;
+
+/// Static description of one cell.
+struct CellSpec {
+  CellKind kind;
+  const char* name;        ///< library cell name (used by the HDL emitters)
+  int fanin;               ///< number of input pins
+  double area;             ///< NAND2-equivalent units
+  double intrinsic_ns;     ///< delay at fanout 1
+  double slope_ns;         ///< additional delay per extra fanout
+  double energy_fj;        ///< switching energy per output transition (fJ)
+  bool inverting;          ///< true for logically inverting cells
+};
+
+/// A fixed technology library.  `umc18()` returns the default 0.18 µm-class
+/// library used throughout the reproduction.
+class CellLibrary {
+ public:
+  /// The default library (singleton, immutable).
+  static const CellLibrary& umc18();
+
+  /// A uniformly scaled copy of the default library (e.g. a faster
+  /// process corner).  All relative claims in the benches must be
+  /// invariant under this scaling — tested.
+  static CellLibrary scaled(std::string name, double delay_scale,
+                            double area_scale, double energy_scale = 1.0);
+
+  const CellSpec& spec(CellKind kind) const;
+
+  /// Pin-to-output delay of `kind` driving `fanout` sinks (fanout >= 0;
+  /// a dangling net is charged as fanout 1).
+  double delay_ns(CellKind kind, int fanout) const;
+
+  /// Human-readable library name.
+  const std::string& name() const { return name_; }
+
+ private:
+  explicit CellLibrary(std::string name);
+
+  std::string name_;
+  CellSpec specs_[kNumCellKinds];
+};
+
+/// Name of a cell kind (e.g. "NAND2") — convenience for diagnostics.
+const char* cell_kind_name(CellKind kind);
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,49 @@
+#include "netlist/dot.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "netlist/emit.hpp"
+
+namespace vlsa::netlist {
+
+std::string to_dot(const Netlist& nl, std::span<const NetId> critical_path) {
+  std::vector<bool> on_path(static_cast<std::size_t>(nl.num_nets()), false);
+  for (NetId n : critical_path) on_path[static_cast<std::size_t>(n)] = true;
+
+  std::ostringstream os;
+  os << "digraph " << sanitize_identifier(nl.module_name()) << " {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for (const Port& p : nl.inputs()) {
+    os << "  n" << p.net << " [label=\"" << p.name
+       << "\", shape=invtriangle";
+    if (on_path[static_cast<std::size_t>(p.net)]) os << ", color=red";
+    os << "];\n";
+  }
+  for (const Gate& g : nl.gates()) {
+    if (g.kind == CellKind::Input) continue;
+    os << "  n" << g.output << " [label=\"" << cell_kind_name(g.kind)
+       << (g.kind == CellKind::Dff ? "\", shape=box3d" : "\", shape=box");
+    if (on_path[static_cast<std::size_t>(g.output)]) os << ", color=red";
+    os << "];\n";
+    const int fanin = CellLibrary::umc18().spec(g.kind).fanin;
+    for (int i = 0; i < fanin; ++i) {
+      if (g.inputs[i] == kNoNet) continue;
+      os << "  n" << g.inputs[i] << " -> n" << g.output;
+      if (on_path[static_cast<std::size_t>(g.inputs[i])] &&
+          on_path[static_cast<std::size_t>(g.output)]) {
+        os << " [color=red, penwidth=2]";
+      }
+      os << ";\n";
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const Port& p = nl.outputs()[i];
+    os << "  out" << i << " [label=\"" << p.name << "\", shape=triangle];\n";
+    os << "  n" << p.net << " -> out" << i << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace vlsa::netlist

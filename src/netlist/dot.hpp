@@ -1,0 +1,17 @@
+#pragma once
+// Graphviz DOT emission for netlist visualization (inputs at the top,
+// outputs at the bottom, the critical path highlighted when provided).
+
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Render the netlist as a DOT digraph.  `critical_path` (optional, a
+/// chain of NetIds as produced by analyze_timing) is drawn in red.
+std::string to_dot(const Netlist& nl,
+                   std::span<const NetId> critical_path = {});
+
+}  // namespace vlsa::netlist

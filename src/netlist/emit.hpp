@@ -1,0 +1,25 @@
+#pragma once
+// HDL emission from the netlist IR.
+//
+// The paper's experimental artifact is "a C++ program which takes the
+// value n as input and generates VHDL files" for the ACA, error-detection
+// and error-recovery circuits.  These emitters reproduce that artifact:
+// any Netlist can be serialized to synthesizable structural VHDL-93 or
+// Verilog-2001 (one concurrent assignment per cell, no behavioral code).
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Emit the netlist as a self-contained Verilog-2001 module.
+std::string to_verilog(const Netlist& nl);
+
+/// Emit the netlist as a self-contained VHDL-93 entity/architecture pair.
+std::string to_vhdl(const Netlist& nl);
+
+/// Sanitize a port name for HDL identifiers ("a[3]" → "a_3").
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace vlsa::netlist

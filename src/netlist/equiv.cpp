@@ -1,0 +1,130 @@
+#include "netlist/equiv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa::netlist {
+
+namespace {
+
+// rhs input/output order mapped onto lhs port names.
+struct PortMap {
+  std::vector<std::size_t> rhs_input_for_lhs;   // lhs input i -> rhs index
+  std::vector<std::size_t> rhs_output_for_lhs;  // lhs output i -> rhs index
+};
+
+PortMap map_ports(const Netlist& lhs, const Netlist& rhs) {
+  if (lhs.inputs().size() != rhs.inputs().size() ||
+      lhs.outputs().size() != rhs.outputs().size()) {
+    throw std::invalid_argument("check_equivalence: port count mismatch");
+  }
+  PortMap map;
+  auto find = [](const std::vector<Port>& ports, const std::string& name) {
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      if (ports[i].name == name) return i;
+    }
+    throw std::invalid_argument("check_equivalence: missing port " + name);
+  };
+  for (const Port& p : lhs.inputs()) {
+    map.rhs_input_for_lhs.push_back(find(rhs.inputs(), p.name));
+  }
+  for (const Port& p : lhs.outputs()) {
+    map.rhs_output_for_lhs.push_back(find(rhs.outputs(), p.name));
+  }
+  return map;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Netlist& lhs, const Netlist& rhs,
+                                    int random_vectors, std::uint64_t seed) {
+  if (lhs.is_sequential() || rhs.is_sequential()) {
+    throw std::invalid_argument(
+        "check_equivalence: combinational netlists only");
+  }
+  const PortMap map = map_ports(lhs, rhs);
+  const Simulator sim_l(lhs);
+  const Simulator sim_r(rhs);
+  const std::size_t n_in = lhs.inputs().size();
+  const std::size_t n_out = lhs.outputs().size();
+
+  EquivalenceResult result;
+  util::Rng rng(seed);
+
+  // Vector generator state: either exhaustive enumeration or
+  // random + corners.
+  const bool exhaustive = n_in <= 20;
+  result.exhaustive = exhaustive;
+  const long long total = exhaustive
+                              ? (1LL << n_in)
+                              : static_cast<long long>(random_vectors);
+
+  long long produced = 0;
+  auto next_batch = [&](std::vector<std::uint64_t>& lhs_stim,
+                        std::vector<std::uint64_t>& rhs_stim) -> int {
+    int lanes = 0;
+    std::fill(lhs_stim.begin(), lhs_stim.end(), 0);
+    std::fill(rhs_stim.begin(), rhs_stim.end(), 0);
+    auto set_bit = [&](std::size_t lhs_input, int lane, bool v) {
+      if (!v) return;
+      const std::uint64_t mask = std::uint64_t{1} << lane;
+      lhs_stim[lhs_input] |= mask;
+      rhs_stim[map.rhs_input_for_lhs[lhs_input]] |= mask;
+    };
+    while (lanes < 64 && produced < total) {
+      if (exhaustive) {
+        for (std::size_t i = 0; i < n_in; ++i) {
+          set_bit(i, lanes, (produced >> i) & 1);
+        }
+      } else if (produced == 0) {
+        // all zeros
+      } else if (produced == 1) {
+        for (std::size_t i = 0; i < n_in; ++i) set_bit(i, lanes, true);
+      } else if (produced - 2 < static_cast<long long>(n_in)) {
+        set_bit(static_cast<std::size_t>(produced - 2), lanes, true);
+      } else {
+        for (std::size_t i = 0; i < n_in; ++i) {
+          set_bit(i, lanes, rng.next_bool());
+        }
+      }
+      ++lanes;
+      ++produced;
+    }
+    return lanes;
+  };
+
+  std::vector<std::uint64_t> lhs_stim(n_in), rhs_stim(n_in);
+  while (produced < total) {
+    const long long batch_start = produced;
+    const int lanes = next_batch(lhs_stim, rhs_stim);
+    const auto lhs_out = sim_l.eval_outputs(lhs_stim);
+    const auto rhs_out = sim_r.eval_outputs(rhs_stim);
+    for (std::size_t o = 0; o < n_out; ++o) {
+      const std::uint64_t diff =
+          lhs_out[o] ^ rhs_out[map.rhs_output_for_lhs[o]];
+      const std::uint64_t lane_mask =
+          lanes == 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << lanes) - 1);
+      if (diff & lane_mask) {
+        // Reconstruct the first differing lane's input assignment.
+        int lane = 0;
+        while (!((diff >> lane) & 1)) ++lane;
+        result.equivalent = false;
+        result.vectors_checked = batch_start + lane + 1;
+        result.mismatched_output = lhs.outputs()[o].name;
+        result.counterexample.resize(n_in);
+        for (std::size_t i = 0; i < n_in; ++i) {
+          result.counterexample[i] = (lhs_stim[i] >> lane) & 1;
+        }
+        return result;
+      }
+    }
+    result.vectors_checked = produced;
+  }
+  return result;
+}
+
+}  // namespace vlsa::netlist

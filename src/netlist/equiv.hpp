@@ -1,0 +1,35 @@
+#pragma once
+// Combinational equivalence checking between two netlists.
+//
+// Ports are matched by name, so independently generated circuits (e.g.
+// the naive and the shared-strip ACA, or two prefix-adder topologies)
+// can be compared directly.  Inputs with up to 20 bits are checked
+// exhaustively; wider circuits are checked with dense random vectors plus
+// biased corner patterns (all-zeros, all-ones, single walking bits) —
+// the patterns that excite long carry chains.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  long long vectors_checked = 0;
+  bool exhaustive = false;
+  /// First mismatch found, if any (input assignment by inputs() order of
+  /// the first netlist, plus the differing output name).
+  std::vector<bool> counterexample;
+  std::string mismatched_output;
+};
+
+/// Check functional equivalence of `lhs` and `rhs`.
+/// Throws std::invalid_argument if the port interfaces differ.
+EquivalenceResult check_equivalence(const Netlist& lhs, const Netlist& rhs,
+                                    int random_vectors = 4096,
+                                    std::uint64_t seed = 1);
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,210 @@
+#include "netlist/event_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace vlsa::netlist {
+
+EventSimulator::EventSimulator(const Netlist& nl, const CellLibrary& lib)
+    : nl_(&nl), lib_(&lib) {
+  if (nl.is_sequential()) {
+    throw std::invalid_argument(
+        "EventSimulator: sequential netlist not supported");
+  }
+  const auto& gates = nl.gates();
+  value_.assign(gates.size(), false);
+  fanouts_.assign(gates.size(), {});
+  const std::vector<int> fanout_count = nl.fanout_counts();
+  gate_delay_.assign(gates.size(), 0.0);
+  gate_energy_.assign(gates.size(), 0.0);
+  for (const Gate& g : gates) {
+    const CellSpec& spec = lib.spec(g.kind);
+    const auto out = static_cast<std::size_t>(g.output);
+    gate_delay_[out] =
+        lib.delay_ns(g.kind, std::max(fanout_count[out], 1));
+    gate_energy_[out] = spec.energy_fj;
+    for (int i = 0; i < spec.fanin; ++i) {
+      fanouts_[static_cast<std::size_t>(g.inputs[i])].push_back(g.output);
+    }
+  }
+  output_index_.assign(gates.size(), -1);
+  const auto& outputs = nl.outputs();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    output_index_[static_cast<std::size_t>(outputs[i].net)] =
+        static_cast<int>(i);
+  }
+}
+
+bool EventSimulator::eval_gate(const Gate& g) const {
+  const auto in = [&](int i) {
+    return value_[static_cast<std::size_t>(g.inputs[i])];
+  };
+  switch (g.kind) {
+    case CellKind::Input:
+      return value_[static_cast<std::size_t>(g.output)];
+    case CellKind::Const0:
+      return false;
+    case CellKind::Const1:
+      return true;
+    case CellKind::Buf:
+      return in(0);
+    case CellKind::Inv:
+      return !in(0);
+    case CellKind::And2:
+      return in(0) && in(1);
+    case CellKind::Or2:
+      return in(0) || in(1);
+    case CellKind::Nand2:
+      return !(in(0) && in(1));
+    case CellKind::Nor2:
+      return !(in(0) || in(1));
+    case CellKind::Xor2:
+      return in(0) != in(1);
+    case CellKind::Xnor2:
+      return in(0) == in(1);
+    case CellKind::And3:
+      return in(0) && in(1) && in(2);
+    case CellKind::Or3:
+      return in(0) || in(1) || in(2);
+    case CellKind::Aoi21:
+      return !((in(0) && in(1)) || in(2));
+    case CellKind::Oai21:
+      return !((in(0) || in(1)) && in(2));
+    case CellKind::Mux2:
+      return in(0) ? in(2) : in(1);
+    case CellKind::Dff:
+      break;  // guarded in the constructor
+  }
+  throw std::logic_error("EventSimulator: bad cell kind");
+}
+
+std::vector<bool> EventSimulator::settle_initial(const std::vector<bool>& inputs) {
+  const auto& ports = nl_->inputs();
+  if (inputs.size() != ports.size()) {
+    throw std::invalid_argument("EventSimulator: input arity mismatch");
+  }
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    value_[static_cast<std::size_t>(ports[i].net)] = inputs[i];
+  }
+  // Netlists are stored in topological order: one sweep settles all nets.
+  for (const Gate& g : nl_->gates()) {
+    if (g.kind == CellKind::Input) continue;
+    value_[static_cast<std::size_t>(g.output)] = eval_gate(g);
+  }
+  initialized_ = true;
+  std::vector<bool> out;
+  out.reserve(nl_->outputs().size());
+  for (const Port& p : nl_->outputs()) {
+    out.push_back(value_[static_cast<std::size_t>(p.net)]);
+  }
+  return out;
+}
+
+TransitionResult EventSimulator::apply(const std::vector<bool>& inputs) {
+  if (!initialized_) {
+    throw std::logic_error("EventSimulator: call settle_initial first");
+  }
+  const auto& ports = nl_->inputs();
+  if (inputs.size() != ports.size()) {
+    throw std::invalid_argument("EventSimulator: input arity mismatch");
+  }
+
+  struct Event {
+    double time;
+    long long seq;  // schedule order: ties on `time` resolve to the
+                    // most recent recomputation winning (applied last)
+    NetId net;
+    bool value;
+    bool operator>(const Event& rhs) const {
+      if (time != rhs.time) return time > rhs.time;
+      return seq > rhs.seq;
+    }
+  };
+  long long next_seq = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+
+  // `pending[net]` is the value the net will hold once all scheduled
+  // events fire; comparing recomputed gate outputs against it (rather
+  // than the current value) prevents stale events from surviving a
+  // cancelling input change (transport-delay semantics).
+  std::vector<char> pending(value_.size());
+  for (std::size_t i = 0; i < value_.size(); ++i) pending[i] = value_[i];
+
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const auto net = static_cast<std::size_t>(ports[i].net);
+    if (value_[net] != static_cast<bool>(inputs[i])) {
+      queue.push(Event{0.0, next_seq++, ports[i].net,
+                       static_cast<bool>(inputs[i])});
+      pending[net] = inputs[i];
+    }
+  }
+
+  TransitionResult result;
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    const auto net = static_cast<std::size_t>(event.net);
+    if (value_[net] == event.value) continue;  // glitch cancelled itself
+    value_[net] = event.value;
+    result.events += 1;
+    result.energy_fj += gate_energy_[net];
+    result.last_event_ns = std::max(result.last_event_ns, event.time);
+    if (output_index_[net] >= 0) {
+      result.settle_ns = std::max(result.settle_ns, event.time);
+    }
+    for (NetId gate_out : fanouts_[net]) {
+      const Gate& g = nl_->gate(gate_out);
+      const bool new_value = eval_gate(g);
+      const auto out = static_cast<std::size_t>(gate_out);
+      if (new_value != static_cast<bool>(pending[out])) {
+        queue.push(Event{event.time + gate_delay_[out], next_seq++,
+                         gate_out, new_value});
+        pending[out] = new_value;
+      }
+    }
+  }
+  result.outputs.reserve(nl_->outputs().size());
+  for (const Port& p : nl_->outputs()) {
+    result.outputs.push_back(value_[static_cast<std::size_t>(p.net)]);
+  }
+  return result;
+}
+
+SettleStats measure_settle_distribution(const Netlist& nl, int trials,
+                                        std::uint64_t seed,
+                                        const CellLibrary& lib) {
+  if (trials < 1) {
+    throw std::invalid_argument("measure_settle_distribution: trials < 1");
+  }
+  EventSimulator sim(nl, lib);
+  util::Rng rng(seed);
+  const std::size_t width = nl.inputs().size();
+  auto random_vector = [&] {
+    std::vector<bool> v(width);
+    for (std::size_t i = 0; i < width; ++i) v[i] = rng.next_bool();
+    return v;
+  };
+  sim.settle_initial(random_vector());
+  std::vector<double> settles;
+  settles.reserve(static_cast<std::size_t>(trials));
+  double energy_acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const TransitionResult r = sim.apply(random_vector());
+    settles.push_back(r.settle_ns);
+    energy_acc += r.energy_fj;
+  }
+  std::sort(settles.begin(), settles.end());
+  SettleStats stats;
+  stats.mean_energy_fj = energy_acc / trials;
+  for (double s : settles) stats.mean_ns += s;
+  stats.mean_ns /= trials;
+  stats.max_ns = settles.back();
+  stats.p99_ns = settles[static_cast<std::size_t>(
+      std::min<double>(trials - 1, trials * 0.99))];
+  return stats;
+}
+
+}  // namespace vlsa::netlist

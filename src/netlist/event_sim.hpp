@@ -1,0 +1,73 @@
+#pragma once
+// Event-driven timing simulation.
+//
+// The static analyzer (sta.hpp) reports the *structural worst case*.  The
+// paper's whole premise, however, is about typical inputs: "when adding
+// two integers, the carry propagates only a small way in the vast
+// majority of cases".  This simulator applies an input transition to a
+// netlist and propagates events through the library's delay model,
+// reporting when each output actually settles — so the data-dependent
+// delay distribution (the quantity asynchronous speculative-completion
+// adders like Nowick's exploit, cf. Sec. 2) can be measured directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Result of simulating one input transition.
+struct TransitionResult {
+  double settle_ns = 0.0;        ///< time the last primary output settled
+  double last_event_ns = 0.0;    ///< time the last internal event fired
+  long long events = 0;          ///< total events propagated (glitches incl.)
+  double energy_fj = 0.0;        ///< switching energy of the transition
+                                 ///  (per-cell energy x transitions,
+                                 ///  glitches included — the honest number)
+  std::vector<bool> outputs;     ///< final output values, outputs() order
+};
+
+/// Single-vector event-driven simulator (one boolean value per net).
+class EventSimulator {
+ public:
+  explicit EventSimulator(const Netlist& nl,
+                          const CellLibrary& lib = CellLibrary::umc18());
+
+  /// Set the quiescent state for `inputs` (outputs() of previous vector)
+  /// without advancing time; returns the settled output values.
+  std::vector<bool> settle_initial(const std::vector<bool>& inputs);
+
+  /// Apply a new input vector at t = 0 and propagate until quiescent.
+  /// Must be called after settle_initial (or a previous transition).
+  TransitionResult apply(const std::vector<bool>& inputs);
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  bool eval_gate(const Gate& gate) const;
+
+  const Netlist* nl_;
+  const CellLibrary* lib_;
+  std::vector<bool> value_;                  // current value per net
+  std::vector<double> gate_delay_;           // per driving gate
+  std::vector<double> gate_energy_;          // per driving gate (fJ)
+  std::vector<std::vector<NetId>> fanouts_;  // net -> driven gate outputs
+  std::vector<int> output_index_;            // net -> outputs() index or -1
+  bool initialized_ = false;
+};
+
+/// Convenience: mean/max settle time over random back-to-back transitions
+/// of a two-operand circuit (used by the average-delay bench).
+struct SettleStats {
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+  double p99_ns = 0.0;
+  double mean_energy_fj = 0.0;   ///< average switching energy per operation
+};
+SettleStats measure_settle_distribution(
+    const Netlist& nl, int trials, std::uint64_t seed,
+    const CellLibrary& lib = CellLibrary::umc18());
+
+}  // namespace vlsa::netlist

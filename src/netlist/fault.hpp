@@ -1,0 +1,66 @@
+#pragma once
+// Single-stuck-at fault simulation.
+//
+// The paper's error detector is designed against *speculation* errors,
+// but it lives in the same reliability conversation as Razor and
+// soft-DSP (its Sec. 2 related work): what happens when the silicon
+// itself misbehaves?  This module injects classical single-stuck-at
+// faults and measures (a) which faults are observable at the outputs
+// under random stimulus (test coverage) and (b) for the ACA datapath,
+// how often the ER flag happens to fire when a fault corrupts the sum —
+// the detector's incidental fault coverage.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// One stuck-at fault site.
+struct Fault {
+  NetId net = kNoNet;
+  bool stuck_value = false;  // stuck-at-0 or stuck-at-1
+};
+
+/// All 2 * num_nets() single-stuck-at faults (inputs included, constants
+/// excluded — forcing a tie cell is meaningless).
+std::vector<Fault> enumerate_faults(const Netlist& nl);
+
+/// 64-lane fault simulator: evaluates the netlist with one net forced.
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& nl);
+
+  /// Golden (fault-free) evaluation; returns the full net-value array.
+  std::vector<std::uint64_t> golden(
+      std::span<const std::uint64_t> input_values) const;
+
+  /// Evaluate with `fault` injected.  Returns the full net-value array.
+  std::vector<std::uint64_t> with_fault(
+      const Fault& fault, std::span<const std::uint64_t> input_values) const;
+
+  /// Lanes (bitmask) in which any primary output differs from golden.
+  std::uint64_t detecting_lanes(const Fault& fault,
+                                std::span<const std::uint64_t> input_values,
+                                const std::vector<std::uint64_t>& golden_values)
+      const;
+
+ private:
+  const Netlist* nl_;
+};
+
+/// Random-stimulus coverage summary.
+struct FaultCoverage {
+  long long total_faults = 0;
+  long long detected = 0;     ///< observable at >= 1 output for >= 1 vector
+  double coverage = 0.0;      ///< detected / total
+};
+
+/// Apply `vectors` random 64-lane batches and report single-stuck-at
+/// coverage of the whole netlist.
+FaultCoverage measure_fault_coverage(const Netlist& nl, int batches,
+                                     std::uint64_t seed);
+
+}  // namespace vlsa::netlist

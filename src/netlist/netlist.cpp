@@ -1,0 +1,228 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::netlist {
+
+Netlist::Netlist(std::string module_name)
+    : module_name_(std::move(module_name)) {}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = push_gate(CellKind::Input);
+  inputs_.push_back(Port{std::move(name), id});
+  return id;
+}
+
+std::vector<NetId> Netlist::add_input_bus(const std::string& name, int width) {
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(add_input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  check_operand(net);
+  outputs_.push_back(Port{std::move(name), net});
+}
+
+void Netlist::mark_output_bus(const std::string& name,
+                              std::span<const NetId> nets) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    mark_output(nets[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+NetId Netlist::const0() {
+  if (const0_ == kNoNet) const0_ = push_gate(CellKind::Const0);
+  return const0_;
+}
+
+NetId Netlist::const1() {
+  if (const1_ == kNoNet) const1_ = push_gate(CellKind::Const1);
+  return const1_;
+}
+
+NetId Netlist::add_gate(CellKind kind, std::span<const NetId> inputs) {
+  const CellSpec& spec = CellLibrary::umc18().spec(kind);
+  if (static_cast<int>(inputs.size()) != spec.fanin) {
+    throw std::invalid_argument("Netlist::add_gate: fanin mismatch for " +
+                                std::string(spec.name));
+  }
+  NetId a = inputs.size() > 0 ? inputs[0] : kNoNet;
+  NetId b = inputs.size() > 1 ? inputs[1] : kNoNet;
+  NetId c = inputs.size() > 2 ? inputs[2] : kNoNet;
+  return push_gate(kind, a, b, c);
+}
+
+NetId Netlist::buf(NetId a) { return push_gate(CellKind::Buf, a); }
+NetId Netlist::inv(NetId a) { return push_gate(CellKind::Inv, a); }
+NetId Netlist::and2(NetId a, NetId b) { return push_gate(CellKind::And2, a, b); }
+NetId Netlist::or2(NetId a, NetId b) { return push_gate(CellKind::Or2, a, b); }
+NetId Netlist::nand2(NetId a, NetId b) { return push_gate(CellKind::Nand2, a, b); }
+NetId Netlist::nor2(NetId a, NetId b) { return push_gate(CellKind::Nor2, a, b); }
+NetId Netlist::xor2(NetId a, NetId b) { return push_gate(CellKind::Xor2, a, b); }
+NetId Netlist::xnor2(NetId a, NetId b) { return push_gate(CellKind::Xnor2, a, b); }
+NetId Netlist::and3(NetId a, NetId b, NetId c) {
+  return push_gate(CellKind::And3, a, b, c);
+}
+NetId Netlist::or3(NetId a, NetId b, NetId c) {
+  return push_gate(CellKind::Or3, a, b, c);
+}
+NetId Netlist::aoi21(NetId a, NetId b, NetId c) {
+  return push_gate(CellKind::Aoi21, a, b, c);
+}
+NetId Netlist::oai21(NetId a, NetId b, NetId c) {
+  return push_gate(CellKind::Oai21, a, b, c);
+}
+NetId Netlist::mux2(NetId sel, NetId d0, NetId d1) {
+  return push_gate(CellKind::Mux2, sel, d0, d1);
+}
+
+NetId Netlist::dff() {
+  // Placeholder D: bypasses the operand check (bound via connect_dff).
+  Gate g;
+  g.kind = CellKind::Dff;
+  g.output = static_cast<NetId>(gates_.size());
+  gates_.push_back(g);
+  num_dffs_ += 1;
+  return g.output;
+}
+
+NetId Netlist::dff(NetId d) {
+  const NetId q = dff();
+  connect_dff(q, d);
+  return q;
+}
+
+void Netlist::connect_dff(NetId q, NetId d) {
+  check_operand(q);
+  check_operand(d);
+  Gate& g = gates_[static_cast<std::size_t>(q)];
+  if (g.kind != CellKind::Dff) {
+    throw std::invalid_argument("connect_dff: net is not a flip-flop");
+  }
+  g.inputs[0] = d;
+}
+
+void Netlist::check_dffs_connected() const {
+  for (const Gate& g : gates_) {
+    if (g.kind == CellKind::Dff && g.inputs[0] == kNoNet) {
+      throw std::logic_error("Netlist: flip-flop with unconnected D input");
+    }
+  }
+}
+
+NetId Netlist::and_tree(std::span<const NetId> nets) {
+  if (nets.empty()) return const1();
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    // Prefer 3-input cells; a trailing pair uses a 2-input cell, a
+    // trailing single passes through.
+    while (i < level.size()) {
+      const std::size_t remaining = level.size() - i;
+      if (remaining >= 3) {
+        next.push_back(and3(level[i], level[i + 1], level[i + 2]));
+        i += 3;
+      } else if (remaining == 2) {
+        next.push_back(and2(level[i], level[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Netlist::or_tree(std::span<const NetId> nets) {
+  if (nets.empty()) return const0();
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t remaining = level.size() - i;
+      if (remaining >= 3) {
+        next.push_back(or3(level[i], level[i + 1], level[i + 2]));
+        i += 3;
+      } else if (remaining == 2) {
+        next.push_back(or2(level[i], level[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+int Netlist::num_cells() const {
+  int n = 0;
+  for (const Gate& g : gates_) {
+    if (g.kind != CellKind::Input && g.kind != CellKind::Const0 &&
+        g.kind != CellKind::Const1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+  std::vector<int> fanout(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    const int fanin = CellLibrary::umc18().spec(g.kind).fanin;
+    for (int i = 0; i < fanin; ++i) {
+      if (g.inputs[i] == kNoNet) continue;  // unconnected flip-flop D
+      fanout[static_cast<std::size_t>(g.inputs[i])] += 1;
+    }
+  }
+  for (const Port& p : outputs_) {
+    fanout[static_cast<std::size_t>(p.net)] += 1;
+  }
+  return fanout;
+}
+
+NetId Netlist::find_input(std::string_view name) const {
+  for (const Port& p : inputs_) {
+    if (p.name == name) return p.net;
+  }
+  return kNoNet;
+}
+
+NetId Netlist::find_output(std::string_view name) const {
+  for (const Port& p : outputs_) {
+    if (p.name == name) return p.net;
+  }
+  return kNoNet;
+}
+
+NetId Netlist::push_gate(CellKind kind, NetId a, NetId b, NetId c) {
+  const CellSpec& spec = CellLibrary::umc18().spec(kind);
+  const NetId ins[3] = {a, b, c};
+  for (int i = 0; i < spec.fanin; ++i) check_operand(ins[i]);
+  Gate g;
+  g.kind = kind;
+  g.inputs[0] = a;
+  g.inputs[1] = b;
+  g.inputs[2] = c;
+  g.output = static_cast<NetId>(gates_.size());
+  gates_.push_back(g);
+  if (kind == CellKind::Dff) num_dffs_ += 1;  // e.g. via add_gate
+  return g.output;
+}
+
+void Netlist::check_operand(NetId id) const {
+  if (id < 0 || id >= num_nets()) {
+    throw std::invalid_argument("Netlist: operand net does not exist yet");
+  }
+}
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,133 @@
+#pragma once
+// Gate-level netlist intermediate representation.
+//
+// A Netlist is a feed-forward (combinational) graph of library cells.
+// Every cell drives exactly one net, identified by a dense NetId; cell
+// inputs reference previously created nets, so creation order is already
+// a topological order — STA and simulation exploit this.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+
+namespace vlsa::netlist {
+
+/// Dense identifier of a net (== the index of its driving cell).
+using NetId = std::int32_t;
+
+inline constexpr NetId kNoNet = -1;
+
+/// One cell instance; `output` equals its index in the gate array.
+struct Gate {
+  CellKind kind = CellKind::Const0;
+  NetId inputs[3] = {kNoNet, kNoNet, kNoNet};  ///< used entries: fanin(kind)
+  NetId output = kNoNet;
+};
+
+/// Named primary port (input or output).
+struct Port {
+  std::string name;
+  NetId net = kNoNet;
+};
+
+/// Combinational netlist with named primary inputs/outputs.
+class Netlist {
+ public:
+  explicit Netlist(std::string module_name = "top");
+
+  const std::string& module_name() const { return module_name_; }
+
+  // ----- construction -----
+
+  /// Create a primary input net.
+  NetId add_input(std::string name);
+
+  /// Create a bus of `width` primary inputs named `name[0..width)`,
+  /// least significant first.
+  std::vector<NetId> add_input_bus(const std::string& name, int width);
+
+  /// Mark an existing net as a primary output under `name`.
+  void mark_output(NetId net, std::string name);
+
+  /// Mark a whole bus of outputs named `name[0..width)`.
+  void mark_output_bus(const std::string& name, std::span<const NetId> nets);
+
+  /// Constant nets (created lazily, shared).
+  NetId const0();
+  NetId const1();
+
+  /// Generic gate creation; inputs.size() must equal the cell's fanin.
+  NetId add_gate(CellKind kind, std::span<const NetId> inputs);
+
+  // Convenience builders (all validate operands).
+  NetId buf(NetId a);
+  NetId inv(NetId a);
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId nand2(NetId a, NetId b);
+  NetId nor2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  NetId xnor2(NetId a, NetId b);
+  NetId and3(NetId a, NetId b, NetId c);
+  NetId or3(NetId a, NetId b, NetId c);
+  NetId aoi21(NetId a, NetId b, NetId c);  ///< !((a & b) | c)
+  NetId oai21(NetId a, NetId b, NetId c);  ///< !((a | b) & c)
+  NetId mux2(NetId sel, NetId d0, NetId d1);
+
+  /// Create a D flip-flop whose D input is connected later (sequential
+  /// circuits need feedback); returns the Q net.  Connect with
+  /// `connect_dff` before simulating/emitting.
+  NetId dff();
+  /// Create a flip-flop with an already-known D input.
+  NetId dff(NetId d);
+  /// Bind (or rebind) the D input of flip-flop `q`.
+  void connect_dff(NetId q, NetId d);
+
+  /// True iff the netlist contains any flip-flop.
+  bool is_sequential() const { return num_dffs_ > 0; }
+  int num_dffs() const { return num_dffs_; }
+  /// Throws std::logic_error if any flip-flop's D input is unconnected.
+  void check_dffs_connected() const;
+
+  /// Balanced AND / OR reduction tree over any number of nets using
+  /// 2- and 3-input cells.  An empty span yields the identity constant.
+  NetId and_tree(std::span<const NetId> nets);
+  NetId or_tree(std::span<const NetId> nets);
+
+  // ----- inspection -----
+
+  int num_nets() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(NetId id) const { return gates_[static_cast<std::size_t>(id)]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Port>& inputs() const { return inputs_; }
+  const std::vector<Port>& outputs() const { return outputs_; }
+
+  /// Number of real cells (excludes inputs and constants).
+  int num_cells() const;
+
+  /// Fanout of each net: number of gate input pins it drives plus one per
+  /// primary output it feeds.
+  std::vector<int> fanout_counts() const;
+
+  /// Find a primary input/output net by exact port name; kNoNet if absent.
+  NetId find_input(std::string_view name) const;
+  NetId find_output(std::string_view name) const;
+
+ private:
+  NetId push_gate(CellKind kind, NetId a = kNoNet, NetId b = kNoNet,
+                  NetId c = kNoNet);
+  void check_operand(NetId id) const;
+
+  std::string module_name_;
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  int num_dffs_ = 0;
+};
+
+}  // namespace vlsa::netlist

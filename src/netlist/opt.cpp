@@ -1,0 +1,115 @@
+#include "netlist/opt.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::netlist {
+
+namespace {
+
+// Mark the cone of influence of the primary outputs.  A single reverse
+// sweep suffices for combinational netlists; flip-flop feedback (D pins
+// referencing later nets) needs the sweep iterated to a fixpoint.
+std::vector<bool> live_mask(const Netlist& nl) {
+  std::vector<bool> live(static_cast<std::size_t>(nl.num_nets()), false);
+  for (const Port& p : nl.outputs()) {
+    live[static_cast<std::size_t>(p.net)] = true;
+  }
+  const auto& gates = nl.gates();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = gates.size(); i-- > 0;) {
+      if (!live[i]) continue;
+      const Gate& g = gates[i];
+      const int fanin = CellLibrary::umc18().spec(g.kind).fanin;
+      for (int j = 0; j < fanin; ++j) {
+        if (g.inputs[j] == kNoNet) continue;
+        if (!live[static_cast<std::size_t>(g.inputs[j])]) {
+          live[static_cast<std::size_t>(g.inputs[j])] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
+StructuralReport analyze_structure(const Netlist& nl) {
+  const std::vector<bool> live = live_mask(nl);
+  StructuralReport report;
+  report.has_outputs = !nl.outputs().empty();
+  for (const Gate& g : nl.gates()) {
+    const bool is_cell = g.kind != CellKind::Input &&
+                         g.kind != CellKind::Const0 &&
+                         g.kind != CellKind::Const1;
+    if (is_cell) {
+      report.total_cells += 1;
+      if (!live[static_cast<std::size_t>(g.output)]) report.dead_gates += 1;
+    }
+  }
+  for (const Port& p : nl.inputs()) {
+    if (!live[static_cast<std::size_t>(p.net)]) report.unused_inputs += 1;
+  }
+  return report;
+}
+
+Netlist remove_dead_gates(const Netlist& nl) {
+  const std::vector<bool> live = live_mask(nl);
+  Netlist out(nl.module_name());
+  std::vector<NetId> new_id(static_cast<std::size_t>(nl.num_nets()), kNoNet);
+
+  // Primary inputs are always kept (the port interface is part of the
+  // circuit's contract even if a bit is unused).
+  for (const Port& p : nl.inputs()) {
+    new_id[static_cast<std::size_t>(p.net)] = out.add_input(p.name);
+  }
+  // First pass: create everything (flip-flops as placeholders, since
+  // their D inputs may reference later nets — feedback).
+  for (const Gate& g : nl.gates()) {
+    if (g.kind == CellKind::Input) continue;
+    if (!live[static_cast<std::size_t>(g.output)]) continue;
+    if (g.kind == CellKind::Const0) {
+      new_id[static_cast<std::size_t>(g.output)] = out.const0();
+      continue;
+    }
+    if (g.kind == CellKind::Const1) {
+      new_id[static_cast<std::size_t>(g.output)] = out.const1();
+      continue;
+    }
+    if (g.kind == CellKind::Dff) {
+      new_id[static_cast<std::size_t>(g.output)] = out.dff();
+      continue;
+    }
+    const int fanin = CellLibrary::umc18().spec(g.kind).fanin;
+    std::vector<NetId> ins;
+    ins.reserve(static_cast<std::size_t>(fanin));
+    for (int j = 0; j < fanin; ++j) {
+      const NetId mapped = new_id[static_cast<std::size_t>(g.inputs[j])];
+      if (mapped == kNoNet) {
+        throw std::logic_error("remove_dead_gates: live gate uses dead net");
+      }
+      ins.push_back(mapped);
+    }
+    new_id[static_cast<std::size_t>(g.output)] = out.add_gate(g.kind, ins);
+  }
+  // Second pass: bind flip-flop D inputs.
+  for (const Gate& g : nl.gates()) {
+    if (g.kind != CellKind::Dff) continue;
+    if (!live[static_cast<std::size_t>(g.output)]) continue;
+    if (g.inputs[0] == kNoNet) continue;  // stays unconnected
+    const NetId q = new_id[static_cast<std::size_t>(g.output)];
+    const NetId d = new_id[static_cast<std::size_t>(g.inputs[0])];
+    if (d == kNoNet) {
+      throw std::logic_error("remove_dead_gates: live dff uses dead net");
+    }
+    out.connect_dff(q, d);
+  }
+  for (const Port& p : nl.outputs()) {
+    out.mark_output(new_id[static_cast<std::size_t>(p.net)], p.name);
+  }
+  return out;
+}
+
+}  // namespace vlsa::netlist

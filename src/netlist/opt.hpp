@@ -1,0 +1,32 @@
+#pragma once
+// Structural analysis and the dead-logic elimination pass.
+//
+// Generators occasionally build signals that no output transitively
+// consumes (e.g. the block-P half of the top prefix node of an adder).
+// A synthesis tool would sweep these away before reporting area, so the
+// benches do the same: `remove_dead_gates` rebuilds the netlist keeping
+// only the cone of influence of the primary outputs, preserving port
+// names (checked equivalent by netlist/equiv.hpp in the test suite).
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Report of structurally suspicious (not ill-formed) constructs.
+struct StructuralReport {
+  int dead_gates = 0;       ///< cells no primary output depends on
+  int unused_inputs = 0;    ///< primary inputs outside every output cone
+  int total_cells = 0;
+  bool has_outputs = false;
+};
+
+StructuralReport analyze_structure(const Netlist& nl);
+
+/// Copy `nl` without dead cells.  Port names and semantics are preserved;
+/// net ids are NOT (hold ports by name afterwards).
+Netlist remove_dead_gates(const Netlist& nl);
+
+}  // namespace vlsa::netlist

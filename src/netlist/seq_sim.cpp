@@ -1,0 +1,59 @@
+#include "netlist/seq_sim.hpp"
+
+#include <stdexcept>
+
+#include "netlist/simulator.hpp"
+
+namespace vlsa::netlist {
+
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl) {
+  nl.check_dffs_connected();
+  for (const Gate& g : nl.gates()) {
+    if (g.kind == CellKind::Dff) dff_nets_.push_back(g.output);
+  }
+  state_.assign(dff_nets_.size(), 0);
+}
+
+void SequentialSimulator::reset() {
+  state_.assign(dff_nets_.size(), 0);
+}
+
+std::vector<std::uint64_t> SequentialSimulator::step(
+    std::span<const std::uint64_t> input_values) {
+  const auto& gates = nl_->gates();
+  const auto& inputs = nl_->inputs();
+  if (input_values.size() != inputs.size()) {
+    throw std::invalid_argument("SequentialSimulator: input arity mismatch");
+  }
+  std::vector<std::uint64_t> value(gates.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[static_cast<std::size_t>(inputs[i].net)] = input_values[i];
+  }
+  for (std::size_t i = 0; i < dff_nets_.size(); ++i) {
+    value[static_cast<std::size_t>(dff_nets_[i])] = state_[i];
+  }
+  for (const Gate& g : gates) {
+    if (g.kind == CellKind::Input || g.kind == CellKind::Dff) continue;
+    const auto out = static_cast<std::size_t>(g.output);
+    const auto in = [&](int i) {
+      const NetId net = g.inputs[i];
+      return net == kNoNet ? 0 : value[static_cast<std::size_t>(net)];
+    };
+    value[out] = eval_cell_word(g.kind, in(0), in(1), in(2));
+  }
+  // Latch: D values become the next state.
+  for (std::size_t i = 0; i < dff_nets_.size(); ++i) {
+    const Gate& g = nl_->gate(dff_nets_[i]);
+    state_[i] = value[static_cast<std::size_t>(g.inputs[0])];
+  }
+  return value;
+}
+
+std::uint64_t SequentialSimulator::state_of(NetId q) const {
+  for (std::size_t i = 0; i < dff_nets_.size(); ++i) {
+    if (dff_nets_[i] == q) return state_[i];
+  }
+  throw std::invalid_argument("SequentialSimulator: not a flip-flop net");
+}
+
+}  // namespace vlsa::netlist

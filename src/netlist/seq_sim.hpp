@@ -1,0 +1,41 @@
+#pragma once
+// Cycle-accurate 64-lane simulation of sequential netlists.
+//
+// Flip-flop outputs are state: each `step` evaluates the combinational
+// logic with the current state and the given inputs, samples the primary
+// outputs, then latches every D input — i.e. one positive clock edge.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+class SequentialSimulator {
+ public:
+  /// Throws if any flip-flop's D input is unconnected.
+  explicit SequentialSimulator(const Netlist& nl);
+
+  /// Reset all flip-flops to 0 (all lanes).
+  void reset();
+
+  /// One clock cycle: returns the value of every net *before* the edge
+  /// (i.e. the combinational response to `input_values` and the current
+  /// state); then latches.
+  std::vector<std::uint64_t> step(
+      std::span<const std::uint64_t> input_values);
+
+  /// State of a flip-flop's Q net (by its NetId), current lanes.
+  std::uint64_t state_of(NetId q) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<NetId> dff_nets_;          // Q nets in creation order
+  std::vector<std::uint64_t> state_;     // parallel to dff_nets_
+};
+
+}  // namespace vlsa::netlist

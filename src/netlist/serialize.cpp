@@ -1,0 +1,126 @@
+#include "netlist/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vlsa::netlist {
+
+std::string to_text(const Netlist& nl) {
+  std::ostringstream os;
+  os << "netlist " << nl.module_name() << "\n";
+  // Port-name lookup by net (inputs only; outputs listed at the end).
+  std::unordered_map<NetId, const std::string*> input_names;
+  for (const Port& p : nl.inputs()) input_names[p.net] = &p.name;
+
+  const CellLibrary& lib = CellLibrary::umc18();
+  std::vector<NetId> dff_binds;
+  for (const Gate& g : nl.gates()) {
+    switch (g.kind) {
+      case CellKind::Input:
+        os << "input " << *input_names.at(g.output) << "\n";
+        break;
+      case CellKind::Const0:
+        os << "const0\n";
+        break;
+      case CellKind::Const1:
+        os << "const1\n";
+        break;
+      case CellKind::Dff:
+        os << "dff\n";
+        if (g.inputs[0] != kNoNet) dff_binds.push_back(g.output);
+        break;
+      default: {
+        os << "gate " << lib.spec(g.kind).name;
+        for (int i = 0; i < lib.spec(g.kind).fanin; ++i) {
+          os << ' ' << g.inputs[i];
+        }
+        os << "\n";
+        break;
+      }
+    }
+  }
+  for (NetId q : dff_binds) {
+    os << "bind " << q << ' ' << nl.gate(q).inputs[0] << "\n";
+  }
+  for (const Port& p : nl.outputs()) {
+    os << "output " << p.net << ' ' << p.name << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+CellKind kind_from_name(const std::string& name) {
+  const CellLibrary& lib = CellLibrary::umc18();
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    if (name == lib.spec(kind).name) return kind;
+  }
+  throw std::invalid_argument("from_text: unknown cell '" + name + "'");
+}
+
+}  // namespace
+
+Netlist from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  Netlist nl("loaded");
+  bool named = false;
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("from_text: line " +
+                                std::to_string(line_no) + ": " + what);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string op;
+    ls >> op;
+    if (op == "netlist") {
+      std::string name;
+      ls >> name;
+      if (name.empty()) fail("missing module name");
+      nl = Netlist(name);
+      named = true;
+    } else if (op == "input") {
+      std::string name;
+      ls >> name;
+      if (name.empty()) fail("missing input name");
+      nl.add_input(name);
+    } else if (op == "const0") {
+      if (nl.const0() != nl.num_nets() - 1) fail("duplicate const0");
+    } else if (op == "const1") {
+      if (nl.const1() != nl.num_nets() - 1) fail("duplicate const1");
+    } else if (op == "dff") {
+      nl.dff();
+    } else if (op == "bind") {
+      NetId q = kNoNet, d = kNoNet;
+      ls >> q >> d;
+      if (ls.fail()) fail("bad bind record");
+      nl.connect_dff(q, d);
+    } else if (op == "gate") {
+      std::string cell;
+      ls >> cell;
+      const CellKind kind = kind_from_name(cell);
+      const int fanin = CellLibrary::umc18().spec(kind).fanin;
+      std::vector<NetId> ins(static_cast<std::size_t>(fanin), kNoNet);
+      for (int i = 0; i < fanin; ++i) ls >> ins[static_cast<std::size_t>(i)];
+      if (ls.fail()) fail("bad gate operands");
+      nl.add_gate(kind, ins);
+    } else if (op == "output") {
+      NetId net = kNoNet;
+      std::string name;
+      ls >> net >> name;
+      if (ls.fail() || name.empty()) fail("bad output record");
+      nl.mark_output(net, name);
+    } else {
+      fail("unknown record '" + op + "'");
+    }
+  }
+  if (!named) throw std::invalid_argument("from_text: missing header");
+  return nl;
+}
+
+}  // namespace vlsa::netlist

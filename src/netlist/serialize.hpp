@@ -1,0 +1,34 @@
+#pragma once
+// Netlist serialization — a line-oriented text format that round-trips
+// every construct of the IR (ports, gates, constants, flip-flops with
+// feedback).  Generated designs can be cached to disk, diffed, and
+// shipped alongside the emitted HDL.
+//
+// Format (one record per line, '#' comments ignored):
+//
+//   netlist <module-name>
+//   input <name>                 # creates the next NetId
+//   gate <CELL> <in0> [in1 [in2]]
+//   const0 | const1
+//   dff                          # D bound later
+//   bind <q-net> <d-net>         # flip-flop feedback
+//   output <net> <name>
+//
+// NetIds in the file are the dense creation indices, so a load replays
+// creation in order and the ids match by construction (verified).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Serialize to the text format.
+std::string to_text(const Netlist& nl);
+
+/// Parse the text format; throws std::invalid_argument with a line
+/// number on malformed input.
+Netlist from_text(const std::string& text);
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,139 @@
+#include "netlist/simulator.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::netlist {
+
+std::uint64_t eval_cell_word(CellKind kind, std::uint64_t a,
+                             std::uint64_t b, std::uint64_t c) {
+  switch (kind) {
+    case CellKind::Input:
+      return a;  // inputs are loaded externally; `a` carries the value
+    case CellKind::Const0:
+      return 0;
+    case CellKind::Const1:
+      return ~std::uint64_t{0};
+    case CellKind::Buf:
+      return a;
+    case CellKind::Inv:
+      return ~a;
+    case CellKind::And2:
+      return a & b;
+    case CellKind::Or2:
+      return a | b;
+    case CellKind::Nand2:
+      return ~(a & b);
+    case CellKind::Nor2:
+      return ~(a | b);
+    case CellKind::Xor2:
+      return a ^ b;
+    case CellKind::Xnor2:
+      return ~(a ^ b);
+    case CellKind::And3:
+      return a & b & c;
+    case CellKind::Or3:
+      return a | b | c;
+    case CellKind::Aoi21:
+      return ~((a & b) | c);
+    case CellKind::Oai21:
+      return ~((a | b) & c);
+    case CellKind::Mux2:
+      // operands: sel, d0, d1
+      return (a & c) | (~a & b);
+    case CellKind::Dff:
+      // Combinational evaluators must not see flip-flops; the sequential
+      // simulator handles them as state.
+      throw std::logic_error("eval_cell_word: flip-flop in combinational "
+                             "evaluation");
+  }
+  throw std::logic_error("eval_cell_word: bad cell kind");
+}
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  if (nl.is_sequential()) {
+    throw std::invalid_argument(
+        "Simulator: sequential netlist; use SequentialSimulator");
+  }
+}
+
+std::vector<std::uint64_t> Simulator::eval(
+    std::span<const std::uint64_t> input_values) const {
+  const auto& gates = nl_->gates();
+  const auto& inputs = nl_->inputs();
+  if (input_values.size() != inputs.size()) {
+    throw std::invalid_argument("Simulator::eval: input arity mismatch");
+  }
+  std::vector<std::uint64_t> value(gates.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[static_cast<std::size_t>(inputs[i].net)] = input_values[i];
+  }
+  for (const Gate& g : gates) {
+    if (g.kind == CellKind::Input) continue;  // already loaded
+    const auto out = static_cast<std::size_t>(g.output);
+    const auto in = [&](int i) {
+      const NetId net = g.inputs[i];
+      return net == kNoNet ? 0 : value[static_cast<std::size_t>(net)];
+    };
+    value[out] = eval_cell_word(g.kind, in(0), in(1), in(2));
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> Simulator::eval_outputs(
+    std::span<const std::uint64_t> input_values) const {
+  const std::vector<std::uint64_t> value = eval(input_values);
+  std::vector<std::uint64_t> out;
+  out.reserve(nl_->outputs().size());
+  for (const Port& p : nl_->outputs()) {
+    out.push_back(value[static_cast<std::size_t>(p.net)]);
+  }
+  return out;
+}
+
+namespace stim {
+
+std::vector<int> input_index_map(const Netlist& nl) {
+  std::vector<int> map(static_cast<std::size_t>(nl.num_nets()), -1);
+  const auto& inputs = nl.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    map[static_cast<std::size_t>(inputs[i].net)] = static_cast<int>(i);
+  }
+  return map;
+}
+
+void load_operand(std::vector<std::uint64_t>& input_values,
+                  const std::vector<int>& input_index_of_net,
+                  std::span<const NetId> bus, const util::BitVec& value,
+                  int lane) {
+  if (static_cast<int>(bus.size()) != value.width()) {
+    throw std::invalid_argument("stim::load_operand: width mismatch");
+  }
+  const std::uint64_t lane_mask = std::uint64_t{1} << lane;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const int idx = input_index_of_net[static_cast<std::size_t>(bus[i])];
+    if (idx < 0) {
+      throw std::invalid_argument("stim::load_operand: net is not an input");
+    }
+    auto& word = input_values[static_cast<std::size_t>(idx)];
+    if (value.bit(static_cast<int>(i))) {
+      word |= lane_mask;
+    } else {
+      word &= ~lane_mask;
+    }
+  }
+}
+
+util::BitVec read_bus(const std::vector<std::uint64_t>& net_values,
+                      std::span<const NetId> bus, int lane) {
+  util::BitVec v(static_cast<int>(bus.size()));
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const bool bit =
+        (net_values[static_cast<std::size_t>(bus[i])] >> lane) & 1;
+    v.set_bit(static_cast<int>(i), bit);
+  }
+  return v;
+}
+
+}  // namespace stim
+
+}  // namespace vlsa::netlist

@@ -1,0 +1,67 @@
+#pragma once
+// 64-way bit-parallel functional simulator for Netlists.
+//
+// Each net carries a 64-bit word whose lanes are 64 independent test
+// vectors, so one sweep over the netlist evaluates 64 stimuli.  This is
+// the verification loop the paper ran outside the repo (VHDL simulation):
+// every generated netlist in this repository is checked against an
+// independent behavioral model through this simulator.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::netlist {
+
+/// Word-level (64-lane) evaluation of a single cell; unused operand
+/// words may be anything.  Shared by the functional and fault simulators.
+std::uint64_t eval_cell_word(CellKind kind, std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c);
+
+/// Evaluates a netlist on 64 parallel input patterns.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// `input_values[i]` is the 64-lane stimulus for the i-th primary input
+  /// (in `Netlist::inputs()` order).  Returns the value of every net.
+  std::vector<std::uint64_t> eval(
+      std::span<const std::uint64_t> input_values) const;
+
+  /// Evaluate and return only the primary outputs, in
+  /// `Netlist::outputs()` order.
+  std::vector<std::uint64_t> eval_outputs(
+      std::span<const std::uint64_t> input_values) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+};
+
+/// Helpers for driving bus-structured netlists (e.g. adders) with BitVec
+/// operands.  `lane` selects which of the 64 lanes carries the operand.
+namespace stim {
+
+/// Set operand bits into the per-input stimulus array.  `bus` holds the
+/// NetIds of the bus (LSB first); `input_index_of_net` maps NetId to the
+/// position in the inputs() order.
+void load_operand(std::vector<std::uint64_t>& input_values,
+                  const std::vector<int>& input_index_of_net,
+                  std::span<const NetId> bus, const util::BitVec& value,
+                  int lane);
+
+/// Build the NetId → inputs()-index map for a netlist.
+std::vector<int> input_index_map(const Netlist& nl);
+
+/// Extract one lane of a bus from a full net-value array.
+util::BitVec read_bus(const std::vector<std::uint64_t>& net_values,
+                      std::span<const NetId> bus, int lane);
+
+}  // namespace stim
+
+}  // namespace vlsa::netlist

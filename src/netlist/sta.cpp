@@ -1,0 +1,137 @@
+#include "netlist/sta.hpp"
+
+#include <algorithm>
+
+namespace vlsa::netlist {
+
+TimingReport analyze_timing(const Netlist& nl, const CellLibrary& lib) {
+  TimingReport report;
+  const auto& gates = nl.gates();
+  const std::vector<int> fanout = nl.fanout_counts();
+
+  report.arrival_ns.assign(gates.size(), 0.0);
+  std::vector<int> depth(gates.size(), 0);
+  std::vector<NetId> critical_fanin(gates.size(), kNoNet);
+
+  for (const Gate& g : gates) {
+    const CellSpec& spec = lib.spec(g.kind);
+    if (spec.fanin == 0) continue;  // inputs and constants arrive at 0
+    if (g.kind == CellKind::Dff) {
+      // Registers cut timing paths: Q launches at clk->Q (load-dependent).
+      const auto out = static_cast<std::size_t>(g.output);
+      report.arrival_ns[out] =
+          lib.delay_ns(g.kind, std::max(fanout[out], 1));
+      continue;
+    }
+    double worst_in = 0.0;
+    NetId worst_net = kNoNet;
+    int worst_depth = 0;
+    for (int i = 0; i < spec.fanin; ++i) {
+      const NetId in = g.inputs[i];
+      const double t = report.arrival_ns[static_cast<std::size_t>(in)];
+      if (worst_net == kNoNet || t > worst_in) {
+        worst_in = t;
+        worst_net = in;
+      }
+      worst_depth = std::max(worst_depth, depth[static_cast<std::size_t>(in)]);
+    }
+    const std::size_t out = static_cast<std::size_t>(g.output);
+    report.arrival_ns[out] =
+        worst_in + lib.delay_ns(g.kind, std::max(fanout[out], 1));
+    depth[out] = worst_depth + 1;
+    critical_fanin[out] = worst_net;
+  }
+
+  NetId worst_out = kNoNet;
+  for (const Port& p : nl.outputs()) {
+    const std::size_t n = static_cast<std::size_t>(p.net);
+    if (worst_out == kNoNet ||
+        report.arrival_ns[n] >
+            report.arrival_ns[static_cast<std::size_t>(worst_out)]) {
+      worst_out = p.net;
+    }
+    report.logic_levels = std::max(report.logic_levels, depth[n]);
+  }
+  if (worst_out != kNoNet) {
+    report.critical_delay_ns =
+        report.arrival_ns[static_cast<std::size_t>(worst_out)];
+    for (NetId n = worst_out; n != kNoNet;
+         n = critical_fanin[static_cast<std::size_t>(n)]) {
+      report.critical_path.push_back(n);
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+  }
+  return report;
+}
+
+AreaReport analyze_area(const Netlist& nl, const CellLibrary& lib) {
+  AreaReport report;
+  for (const Gate& g : nl.gates()) {
+    const CellSpec& spec = lib.spec(g.kind);
+    if (g.kind == CellKind::Input || g.kind == CellKind::Const0 ||
+        g.kind == CellKind::Const1) {
+      continue;
+    }
+    report.total_area += spec.area;
+    report.num_cells += 1;
+  }
+  const std::vector<int> fanout = nl.fanout_counts();
+  for (int f : fanout) report.max_fanout = std::max(report.max_fanout, f);
+  for (const Port& p : nl.inputs()) {
+    report.max_input_fanout =
+        std::max(report.max_input_fanout,
+                 fanout[static_cast<std::size_t>(p.net)]);
+  }
+  return report;
+}
+
+SeqTimingReport analyze_sequential_timing(const Netlist& nl,
+                                          const CellLibrary& lib) {
+  const TimingReport combinational = analyze_timing(nl, lib);
+  SeqTimingReport report;
+  report.clk_to_q_ns = lib.spec(CellKind::Dff).intrinsic_ns;
+
+  // Classify each net by whether a register output feeds it (transitively).
+  const auto& gates = nl.gates();
+  std::vector<bool> reg_fed(gates.size(), false);
+  for (const Gate& g : gates) {
+    if (g.kind == CellKind::Dff) {
+      reg_fed[static_cast<std::size_t>(g.output)] = true;
+      continue;
+    }
+    const int fanin = lib.spec(g.kind).fanin;
+    for (int i = 0; i < fanin; ++i) {
+      if (g.inputs[i] != kNoNet &&
+          reg_fed[static_cast<std::size_t>(g.inputs[i])]) {
+        reg_fed[static_cast<std::size_t>(g.output)] = true;
+      }
+    }
+  }
+
+  // Endpoints: flip-flop D pins (plus setup) and primary outputs.
+  for (const Gate& g : gates) {
+    if (g.kind != CellKind::Dff || g.inputs[0] == kNoNet) continue;
+    const auto d = static_cast<std::size_t>(g.inputs[0]);
+    const double t = combinational.arrival_ns[d] + kDffSetupNs;
+    if (reg_fed[d]) {
+      report.worst_reg_to_reg_ns = std::max(report.worst_reg_to_reg_ns, t);
+    } else {
+      report.worst_in_to_reg_ns = std::max(report.worst_in_to_reg_ns, t);
+    }
+  }
+  for (const Port& p : nl.outputs()) {
+    const auto net = static_cast<std::size_t>(p.net);
+    const double t = combinational.arrival_ns[net];
+    if (reg_fed[net]) {
+      report.worst_reg_to_out_ns = std::max(report.worst_reg_to_out_ns, t);
+    } else {
+      report.worst_in_to_out_ns = std::max(report.worst_in_to_out_ns, t);
+    }
+  }
+  report.min_clock_ns =
+      std::max({report.worst_reg_to_reg_ns, report.worst_in_to_reg_ns,
+                report.worst_reg_to_out_ns});
+  return report;
+}
+
+}  // namespace vlsa::netlist

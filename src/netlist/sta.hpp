@@ -1,0 +1,57 @@
+#pragma once
+// Static timing analysis and area accounting over a Netlist.
+//
+// The delay model is the cell library's linear model (intrinsic plus a
+// per-fanout slope); primary inputs arrive at t = 0.  Because a Netlist
+// is stored in topological order, one forward sweep suffices.
+
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+/// Result of a full timing sweep.
+struct TimingReport {
+  double critical_delay_ns = 0.0;       ///< max arrival over primary outputs
+  std::vector<double> arrival_ns;       ///< per net
+  std::vector<NetId> critical_path;     ///< input→output chain of nets
+  int logic_levels = 0;                 ///< max cell depth over outputs
+};
+
+/// Compute arrival times for every net and extract the critical path
+/// ending at the latest primary output.
+TimingReport analyze_timing(const Netlist& nl,
+                            const CellLibrary& lib = CellLibrary::umc18());
+
+/// Structural statistics used by the area/fanout comparisons.
+struct AreaReport {
+  double total_area = 0.0;  ///< NAND2-equivalent units
+  int num_cells = 0;        ///< real cells (no inputs/constants)
+  int max_fanout = 0;       ///< over all nets
+  int max_input_fanout = 0; ///< over primary-input nets only
+};
+
+AreaReport analyze_area(const Netlist& nl,
+                        const CellLibrary& lib = CellLibrary::umc18());
+
+/// Sequential timing: register-to-register / input / output path classes
+/// and the resulting minimum single-cycle clock period.  Paths *through*
+/// a flip-flop are cut (Q launches at clk->Q, D pins are endpoints with
+/// setup charged).  Multicycle paths (like the VLSA recovery cone) are
+/// the caller's policy: compare `worst_*` against N x clock.
+struct SeqTimingReport {
+  double clk_to_q_ns = 0.0;
+  double worst_reg_to_reg_ns = 0.0;   ///< Q -> D, incl. clk->Q and setup
+  double worst_in_to_reg_ns = 0.0;    ///< input -> D, incl. setup
+  double worst_reg_to_out_ns = 0.0;   ///< Q -> output, incl. clk->Q
+  double worst_in_to_out_ns = 0.0;    ///< pure combinational feedthrough
+  /// max of the register-bounded classes — the single-cycle constraint
+  /// (feedthrough paths are reported but do not constrain the clock).
+  double min_clock_ns = 0.0;
+};
+SeqTimingReport analyze_sequential_timing(
+    const Netlist& nl, const CellLibrary& lib = CellLibrary::umc18());
+
+}  // namespace vlsa::netlist

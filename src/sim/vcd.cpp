@@ -1,0 +1,64 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vlsa::sim {
+
+namespace {
+
+std::string bus_bits(const util::BitVec& v) {
+  // VCD binary literal, MSB first, low 64 bits.
+  const int bits = std::min(v.width(), 64);
+  std::string s = "b";
+  bool seen_one = false;
+  for (int i = bits - 1; i >= 0; --i) {
+    const bool bit = v.bit(i);
+    if (bit) seen_one = true;
+    if (seen_one || i == 0) s.push_back(bit ? '1' : '0');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_vcd(const std::vector<OperationTrace>& trace, int width,
+                   double clock_period_ns) {
+  const int bus_width = std::min(width, 64);
+  std::ostringstream os;
+  os << "$timescale 1ps $end\n";
+  os << "$scope module vlsa $end\n";
+  os << "$var wire 1 ! clk $end\n";
+  os << "$var wire 1 \" valid $end\n";
+  os << "$var wire 1 # stall $end\n";
+  os << "$var wire " << bus_width << " $ a $end\n";
+  os << "$var wire " << bus_width << " % b $end\n";
+  os << "$var wire " << bus_width << " & sum $end\n";
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  const long long period_ps =
+      static_cast<long long>(clock_period_ns * 1000.0);
+  auto at = [&](long long cycle, bool high) {
+    return cycle * period_ps + (high ? 0 : period_ps / 2);
+  };
+
+  os << "#0\n0!\nx\"\nx#\n";
+  for (const OperationTrace& op : trace) {
+    for (long long c = op.issue_cycle; c <= op.done_cycle; ++c) {
+      const bool last = c == op.done_cycle;
+      os << "#" << at(c, true) << "\n1!\n";
+      if (c == op.issue_cycle) {
+        os << bus_bits(op.a) << " $\n" << bus_bits(op.b) << " %\n";
+      }
+      os << (last ? "1\"\n0#\n" : "0\"\n1#\n");
+      if (last) os << bus_bits(op.result) << " &\n";
+      os << "#" << at(c, false) << "\n0!\n";
+    }
+  }
+  if (!trace.empty()) {
+    os << "#" << at(trace.back().done_cycle + 1, true) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vlsa::sim

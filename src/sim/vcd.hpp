@@ -1,0 +1,23 @@
+#pragma once
+// VCD (Value Change Dump) emission for VLSA pipeline traces.
+//
+// Produces a standard IEEE-1364 VCD file with CLK, STALL, VALID and the
+// operand/result buses, so the Fig. 7 behaviour can be inspected in any
+// waveform viewer (GTKWave etc.) — the artifact a hardware reviewer asks
+// for first.
+
+#include <string>
+#include <vector>
+
+#include "sim/vlsa_pipeline.hpp"
+
+namespace vlsa::sim {
+
+/// Render a pipeline trace as VCD text.  `clock_period_ns` scales the
+/// timestamps (timescale 1ps); buses wider than 64 bits are truncated to
+/// their low 64 bits in the dump (VCD-friendly), which is lossless for
+/// the widths the examples use.
+std::string to_vcd(const std::vector<OperationTrace>& trace,
+                   int width, double clock_period_ns);
+
+}  // namespace vlsa::sim

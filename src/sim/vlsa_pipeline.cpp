@@ -1,0 +1,118 @@
+#include "sim/vlsa_pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlsa::sim {
+
+VlsaPipeline::VlsaPipeline(const PipelineConfig& config)
+    : config_(config), adder_(config.width, config.window) {
+  if (config.recovery_cycles < 1) {
+    throw std::invalid_argument("VlsaPipeline: recovery_cycles must be >= 1");
+  }
+  if (config.clock_period_ns <= 0.0) {
+    throw std::invalid_argument("VlsaPipeline: clock period must be > 0");
+  }
+}
+
+const OperationTrace& VlsaPipeline::submit(const BitVec& a, const BitVec& b) {
+  const auto outcome = adder_.add(a, b);
+  OperationTrace op;
+  op.a = a;
+  op.b = b;
+  op.speculative = outcome.speculative;
+  op.result = outcome.exact;
+  op.flagged = outcome.flagged;
+  op.speculative_wrong = outcome.was_wrong;
+  op.issue_cycle = now_;
+  // Cycle `issue` computes ACA+ER; on a miss the corrected sum appears
+  // `recovery_cycles` later.  In Fig. 7 mode the whole pipeline stalls
+  // until then; with overlapped recovery the front end keeps issuing.
+  op.done_cycle = now_ + (op.flagged ? config_.recovery_cycles : 0);
+  now_ = config_.overlapped_recovery ? now_ + 1 : op.done_cycle + 1;
+  makespan_ = std::max(makespan_, op.done_cycle + 1);
+
+  operations_ += 1;
+  flagged_ += op.flagged ? 1 : 0;
+  latency_cycles_accum_ += op.cycles();
+  trace_.push_back(std::move(op));
+  return trace_.back();
+}
+
+PipelineStats VlsaPipeline::stats() const {
+  PipelineStats s;
+  s.operations = operations_;
+  s.flagged = flagged_;
+  s.total_cycles = makespan_;
+  if (operations_ > 0) {
+    s.average_latency_cycles =
+        static_cast<double>(latency_cycles_accum_) / operations_;
+    s.average_latency_ns = s.average_latency_cycles * config_.clock_period_ns;
+    s.throughput_adds_per_ns =
+        static_cast<double>(operations_) /
+        (static_cast<double>(makespan_) * config_.clock_period_ns);
+  }
+  return s;
+}
+
+std::string render_timing_diagram(const std::vector<OperationTrace>& trace,
+                                  std::size_t max_ops) {
+  const std::size_t ops = std::min(max_ops, trace.size());
+  if (ops == 0) return "(empty trace)\n";
+  const long long first = trace[0].issue_cycle;
+  const long long last = trace[ops - 1].done_cycle;
+  const int cycles = static_cast<int>(last - first + 1);
+
+  // One fixed-width column per cycle.
+  constexpr int kCol = 6;
+  auto cell = [&](const std::string& text) {
+    std::string s = text.substr(0, kCol - 1);
+    s.insert(s.end(), static_cast<std::size_t>(kCol - 1) - s.size() + 1, ' ');
+    return s;
+  };
+  std::vector<std::string> in(static_cast<std::size_t>(cycles), "");
+  std::vector<std::string> spec(static_cast<std::size_t>(cycles), "");
+  std::vector<std::string> valid(static_cast<std::size_t>(cycles), "");
+  std::vector<std::string> stall(static_cast<std::size_t>(cycles), "");
+  std::vector<std::string> out(static_cast<std::size_t>(cycles), "");
+
+  for (std::size_t i = 0; i < ops; ++i) {
+    const OperationTrace& op = trace[i];
+    const std::string name = "A" + std::to_string(i) + "B" + std::to_string(i);
+    for (long long c = op.issue_cycle; c <= op.done_cycle; ++c) {
+      const auto idx = static_cast<std::size_t>(c - first);
+      in[idx] = name;
+      const bool last_cycle = c == op.done_cycle;
+      valid[idx] = last_cycle ? "1" : "0";
+      stall[idx] = last_cycle ? "0" : "1";
+      if (c == op.issue_cycle) {
+        spec[idx] = op.speculative_wrong ? ("S" + std::to_string(i) + "*!")
+                                         : ("S" + std::to_string(i));
+      }
+      if (last_cycle) out[idx] = "S" + std::to_string(i);
+    }
+  }
+
+  std::ostringstream os;
+  auto row = [&](const char* label, const std::vector<std::string>& cells) {
+    os << label;
+    for (const auto& c : cells) os << "|" << cell(c);
+    os << "|\n";
+  };
+  os << "CLK    ";
+  for (int c = 0; c < cycles; ++c) {
+    os << "|" << cell(std::to_string(first + c));
+  }
+  os << "|\n";
+  row("A,B    ", in);
+  row("SUM*   ", spec);
+  row("VALID  ", valid);
+  row("STALL  ", stall);
+  row("SUM    ", out);
+  os << "(SUM* = speculative ACA output; a trailing '!' marks a "
+        "misspeculation corrected by the recovery stage)\n";
+  return os.str();
+}
+
+}  // namespace vlsa::sim

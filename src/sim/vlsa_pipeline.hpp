@@ -1,0 +1,93 @@
+#pragma once
+// Cycle-accurate model of the Variable Latency Speculative Adder
+// (Sec. 4.3, Fig. 6/7).
+//
+// The clocked wrapper runs at a period slightly above
+// max(T_ACA, T_error_detection).  Each addition normally completes in one
+// cycle with VALID = 1; when the error detector fires, VALID drops,
+// STALL rises and the corrected sum appears `recovery_cycles` later.
+// Because the flag probability is tiny at the design window, the average
+// latency is barely above 1 cycle — that is the paper's headline claim.
+
+#include <string>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::sim {
+
+using util::BitVec;
+
+/// Static configuration of a pipeline instance.
+struct PipelineConfig {
+  int width = 64;
+  int window = 8;
+  int recovery_cycles = 2;      ///< extra cycles when ER fires
+  double clock_period_ns = 1.0; ///< > max(T_ACA, T_ER); set from STA
+  /// Fig. 6 stalls the whole pipeline during recovery (false).  With a
+  /// dedicated (pipelined) recovery unit the front end keeps issuing one
+  /// addition per cycle and flagged results complete late, out of order
+  /// (true) — the natural next step the paper's processor sketch invites.
+  bool overlapped_recovery = false;
+};
+
+/// Per-operation record (also drives the timing-diagram renderer).
+struct OperationTrace {
+  BitVec a, b;
+  BitVec speculative;       ///< what the ACA produced in cycle 1
+  BitVec result;            ///< final (always exact) sum
+  bool flagged = false;     ///< ER fired, recovery was taken
+  bool speculative_wrong = false;
+  long long issue_cycle = 0;
+  long long done_cycle = 0; ///< cycle whose end has VALID=1 for this op
+  int cycles() const { return static_cast<int>(done_cycle - issue_cycle + 1); }
+};
+
+/// Aggregate statistics of a run.
+struct PipelineStats {
+  long long operations = 0;
+  long long flagged = 0;
+  long long total_cycles = 0;    ///< makespan (last completion + 1)
+  double average_latency_cycles = 0.0;  ///< mean of per-op cycles()
+  double average_latency_ns = 0.0;
+  double throughput_adds_per_ns = 0.0;
+};
+
+/// Drives operations through the VLSA handshake and records the trace.
+class VlsaPipeline {
+ public:
+  explicit VlsaPipeline(const PipelineConfig& config);
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Execute one addition; the pipeline advances 1 cycle on a hit and
+  /// 1 + recovery_cycles on a flagged operation.  Returns the trace entry.
+  const OperationTrace& submit(const BitVec& a, const BitVec& b);
+
+  /// Current clock (cycles elapsed since construction).
+  long long now() const { return now_; }
+
+  const std::vector<OperationTrace>& trace() const { return trace_; }
+  PipelineStats stats() const;
+
+  /// Drop the recorded trace (statistics keep accumulating).
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  PipelineConfig config_;
+  core::SpeculativeAdder adder_;
+  long long now_ = 0;
+  long long makespan_ = 0;
+  long long operations_ = 0;
+  long long flagged_ = 0;
+  long long latency_cycles_accum_ = 0;
+  std::vector<OperationTrace> trace_;
+};
+
+/// Render a Fig. 7-style ASCII timing diagram (CLK / A,B / SUM* / VALID /
+/// STALL / SUM rows) for the first `max_ops` trace entries.
+std::string render_timing_diagram(const std::vector<OperationTrace>& trace,
+                                  std::size_t max_ops = 8);
+
+}  // namespace vlsa::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Deterministic, fast random number generation for workloads and tests.
+//
+// We use xoshiro256** rather than std::mt19937_64: it is faster, has a
+// tiny state, and — importantly for reproducibility — its output is fully
+// specified here, independent of the standard library implementation.
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace vlsa::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound); bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Uniform random bit vector of the given width.
+  BitVec next_bits(int width);
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace vlsa::util

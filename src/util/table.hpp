@@ -1,0 +1,33 @@
+#pragma once
+// Minimal ASCII table formatter used by the benchmark harnesses to print
+// paper-style tables (Table 1, Fig. 8 data, ...) to stdout.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vlsa::util {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vlsa::util

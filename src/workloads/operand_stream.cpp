@@ -1,0 +1,148 @@
+#include "workloads/operand_stream.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlsa::workloads {
+
+std::vector<Distribution> all_distributions() {
+  return {Distribution::Uniform,       Distribution::SmallOperands,
+          Distribution::SparseLow,     Distribution::SparseHigh,
+          Distribution::Correlated,    Distribution::Complementary,
+          Distribution::Counter};
+}
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::Uniform:
+      return "uniform";
+    case Distribution::SmallOperands:
+      return "small-operands";
+    case Distribution::SparseLow:
+      return "sparse-low";
+    case Distribution::SparseHigh:
+      return "sparse-high";
+    case Distribution::Correlated:
+      return "correlated";
+    case Distribution::Complementary:
+      return "complementary";
+    case Distribution::Counter:
+      return "counter";
+  }
+  throw std::invalid_argument("distribution_name: bad distribution");
+}
+
+TraceStream::TraceStream(std::vector<std::pair<BitVec, BitVec>> trace,
+                         int width)
+    : trace_(std::move(trace)), width_(width) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("TraceStream: empty trace");
+  }
+  for (auto& [a, b] : trace_) {
+    if (a.width() != width || b.width() != width) {
+      throw std::invalid_argument("TraceStream: width mismatch in trace");
+    }
+  }
+}
+
+TraceStream TraceStream::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> raw;
+  std::size_t digits = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string a, b;
+    ls >> a >> b;
+    if (a.empty() || b.empty()) {
+      throw std::invalid_argument("TraceStream: bad line '" + line + "'");
+    }
+    digits = std::max({digits, a.size(), b.size()});
+    raw.emplace_back(a, b);
+  }
+  if (raw.empty()) throw std::invalid_argument("TraceStream: empty trace");
+  const int width = static_cast<int>(digits) * 4;
+  std::vector<std::pair<BitVec, BitVec>> trace;
+  trace.reserve(raw.size());
+  for (auto& [a, b] : raw) {
+    trace.emplace_back(
+        BitVec::from_hex(std::string(digits - a.size(), '0') + a),
+        BitVec::from_hex(std::string(digits - b.size(), '0') + b));
+  }
+  return TraceStream(std::move(trace), width);
+}
+
+std::pair<BitVec, BitVec> TraceStream::next() {
+  const auto& op = trace_[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.size();
+  return op;
+}
+
+std::string TraceStream::to_text() const {
+  std::ostringstream os;
+  for (const auto& [a, b] : trace_) {
+    os << a.to_hex() << ' ' << b.to_hex() << '\n';
+  }
+  return os.str();
+}
+
+OperandStream::OperandStream(Distribution distribution, int width,
+                             std::uint64_t seed)
+    : distribution_(distribution),
+      width_(width),
+      rng_(seed),
+      counter_(width) {
+  if (width < 1) throw std::invalid_argument("OperandStream: width < 1");
+}
+
+BitVec OperandStream::biased_bits(double p_one) {
+  BitVec v(width_);
+  for (int i = 0; i < width_; ++i) v.set_bit(i, rng_.next_bool(p_one));
+  return v;
+}
+
+std::pair<BitVec, BitVec> OperandStream::next() {
+  switch (distribution_) {
+    case Distribution::Uniform:
+      return {rng_.next_bits(width_), rng_.next_bits(width_)};
+    case Distribution::SmallOperands: {
+      const int active = std::max(1, width_ / 4);
+      const BitVec a = rng_.next_bits(active).resized(width_);
+      const BitVec b = rng_.next_bits(active).resized(width_);
+      return {a, b};
+    }
+    case Distribution::SparseLow:
+      return {biased_bits(0.125), biased_bits(0.125)};
+    case Distribution::SparseHigh:
+      return {biased_bits(0.875), biased_bits(0.875)};
+    case Distribution::Correlated: {
+      // Accumulator-style: b = a + delta with a small random delta.
+      const BitVec a = rng_.next_bits(width_);
+      const int delta_bits = std::max(1, width_ / 8);
+      const BitVec delta = rng_.next_bits(delta_bits).resized(width_);
+      return {a, a + delta};
+    }
+    case Distribution::Complementary: {
+      // b = ~a with a few random flips: almost every position propagates,
+      // so the longest propagate chain is Θ(n) — worst case for the ACA.
+      const BitVec a = rng_.next_bits(width_);
+      BitVec b = ~a;
+      const int flips = std::max(1, width_ / 32);
+      for (int i = 0; i < flips; ++i) {
+        const int pos = static_cast<int>(rng_.next_below(
+            static_cast<std::uint64_t>(width_)));
+        b.set_bit(pos, !b.bit(pos));
+      }
+      return {a, b};
+    }
+    case Distribution::Counter: {
+      counter_ = counter_ + BitVec::from_u64(width_, 1);
+      return {counter_, BitVec::from_u64(width_, 1)};
+    }
+  }
+  throw std::logic_error("OperandStream::next: bad distribution");
+}
+
+}  // namespace vlsa::workloads

@@ -1,0 +1,83 @@
+#pragma once
+// Operand distributions for error-rate and latency studies.
+//
+// The paper's analysis assumes uniform random operands (where the XOR of
+// the addenda is uniform).  Real workloads deviate from that, and the
+// ACA's error rate is *input-dependent* — a key caveat for deploying
+// speculative arithmetic.  This module provides the uniform baseline plus
+// several structured distributions that bracket realistic behaviour, from
+// benign (small operands) to adversarial (near-complementary operands
+// whose propagate strings are long almost surely).
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa::workloads {
+
+using util::BitVec;
+using util::Rng;
+
+/// Available operand distributions.
+enum class Distribution {
+  Uniform,         ///< both operands i.i.d. uniform (the paper's model)
+  SmallOperands,   ///< only the low quarter of the bits is random
+  SparseLow,       ///< each bit set with probability 1/8
+  SparseHigh,      ///< each bit set with probability 7/8
+  Correlated,      ///< b = a + small delta (accumulator-style traffic)
+  Complementary,   ///< b ≈ ~a: nearly all positions propagate (adversarial)
+  Counter,         ///< a = running counter, b = 1 (increment traffic)
+};
+
+std::vector<Distribution> all_distributions();
+const char* distribution_name(Distribution d);
+
+/// Replay a recorded operand trace (wraps around at the end) — the hook
+/// for feeding captured application traffic into the error-rate benches.
+class TraceStream {
+ public:
+  /// `trace` must be non-empty; all pairs must share `width`.
+  TraceStream(std::vector<std::pair<BitVec, BitVec>> trace, int width);
+
+  /// Parse a text trace: one operation per line, "<hex-a> <hex-b>",
+  /// '#' comments ignored.  Width is 4x the widest digit count.
+  static TraceStream from_text(const std::string& text);
+
+  int width() const { return width_; }
+  std::size_t size() const { return trace_.size(); }
+  std::pair<BitVec, BitVec> next();
+
+  /// Serialize back to the text format.
+  std::string to_text() const;
+
+ private:
+  std::vector<std::pair<BitVec, BitVec>> trace_;
+  int width_;
+  std::size_t cursor_ = 0;
+};
+
+/// A reproducible stream of operand pairs of fixed width.
+class OperandStream {
+ public:
+  OperandStream(Distribution distribution, int width, std::uint64_t seed);
+
+  Distribution distribution() const { return distribution_; }
+  int width() const { return width_; }
+
+  /// Next operand pair.
+  std::pair<BitVec, BitVec> next();
+
+ private:
+  Distribution distribution_;
+  int width_;
+  Rng rng_;
+  BitVec counter_;  // state for Distribution::Counter
+
+  BitVec biased_bits(double p_one);
+};
+
+}  // namespace vlsa::workloads

@@ -1,0 +1,60 @@
+#pragma once
+// Shared helpers for driving generated netlists in tests and benches.
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::testing {
+
+using util::BitVec;
+
+/// Result of simulating one operand pair through an adder-like netlist.
+struct AdderSimResult {
+  BitVec sum;
+  bool carry_out = false;
+};
+
+/// Simulate `ops` (any count; internally batched 64 lanes at a time)
+/// through a two-operand netlist.  `cout` may be kNoNet.
+inline std::vector<AdderSimResult> run_adder_netlist(
+    const netlist::Netlist& nl, const std::vector<netlist::NetId>& a_bus,
+    const std::vector<netlist::NetId>& b_bus,
+    const std::vector<netlist::NetId>& sum_bus, netlist::NetId cout,
+    const std::vector<std::pair<BitVec, BitVec>>& ops) {
+  const netlist::Simulator sim(nl);
+  const std::vector<int> index = netlist::stim::input_index_map(nl);
+  std::vector<AdderSimResult> results(ops.size());
+  for (std::size_t base = 0; base < ops.size(); base += 64) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(64, ops.size() - base));
+    std::vector<std::uint64_t> stim(nl.inputs().size(), 0);
+    for (int lane = 0; lane < lanes; ++lane) {
+      const auto& [a, b] = ops[base + static_cast<std::size_t>(lane)];
+      netlist::stim::load_operand(stim, index, a_bus, a, lane);
+      netlist::stim::load_operand(stim, index, b_bus, b, lane);
+    }
+    const std::vector<std::uint64_t> values = sim.eval(stim);
+    for (int lane = 0; lane < lanes; ++lane) {
+      auto& r = results[base + static_cast<std::size_t>(lane)];
+      r.sum = netlist::stim::read_bus(values, sum_bus, lane);
+      if (cout != netlist::kNoNet) {
+        r.carry_out =
+            (values[static_cast<std::size_t>(cout)] >> lane) & 1;
+      }
+    }
+  }
+  return results;
+}
+
+/// Read one single-bit net for every lane of a previously prepared
+/// simulation — convenience for flags like "error"/"valid".
+inline bool net_bit(const std::vector<std::uint64_t>& values,
+                    netlist::NetId net, int lane) {
+  return (values[static_cast<std::size_t>(net)] >> lane) & 1;
+}
+
+}  // namespace vlsa::testing

@@ -1,0 +1,223 @@
+// Behavioral ACA tests: exhaustive verification at small widths, the
+// soundness theorem (ER = 0 ⟹ exact), agreement between the Monte-Carlo
+// error rate and the exact DP, and the SpeculativeAdder API.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/aca_probability.hpp"
+#include "core/aca.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::aca_add;
+using core::aca_flag;
+using core::aca_is_exact;
+using core::SpeculativeAdder;
+using util::BitVec;
+using util::Rng;
+
+// Straight-line reference of the windowed-carry semantics: carry c_i from
+// an independent (k-position) ripple with window carry-in 0.
+BitVec reference_aca(const BitVec& a, const BitVec& b, int k, bool* cout) {
+  const int n = a.width();
+  BitVec sum(n);
+  bool carry_prev = false;
+  for (int i = 0; i < n; ++i) {
+    sum.set_bit(i, a.bit(i) ^ b.bit(i) ^ carry_prev);
+    const int lo = std::max(0, i - k + 1);
+    bool c = false;  // assumed carry into the window
+    for (int j = lo; j <= i; ++j) {
+      const bool g = a.bit(j) && b.bit(j);
+      const bool p = a.bit(j) ^ b.bit(j);
+      c = g || (p && c);
+    }
+    carry_prev = c;
+  }
+  if (cout != nullptr) *cout = carry_prev;
+  return sum;
+}
+
+TEST(AcaBehavioral, MatchesWindowReferenceExhaustivelyAtWidth8) {
+  for (int k : {1, 2, 3, 5, 8, 9}) {
+    for (int av = 0; av < 256; ++av) {
+      for (int bv = 0; bv < 256; ++bv) {
+        const BitVec a = BitVec::from_u64(8, av);
+        const BitVec b = BitVec::from_u64(8, bv);
+        bool ref_cout = false;
+        const BitVec ref = reference_aca(a, b, k, &ref_cout);
+        const auto got = aca_add(a, b, k);
+        ASSERT_EQ(got.sum, ref) << "k=" << k << " a=" << av << " b=" << bv;
+        ASSERT_EQ(got.carry_out, ref_cout)
+            << "k=" << k << " a=" << av << " b=" << bv;
+      }
+    }
+  }
+}
+
+TEST(AcaBehavioral, MatchesWindowReferenceRandomWide) {
+  Rng rng(21);
+  for (int k : {4, 11, 16}) {
+    for (int i = 0; i < 200; ++i) {
+      const BitVec a = rng.next_bits(200);
+      const BitVec b = rng.next_bits(200);
+      bool ref_cout = false;
+      const BitVec ref = reference_aca(a, b, k, &ref_cout);
+      const auto got = aca_add(a, b, k);
+      ASSERT_EQ(got.sum, ref);
+      ASSERT_EQ(got.carry_out, ref_cout);
+    }
+  }
+}
+
+TEST(AcaBehavioral, SoundnessFlagZeroImpliesExact) {
+  // The detector's guarantee (Sec. 4.1): every unflagged sum is exact.
+  // Exhaustive at width 10, k = 4.
+  const int k = 4;
+  for (int av = 0; av < 1024; ++av) {
+    for (int bv = 0; bv < 1024; ++bv) {
+      const BitVec a = BitVec::from_u64(10, av);
+      const BitVec b = BitVec::from_u64(10, bv);
+      const auto got = aca_add(a, b, k);
+      if (!got.flagged) {
+        const auto exact = a.add_with_carry(b);
+        ASSERT_EQ(got.sum, exact.sum) << av << "+" << bv;
+        ASSERT_EQ(got.carry_out, exact.carry_out) << av << "+" << bv;
+      }
+    }
+  }
+}
+
+TEST(AcaBehavioral, WrongImpliesFlagged) {
+  // Contrapositive coverage at another (n, k) point, randomized.
+  Rng rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    const BitVec a = rng.next_bits(96);
+    const BitVec b = rng.next_bits(96);
+    const auto got = aca_add(a, b, 5);
+    const auto exact = a.add_with_carry(b);
+    const bool wrong =
+        got.sum != exact.sum || got.carry_out != exact.carry_out;
+    if (wrong) {
+      ASSERT_TRUE(got.flagged);
+    }
+  }
+}
+
+TEST(AcaBehavioral, FlagMatchesLongestRunDefinition) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = rng.next_bits(64);
+    const BitVec b = rng.next_bits(64);
+    for (int k : {3, 6, 10}) {
+      EXPECT_EQ(aca_flag(a, b, k),
+                core::longest_propagate_chain(a, b) >= k);
+    }
+  }
+}
+
+TEST(AcaBehavioral, WindowAtLeastWidthIsAlwaysExact) {
+  Rng rng(24);
+  for (int i = 0; i < 500; ++i) {
+    const BitVec a = rng.next_bits(40);
+    const BitVec b = rng.next_bits(40);
+    EXPECT_TRUE(aca_is_exact(a, b, 40));
+    EXPECT_TRUE(aca_is_exact(a, b, 41));
+  }
+}
+
+TEST(AcaBehavioral, KnownAdversarialPattern) {
+  // a = 0111...1, b = 0000...1: a single long propagate chain activated by
+  // the generate at bit 0 — the classic worst case from the introduction.
+  const int n = 32;
+  BitVec a(n), b(n);
+  for (int i = 1; i < n - 1; ++i) a.set_bit(i, true);
+  a.set_bit(0, true);
+  b.set_bit(0, true);
+  // a ^ b has propagate run over bits [1, n-2]; g at bit 0.
+  const auto got = aca_add(a, b, 8);
+  EXPECT_TRUE(got.flagged);
+  EXPECT_NE(got.sum, a + b);  // speculation genuinely fails here
+  // And a window that covers the whole chain succeeds.
+  const auto wide = aca_add(a, b, n);
+  EXPECT_EQ(wide.sum, a + b);
+}
+
+TEST(AcaBehavioral, ErrorRateMatchesExactDp) {
+  // Monte-Carlo wrong-rate vs the analysis DP at a point where errors are
+  // common enough to measure (n = 256, k = 6: P ≈ few percent).
+  const int n = 256, k = 6, trials = 200000;
+  Rng rng(25);
+  int wrong = 0, flagged = 0;
+  for (int i = 0; i < trials; ++i) {
+    const BitVec a = rng.next_bits(n);
+    const BitVec b = rng.next_bits(n);
+    const auto got = aca_add(a, b, k);
+    flagged += got.flagged;
+    const auto exact = a.add_with_carry(b);
+    wrong += got.sum != exact.sum || got.carry_out != exact.carry_out;
+  }
+  const double wrong_rate = static_cast<double>(wrong) / trials;
+  const double flag_rate = static_cast<double>(flagged) / trials;
+  const double dp_wrong = analysis::aca_wrong_probability(n, k);
+  const double dp_flag = analysis::aca_flag_probability(n, k);
+  EXPECT_NEAR(wrong_rate / dp_wrong, 1.0, 0.05);
+  EXPECT_NEAR(flag_rate / dp_flag, 1.0, 0.05);
+  EXPECT_LT(wrong_rate, flag_rate);
+}
+
+TEST(SpeculativeAdderApi, TracksStatistics) {
+  SpeculativeAdder adder(64, 6);
+  Rng rng(26);
+  for (int i = 0; i < 2000; ++i) {
+    const auto out = adder.add(rng.next_bits(64), rng.next_bits(64));
+    EXPECT_EQ(out.exact, out.speculative == out.exact
+                             ? out.speculative
+                             : out.exact);  // tautology guard for fields
+    if (out.was_wrong) {
+      EXPECT_TRUE(out.flagged);
+    }
+  }
+  EXPECT_EQ(adder.total_adds(), 2000);
+  EXPECT_GE(adder.flagged_adds(), adder.wrong_adds());
+  EXPECT_GT(adder.observed_flag_rate(), 0.0);  // k=6 at n=64 flags often
+  EXPECT_LE(adder.observed_error_rate(), adder.observed_flag_rate());
+}
+
+TEST(SpeculativeAdderApi, TargetAccuracyPicksDocumentedWindow) {
+  const auto adder = SpeculativeAdder::with_target_accuracy(1024, 0.9999);
+  EXPECT_EQ(adder.window(), analysis::choose_window(1024, 0.0001));
+  EXPECT_LE(analysis::aca_flag_probability(1024, adder.window()), 0.0001);
+}
+
+TEST(SpeculativeAdderApi, ExactFieldIsAlwaysTheTrueSum) {
+  SpeculativeAdder adder(128, 4);
+  Rng rng(27);
+  for (int i = 0; i < 500; ++i) {
+    const BitVec a = rng.next_bits(128);
+    const BitVec b = rng.next_bits(128);
+    const auto out = adder.add(a, b);
+    EXPECT_EQ(out.exact, a + b);
+  }
+}
+
+TEST(SpeculativeAdderApi, RejectsBadConfig) {
+  EXPECT_THROW(SpeculativeAdder(0, 4), std::invalid_argument);
+  EXPECT_THROW(SpeculativeAdder(8, 0), std::invalid_argument);
+  EXPECT_THROW(SpeculativeAdder::with_target_accuracy(64, 1.5),
+               std::invalid_argument);
+  SpeculativeAdder adder(16, 4);
+  EXPECT_THROW(adder.add(BitVec(8), BitVec(16)), std::invalid_argument);
+}
+
+TEST(AcaBehavioral, RejectsBadArgs) {
+  EXPECT_THROW(aca_add(BitVec(8), BitVec(9), 4), std::invalid_argument);
+  EXPECT_THROW(aca_add(BitVec(8), BitVec(8), 0), std::invalid_argument);
+  EXPECT_THROW(aca_add(BitVec(0), BitVec(0), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

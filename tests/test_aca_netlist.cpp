@@ -1,0 +1,227 @@
+// Gate-level verification of the ACA family generators against the
+// behavioral model: speculative sums, error flags, the naive ablation
+// variant, the standalone detector, and the full VLSA datapath.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+#include "netlist_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::aca_add;
+using core::AcaNetlist;
+using core::VlsaNetlist;
+using testing::run_adder_netlist;
+using util::BitVec;
+using util::Rng;
+
+std::vector<std::pair<BitVec, BitVec>> mixed_ops(int width, int randoms,
+                                                 Rng& rng) {
+  std::vector<std::pair<BitVec, BitVec>> ops;
+  ops.push_back({BitVec(width), BitVec(width)});
+  ops.push_back({BitVec::ones(width), BitVec::from_u64(width, 1)});
+  ops.push_back({BitVec::ones(width), BitVec::ones(width)});
+  // Long activated propagate chain (guaranteed misspeculation for small k).
+  BitVec chain_a(width), chain_b(width);
+  chain_a.set_bit(0, true);
+  chain_b.set_bit(0, true);
+  for (int i = 1; i < width; ++i) chain_a.set_bit(i, true);
+  ops.push_back({chain_a, chain_b});
+  for (int i = 0; i < randoms; ++i) {
+    ops.push_back({rng.next_bits(width), rng.next_bits(width)});
+  }
+  return ops;
+}
+
+struct Param {
+  int width;
+  int window;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return "w" + std::to_string(info.param.width) + "_k" +
+         std::to_string(info.param.window);
+}
+
+class AcaNetlistSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AcaNetlistSweep, SharedStripAcaMatchesBehavioral) {
+  const auto [width, k] = GetParam();
+  const AcaNetlist aca = core::build_aca(width, k, /*with_error_flag=*/true);
+  Rng rng(0xaca0 + static_cast<std::uint64_t>(width) * 131 + k);
+  const auto ops = mixed_ops(width, 120, rng);
+
+  const netlist::Simulator sim(aca.nl);
+  const auto index = netlist::stim::input_index_map(aca.nl);
+  for (std::size_t base = 0; base < ops.size(); base += 64) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(64, ops.size() - base));
+    std::vector<std::uint64_t> stim(aca.nl.inputs().size(), 0);
+    for (int lane = 0; lane < lanes; ++lane) {
+      netlist::stim::load_operand(stim, index, aca.a, ops[base + lane].first,
+                                  lane);
+      netlist::stim::load_operand(stim, index, aca.b, ops[base + lane].second,
+                                  lane);
+    }
+    const auto values = sim.eval(stim);
+    for (int lane = 0; lane < lanes; ++lane) {
+      const auto& [a, b] = ops[base + static_cast<std::size_t>(lane)];
+      const auto expect = aca_add(a, b, k);
+      ASSERT_EQ(netlist::stim::read_bus(values, aca.sum, lane), expect.sum)
+          << a.to_hex() << "+" << b.to_hex();
+      ASSERT_EQ(testing::net_bit(values, aca.carry_out, lane),
+                expect.carry_out);
+      ASSERT_EQ(testing::net_bit(values, aca.error, lane), expect.flagged)
+          << a.to_hex() << "+" << b.to_hex();
+    }
+  }
+}
+
+TEST_P(AcaNetlistSweep, NaiveAcaMatchesBehavioral) {
+  const auto [width, k] = GetParam();
+  const AcaNetlist aca = core::build_aca_naive(width, k);
+  Rng rng(0xaca1 + static_cast<std::uint64_t>(width) * 131 + k);
+  const auto ops = mixed_ops(width, 60, rng);
+  const auto results =
+      run_adder_netlist(aca.nl, aca.a, aca.b, aca.sum, aca.carry_out, ops);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto expect = aca_add(ops[i].first, ops[i].second, k);
+    ASSERT_EQ(results[i].sum, expect.sum) << i;
+    ASSERT_EQ(results[i].carry_out, expect.carry_out) << i;
+  }
+}
+
+TEST_P(AcaNetlistSweep, ErrorDetectorMatchesBehavioralFlag) {
+  const auto [width, k] = GetParam();
+  const auto det = core::build_error_detector(width, k);
+  Rng rng(0xaca2 + static_cast<std::uint64_t>(width) * 131 + k);
+  const auto ops = mixed_ops(width, 120, rng);
+  const netlist::Simulator sim(det.nl);
+  const auto index = netlist::stim::input_index_map(det.nl);
+  for (std::size_t base = 0; base < ops.size(); base += 64) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(64, ops.size() - base));
+    std::vector<std::uint64_t> stim(det.nl.inputs().size(), 0);
+    for (int lane = 0; lane < lanes; ++lane) {
+      netlist::stim::load_operand(stim, index, det.a, ops[base + lane].first,
+                                  lane);
+      netlist::stim::load_operand(stim, index, det.b, ops[base + lane].second,
+                                  lane);
+    }
+    const auto values = sim.eval(stim);
+    for (int lane = 0; lane < lanes; ++lane) {
+      const auto& [a, b] = ops[base + static_cast<std::size_t>(lane)];
+      ASSERT_EQ(testing::net_bit(values, det.error, lane),
+                core::aca_flag(a, b, k))
+          << a.to_hex() << "+" << b.to_hex();
+    }
+  }
+}
+
+TEST_P(AcaNetlistSweep, VlsaExactOutputIsAlwaysCorrect) {
+  const auto [width, k] = GetParam();
+  const VlsaNetlist v = core::build_vlsa(width, k);
+  Rng rng(0xaca3 + static_cast<std::uint64_t>(width) * 131 + k);
+  const auto ops = mixed_ops(width, 120, rng);
+  const netlist::Simulator sim(v.nl);
+  const auto index = netlist::stim::input_index_map(v.nl);
+  for (std::size_t base = 0; base < ops.size(); base += 64) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(64, ops.size() - base));
+    std::vector<std::uint64_t> stim(v.nl.inputs().size(), 0);
+    for (int lane = 0; lane < lanes; ++lane) {
+      netlist::stim::load_operand(stim, index, v.a, ops[base + lane].first,
+                                  lane);
+      netlist::stim::load_operand(stim, index, v.b, ops[base + lane].second,
+                                  lane);
+    }
+    const auto values = sim.eval(stim);
+    for (int lane = 0; lane < lanes; ++lane) {
+      const auto& [a, b] = ops[base + static_cast<std::size_t>(lane)];
+      const auto exact = a.add_with_carry(b);
+      const auto spec = aca_add(a, b, k);
+      // Recovery path: always the true sum, regardless of the flag.
+      ASSERT_EQ(netlist::stim::read_bus(values, v.exact_sum, lane), exact.sum)
+          << a.to_hex() << "+" << b.to_hex();
+      ASSERT_EQ(testing::net_bit(values, v.exact_carry_out, lane),
+                exact.carry_out);
+      // Speculative path mirrors the plain ACA.
+      ASSERT_EQ(netlist::stim::read_bus(values, v.speculative_sum, lane),
+                spec.sum);
+      ASSERT_EQ(testing::net_bit(values, v.error, lane), spec.flagged);
+      ASSERT_EQ(testing::net_bit(values, v.valid, lane), !spec.flagged);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndWindows, AcaNetlistSweep,
+    ::testing::ValuesIn(std::vector<Param>{
+        {4, 2}, {8, 1}, {8, 3}, {8, 8}, {8, 12}, {16, 1}, {16, 4},
+        {16, 5}, {24, 6}, {32, 4}, {32, 8}, {48, 7}, {64, 8}, {64, 11},
+        {100, 9}, {128, 12}, {192, 14}, {256, 16}}),
+    param_name);
+
+TEST(AcaNetlist, SharedBeatsNaiveOnAreaAndFanout) {
+  // The point of Fig. 3/4: sharing the matrix products collapses the
+  // O(n k) replicated logic to O(n log k) and bounds input fanout.
+  const int n = 128, k = 12;
+  const auto shared = core::build_aca(n, k);
+  const auto naive = core::build_aca_naive(n, k);
+  const auto shared_area = netlist::analyze_area(shared.nl);
+  const auto naive_area = netlist::analyze_area(naive.nl);
+  EXPECT_LT(shared_area.total_area, 0.5 * naive_area.total_area);
+  EXPECT_LT(shared_area.max_input_fanout, naive_area.max_input_fanout);
+}
+
+TEST(AcaNetlist, AcaIsFasterThanItsWidthSuggests) {
+  // Delay of ACA(256, k=10) should be close to a 16-bit exact adder, not a
+  // 256-bit one: depth depends on k only (plus the constant preprocessing).
+  const auto aca256 = core::build_aca(256, 10);
+  const auto aca64 = core::build_aca(64, 10);
+  const double d256 = netlist::analyze_timing(aca256.nl).critical_delay_ns;
+  const double d64 = netlist::analyze_timing(aca64.nl).critical_delay_ns;
+  EXPECT_NEAR(d256 / d64, 1.0, 0.25);
+}
+
+TEST(AcaNetlist, ErrorFlagAddsNoSumDelay) {
+  // Requesting the ER output must not slow the sum outputs down by more
+  // than the shared-strip fanout effect.
+  const auto plain = core::build_aca(64, 8, false);
+  const auto flagged = core::build_aca(64, 8, true);
+  const double dp = netlist::analyze_timing(plain.nl).critical_delay_ns;
+  const double df = netlist::analyze_timing(flagged.nl).critical_delay_ns;
+  EXPECT_GE(df, dp);           // OR tree shows up as the new critical path
+  EXPECT_LT(df, dp * 2.0);     // ...but stays in the same ballpark
+}
+
+TEST(AcaNetlist, RejectsBadDimensions) {
+  EXPECT_THROW(core::build_aca(0, 4), std::invalid_argument);
+  EXPECT_THROW(core::build_aca(8, 0), std::invalid_argument);
+  EXPECT_THROW(core::build_vlsa(-1, 2), std::invalid_argument);
+  EXPECT_THROW(core::build_error_detector(8, -2), std::invalid_argument);
+}
+
+TEST(AcaNetlist, DetectorWiderThanWordIsConstantZero) {
+  const auto det = core::build_error_detector(8, 16);
+  const netlist::Simulator sim(det.nl);
+  std::vector<std::uint64_t> stim(det.nl.inputs().size(),
+                                  ~std::uint64_t{0});  // all-ones operands
+  const auto values = sim.eval(stim);
+  EXPECT_EQ(values[static_cast<std::size_t>(det.error)], 0u);
+}
+
+}  // namespace
+}  // namespace vlsa

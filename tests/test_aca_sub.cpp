@@ -1,0 +1,136 @@
+// Tests for the carry-in extension and speculative subtraction.
+
+#include <gtest/gtest.h>
+
+#include "core/aca.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::aca_add;
+using core::aca_sub;
+using core::SpeculativeAdder;
+using util::BitVec;
+using util::Rng;
+
+TEST(AcaCarryIn, ExhaustiveSoundnessWidth8) {
+  // With carry-in the same theorem must hold: unflagged implies exact.
+  const int k = 3;
+  for (int cin = 0; cin <= 1; ++cin) {
+    for (int av = 0; av < 256; ++av) {
+      for (int bv = 0; bv < 256; ++bv) {
+        const BitVec a = BitVec::from_u64(8, av);
+        const BitVec b = BitVec::from_u64(8, bv);
+        const auto got = aca_add(a, b, k, cin != 0);
+        const auto exact = a.add_with_carry(b, cin != 0);
+        if (!got.flagged) {
+          ASSERT_EQ(got.sum, exact.sum)
+              << av << "+" << bv << "+" << cin;
+          ASSERT_EQ(got.carry_out, exact.carry_out);
+        }
+      }
+    }
+  }
+}
+
+TEST(AcaCarryIn, WideWindowMatchesExactWithCarry) {
+  Rng rng(81);
+  for (int i = 0; i < 500; ++i) {
+    const BitVec a = rng.next_bits(72);
+    const BitVec b = rng.next_bits(72);
+    const auto got = aca_add(a, b, 72, true);
+    const auto exact = a.add_with_carry(b, true);
+    ASSERT_EQ(got.sum, exact.sum);
+    ASSERT_EQ(got.carry_out, exact.carry_out);
+    ASSERT_FALSE(got.flagged);
+  }
+}
+
+TEST(AcaCarryIn, CarryInAffectsOnlyClampedWindows) {
+  // With a kill at bit 0 the carry-in cannot reach any higher bit, so
+  // both settings must agree above bit 0.
+  BitVec a = BitVec::from_u64(16, 0b1010101010101010);
+  BitVec b(16);  // a & b = 0 and a ^ b has no bit 0 set -> bit0 kill
+  const auto without = aca_add(a, b, 4, false);
+  const auto with = aca_add(a, b, 4, true);
+  for (int i = 1; i < 16; ++i) {
+    EXPECT_EQ(without.sum.bit(i), with.sum.bit(i)) << i;
+  }
+  EXPECT_NE(without.sum.bit(0), with.sum.bit(0));
+}
+
+TEST(AcaSub, UnflaggedSubtractionIsExact) {
+  Rng rng(82);
+  int flagged = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const BitVec a = rng.next_bits(64);
+    const BitVec b = rng.next_bits(64);
+    const auto got = aca_sub(a, b, 8);
+    if (got.flagged) {
+      ++flagged;
+    } else {
+      ASSERT_EQ(got.sum, a - b);
+    }
+  }
+  EXPECT_GT(flagged, 0);
+  EXPECT_LT(flagged, 2500);
+}
+
+TEST(AcaSub, SubtractionOfEqualOperandsIsZeroButFlagged) {
+  // a - a: ~a ^ a = all ones -> the propagate chain spans the word, so ER
+  // fires... and yet the speculative result happens to be right only in
+  // the low window.  The point: ER = 1 does not mean wrong, and a - a is
+  // the canonical false-positive-or-error stress case.
+  const BitVec a = BitVec::from_u64(32, 0x12345678);
+  const auto got = aca_sub(a, a, 8);
+  EXPECT_TRUE(got.flagged);
+  // Exact difference is zero; whether speculation got it right is
+  // irrelevant — flagged results go to recovery.
+  EXPECT_EQ((a - a).low_u64(), 0u);
+}
+
+TEST(AcaSub, ComplementaryOperandsNeverFlag) {
+  // a = 1010..., b = 0101...: the subtraction's propagate string
+  // a ^ ~b is all zeros, so no window can misspeculate at any k.
+  const BitVec a = BitVec::from_u64(64, 0xaaaaaaaaaaaaaaaa);
+  const BitVec b = BitVec::from_u64(64, 0x5555555555555555);
+  const auto got = aca_sub(a, b, 4);
+  EXPECT_FALSE(got.flagged);
+  EXPECT_EQ(got.sum, a - b);
+}
+
+TEST(AcaSub, NearbyOperandsAreTheSubtractionWorstCase) {
+  // Subtracting nearly equal values makes ~b nearly equal to ~a, so the
+  // propagate string is nearly all ones — subtraction flips the easy and
+  // hard input classes relative to addition.  Deployments that subtract
+  // accumulator-style values must budget for this.
+  const BitVec a = BitVec::from_u64(64, 1'000'000'007);
+  const BitVec b = BitVec::from_u64(64, 1'000'000'000);
+  const auto got = aca_sub(a, b, 16);
+  EXPECT_TRUE(got.flagged);
+  EXPECT_EQ((a - b).low_u64(), 7u);
+}
+
+TEST(AcaSub, SpeculativeAdderSubApi) {
+  SpeculativeAdder adder(48, 10);
+  Rng rng(83);
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = rng.next_bits(48);
+    const BitVec b = rng.next_bits(48);
+    const auto out = adder.sub(a, b);
+    ASSERT_EQ(out.exact, a - b);
+    if (out.was_wrong) {
+      ASSERT_TRUE(out.flagged);
+    }
+  }
+  EXPECT_EQ(adder.total_adds(), 2000);
+}
+
+TEST(AcaSub, RejectsWidthMismatch) {
+  SpeculativeAdder adder(16, 4);
+  EXPECT_THROW(adder.sub(BitVec(8), BitVec(16)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,147 @@
+// Tests for the approximate-adder zoo: per-design semantics, error
+// envelopes, and the comparative properties the zoo exists to show.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/approx_adders.hpp"
+#include "core/error_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using approx::approx_add;
+using approx::ApproxKind;
+using util::BitVec;
+using util::Rng;
+
+constexpr ApproxKind kAllKinds[] = {
+    ApproxKind::AcaWindow, ApproxKind::EtaBlock, ApproxKind::LowerOr,
+    ApproxKind::Truncated};
+
+TEST(ApproxZoo, FullParameterMeansExactForWindowedKinds) {
+  Rng rng(101);
+  for (int i = 0; i < 300; ++i) {
+    const BitVec a = rng.next_bits(48);
+    const BitVec b = rng.next_bits(48);
+    EXPECT_EQ(approx_add(ApproxKind::AcaWindow, a, b, 48), a + b);
+    EXPECT_EQ(approx_add(ApproxKind::EtaBlock, a, b, 48), a + b);
+  }
+}
+
+TEST(ApproxZoo, LowerOrIsExactWhenNoLowCarries) {
+  // Disjoint low bits: OR == ADD there, and no carry crosses into the
+  // upper part, so LOA is exact.
+  const BitVec a = BitVec::from_u64(16, 0x0f05);
+  const BitVec b = BitVec::from_u64(16, 0x10f0);
+  EXPECT_EQ(approx_add(ApproxKind::LowerOr, a, b, 8), a + b);
+}
+
+TEST(ApproxZoo, LowerOrUpperPartIsAlwaysExactGivenItsCarryModel) {
+  // The upper bits may differ from the true sum only because of the
+  // simplified carry-in, never by more than one carry's worth.
+  Rng rng(102);
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = rng.next_bits(32);
+    const BitVec b = rng.next_bits(32);
+    const BitVec got = approx_add(ApproxKind::LowerOr, a, b, 8);
+    const BitVec exact = a + b;
+    // error distance < 2^9 (low part wrong by < 2^8, carry wrong adds 2^8)
+    const double distance = core::normalized_distance(got, exact);
+    EXPECT_LT(distance, std::ldexp(1.0, 9 - 32));
+  }
+}
+
+TEST(ApproxZoo, TruncationErrorIsBoundedByLowPart) {
+  Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = rng.next_bits(32);
+    const BitVec b = rng.next_bits(32);
+    const BitVec got = approx_add(ApproxKind::Truncated, a, b, 10);
+    const double distance = core::normalized_distance(got, a + b);
+    // Low 10 bits wrong by < 2^10; a lost inter-part carry adds 2^10.
+    EXPECT_LT(distance, std::ldexp(1.0, 11 - 32));
+  }
+}
+
+TEST(ApproxZoo, EtaBlocksAreWeakerThanAcaAtSameSpan) {
+  // Same carry span: ETAII blocks of s resolve chains of <= 2s only when
+  // aligned; the sliding window resolves every chain < k.  So at equal
+  // span the ACA errs less.
+  Rng rng(104);
+  const int n = 64;
+  const int k = 8;                       // ACA span 8
+  const int s = 4;                       // ETA span 2*4 = 8
+  ASSERT_EQ(approx::carry_span(ApproxKind::AcaWindow, n, k),
+            approx::carry_span(ApproxKind::EtaBlock, n, s));
+  int aca_wrong = 0, eta_wrong = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const BitVec a = rng.next_bits(n);
+    const BitVec b = rng.next_bits(n);
+    const BitVec exact = a + b;
+    aca_wrong += approx_add(ApproxKind::AcaWindow, a, b, k) != exact;
+    eta_wrong += approx_add(ApproxKind::EtaBlock, a, b, s) != exact;
+  }
+  EXPECT_LT(aca_wrong, eta_wrong);
+}
+
+TEST(ApproxZoo, ErrorProfilesDiffer) {
+  // LOA errs often-but-small; ACA errs rarely-but-large.  Compare error
+  // rate and conditional magnitude at comparable spans.
+  Rng rng(105);
+  const int n = 32, k = 10, l = n - 10;  // both spans ~10 and ~10
+  long long aca_wrong = 0, loa_wrong = 0;
+  double aca_dist = 0, loa_dist = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    const BitVec a = rng.next_bits(n);
+    const BitVec b = rng.next_bits(n);
+    const BitVec exact = a + b;
+    const BitVec aca = approx_add(ApproxKind::AcaWindow, a, b, k);
+    const BitVec loa = approx_add(ApproxKind::LowerOr, a, b, l);
+    if (aca != exact) {
+      ++aca_wrong;
+      aca_dist += core::normalized_distance(aca, exact);
+    }
+    if (loa != exact) {
+      ++loa_wrong;
+      loa_dist += core::normalized_distance(loa, exact);
+    }
+  }
+  ASSERT_GT(aca_wrong, 0);
+  ASSERT_GT(loa_wrong, 0);
+  EXPECT_LT(aca_wrong, loa_wrong / 4);  // rare...
+  EXPECT_GT(aca_dist / aca_wrong, loa_dist / loa_wrong);  // ...but large
+}
+
+TEST(ApproxZoo, OnlyAcaHasAFlag) {
+  int with_flag = 0;
+  for (ApproxKind kind : kAllKinds) {
+    with_flag += approx::has_error_flag(kind);
+  }
+  EXPECT_EQ(with_flag, 1);
+  EXPECT_TRUE(approx::has_error_flag(ApproxKind::AcaWindow));
+}
+
+TEST(ApproxZoo, CarrySpanConventions) {
+  EXPECT_EQ(approx::carry_span(ApproxKind::AcaWindow, 64, 12), 12);
+  EXPECT_EQ(approx::carry_span(ApproxKind::EtaBlock, 64, 6), 12);
+  EXPECT_EQ(approx::carry_span(ApproxKind::LowerOr, 64, 20), 44);
+  EXPECT_EQ(approx::carry_span(ApproxKind::Truncated, 64, 60), 4);
+  EXPECT_EQ(approx::carry_span(ApproxKind::AcaWindow, 8, 100), 8);
+}
+
+TEST(ApproxZoo, NamesAreUniqueAndRejectsBadArgs) {
+  std::set<std::string> names;
+  for (ApproxKind kind : kAllKinds) names.insert(approx::approx_kind_name(kind));
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_THROW(approx_add(ApproxKind::LowerOr, BitVec(8), BitVec(9), 4),
+               std::invalid_argument);
+  EXPECT_THROW(approx_add(ApproxKind::LowerOr, BitVec(8), BitVec(8), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,124 @@
+// Cross-module consistency: the repository has several independent
+// arithmetic implementations (BitVec limb arithmetic, BigUint,
+// behavioral ACA, the 32-bit word ACA, netlist adders).  These tests pin
+// them against each other on shared values, so a bug in any one of them
+// breaks a triangle rather than hiding.
+
+#include <gtest/gtest.h>
+
+#include "analysis/biguint.hpp"
+#include "core/aca.hpp"
+#include "core/error_metrics.hpp"
+#include "crypto/adder32.hpp"
+#include "multiop/multi_add.hpp"
+#include "multiplier/spec_multiplier.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using analysis::BigUint;
+using util::BitVec;
+using util::Rng;
+
+// Interpret a BitVec as a BigUint.
+BigUint to_biguint(const BitVec& v) {
+  BigUint out;
+  for (int i = v.width() - 1; i >= 0; --i) {
+    out += out;  // shift left by one
+    if (v.bit(i)) out += BigUint(1);
+  }
+  return out;
+}
+
+TEST(CrossModule, BitVecAdditionMatchesBigUint) {
+  Rng rng(0xc0de);
+  for (int width : {31, 64, 130, 257}) {
+    for (int t = 0; t < 50; ++t) {
+      const BitVec a = rng.next_bits(width);
+      const BitVec b = rng.next_bits(width);
+      // BigUint add is unbounded; reduce mod 2^width by subtracting when
+      // the carry-out fired.
+      BigUint expect = to_biguint(a) + to_biguint(b);
+      const auto sum = a.add_with_carry(b);
+      if (sum.carry_out) expect -= BigUint::pow2(width);
+      ASSERT_EQ(to_biguint(sum.sum), expect) << width;
+    }
+  }
+}
+
+TEST(CrossModule, Word32AcaMatchesBitVecAcaEverywhere) {
+  Rng rng(0xc0df);
+  for (int k : {1, 2, 5, 9, 13, 21, 31, 32}) {
+    for (int t = 0; t < 500; ++t) {
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+      const auto wide =
+          core::aca_add(BitVec::from_u64(32, a), BitVec::from_u64(32, b), k);
+      ASSERT_EQ(crypto::aca_add_u32(a, b, k),
+                static_cast<std::uint32_t>(wide.sum.low_u64()))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(CrossModule, MultiAddOfTwoEqualsAcaAdd) {
+  // speculative_multi_add([a, b], k) reduces trivially (no CSA needed)
+  // and must equal the plain speculative addition.
+  Rng rng(0xc0e0);
+  for (int t = 0; t < 300; ++t) {
+    const BitVec a = rng.next_bits(48);
+    const BitVec b = rng.next_bits(48);
+    const std::vector<BitVec> pair{a, b};
+    const auto multi = multiop::speculative_multi_add(pair, 7);
+    const auto direct = core::aca_add(a, b, 7);
+    ASSERT_EQ(multi.sum, direct.sum);
+    ASSERT_EQ(multi.flagged, direct.flagged);
+  }
+}
+
+TEST(CrossModule, SignedAndUnsignedMultiplyAgreeOnNonNegative) {
+  // For operands with a clear sign bit, the signed (Booth reference) and
+  // unsigned products coincide.
+  Rng rng(0xc0e1);
+  for (int t = 0; t < 300; ++t) {
+    BitVec a = rng.next_bits(16);
+    BitVec b = rng.next_bits(16);
+    a.set_bit(15, false);
+    b.set_bit(15, false);
+    ASSERT_EQ(multiplier::exact_multiply_signed(a, b),
+              multiplier::exact_multiply(a, b));
+  }
+}
+
+TEST(CrossModule, BoothAndWallaceSpeculativeAgreeWhenUnflagged) {
+  Rng rng(0xc0e2);
+  int checked = 0;
+  for (int t = 0; t < 1000; ++t) {
+    BitVec a = rng.next_bits(12);
+    BitVec b = rng.next_bits(12);
+    a.set_bit(11, false);  // keep both interpretations identical
+    b.set_bit(11, false);
+    const auto booth = multiplier::speculative_multiply_booth(a, b, 9);
+    const auto wallace = multiplier::speculative_multiply(a, b, 9);
+    if (!booth.flagged && !wallace.flagged) {
+      ASSERT_EQ(booth.product, wallace.product);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 800);  // the comparison actually ran
+}
+
+TEST(CrossModule, BigUintRatioMatchesBitVecNormalization) {
+  Rng rng(0xc0e3);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec v = rng.next_bits(200);
+    const double via_biguint = to_biguint(v).ratio_to_pow2(200);
+    const double via_distance = core::normalized_distance(v, BitVec(200));
+    ASSERT_NEAR(via_biguint, via_distance, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vlsa

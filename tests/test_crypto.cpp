@@ -1,0 +1,219 @@
+// Tests for the cryptographic substrate: the pluggable 32-bit ACA, the
+// TEA cipher, the text model, and the end-to-end ciphertext-only attack
+// with exact and speculative decryption hardware.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/aca.hpp"
+#include "crypto/adder32.hpp"
+#include "crypto/attack.hpp"
+#include "crypto/tea.hpp"
+#include "crypto/text_model.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using crypto::Adder32;
+using crypto::TeaCipher;
+using util::BitVec;
+using util::Rng;
+
+TEST(Adder32, AcaMatchesBitVecModel) {
+  Rng rng(41);
+  for (int k : {1, 4, 8, 16, 31, 32, 40}) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+      const auto ref =
+          core::aca_add(BitVec::from_u64(32, a), BitVec::from_u64(32, b), k);
+      ASSERT_EQ(crypto::aca_add_u32(a, b, k),
+                static_cast<std::uint32_t>(ref.sum.low_u64()))
+          << "k=" << k << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Adder32, WindowThirtyTwoIsExact) {
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+    EXPECT_EQ(crypto::aca_add_u32(a, b, 32), a + b);
+  }
+}
+
+TEST(Adder32, ExactModeAndSub) {
+  const Adder32 exact = Adder32::exact();
+  EXPECT_FALSE(exact.is_speculative());
+  EXPECT_EQ(exact.add(7, 9), 16u);
+  EXPECT_EQ(exact.sub(7, 9), static_cast<std::uint32_t>(7 - 9));
+  const Adder32 spec = Adder32::speculative(8);
+  EXPECT_TRUE(spec.is_speculative());
+  EXPECT_EQ(spec.window(), 8);
+  EXPECT_THROW(Adder32::speculative(0), std::invalid_argument);
+}
+
+TEST(Adder32, SpeculativeSubInvertsAddWhenUnflagged) {
+  // sub(a+b, b) == a whenever the speculative chains stay short.
+  Rng rng(43);
+  const Adder32 spec = Adder32::speculative(12);
+  int matches = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+    matches += spec.sub(a + b, b) == a;
+  }
+  EXPECT_GT(matches, trials * 97 / 100);  // k=12 at 32 bits: rare misses
+}
+
+TEST(Tea, EncryptDecryptRoundTrip) {
+  const TeaCipher cipher({0x12345678, 0x9abcdef0, 0x0fedcba9, 0x87654321});
+  std::uint32_t v0 = 0xdeadbeef, v1 = 0xcafebabe;
+  cipher.encrypt_block(v0, v1);
+  EXPECT_NE(v0, 0xdeadbeefu);  // actually encrypted
+  cipher.decrypt_block(v0, v1, Adder32::exact());
+  EXPECT_EQ(v0, 0xdeadbeefu);
+  EXPECT_EQ(v1, 0xcafebabeu);
+}
+
+TEST(Tea, BufferRoundTripAndBlockIndependence) {
+  const TeaCipher cipher({1, 2, 3, 4});
+  std::vector<std::uint8_t> plain(64);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>('a' + i % 26);
+  }
+  auto cipher_text = cipher.encrypt(plain);
+  EXPECT_NE(cipher_text, plain);
+  EXPECT_EQ(cipher.decrypt(cipher_text, Adder32::exact()), plain);
+  // ECB: flipping one ciphertext block only corrupts that block.
+  cipher_text[8] ^= 0xff;
+  const auto corrupted = cipher.decrypt(cipher_text, Adder32::exact());
+  EXPECT_TRUE(std::equal(corrupted.begin(), corrupted.begin() + 8,
+                         plain.begin()));
+  EXPECT_TRUE(std::equal(corrupted.begin() + 16, corrupted.end(),
+                         plain.begin() + 16));
+  EXPECT_FALSE(std::equal(corrupted.begin() + 8, corrupted.begin() + 16,
+                          plain.begin() + 8));
+}
+
+TEST(Tea, RejectsNonBlockSizes) {
+  const TeaCipher cipher({1, 2, 3, 4});
+  const std::vector<std::uint8_t> bad(7);
+  EXPECT_THROW(cipher.encrypt(bad), std::invalid_argument);
+}
+
+TEST(Tea, WrongKeyProducesGarbage) {
+  const TeaCipher good({1, 2, 3, 4});
+  const TeaCipher bad({1, 2, 3, 5});
+  std::vector<std::uint8_t> plain(32, static_cast<std::uint8_t>('e'));
+  const auto ct = good.encrypt(plain);
+  EXPECT_NE(bad.decrypt(ct, Adder32::exact()), plain);
+}
+
+TEST(TextModel, FrequenciesFormDistribution) {
+  double total = 0;
+  for (char c = 'a'; c <= 'z'; ++c) total += crypto::english_frequency(c);
+  total += crypto::english_frequency(' ');
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(crypto::english_frequency('e'), crypto::english_frequency('x'));
+  EXPECT_EQ(crypto::english_frequency('!'), 0.0);
+}
+
+TEST(TextModel, GeneratedTextScoresFarBelowRandomBytes) {
+  Rng rng(44);
+  const std::string text = crypto::generate_english_like_text(4096, rng);
+  std::vector<std::uint8_t> text_bytes(text.begin(), text.end());
+  std::vector<std::uint8_t> random_bytes(4096);
+  for (auto& b : random_bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+  const double text_score = crypto::chi_square_vs_english(text_bytes);
+  const double random_score = crypto::chi_square_vs_english(random_bytes);
+  EXPECT_LT(text_score * 100, random_score);
+}
+
+TEST(TextModel, EmptyBufferThrows) {
+  EXPECT_THROW(crypto::chi_square_vs_english({}), std::invalid_argument);
+}
+
+class AttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(45);
+    const std::string text = crypto::generate_english_like_text(4096, rng);
+    plaintext_.assign(text.begin(), text.end());
+    ciphertext_ = TeaCipher(true_key_).encrypt(plaintext_);
+  }
+  TeaCipher::Key true_key_{0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344};
+  std::vector<std::uint8_t> plaintext_;
+  std::vector<std::uint8_t> ciphertext_;
+};
+
+TEST_F(AttackTest, ExactAdderFindsKey) {
+  crypto::AttackConfig config;
+  config.candidate_keys = 32;
+  const auto result =
+      crypto::ciphertext_only_attack(ciphertext_, true_key_, config);
+  EXPECT_EQ(result.true_key_rank, 1);
+  EXPECT_LT(result.true_key_score * 10, result.best_decoy_score);
+  EXPECT_EQ(result.wrong_blocks_true_key, 0);
+}
+
+TEST_F(AttackTest, SpeculativeAdderStillFindsKey) {
+  // The paper's claim: ACA decryption corrupts a few blocks but cannot
+  // perturb the corpus statistics enough to change the ranking.  One TEA
+  // block chains 32 rounds x 8 speculative adds, so the per-add error is
+  // amplified ~256x at the block level — the window must be chosen for
+  // the *block* error budget (k = 14 gives a few percent of bad blocks).
+  crypto::AttackConfig config;
+  config.candidate_keys = 32;
+  config.adder = Adder32::speculative(14);
+  const auto result =
+      crypto::ciphertext_only_attack(ciphertext_, true_key_, config);
+  EXPECT_EQ(result.true_key_rank, 1);
+  EXPECT_GT(result.wrong_blocks_true_key, 0);  // speculation did miss
+  EXPECT_LT(result.wrong_blocks_true_key, result.total_blocks / 4);
+  EXPECT_LT(result.true_key_score * 10, result.best_decoy_score);
+}
+
+TEST_F(AttackTest, TooAggressiveWindowCorruptsMostBlocks) {
+  // The flip side — with k = 10 more than a quarter of the blocks decrypt
+  // wrongly under the true key; the attack degrades.  This documents the
+  // chained-add amplification that any deployment must budget for.
+  crypto::AttackConfig config;
+  config.candidate_keys = 8;
+  config.adder = Adder32::speculative(10);
+  const auto result =
+      crypto::ciphertext_only_attack(ciphertext_, true_key_, config);
+  EXPECT_GT(result.wrong_blocks_true_key, result.total_blocks / 4);
+}
+
+TEST_F(AttackTest, RankingIsSortedAndComplete) {
+  crypto::AttackConfig config;
+  config.candidate_keys = 16;
+  const auto result =
+      crypto::ciphertext_only_attack(ciphertext_, true_key_, config);
+  ASSERT_EQ(result.ranking.size(), 16u);
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_LE(result.ranking[i - 1].chi_square, result.ranking[i].chi_square);
+  }
+  int true_count = 0;
+  for (const auto& entry : result.ranking) true_count += entry.is_true_key;
+  EXPECT_EQ(true_count, 1);
+}
+
+TEST_F(AttackTest, RejectsBadConfig) {
+  crypto::AttackConfig config;
+  config.candidate_keys = 1;
+  EXPECT_THROW(crypto::ciphertext_only_attack(ciphertext_, true_key_, config),
+               std::invalid_argument);
+  config.candidate_keys = 4;
+  EXPECT_THROW(crypto::ciphertext_only_attack({}, true_key_, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

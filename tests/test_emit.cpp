@@ -1,0 +1,114 @@
+// Tests for the HDL emitters — the paper's generator artifact.  We check
+// structural well-formedness (ports, declarations, one assignment per
+// cell) and a full golden emission for a tiny circuit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adders/adders.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/emit.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::Netlist;
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Emit, SanitizeIdentifier) {
+  EXPECT_EQ(netlist::sanitize_identifier("a[3]"), "a_3");
+  EXPECT_EQ(netlist::sanitize_identifier("sum[10]"), "sum_10");
+  EXPECT_EQ(netlist::sanitize_identifier("3bad"), "n_3bad");
+  EXPECT_EQ(netlist::sanitize_identifier(""), "n_");
+}
+
+TEST(Emit, GoldenVerilogForHalfAdder) {
+  Netlist nl("half_adder");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output(nl.xor2(a, b), "s");
+  nl.mark_output(nl.and2(a, b), "c");
+  const std::string v = netlist::to_verilog(nl);
+  EXPECT_NE(v.find("module half_adder (a, b, s, c);"), std::string::npos) << v;
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output s;"), std::string::npos);
+  EXPECT_NE(v.find("assign w2 = a ^ b;"), std::string::npos) << v;
+  EXPECT_NE(v.find("assign w3 = a & b;"), std::string::npos);
+  EXPECT_NE(v.find("assign s = w2;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Emit, GoldenVhdlForHalfAdder) {
+  Netlist nl("half_adder");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output(nl.xor2(a, b), "s");
+  const std::string v = netlist::to_vhdl(nl);
+  EXPECT_NE(v.find("entity half_adder is"), std::string::npos);
+  EXPECT_NE(v.find("a : in std_logic"), std::string::npos);
+  EXPECT_NE(v.find("s : out std_logic"), std::string::npos);
+  EXPECT_NE(v.find("architecture structural of half_adder is"),
+            std::string::npos);
+  EXPECT_NE(v.find("signal w2 : std_logic;"), std::string::npos);
+  EXPECT_NE(v.find("w2 <= a xor b;"), std::string::npos);
+  EXPECT_NE(v.find("s <= w2;"), std::string::npos);
+  EXPECT_NE(v.find("end architecture structural;"), std::string::npos);
+}
+
+TEST(Emit, AdderEmissionIsStructurallyComplete) {
+  const auto adder = adders::build_adder(adders::AdderKind::KoggeStone, 16);
+  const std::string v = netlist::to_verilog(adder.nl);
+  // Every input/output is declared exactly once.
+  EXPECT_EQ(count_occurrences(v, "input a_0;"), 1);
+  EXPECT_EQ(count_occurrences(v, "input b_15;"), 1);
+  EXPECT_EQ(count_occurrences(v, "output sum_15;"), 1);
+  EXPECT_EQ(count_occurrences(v, "output cout;"), 1);
+  // One assignment per cell plus one per output alias.
+  const int cells = adder.nl.num_cells();
+  const int outputs = static_cast<int>(adder.nl.outputs().size());
+  EXPECT_EQ(count_occurrences(v, "assign "), cells + outputs);
+}
+
+TEST(Emit, VhdlForVlsaMentionsAllControlPorts) {
+  const auto v = core::build_vlsa(16, 4);
+  const std::string hdl = netlist::to_vhdl(v.nl);
+  EXPECT_NE(hdl.find("error : out std_logic"), std::string::npos);
+  EXPECT_NE(hdl.find("valid : out std_logic"), std::string::npos);
+  EXPECT_NE(hdl.find("spec_sum_0 : out std_logic"), std::string::npos);
+  EXPECT_NE(hdl.find("sum_15 : out std_logic"), std::string::npos);
+}
+
+TEST(Emit, ConstantsEmitLiterals) {
+  Netlist nl("consts");
+  nl.mark_output(nl.const0(), "zero");
+  nl.mark_output(nl.const1(), "one");
+  const std::string v = netlist::to_verilog(nl);
+  EXPECT_NE(v.find("1'b0"), std::string::npos);
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+  const std::string h = netlist::to_vhdl(nl);
+  EXPECT_NE(h.find("<= '0';"), std::string::npos);
+  EXPECT_NE(h.find("<= '1';"), std::string::npos);
+}
+
+TEST(Emit, MuxUsesConditionalForms) {
+  Netlist nl("muxes");
+  const auto s = nl.add_input("s");
+  const auto d0 = nl.add_input("d0");
+  const auto d1 = nl.add_input("d1");
+  nl.mark_output(nl.mux2(s, d0, d1), "y");
+  EXPECT_NE(netlist::to_verilog(nl).find("s ? d1 : d0"), std::string::npos);
+  EXPECT_NE(netlist::to_vhdl(nl).find("d1 when s = '1' else d0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlsa

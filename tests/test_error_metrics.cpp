@@ -1,0 +1,87 @@
+// Tests for the error-magnitude metrics and the exact longest-run
+// moments.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/aca_probability.hpp"
+#include "analysis/longest_run.hpp"
+#include "core/error_metrics.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::measure_error_magnitude;
+using core::normalized_distance;
+using util::BitVec;
+
+TEST(NormalizedDistance, KnownValues) {
+  const BitVec a = BitVec::from_u64(8, 200);
+  const BitVec b = BitVec::from_u64(8, 72);
+  EXPECT_DOUBLE_EQ(normalized_distance(a, b), 128.0 / 256.0);
+  EXPECT_DOUBLE_EQ(normalized_distance(b, a), 128.0 / 256.0);
+  EXPECT_DOUBLE_EQ(normalized_distance(a, a), 0.0);
+  EXPECT_THROW(normalized_distance(BitVec(8), BitVec(9)),
+               std::invalid_argument);
+}
+
+TEST(NormalizedDistance, WideValuesStayFinite) {
+  const BitVec big = BitVec::ones(2048);
+  const BitVec zero(2048);
+  EXPECT_NEAR(normalized_distance(big, zero), 1.0, 1e-12);
+}
+
+TEST(ErrorMagnitude, RateAgreesWithDp) {
+  const auto m = measure_error_magnitude(256, 8, 40000, 0xe1);
+  EXPECT_NEAR(m.error_rate / analysis::aca_wrong_probability(256, 8), 1.0,
+              0.08);
+}
+
+TEST(ErrorMagnitude, ErrorsAreLargeButRare) {
+  // The ACA error signature: a wrong sum differs at bit >= k-1, so the
+  // *conditional* error magnitude is at least 2^(k-1)/2^n of full scale.
+  const int n = 128, k = 10;
+  const auto m = measure_error_magnitude(n, k, 30000, 0xe2);
+  ASSERT_GT(m.wrong, 0);
+  EXPECT_GE(m.min_error_bit, k - 1);
+  const double min_conditional = std::ldexp(1.0, k - 1 - n);
+  EXPECT_GE(m.normalized_med / m.error_rate, min_conditional);
+}
+
+TEST(ErrorMagnitude, PerfectWindowHasZeroEverything) {
+  const auto m = measure_error_magnitude(32, 33, 2000, 0xe3);
+  EXPECT_EQ(m.wrong, 0);
+  EXPECT_DOUBLE_EQ(m.normalized_med, 0.0);
+  EXPECT_DOUBLE_EQ(m.mred_given_wrong, 0.0);
+  EXPECT_EQ(m.min_error_bit, -1);
+}
+
+TEST(ErrorMagnitude, RejectsBadArgs) {
+  EXPECT_THROW(measure_error_magnitude(0, 4, 10, 1), std::invalid_argument);
+  EXPECT_THROW(measure_error_magnitude(8, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(measure_error_magnitude(8, 4, 0, 1), std::invalid_argument);
+}
+
+TEST(RunMoments, SmallWidthByHand) {
+  // n = 2: runs 0 (prob 1/4: "00"), 1 (1/2: "01","10"), 2 (1/4: "11").
+  const auto m = analysis::longest_run_moments(2);
+  EXPECT_NEAR(m.mean, 1.0, 1e-12);
+  EXPECT_NEAR(m.variance, 0.5, 1e-12);
+}
+
+TEST(RunMoments, MatchesSchillingAsymptotics) {
+  for (int n : {256, 1024}) {
+    const auto m = analysis::longest_run_moments(n);
+    EXPECT_NEAR(m.mean, analysis::schilling_expected_run(n), 0.4) << n;
+    EXPECT_NEAR(m.variance, analysis::schilling_run_variance(), 0.25) << n;
+  }
+}
+
+TEST(RunMoments, RejectsBadArgs) {
+  EXPECT_THROW(analysis::longest_run_moments(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,158 @@
+// Tests for the event-driven timing simulator: functional agreement with
+// the bit-parallel simulator, hand-computed settle times, transport-delay
+// event cancellation, and the data-dependent-delay property the paper's
+// premise rests on (random carries are short, so the ripple adder settles
+// in ~log n typical time despite its Θ(n) worst case).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adders/adders.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/event_sim.hpp"
+#include "netlist/sta.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::EventSimulator;
+using netlist::Netlist;
+
+TEST(EventSim, SettleInitialMatchesFunction) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output(nl.xor2(a, b), "x");
+  nl.mark_output(nl.and2(a, b), "y");
+  EventSimulator sim(nl);
+  const auto out = sim.settle_initial({true, true});
+  EXPECT_FALSE(out[0]);  // 1^1
+  EXPECT_TRUE(out[1]);   // 1&1
+}
+
+TEST(EventSim, SingleGateTransitionTime) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  EventSimulator sim(nl);
+  sim.settle_initial({false, true});
+  const auto result = sim.apply({true, true});
+  const double expected = CellLibrary::umc18().delay_ns(CellKind::And2, 1);
+  EXPECT_DOUBLE_EQ(result.settle_ns, expected);
+  EXPECT_TRUE(result.outputs[0]);
+  EXPECT_EQ(result.events, 2);  // the input itself + the AND output
+}
+
+TEST(EventSim, NoChangeNoEvents) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  nl.mark_output(nl.inv(a), "x");
+  EventSimulator sim(nl);
+  sim.settle_initial({true});
+  const auto result = sim.apply({true});
+  EXPECT_EQ(result.events, 0);
+  EXPECT_DOUBLE_EQ(result.settle_ns, 0.0);
+}
+
+TEST(EventSim, MaskedInputChangeStopsEarly) {
+  // b flips but a = 0 masks it: the AND output never changes, so the
+  // output settle time stays 0 even though an input event fired.
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output(nl.and2(a, b), "x");
+  EventSimulator sim(nl);
+  sim.settle_initial({false, false});
+  const auto result = sim.apply({false, true});
+  EXPECT_DOUBLE_EQ(result.settle_ns, 0.0);
+  EXPECT_FALSE(result.outputs[0]);
+}
+
+TEST(EventSim, ChainSettleAccumulates) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  netlist::NetId x = a;
+  for (int i = 0; i < 4; ++i) x = nl.inv(x);
+  nl.mark_output(x, "x");
+  EventSimulator sim(nl);
+  sim.settle_initial({false});
+  const auto result = sim.apply({true});
+  EXPECT_DOUBLE_EQ(result.settle_ns,
+                   4 * CellLibrary::umc18().delay_ns(CellKind::Inv, 1));
+}
+
+TEST(EventSim, FinalStateAlwaysMatchesFunctionalSim) {
+  // Property: after any transition sequence, the event simulator's state
+  // equals a fresh functional evaluation — on an adder with random
+  // vectors (this exercises reconvergence and event cancellation).
+  const auto adder = adders::build_adder(adders::AdderKind::KoggeStone, 16);
+  EventSimulator sim(adder.nl);
+  util::Rng rng(61);
+  const std::size_t n_in = adder.nl.inputs().size();
+  std::vector<bool> vec(n_in, false);
+  sim.settle_initial(vec);
+  for (int t = 0; t < 200; ++t) {
+    for (std::size_t i = 0; i < n_in; ++i) vec[i] = rng.next_bool();
+    const auto result = sim.apply(vec);
+    // Fresh evaluation via a second simulator.
+    EventSimulator fresh(adder.nl);
+    const auto expect = fresh.settle_initial(vec);
+    ASSERT_EQ(result.outputs, expect) << "transition " << t;
+  }
+}
+
+TEST(EventSim, SettleNeverExceedsStaticCriticalPath) {
+  for (auto kind :
+       {adders::AdderKind::RippleCarry, adders::AdderKind::KoggeStone}) {
+    const auto adder = adders::build_adder(kind, 32);
+    const double critical =
+        netlist::analyze_timing(adder.nl).critical_delay_ns;
+    const auto stats = netlist::measure_settle_distribution(adder.nl, 300, 7);
+    EXPECT_LE(stats.max_ns, critical + 1e-9)
+        << adders::adder_kind_name(kind);
+    EXPECT_GT(stats.mean_ns, 0.0);
+  }
+}
+
+TEST(EventSim, RippleAverageSettleIsFarBelowWorstCase) {
+  // The paper's premise, measured: a 64-bit ripple adder's *typical*
+  // settle time is a small fraction of its critical path, because random
+  // carry chains are ~log n long.
+  const auto rca = adders::build_adder(adders::AdderKind::RippleCarry, 64);
+  const double critical = netlist::analyze_timing(rca.nl).critical_delay_ns;
+  const auto stats = netlist::measure_settle_distribution(rca.nl, 400, 8);
+  EXPECT_LT(stats.mean_ns, 0.45 * critical);
+}
+
+TEST(EventSim, AdversarialCarryChainHitsWorstCase) {
+  // a = 111...1, b: 0 -> 1 at bit 0 launches a full-length carry ripple.
+  const int n = 32;
+  const auto rca = adders::build_adder(adders::AdderKind::RippleCarry, n);
+  EventSimulator sim(rca.nl);
+  std::vector<bool> vec(rca.nl.inputs().size(), false);
+  for (int i = 0; i < n; ++i) vec[static_cast<std::size_t>(i)] = true;  // a
+  sim.settle_initial(vec);
+  vec[static_cast<std::size_t>(n)] = true;  // b[0] flips
+  const auto result = sim.apply(vec);
+  const double critical = netlist::analyze_timing(rca.nl).critical_delay_ns;
+  EXPECT_GT(result.settle_ns, 0.9 * critical);
+}
+
+TEST(EventSim, RejectsBadUsage) {
+  Netlist nl("m");
+  nl.add_input("a");
+  EventSimulator sim(nl);
+  EXPECT_THROW(sim.apply({true}), std::logic_error);
+  EXPECT_THROW(sim.settle_initial({true, false}), std::invalid_argument);
+  EXPECT_THROW(netlist::measure_settle_distribution(nl, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

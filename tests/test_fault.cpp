@@ -1,0 +1,132 @@
+// Tests for the stuck-at fault simulator: hand-checkable injections,
+// coverage accounting, and the interaction between silicon faults and
+// the ACA's error flag.
+
+#include <gtest/gtest.h>
+
+#include "adders/adders.hpp"
+#include "core/aca_netlist.hpp"
+#include "netlist/fault.hpp"
+#include "netlist/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::Fault;
+using netlist::FaultSimulator;
+using netlist::Netlist;
+
+TEST(FaultSim, EnumerationSkipsConstants) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  nl.const0();
+  nl.mark_output(nl.inv(a), "x");
+  const auto faults = netlist::enumerate_faults(nl);
+  // Nets: input a, const0, inv -> 2 faultable nets x 2 polarities.
+  EXPECT_EQ(faults.size(), 4u);
+}
+
+TEST(FaultSim, StuckOutputForcesValue) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  FaultSimulator sim(nl);
+  const std::vector<std::uint64_t> stim{~std::uint64_t{0}, ~std::uint64_t{0}};
+  const auto faulty = sim.with_fault(Fault{x, false}, stim);
+  EXPECT_EQ(faulty[static_cast<std::size_t>(x)], 0u);  // stuck-at-0 wins
+  const auto golden = sim.golden(stim);
+  EXPECT_EQ(golden[static_cast<std::size_t>(x)], ~std::uint64_t{0});
+}
+
+TEST(FaultSim, StuckInputPropagates) {
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto x = nl.or2(a, b);
+  nl.mark_output(x, "x");
+  FaultSimulator sim(nl);
+  const std::vector<std::uint64_t> stim{0, 0};
+  const auto faulty = sim.with_fault(Fault{a, true}, stim);
+  EXPECT_EQ(faulty[static_cast<std::size_t>(x)], ~std::uint64_t{0});
+}
+
+TEST(FaultSim, DetectingLanesIsExact) {
+  // x = a AND b: stuck-at-0 on x is visible exactly in lanes where a&b=1.
+  Netlist nl("m");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  FaultSimulator sim(nl);
+  const std::uint64_t va = 0b1100, vb = 0b1010;
+  const std::vector<std::uint64_t> stim{va, vb};
+  const auto golden = sim.golden(stim);
+  EXPECT_EQ(sim.detecting_lanes(Fault{x, false}, stim, golden), va & vb);
+  EXPECT_EQ(sim.detecting_lanes(Fault{x, true}, stim, golden),
+            ~(va & vb));
+}
+
+TEST(FaultSim, RedundancyFreeCircuitReachesFullCoverage) {
+  // A ripple-carry adder has no redundant logic: with enough random
+  // vectors every single-stuck-at fault is observable.
+  const auto adder = adders::build_adder(adders::AdderKind::RippleCarry, 8);
+  const auto coverage = netlist::measure_fault_coverage(adder.nl, 40, 5);
+  EXPECT_EQ(coverage.detected, coverage.total_faults);
+  EXPECT_DOUBLE_EQ(coverage.coverage, 1.0);
+}
+
+TEST(FaultSim, CoverageIsMonotoneInVectors) {
+  const auto aca = core::build_aca(16, 5, true);
+  const auto few = netlist::measure_fault_coverage(aca.nl, 1, 6);
+  const auto many = netlist::measure_fault_coverage(aca.nl, 30, 6);
+  EXPECT_LE(few.detected, many.detected);
+  EXPECT_GT(many.coverage, 0.9);
+}
+
+TEST(FaultSim, ErFlagCatchesSomeSumCorruptingFaults) {
+  // Reliability side-study: inject each fault into the ACA+ER netlist
+  // and check how often a corrupted sum coincides with ER = 1.  The
+  // detector is not designed for silicon faults, so coverage must be
+  // partial — but faults inside the shared strips feed both the sum and
+  // the flag, so it cannot be zero either.
+  const auto aca = core::build_aca(32, 6, /*with_error_flag=*/true);
+  FaultSimulator sim(aca.nl);
+  util::Rng rng(7);
+  std::vector<std::uint64_t> stim(aca.nl.inputs().size());
+  for (auto& w : stim) w = rng.next_u64();
+  const auto golden = sim.golden(stim);
+
+  const auto error_net = static_cast<std::size_t>(aca.error);
+  long long corrupting = 0, also_flagged = 0;
+  for (const Fault& fault : netlist::enumerate_faults(aca.nl)) {
+    const auto faulty = sim.with_fault(fault, stim);
+    std::uint64_t sum_diff = 0;
+    for (std::size_t i = 0; i < aca.sum.size(); ++i) {
+      sum_diff |= faulty[static_cast<std::size_t>(aca.sum[i])] ^
+                  golden[static_cast<std::size_t>(aca.sum[i])];
+    }
+    if (sum_diff == 0) continue;
+    corrupting += 1;
+    // Flagged in at least one lane where the sum is wrong.
+    if ((faulty[error_net] & sum_diff) != 0) also_flagged += 1;
+  }
+  EXPECT_GT(corrupting, 0);
+  EXPECT_GT(also_flagged, 0);
+  EXPECT_LT(also_flagged, corrupting);  // and far from complete
+}
+
+TEST(FaultSim, RejectsBadArgs) {
+  Netlist nl("m");
+  nl.add_input("a");
+  FaultSimulator sim(nl);
+  EXPECT_THROW(sim.with_fault(Fault{0, false}, std::vector<std::uint64_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(netlist::measure_fault_coverage(nl, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

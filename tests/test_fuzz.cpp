@@ -1,0 +1,121 @@
+// Randomized cross-validation ("fuzzing") of the netlist toolchain: a
+// generator builds random combinational circuits, and every consumer —
+// the 64-lane functional simulator, the event-driven timing simulator,
+// the fault simulator's golden path, the DCE pass + equivalence checker,
+// the STA bound, and the HDL emitters' structural invariants — must tell
+// a consistent story on each of them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netlist/emit.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/event_sim.hpp"
+#include "netlist/fault.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::CellKind;
+using netlist::NetId;
+using netlist::Netlist;
+
+// Random feed-forward circuit: `inputs` primary inputs, `gates` random
+// cells drawing operands from any earlier net, a random subset of nets
+// marked as outputs.
+Netlist random_netlist(util::Rng& rng, int inputs, int gates, int outputs) {
+  Netlist nl("fuzz");
+  std::vector<NetId> nets;
+  for (int i = 0; i < inputs; ++i) {
+    nets.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  const CellKind kinds[] = {
+      CellKind::Buf,   CellKind::Inv,   CellKind::And2,  CellKind::Or2,
+      CellKind::Nand2, CellKind::Nor2,  CellKind::Xor2,  CellKind::Xnor2,
+      CellKind::And3,  CellKind::Or3,   CellKind::Aoi21, CellKind::Oai21,
+      CellKind::Mux2};
+  for (int g = 0; g < gates; ++g) {
+    const CellKind kind =
+        kinds[rng.next_below(sizeof kinds / sizeof kinds[0])];
+    const int fanin = netlist::CellLibrary::umc18().spec(kind).fanin;
+    std::vector<NetId> ins;
+    for (int i = 0; i < fanin; ++i) {
+      ins.push_back(nets[rng.next_below(nets.size())]);
+    }
+    nets.push_back(nl.add_gate(kind, ins));
+  }
+  for (int o = 0; o < outputs; ++o) {
+    nl.mark_output(nets[rng.next_below(nets.size())],
+                   "o" + std::to_string(o));
+  }
+  return nl;
+}
+
+class FuzzCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzCase, AllToolsAgree) {
+  util::Rng rng(0xf022 + static_cast<std::uint64_t>(GetParam()));
+  const int inputs = 3 + static_cast<int>(rng.next_below(10));
+  const int gates = 5 + static_cast<int>(rng.next_below(120));
+  const int outputs = 1 + static_cast<int>(rng.next_below(8));
+  const Netlist nl = random_netlist(rng, inputs, gates, outputs);
+
+  // One shared random stimulus batch (64 lanes).
+  std::vector<std::uint64_t> stim(static_cast<std::size_t>(inputs));
+  for (auto& w : stim) w = rng.next_u64();
+
+  // 1. Functional simulator == fault simulator's golden path.
+  const netlist::Simulator sim(nl);
+  const auto values = sim.eval(stim);
+  const auto golden = netlist::FaultSimulator(nl).golden(stim);
+  ASSERT_EQ(values, golden);
+
+  // 2. Event-driven simulator settles to the same output values, lane by
+  //    lane, and never beyond the static critical path.
+  const double critical = netlist::analyze_timing(nl).critical_delay_ns;
+  netlist::EventSimulator esim(nl);
+  std::vector<bool> vec(static_cast<std::size_t>(inputs), false);
+  esim.settle_initial(vec);
+  for (int lane = 0; lane < 8; ++lane) {
+    for (int i = 0; i < inputs; ++i) {
+      vec[static_cast<std::size_t>(i)] =
+          (stim[static_cast<std::size_t>(i)] >> lane) & 1;
+    }
+    const auto result = esim.apply(vec);
+    EXPECT_LE(result.settle_ns, critical + 1e-9);
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      const bool expect =
+          (values[static_cast<std::size_t>(nl.outputs()[o].net)] >> lane) & 1;
+      ASSERT_EQ(result.outputs[o], expect) << "lane " << lane << " out " << o;
+    }
+  }
+
+  // 3. DCE preserves the function (exhaustive when feasible).
+  const Netlist cleaned = netlist::remove_dead_gates(nl);
+  const auto equiv = netlist::check_equivalence(nl, cleaned, 512);
+  EXPECT_TRUE(equiv.equivalent);
+  EXPECT_EQ(netlist::analyze_structure(cleaned).dead_gates, 0);
+
+  // 4. Emitters: one assignment per cell plus one alias per output.
+  const std::string verilog = netlist::to_verilog(nl);
+  int assigns = 0;
+  for (std::size_t pos = verilog.find("assign "); pos != std::string::npos;
+       pos = verilog.find("assign ", pos + 7)) {
+    ++assigns;
+  }
+  EXPECT_EQ(assigns,
+            nl.num_cells() + static_cast<int>(nl.outputs().size()) +
+                (nl.num_nets() - nl.num_cells() -
+                 static_cast<int>(nl.inputs().size())));  // + constants
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, FuzzCase, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace vlsa

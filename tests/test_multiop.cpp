@@ -1,0 +1,168 @@
+// Tests for the CSA reduction utilities and the speculative multi-operand
+// adder (behavioral and gate level).
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "multiop/csa.hpp"
+#include "multiop/multi_add.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using multiop::exact_multi_add;
+using multiop::speculative_multi_add;
+using util::BitVec;
+using util::Rng;
+
+TEST(CsaWords, ReductionPreservesSum) {
+  Rng rng(71);
+  for (int m : {1, 2, 3, 4, 7, 15}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<BitVec> addends;
+      BitVec total(48);
+      for (int i = 0; i < m; ++i) {
+        addends.push_back(rng.next_bits(48));
+        total = total + addends.back();
+      }
+      const auto [x, y] = multiop::csa_reduce_words(addends, 48);
+      EXPECT_EQ(x + y, total) << "m=" << m;
+    }
+  }
+}
+
+TEST(CsaWords, EmptyAndSingleton) {
+  const auto [x0, y0] = multiop::csa_reduce_words({}, 8);
+  EXPECT_TRUE(x0.is_zero());
+  EXPECT_TRUE(y0.is_zero());
+  const BitVec v = BitVec::from_u64(8, 42);
+  const auto [x1, y1] = multiop::csa_reduce_words({v}, 8);
+  EXPECT_EQ(x1 + y1, v);
+}
+
+TEST(MultiAdd, ExactMatchesIteratedAddition) {
+  Rng rng(72);
+  std::vector<BitVec> addends;
+  std::uint64_t native = 0;
+  for (int i = 0; i < 9; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    addends.push_back(BitVec::from_u64(64, v));
+    native += v;
+  }
+  EXPECT_EQ(exact_multi_add(addends).low_u64(), native);
+}
+
+TEST(MultiAdd, SpeculativeSoundness) {
+  // flagged == false implies the speculative total is exact — over many
+  // random multi-operand sums at a smallish window.
+  Rng rng(73);
+  int flagged = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<BitVec> addends;
+    for (int i = 0; i < 6; ++i) addends.push_back(rng.next_bits(64));
+    const auto result = speculative_multi_add(addends, 8);
+    if (result.flagged) {
+      ++flagged;
+    } else {
+      ASSERT_EQ(result.sum, exact_multi_add(addends));
+    }
+  }
+  EXPECT_GT(flagged, 0);       // k=8 at 64 bits misses sometimes
+  EXPECT_LT(flagged, 1500);    // ...but not mostly
+}
+
+TEST(MultiAdd, WideWindowIsExact) {
+  Rng rng(74);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<BitVec> addends;
+    for (int i = 0; i < 5; ++i) addends.push_back(rng.next_bits(32));
+    const auto result = speculative_multi_add(addends, 32);
+    EXPECT_EQ(result.sum, exact_multi_add(addends));
+    EXPECT_FALSE(result.flagged);
+  }
+}
+
+TEST(MultiAdd, RejectsBadInput) {
+  EXPECT_THROW(exact_multi_add({}), std::invalid_argument);
+  const std::vector<BitVec> mismatched{BitVec(8), BitVec(9)};
+  EXPECT_THROW(exact_multi_add(mismatched), std::invalid_argument);
+  const std::vector<BitVec> ok{BitVec(8), BitVec(8)};
+  EXPECT_THROW(speculative_multi_add(ok, 0), std::invalid_argument);
+}
+
+TEST(MultiAddNetlist, ExactMatchesBehavioralRandom) {
+  for (const auto& [width, ops] : std::vector<std::pair<int, int>>{
+           {8, 3}, {12, 4}, {16, 6}}) {
+    const auto m = multiop::build_exact_multi_adder(width, ops);
+    const netlist::Simulator sim(m.nl);
+    const auto index = netlist::stim::input_index_map(m.nl);
+    Rng rng(75 + width);
+    std::vector<std::vector<BitVec>> cases(64);
+    std::vector<std::uint64_t> stim(m.nl.inputs().size(), 0);
+    for (int lane = 0; lane < 64; ++lane) {
+      for (int op = 0; op < ops; ++op) {
+        cases[static_cast<std::size_t>(lane)].push_back(
+            rng.next_bits(width));
+        netlist::stim::load_operand(
+            stim, index, m.operands[static_cast<std::size_t>(op)],
+            cases[static_cast<std::size_t>(lane)].back(), lane);
+      }
+    }
+    const auto values = sim.eval(stim);
+    for (int lane = 0; lane < 64; ++lane) {
+      ASSERT_EQ(netlist::stim::read_bus(values, m.sum, lane),
+                exact_multi_add(cases[static_cast<std::size_t>(lane)]))
+          << "width=" << width << " ops=" << ops << " lane=" << lane;
+    }
+  }
+}
+
+TEST(MultiAddNetlist, SpeculativeMatchesBehavioral) {
+  const int width = 16, ops = 5, k = 5;
+  const auto m = multiop::build_speculative_multi_adder(width, ops, k);
+  ASSERT_NE(m.error, netlist::kNoNet);
+  const netlist::Simulator sim(m.nl);
+  const auto index = netlist::stim::input_index_map(m.nl);
+  Rng rng(76);
+  std::vector<std::vector<BitVec>> cases(64);
+  std::vector<std::uint64_t> stim(m.nl.inputs().size(), 0);
+  for (int lane = 0; lane < 64; ++lane) {
+    for (int op = 0; op < ops; ++op) {
+      cases[static_cast<std::size_t>(lane)].push_back(rng.next_bits(width));
+      netlist::stim::load_operand(
+          stim, index, m.operands[static_cast<std::size_t>(op)],
+          cases[static_cast<std::size_t>(lane)].back(), lane);
+    }
+  }
+  const auto values = sim.eval(stim);
+  for (int lane = 0; lane < 64; ++lane) {
+    const bool error = (values[static_cast<std::size_t>(m.error)] >> lane) & 1;
+    const BitVec sum = netlist::stim::read_bus(values, m.sum, lane);
+    if (!error) {
+      ASSERT_EQ(sum, exact_multi_add(cases[static_cast<std::size_t>(lane)]));
+    }
+  }
+}
+
+TEST(MultiAddNetlist, SpeculativeSavesDelayAtScale) {
+  const int width = 128, ops = 8;
+  const auto exact = multiop::build_exact_multi_adder(width, ops);
+  const auto spec = multiop::build_speculative_multi_adder(width, ops, 12);
+  EXPECT_LT(netlist::analyze_timing(spec.nl).critical_delay_ns,
+            netlist::analyze_timing(exact.nl).critical_delay_ns);
+}
+
+TEST(MultiAddNetlist, RejectsBadDimensions) {
+  EXPECT_THROW(multiop::build_exact_multi_adder(0, 4), std::invalid_argument);
+  EXPECT_THROW(multiop::build_exact_multi_adder(8, 1), std::invalid_argument);
+  EXPECT_THROW(multiop::build_speculative_multi_adder(8, 4, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

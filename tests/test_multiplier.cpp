@@ -1,0 +1,166 @@
+// Tests for the speculative multiplier: behavioral model, gate-level
+// exact and speculative multipliers, and the soundness of the final
+// adder's error flag in the multiplier context.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "multiplier/spec_multiplier.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+#include "netlist_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using multiplier::build_exact_multiplier;
+using multiplier::build_speculative_multiplier;
+using multiplier::exact_multiply;
+using multiplier::speculative_multiply;
+using util::BitVec;
+using util::Rng;
+
+TEST(ExactMultiply, MatchesNativeAt32Bits) {
+  Rng rng(51);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+    const BitVec product =
+        exact_multiply(BitVec::from_u64(32, a), BitVec::from_u64(32, b));
+    EXPECT_EQ(product.low_u64(),
+              static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+  }
+}
+
+TEST(ExactMultiply, EdgeCases) {
+  const BitVec zero(16);
+  const BitVec ones = BitVec::ones(16);
+  EXPECT_TRUE(exact_multiply(zero, ones).is_zero());
+  // (2^16 - 1)^2 = 2^32 - 2^17 + 1.
+  EXPECT_EQ(exact_multiply(ones, ones).low_u64(),
+            (0xffffull * 0xffffull));
+  EXPECT_THROW(exact_multiply(BitVec(8), BitVec(9)), std::invalid_argument);
+}
+
+TEST(SpeculativeMultiply, UnflaggedResultsAreExact) {
+  Rng rng(52);
+  int flagged = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const BitVec a = rng.next_bits(24);
+    const BitVec b = rng.next_bits(24);
+    const auto result = speculative_multiply(a, b, 10);
+    if (!result.flagged) {
+      ASSERT_EQ(result.product, exact_multiply(a, b))
+          << a.to_hex() << " * " << b.to_hex();
+    } else {
+      ++flagged;
+    }
+  }
+  // The final addends of a multiplier are not uniform, but flags must
+  // stay rare at k = 10 while still occurring.
+  EXPECT_GT(flagged, 0);
+  EXPECT_LT(flagged, 600);
+}
+
+TEST(SpeculativeMultiply, WideWindowIsExact) {
+  Rng rng(53);
+  for (int i = 0; i < 500; ++i) {
+    const BitVec a = rng.next_bits(16);
+    const BitVec b = rng.next_bits(16);
+    const auto result = speculative_multiply(a, b, 32);
+    EXPECT_EQ(result.product, exact_multiply(a, b));
+    EXPECT_FALSE(result.flagged);
+  }
+}
+
+TEST(MultiplierNetlist, ExactMatchesReferenceExhaustive4Bit) {
+  const auto m = build_exact_multiplier(4);
+  std::vector<std::pair<BitVec, BitVec>> ops;
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      ops.push_back({BitVec::from_u64(4, a), BitVec::from_u64(4, b)});
+    }
+  }
+  const auto results = testing::run_adder_netlist(m.nl, m.a, m.b, m.product,
+                                                  netlist::kNoNet, ops);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_EQ(results[i].sum.low_u64(),
+              ops[i].first.low_u64() * ops[i].second.low_u64())
+        << ops[i].first.low_u64() << "*" << ops[i].second.low_u64();
+  }
+}
+
+TEST(MultiplierNetlist, ExactMatchesReferenceRandomWide) {
+  for (int width : {8, 12, 16}) {
+    const auto m = build_exact_multiplier(width);
+    Rng rng(54 + width);
+    std::vector<std::pair<BitVec, BitVec>> ops;
+    for (int i = 0; i < 64; ++i) {
+      ops.push_back({rng.next_bits(width), rng.next_bits(width)});
+    }
+    const auto results = testing::run_adder_netlist(m.nl, m.a, m.b, m.product,
+                                                    netlist::kNoNet, ops);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      ASSERT_EQ(results[i].sum, exact_multiply(ops[i].first, ops[i].second));
+    }
+  }
+}
+
+TEST(MultiplierNetlist, SpeculativeSoundness) {
+  // Whenever the gate-level error flag is 0, the gate-level product is
+  // exact — the multiplier inherits the adder's detector guarantee.
+  const int width = 12, k = 6;
+  const auto m = build_speculative_multiplier(width, k);
+  ASSERT_NE(m.error, netlist::kNoNet);
+  const netlist::Simulator sim(m.nl);
+  const auto index = netlist::stim::input_index_map(m.nl);
+  Rng rng(55);
+  int flagged = 0, unflagged = 0;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<std::pair<BitVec, BitVec>> ops;
+    for (int lane = 0; lane < 64; ++lane) {
+      ops.push_back({rng.next_bits(width), rng.next_bits(width)});
+    }
+    std::vector<std::uint64_t> stim(m.nl.inputs().size(), 0);
+    for (int lane = 0; lane < 64; ++lane) {
+      netlist::stim::load_operand(stim, index, m.a, ops[lane].first, lane);
+      netlist::stim::load_operand(stim, index, m.b, ops[lane].second, lane);
+    }
+    const auto values = sim.eval(stim);
+    for (int lane = 0; lane < 64; ++lane) {
+      const BitVec product = netlist::stim::read_bus(values, m.product, lane);
+      const bool error = testing::net_bit(values, m.error, lane);
+      if (error) {
+        ++flagged;
+      } else {
+        ++unflagged;
+        ASSERT_EQ(product, exact_multiply(ops[lane].first, ops[lane].second));
+      }
+    }
+  }
+  EXPECT_GT(unflagged, flagged);  // flags must be the minority at k=6/w=12
+}
+
+TEST(MultiplierNetlist, SpeculativeFinalAdderIsFasterAtScale) {
+  // The speculative multiplier's final adder is shallower; total delay
+  // must drop (the CSA tree is identical in both).
+  const int width = 32;
+  const auto exact = build_exact_multiplier(width);
+  const auto spec = build_speculative_multiplier(
+      width, /*window=*/8);
+  const double d_exact = netlist::analyze_timing(exact.nl).critical_delay_ns;
+  const double d_spec = netlist::analyze_timing(spec.nl).critical_delay_ns;
+  EXPECT_LT(d_spec, d_exact);
+}
+
+TEST(MultiplierNetlist, RejectsBadDimensions) {
+  EXPECT_THROW(build_exact_multiplier(0), std::invalid_argument);
+  EXPECT_THROW(build_speculative_multiplier(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,238 @@
+// Tests for the netlist IR, the cell library, STA and the simulator's
+// per-cell semantics.
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/sta.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::CellKind;
+using netlist::CellLibrary;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Simulator;
+
+TEST(CellLibrary, EverySpecIsSane) {
+  const CellLibrary& lib = CellLibrary::umc18();
+  for (int i = 0; i < netlist::kNumCellKinds; ++i) {
+    const auto& spec = lib.spec(static_cast<CellKind>(i));
+    EXPECT_GE(spec.fanin, 0);
+    EXPECT_LE(spec.fanin, 3);
+    EXPECT_GE(spec.area, 0.0);
+    EXPECT_GE(spec.intrinsic_ns, 0.0);
+    EXPECT_GE(spec.slope_ns, 0.0);
+  }
+}
+
+TEST(CellLibrary, DelayGrowsWithFanout) {
+  const CellLibrary& lib = CellLibrary::umc18();
+  EXPECT_LT(lib.delay_ns(CellKind::Nand2, 1), lib.delay_ns(CellKind::Nand2, 4));
+  // Fanout 0 (dangling) is charged like fanout 1.
+  EXPECT_EQ(lib.delay_ns(CellKind::Inv, 0), lib.delay_ns(CellKind::Inv, 1));
+}
+
+TEST(CellLibrary, RelativeCellCosts) {
+  const CellLibrary& lib = CellLibrary::umc18();
+  // XOR must cost more than NAND in both delay and area — the paper's
+  // "simple gates are faster than complex gates" argument rests on this.
+  EXPECT_GT(lib.spec(CellKind::Xor2).intrinsic_ns,
+            lib.spec(CellKind::Nand2).intrinsic_ns);
+  EXPECT_GT(lib.spec(CellKind::Xor2).area, lib.spec(CellKind::Nand2).area);
+}
+
+TEST(Netlist, InputBusNamesAndOrder) {
+  Netlist nl("m");
+  const auto bus = nl.add_input_bus("a", 3);
+  ASSERT_EQ(bus.size(), 3u);
+  EXPECT_EQ(nl.inputs()[0].name, "a[0]");
+  EXPECT_EQ(nl.inputs()[2].name, "a[2]");
+  EXPECT_EQ(nl.find_input("a[1]"), bus[1]);
+  EXPECT_EQ(nl.find_input("zzz"), kNoNet);
+}
+
+TEST(Netlist, OperandMustExist) {
+  Netlist nl("m");
+  EXPECT_THROW(nl.inv(5), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(0, "x"), std::invalid_argument);
+}
+
+TEST(Netlist, ConstantsAreShared) {
+  Netlist nl("m");
+  EXPECT_EQ(nl.const0(), nl.const0());
+  EXPECT_EQ(nl.const1(), nl.const1());
+  EXPECT_NE(nl.const0(), nl.const1());
+}
+
+TEST(Netlist, NumCellsExcludesInputsAndConstants) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.const0();
+  const NetId x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  EXPECT_EQ(nl.num_cells(), 1);
+  EXPECT_EQ(nl.num_nets(), 4);
+}
+
+TEST(Netlist, FanoutCountsIncludeOutputs) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  const NetId y = nl.or2(a, x);
+  nl.mark_output(y, "y");
+  nl.mark_output(x, "x_too");
+  const auto fanout = nl.fanout_counts();
+  EXPECT_EQ(fanout[static_cast<std::size_t>(a)], 2);  // and2 + or2
+  EXPECT_EQ(fanout[static_cast<std::size_t>(b)], 1);
+  EXPECT_EQ(fanout[static_cast<std::size_t>(x)], 2);  // or2 + output
+  EXPECT_EQ(fanout[static_cast<std::size_t>(y)], 1);  // output only
+}
+
+TEST(Netlist, AndTreeOrTreeSemantics) {
+  Netlist nl("m");
+  std::vector<NetId> ins;
+  for (int i = 0; i < 7; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NetId all = nl.and_tree(ins);
+  const NetId any = nl.or_tree(ins);
+  nl.mark_output(all, "all");
+  nl.mark_output(any, "any");
+
+  Simulator sim(nl);
+  // Lane 0: all ones.  Lane 1: all zero.  Lane 2: single one.
+  std::vector<std::uint64_t> stim(7, 0);
+  for (auto& w : stim) w |= 1;          // lane 0
+  stim[3] |= 1u << 2;                   // lane 2
+  const auto values = sim.eval(stim);
+  EXPECT_TRUE(values[static_cast<std::size_t>(all)] & 1);
+  EXPECT_TRUE(values[static_cast<std::size_t>(any)] & 1);
+  EXPECT_FALSE((values[static_cast<std::size_t>(all)] >> 1) & 1);
+  EXPECT_FALSE((values[static_cast<std::size_t>(any)] >> 1) & 1);
+  EXPECT_FALSE((values[static_cast<std::size_t>(all)] >> 2) & 1);
+  EXPECT_TRUE((values[static_cast<std::size_t>(any)] >> 2) & 1);
+}
+
+TEST(Netlist, EmptyTreesAreConstants) {
+  Netlist nl("m");
+  const NetId all = nl.and_tree({});
+  const NetId any = nl.or_tree({});
+  EXPECT_EQ(all, nl.const1());
+  EXPECT_EQ(any, nl.const0());
+}
+
+TEST(Simulator, AllTwoInputCellTruthTables) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  struct Case {
+    NetId net;
+    std::uint64_t expected;  // over lanes (a,b,c) = 000,001(a=1),010,...,111
+  };
+  // Lane index bit0 = a, bit1 = b, bit2 = c.
+  const std::uint64_t A = 0b10101010, B = 0b11001100, C = 0b11110000;
+  std::vector<Case> cases = {
+      {nl.and2(a, b), A & B},
+      {nl.or2(a, b), A | B},
+      {nl.nand2(a, b), ~(A & B) & 0xff},
+      {nl.nor2(a, b), ~(A | B) & 0xff},
+      {nl.xor2(a, b), A ^ B},
+      {nl.xnor2(a, b), ~(A ^ B) & 0xff},
+      {nl.and3(a, b, c), A & B & C},
+      {nl.or3(a, b, c), A | B | C},
+      {nl.aoi21(a, b, c), ~((A & B) | C) & 0xff},
+      {nl.oai21(a, b, c), ~((A | B) & C) & 0xff},
+      {nl.mux2(a, b, c), (A & C) | (~A & B)},
+      {nl.inv(a), ~A & 0xff},
+      {nl.buf(b), B},
+  };
+  for (const auto& cs : cases) nl.mark_output(cs.net, "o" + std::to_string(cs.net));
+  Simulator sim(nl);
+  const auto values = sim.eval(std::vector<std::uint64_t>{A, B, C});
+  for (const auto& cs : cases) {
+    EXPECT_EQ(values[static_cast<std::size_t>(cs.net)] & 0xff, cs.expected)
+        << "net " << cs.net;
+  }
+}
+
+TEST(Sta, SingleGateDelay) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  const auto t = netlist::analyze_timing(nl);
+  const auto& lib = CellLibrary::umc18();
+  EXPECT_DOUBLE_EQ(t.critical_delay_ns, lib.delay_ns(CellKind::And2, 1));
+  EXPECT_EQ(t.logic_levels, 1);
+  ASSERT_EQ(t.critical_path.size(), 2u);  // input -> and2
+  EXPECT_EQ(t.critical_path.back(), x);
+}
+
+TEST(Sta, ChainAccumulatesAndFanoutPenalizes) {
+  Netlist nl("chain");
+  const NetId a = nl.add_input("a");
+  NetId x = a;
+  for (int i = 0; i < 5; ++i) x = nl.inv(x);
+  nl.mark_output(x, "x");
+  const auto t1 = netlist::analyze_timing(nl);
+  const auto& lib = CellLibrary::umc18();
+  EXPECT_NEAR(t1.critical_delay_ns, 5 * lib.delay_ns(CellKind::Inv, 1), 1e-12);
+  EXPECT_EQ(t1.logic_levels, 5);
+
+  // Adding a second consumer of the first inverter increases its load and
+  // hence the critical delay.
+  Netlist nl2("chain2");
+  const NetId a2 = nl2.add_input("a");
+  NetId y = nl2.inv(a2);
+  const NetId extra = nl2.inv(y);
+  NetId z = y;
+  for (int i = 0; i < 4; ++i) z = nl2.inv(z);
+  nl2.mark_output(z, "z");
+  nl2.mark_output(extra, "extra");
+  const auto t2 = netlist::analyze_timing(nl2);
+  EXPECT_GT(t2.critical_delay_ns, t1.critical_delay_ns);
+}
+
+TEST(Sta, PicksWorstOutput) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId fast = nl.inv(a);
+  NetId slow = a;
+  for (int i = 0; i < 3; ++i) slow = nl.xor2(slow, a);
+  nl.mark_output(fast, "fast");
+  nl.mark_output(slow, "slow");
+  const auto t = netlist::analyze_timing(nl);
+  EXPECT_EQ(t.critical_path.back(), slow);
+}
+
+TEST(Sta, AreaReportCountsCells) {
+  Netlist nl("m");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  const NetId y = nl.xor2(x, a);
+  nl.mark_output(y, "y");
+  const auto area = netlist::analyze_area(nl);
+  const auto& lib = CellLibrary::umc18();
+  EXPECT_EQ(area.num_cells, 2);
+  EXPECT_DOUBLE_EQ(area.total_area, lib.spec(CellKind::And2).area +
+                                        lib.spec(CellKind::Xor2).area);
+  EXPECT_EQ(area.max_input_fanout, 2);  // `a` feeds both gates
+}
+
+TEST(Simulator, InputArityMismatchThrows) {
+  Netlist nl("m");
+  nl.add_input("a");
+  Simulator sim(nl);
+  EXPECT_THROW(sim.eval(std::vector<std::uint64_t>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,122 @@
+// Tests for netlist serialization: round-trips (combinational and
+// sequential), equivalence of the reload, library scaling invariance of
+// the headline ratios, and malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adders/adders.hpp"
+#include "core/aca_netlist.hpp"
+#include "core/vlsa_sequential.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/seq_sim.hpp"
+#include "netlist/serialize.hpp"
+#include "netlist/sta.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using netlist::from_text;
+using netlist::Netlist;
+using netlist::to_text;
+
+TEST(Serialize, RoundTripIsByteIdentical) {
+  const auto adder = adders::build_adder(adders::AdderKind::BrentKung, 16);
+  const std::string text = to_text(adder.nl);
+  const Netlist loaded = from_text(text);
+  EXPECT_EQ(to_text(loaded), text);
+  EXPECT_EQ(loaded.module_name(), adder.nl.module_name());
+  EXPECT_EQ(loaded.num_nets(), adder.nl.num_nets());
+}
+
+TEST(Serialize, ReloadedAdderIsEquivalent) {
+  for (auto kind : {adders::AdderKind::KoggeStone,
+                    adders::AdderKind::ConditionalSum,
+                    adders::AdderKind::CarrySelect}) {
+    const auto adder = adders::build_adder(kind, 9);
+    const Netlist loaded = from_text(to_text(adder.nl));
+    const auto equiv = netlist::check_equivalence(adder.nl, loaded);
+    EXPECT_TRUE(equiv.equivalent) << adders::adder_kind_name(kind);
+    EXPECT_TRUE(equiv.exhaustive);
+  }
+}
+
+TEST(Serialize, VlsaWithConstantsRoundTrips) {
+  const auto v = core::build_vlsa(8, 3);
+  const Netlist loaded = from_text(to_text(v.nl));
+  EXPECT_TRUE(netlist::check_equivalence(v.nl, loaded).equivalent);
+}
+
+TEST(Serialize, SequentialRoundTripPreservesBehaviour) {
+  const auto v = core::build_sequential_vlsa(8, 3);
+  const std::string text = to_text(v.nl);
+  EXPECT_NE(text.find("dff"), std::string::npos);
+  EXPECT_NE(text.find("bind "), std::string::npos);
+  const Netlist loaded = from_text(text);
+  EXPECT_EQ(loaded.num_dffs(), v.nl.num_dffs());
+
+  netlist::SequentialSimulator sim_a(v.nl);
+  netlist::SequentialSimulator sim_b(loaded);
+  util::Rng rng(0x53a);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<std::uint64_t> stim(v.nl.inputs().size());
+    for (auto& w : stim) w = rng.next_u64();
+    const auto va = sim_a.step(stim);
+    const auto vb = sim_b.step(stim);
+    for (std::size_t o = 0; o < v.nl.outputs().size(); ++o) {
+      ASSERT_EQ(va[static_cast<std::size_t>(v.nl.outputs()[o].net)],
+                vb[static_cast<std::size_t>(loaded.outputs()[o].net)])
+          << t;
+    }
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = from_text(
+      "# a comment\n"
+      "netlist tiny\n"
+      "\n"
+      "input a\n"
+      "input b\n"
+      "gate AND2X1 0 1\n"
+      "output 2 y\n");
+  EXPECT_EQ(nl.module_name(), "tiny");
+  EXPECT_EQ(nl.num_cells(), 1);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(from_text("input a\n"), std::invalid_argument);  // no header
+  EXPECT_THROW(from_text("netlist m\nfrobnicate\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("netlist m\ngate NOSUCH 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text("netlist m\ninput a\ngate AND2X1 0 7\n"),
+               std::invalid_argument);  // operand does not exist
+  EXPECT_THROW(from_text("netlist m\noutput 0 y\n"), std::invalid_argument);
+}
+
+TEST(ScaledLibrary, UniformScalingPreservesHeadlineRatios) {
+  // The whole Fig. 8 story is about ratios; a uniformly scaled library
+  // (different process corner) must leave them untouched.
+  const auto fast = netlist::CellLibrary::scaled("corner", 0.6, 1.1);
+  const auto trad = adders::build_adder(adders::AdderKind::KoggeStone, 64);
+  const auto aca = core::build_aca(64, 12);
+  const double r_base =
+      netlist::analyze_timing(trad.nl).critical_delay_ns /
+      netlist::analyze_timing(aca.nl).critical_delay_ns;
+  const double r_scaled =
+      netlist::analyze_timing(trad.nl, fast).critical_delay_ns /
+      netlist::analyze_timing(aca.nl, fast).critical_delay_ns;
+  EXPECT_NEAR(r_base, r_scaled, 1e-9);
+  // Absolute delay did change.
+  EXPECT_NEAR(netlist::analyze_timing(trad.nl, fast).critical_delay_ns,
+              0.6 * netlist::analyze_timing(trad.nl).critical_delay_ns,
+              1e-9);
+  EXPECT_THROW(netlist::CellLibrary::scaled("bad", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

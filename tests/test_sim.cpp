@@ -1,0 +1,178 @@
+// Tests for the cycle-accurate VLSA pipeline and the Fig. 7 timing
+// diagram renderer.
+
+#include <gtest/gtest.h>
+
+#include "analysis/aca_probability.hpp"
+#include "sim/vlsa_pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using sim::PipelineConfig;
+using sim::VlsaPipeline;
+using util::BitVec;
+using util::Rng;
+
+PipelineConfig small_config() {
+  PipelineConfig c;
+  c.width = 32;
+  c.window = 6;
+  c.recovery_cycles = 2;
+  c.clock_period_ns = 0.5;
+  return c;
+}
+
+TEST(VlsaPipeline, HitTakesOneCycle) {
+  VlsaPipeline pipe(small_config());
+  // No propagate chain at all: a & b disjoint bits.
+  const BitVec a = BitVec::from_u64(32, 0x0f0f0f0f);
+  const BitVec b = BitVec::from_u64(32, 0x10101010);
+  const auto& op = pipe.submit(a, b);
+  EXPECT_FALSE(op.flagged);
+  EXPECT_EQ(op.cycles(), 1);
+  EXPECT_EQ(op.result, a + b);
+  EXPECT_EQ(pipe.now(), 1);
+}
+
+TEST(VlsaPipeline, MissStallsForRecovery) {
+  VlsaPipeline pipe(small_config());
+  // Activated full-width propagate chain: guaranteed flag at k = 6.
+  BitVec a(32), b(32);
+  a.set_bit(0, true);
+  b.set_bit(0, true);
+  for (int i = 1; i < 32; ++i) a.set_bit(i, true);
+  const auto& op = pipe.submit(a, b);
+  EXPECT_TRUE(op.flagged);
+  EXPECT_TRUE(op.speculative_wrong);
+  EXPECT_EQ(op.cycles(), 1 + 2);
+  EXPECT_EQ(op.result, a + b);  // recovery always yields the exact sum
+  EXPECT_EQ(pipe.now(), 3);
+}
+
+TEST(VlsaPipeline, BackToBackIssueCycles) {
+  VlsaPipeline pipe(small_config());
+  const BitVec a = BitVec::from_u64(32, 1);
+  const BitVec b = BitVec::from_u64(32, 2);
+  pipe.submit(a, b);
+  const auto& second = pipe.submit(a, b);
+  EXPECT_EQ(second.issue_cycle, 1);  // accepted the cycle after the first
+}
+
+TEST(VlsaPipeline, ResultsAlwaysExactOverRandomStream) {
+  VlsaPipeline pipe(small_config());
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    const BitVec a = rng.next_bits(32);
+    const BitVec b = rng.next_bits(32);
+    const auto& op = pipe.submit(a, b);
+    ASSERT_EQ(op.result, a + b);
+    ASSERT_EQ(op.cycles(), op.flagged ? 3 : 1);
+  }
+  const auto stats = pipe.stats();
+  EXPECT_EQ(stats.operations, 3000);
+  EXPECT_GT(stats.flagged, 0);  // k=6 at width 32 flags a few percent
+}
+
+TEST(VlsaPipeline, AverageLatencyMatchesAnalyticExpectation) {
+  PipelineConfig config = small_config();
+  VlsaPipeline pipe(config);
+  Rng rng(32);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    pipe.submit(rng.next_bits(config.width), rng.next_bits(config.width));
+  }
+  const double expected = analysis::expected_vlsa_cycles(
+      config.width, config.window, config.recovery_cycles);
+  EXPECT_NEAR(pipe.stats().average_latency_cycles / expected, 1.0, 0.02);
+}
+
+TEST(VlsaPipeline, StatsDeriveFromClockPeriod) {
+  PipelineConfig config = small_config();
+  VlsaPipeline pipe(config);
+  pipe.submit(BitVec::from_u64(32, 1), BitVec::from_u64(32, 2));
+  const auto stats = pipe.stats();
+  EXPECT_DOUBLE_EQ(stats.average_latency_ns,
+                   stats.average_latency_cycles * config.clock_period_ns);
+  EXPECT_GT(stats.throughput_adds_per_ns, 0.0);
+}
+
+TEST(VlsaPipeline, RejectsBadConfig) {
+  PipelineConfig bad = small_config();
+  bad.recovery_cycles = 0;
+  EXPECT_THROW(VlsaPipeline{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.clock_period_ns = 0.0;
+  EXPECT_THROW(VlsaPipeline{bad}, std::invalid_argument);
+}
+
+TEST(TimingDiagram, ShowsStallAndCorrection) {
+  VlsaPipeline pipe(small_config());
+  const BitVec easy_a = BitVec::from_u64(32, 0x0f0f0f0f);
+  const BitVec easy_b = BitVec::from_u64(32, 0x10101010);
+  BitVec hard_a(32), hard_b(32);
+  hard_a.set_bit(0, true);
+  hard_b.set_bit(0, true);
+  for (int i = 1; i < 32; ++i) hard_a.set_bit(i, true);
+
+  pipe.submit(easy_a, easy_b);   // op 0: 1 cycle
+  pipe.submit(hard_a, hard_b);   // op 1: stalls
+  pipe.submit(easy_a, easy_b);   // op 2: 1 cycle
+  const std::string diagram = sim::render_timing_diagram(pipe.trace());
+  EXPECT_NE(diagram.find("CLK"), std::string::npos);
+  EXPECT_NE(diagram.find("STALL"), std::string::npos);
+  EXPECT_NE(diagram.find("S1*!"), std::string::npos);  // misspeculation mark
+  EXPECT_NE(diagram.find("A1B1"), std::string::npos);
+  // Operands of the stalled op occupy several columns.
+  std::size_t first = diagram.find("A1B1");
+  std::size_t second = diagram.find("A1B1", first + 1);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(VlsaPipeline, OverlappedRecoveryKeepsIssuing) {
+  PipelineConfig config = small_config();
+  config.overlapped_recovery = true;
+  VlsaPipeline pipe(config);
+  BitVec hard_a(32), hard_b(32);
+  hard_a.set_bit(0, true);
+  hard_b.set_bit(0, true);
+  for (int i = 1; i < 32; ++i) hard_a.set_bit(i, true);
+  const BitVec easy_a = BitVec::from_u64(32, 0x0f0f0f0f);
+  const BitVec easy_b = BitVec::from_u64(32, 0x10101010);
+
+  pipe.submit(hard_a, hard_b);  // flagged: completes at cycle 2
+  pipe.submit(easy_a, easy_b);  // issues at cycle 1, completes at cycle 1
+  const auto& trace = pipe.trace();
+  EXPECT_EQ(trace[0].issue_cycle, 0);
+  EXPECT_EQ(trace[0].done_cycle, 2);
+  EXPECT_EQ(trace[1].issue_cycle, 1);  // no stall
+  EXPECT_EQ(trace[1].done_cycle, 1);   // completes before op 0
+  EXPECT_EQ(trace[0].result, hard_a + hard_b);  // still exact
+  // Makespan covers the late completion.
+  EXPECT_EQ(pipe.stats().total_cycles, 3);
+}
+
+TEST(VlsaPipeline, OverlappedThroughputIsOnePerCycle) {
+  PipelineConfig config = small_config();
+  config.overlapped_recovery = true;
+  VlsaPipeline pipe(config);
+  Rng rng(33);
+  const int ops = 5000;
+  for (int i = 0; i < ops; ++i) {
+    pipe.submit(rng.next_bits(32), rng.next_bits(32));
+  }
+  const auto stats = pipe.stats();
+  // Makespan = ops (+ a possible recovery tail of the last flagged op).
+  EXPECT_LE(stats.total_cycles, ops + config.recovery_cycles);
+  EXPECT_GE(stats.total_cycles, ops);
+  // Latency still varies per op.
+  EXPECT_GT(stats.average_latency_cycles, 1.0);
+}
+
+TEST(TimingDiagram, EmptyTrace) {
+  EXPECT_EQ(sim::render_timing_diagram({}), "(empty trace)\n");
+}
+
+}  // namespace
+}  // namespace vlsa

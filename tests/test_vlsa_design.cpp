@@ -1,0 +1,150 @@
+// Tests for the VlsaDesign datasheet facade, the recovery-style ablation
+// variants, and the VCD waveform emitter.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/aca_probability.hpp"
+#include "core/aca_netlist.hpp"
+#include "core/vlsa.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/sta.hpp"
+#include "sim/vcd.hpp"
+#include "sim/vlsa_pipeline.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::VlsaDesign;
+using util::BitVec;
+
+TEST(VlsaDesign, PicksTheAnalysisWindow) {
+  const auto d = VlsaDesign::design(256, 0.9999);
+  EXPECT_EQ(d.window(), analysis::choose_window(256, 1e-4));
+  EXPECT_LE(d.flag_probability(), 1e-4);
+  EXPECT_LE(d.wrong_probability(), d.flag_probability());
+}
+
+TEST(VlsaDesign, TimingInvariants) {
+  const auto d = VlsaDesign::design(256, 0.9999);
+  EXPECT_GT(d.aca_delay_ns(), 0.0);
+  EXPECT_LT(d.aca_delay_ns(), d.traditional_delay_ns());
+  EXPECT_LT(d.error_detect_delay_ns(), d.traditional_delay_ns());
+  EXPECT_GT(d.recovery_delay_ns(), d.aca_delay_ns());
+  EXPECT_GE(d.clock_period_ns(),
+            std::max(d.aca_delay_ns(), d.error_detect_delay_ns()));
+  EXPECT_GT(d.expected_latency_cycles(), 1.0);
+  EXPECT_LT(d.expected_latency_cycles(), 1.001);
+  EXPECT_GT(d.average_speedup(), 1.0);
+}
+
+TEST(VlsaDesign, SpeedupGrowsWithWidth) {
+  // Adjacent widths can wiggle (the window's binary decomposition changes
+  // the ER tree depth), so compare across a wide gap where the
+  // log k vs log n asymptotics dominate.
+  const auto d64 = VlsaDesign::design(64, 0.9999);
+  const auto d2048 = VlsaDesign::design(2048, 0.9999);
+  EXPECT_GT(d2048.average_speedup(), d64.average_speedup() * 1.2);
+}
+
+TEST(VlsaDesign, ExplicitWindowVariant) {
+  const auto d = VlsaDesign::with_window(128, 10, 3);
+  EXPECT_EQ(d.window(), 10);
+  EXPECT_EQ(d.recovery_cycles(), 3);
+  EXPECT_DOUBLE_EQ(d.expected_latency_cycles(),
+                   1.0 + 3 * analysis::aca_flag_probability(128, 10));
+}
+
+TEST(VlsaDesign, MakeAdderIsFunctional) {
+  const auto d = VlsaDesign::design(64, 0.99);
+  auto adder = d.make_adder();
+  const auto out = adder.add(BitVec::from_u64(64, 123),
+                             BitVec::from_u64(64, 456));
+  EXPECT_EQ(out.exact.low_u64(), 579u);
+}
+
+TEST(VlsaDesign, DatasheetMentionsEverything) {
+  const auto d = VlsaDesign::design(128, 0.9999);
+  const std::string sheet = d.datasheet();
+  EXPECT_NE(sheet.find("128-bit"), std::string::npos);
+  EXPECT_NE(sheet.find("P(flag)"), std::string::npos);
+  EXPECT_NE(sheet.find("average speedup"), std::string::npos);
+  EXPECT_NE(sheet.find("area"), std::string::npos);
+}
+
+TEST(VlsaDesign, RejectsBadConfig) {
+  EXPECT_THROW(VlsaDesign::design(64, 0.0), std::invalid_argument);
+  EXPECT_THROW(VlsaDesign::design(64, 1.0), std::invalid_argument);
+  EXPECT_THROW(VlsaDesign::with_window(1, 1), std::invalid_argument);
+  EXPECT_THROW(VlsaDesign::with_window(64, 0), std::invalid_argument);
+}
+
+TEST(RecoveryStyle, BothStylesAreFunctionallyIdentical) {
+  const auto reuse =
+      core::build_vlsa(12, 4, core::RecoveryStyle::ReuseBlocks);
+  const auto replicated =
+      core::build_vlsa(12, 4, core::RecoveryStyle::ReplicatedAdder);
+  const auto result = netlist::check_equivalence(reuse.nl, replicated.nl);
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(RecoveryStyle, ReuseSavesAreaOverReplication) {
+  // Sec. 4.2's point: reusing the ACA's block (G, P) products is cheaper
+  // than bolting a complete traditional adder next to the ACA.
+  const int n = 256;
+  const int k = analysis::choose_window(n, 1e-4);
+  const auto reuse = core::build_vlsa(n, k, core::RecoveryStyle::ReuseBlocks);
+  const auto replicated =
+      core::build_vlsa(n, k, core::RecoveryStyle::ReplicatedAdder);
+  EXPECT_LT(netlist::analyze_area(reuse.nl).total_area,
+            netlist::analyze_area(replicated.nl).total_area);
+}
+
+TEST(Vcd, EmitsWellFormedWaveform) {
+  sim::PipelineConfig config;
+  config.width = 16;
+  config.window = 4;
+  config.clock_period_ns = 1.0;
+  sim::VlsaPipeline pipe(config);
+  pipe.submit(BitVec::from_u64(16, 0x00ff), BitVec::from_u64(16, 0x0001));
+  pipe.submit(BitVec::from_u64(16, 3), BitVec::from_u64(16, 4));
+  const std::string vcd = sim::to_vcd(pipe.trace(), 16, 1.0);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 16 $ a $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("b11111111 $"), std::string::npos);  // a of op 0
+  // One rising edge per cycle, dumped as '1!' lines.
+  int edges = 0;
+  for (std::size_t pos = vcd.find("1!"); pos != std::string::npos;
+       pos = vcd.find("1!", pos + 2)) {
+    ++edges;
+  }
+  const long long cycles =
+      pipe.trace().back().done_cycle - pipe.trace().front().issue_cycle + 1;
+  EXPECT_EQ(edges, cycles);
+}
+
+TEST(Vcd, SumAppearsOnlyOnValidCycle) {
+  sim::PipelineConfig config;
+  config.width = 16;
+  config.window = 4;
+  config.clock_period_ns = 2.0;
+  sim::VlsaPipeline pipe(config);
+  // Forced misspeculation: activated long chain.
+  BitVec a(16), b(16);
+  a.set_bit(0, true);
+  b.set_bit(0, true);
+  for (int i = 1; i < 16; ++i) a.set_bit(i, true);
+  pipe.submit(a, b);
+  const std::string vcd = sim::to_vcd(pipe.trace(), 16, 2.0);
+  // The exact sum (a + b = 0x10000 mod 2^16 = 0) appears as b0.
+  EXPECT_NE(vcd.find("b0 &"), std::string::npos);
+  // STALL is asserted during the recovery cycles.
+  EXPECT_NE(vcd.find("1#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlsa

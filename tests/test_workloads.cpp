@@ -1,0 +1,161 @@
+// Tests for the operand distributions: reproducibility, structural
+// properties of each distribution, and the input-dependence of the ACA
+// error rate they are designed to expose.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/aca.hpp"
+#include "workloads/operand_stream.hpp"
+
+namespace vlsa {
+namespace {
+
+using workloads::Distribution;
+using workloads::OperandStream;
+
+TEST(OperandStream, ReproducibleForSameSeed) {
+  for (Distribution d : workloads::all_distributions()) {
+    OperandStream s1(d, 64, 9);
+    OperandStream s2(d, 64, 9);
+    for (int i = 0; i < 20; ++i) {
+      const auto a = s1.next();
+      const auto b = s2.next();
+      EXPECT_EQ(a.first, b.first) << workloads::distribution_name(d);
+      EXPECT_EQ(a.second, b.second);
+    }
+  }
+}
+
+TEST(OperandStream, WidthsAreRespected) {
+  for (Distribution d : workloads::all_distributions()) {
+    OperandStream s(d, 100, 1);
+    for (int i = 0; i < 5; ++i) {
+      const auto [a, b] = s.next();
+      EXPECT_EQ(a.width(), 100);
+      EXPECT_EQ(b.width(), 100);
+    }
+  }
+}
+
+TEST(OperandStream, SmallOperandsOnlyUseLowBits) {
+  OperandStream s(Distribution::SmallOperands, 128, 2);
+  for (int i = 0; i < 50; ++i) {
+    const auto [a, b] = s.next();
+    for (int bit = 32; bit < 128; ++bit) {
+      ASSERT_FALSE(a.bit(bit));
+      ASSERT_FALSE(b.bit(bit));
+    }
+  }
+}
+
+TEST(OperandStream, SparseDensities) {
+  OperandStream low(Distribution::SparseLow, 256, 3);
+  OperandStream high(Distribution::SparseHigh, 256, 3);
+  long long low_ones = 0, high_ones = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    low_ones += low.next().first.popcount();
+    high_ones += high.next().first.popcount();
+  }
+  EXPECT_NEAR(low_ones / (256.0 * trials), 0.125, 0.02);
+  EXPECT_NEAR(high_ones / (256.0 * trials), 0.875, 0.02);
+}
+
+TEST(OperandStream, CounterIncrements) {
+  OperandStream s(Distribution::Counter, 32, 4);
+  const auto first = s.next();
+  const auto second = s.next();
+  EXPECT_EQ(first.first.low_u64(), 1u);
+  EXPECT_EQ(second.first.low_u64(), 2u);
+  EXPECT_EQ(first.second.low_u64(), 1u);
+}
+
+TEST(OperandStream, ComplementaryHasLongPropagateChains) {
+  OperandStream s(Distribution::Complementary, 256, 5);
+  for (int i = 0; i < 20; ++i) {
+    const auto [a, b] = s.next();
+    // With ~width/32 flips, expected chain length is ~width/(flips+1).
+    EXPECT_GT(core::longest_propagate_chain(a, b), 16);
+  }
+}
+
+TEST(OperandStream, ErrorRateIsInputDependent) {
+  // The deployment caveat: at the same (n, k), benign distributions have
+  // ~zero error while the adversarial one fails almost always.
+  const int width = 256, k = 10, trials = 2000;
+  auto wrong_rate = [&](Distribution d) {
+    OperandStream s(d, width, 6);
+    int wrong = 0;
+    for (int i = 0; i < trials; ++i) {
+      const auto [a, b] = s.next();
+      wrong += !core::aca_is_exact(a, b, k);
+    }
+    return static_cast<double>(wrong) / trials;
+  };
+  EXPECT_LT(wrong_rate(Distribution::SmallOperands), 0.02);
+  EXPECT_LT(wrong_rate(Distribution::Counter), 0.001);
+  EXPECT_GT(wrong_rate(Distribution::Complementary), 0.9);
+  const double uniform = wrong_rate(Distribution::Uniform);
+  EXPECT_GT(uniform, 0.0);
+  EXPECT_LT(uniform, 0.3);
+}
+
+TEST(TraceStream, ReplayWrapsAround) {
+  std::vector<std::pair<util::BitVec, util::BitVec>> trace{
+      {util::BitVec::from_u64(8, 1), util::BitVec::from_u64(8, 2)},
+      {util::BitVec::from_u64(8, 3), util::BitVec::from_u64(8, 4)}};
+  workloads::TraceStream stream(trace, 8);
+  EXPECT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream.next().first.low_u64(), 1u);
+  EXPECT_EQ(stream.next().first.low_u64(), 3u);
+  EXPECT_EQ(stream.next().first.low_u64(), 1u);  // wrapped
+}
+
+TEST(TraceStream, TextRoundTrip) {
+  const auto stream = workloads::TraceStream::from_text(
+      "# captured trace\n"
+      "00ff 0001\n"
+      "dead beef\n");
+  EXPECT_EQ(stream.width(), 16);
+  EXPECT_EQ(stream.size(), 2u);
+  const auto reparsed =
+      workloads::TraceStream::from_text(stream.to_text());
+  EXPECT_EQ(reparsed.to_text(), stream.to_text());
+}
+
+TEST(TraceStream, MixedDigitCountsArePadded) {
+  auto stream = workloads::TraceStream::from_text("f 10\n");
+  EXPECT_EQ(stream.width(), 8);
+  const auto [a, b] = stream.next();
+  EXPECT_EQ(a.low_u64(), 0xfu);
+  EXPECT_EQ(b.low_u64(), 0x10u);
+}
+
+TEST(TraceStream, RejectsBadInput) {
+  EXPECT_THROW(workloads::TraceStream::from_text(""), std::invalid_argument);
+  EXPECT_THROW(workloads::TraceStream::from_text("onlyone\n"),
+               std::invalid_argument);
+  EXPECT_THROW(workloads::TraceStream({}, 8), std::invalid_argument);
+  std::vector<std::pair<util::BitVec, util::BitVec>> bad{
+      {util::BitVec(8), util::BitVec(9)}};
+  EXPECT_THROW(workloads::TraceStream(bad, 8), std::invalid_argument);
+}
+
+TEST(OperandStream, RejectsBadWidth) {
+  EXPECT_THROW(OperandStream(Distribution::Uniform, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(OperandStream, DistributionNamesUnique) {
+  std::set<std::string> names;
+  for (Distribution d : workloads::all_distributions()) {
+    names.insert(workloads::distribution_name(d));
+  }
+  EXPECT_EQ(names.size(), workloads::all_distributions().size());
+}
+
+}  // namespace
+}  // namespace vlsa
