@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sharing.dir/bench/ablation_sharing.cpp.o"
+  "CMakeFiles/ablation_sharing.dir/bench/ablation_sharing.cpp.o.d"
+  "bench/ablation_sharing"
+  "bench/ablation_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

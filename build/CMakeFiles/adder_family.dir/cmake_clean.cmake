@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_family.dir/bench/adder_family.cpp.o"
+  "CMakeFiles/adder_family.dir/bench/adder_family.cpp.o.d"
+  "bench/adder_family"
+  "bench/adder_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_zoo.dir/bench/approx_zoo.cpp.o"
+  "CMakeFiles/approx_zoo.dir/bench/approx_zoo.cpp.o.d"
+  "bench/approx_zoo"
+  "bench/approx_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

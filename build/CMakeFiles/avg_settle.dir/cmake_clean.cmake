@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avg_settle.dir/bench/avg_settle.cpp.o"
+  "CMakeFiles/avg_settle.dir/bench/avg_settle.cpp.o.d"
+  "bench/avg_settle"
+  "bench/avg_settle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avg_settle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for avg_settle.
+# This may be replaced when dependencies are built.

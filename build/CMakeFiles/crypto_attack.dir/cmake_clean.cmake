@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_attack.dir/bench/crypto_attack.cpp.o"
+  "CMakeFiles/crypto_attack.dir/bench/crypto_attack.cpp.o.d"
+  "bench/crypto_attack"
+  "bench/crypto_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/energy_study.cpp" "CMakeFiles/energy_study.dir/bench/energy_study.cpp.o" "gcc" "CMakeFiles/energy_study.dir/bench/energy_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vlsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vlsa_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vlsa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplier/CMakeFiles/vlsa_multiplier.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiop/CMakeFiles/vlsa_multiop.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/vlsa_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vlsa_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adders/CMakeFiles/vlsa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vlsa_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vlsa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_study.dir/bench/energy_study.cpp.o"
+  "CMakeFiles/energy_study.dir/bench/energy_study.cpp.o.d"
+  "bench/energy_study"
+  "bench/energy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_rate.dir/bench/error_rate.cpp.o"
+  "CMakeFiles/error_rate.dir/bench/error_rate.cpp.o.d"
+  "bench/error_rate"
+  "bench/error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_coverage.dir/bench/fault_coverage.cpp.o"
+  "CMakeFiles/fault_coverage.dir/bench/fault_coverage.cpp.o.d"
+  "bench/fault_coverage"
+  "bench/fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_delay_area.dir/bench/fig8_delay_area.cpp.o"
+  "CMakeFiles/fig8_delay_area.dir/bench/fig8_delay_area.cpp.o.d"
+  "bench/fig8_delay_area"
+  "bench/fig8_delay_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_delay_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

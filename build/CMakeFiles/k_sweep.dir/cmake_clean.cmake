@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_sweep.dir/bench/k_sweep.cpp.o"
+  "CMakeFiles/k_sweep.dir/bench/k_sweep.cpp.o.d"
+  "bench/k_sweep"
+  "bench/k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

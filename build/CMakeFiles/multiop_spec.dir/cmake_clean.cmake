@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiop_spec.dir/bench/multiop_spec.cpp.o"
+  "CMakeFiles/multiop_spec.dir/bench/multiop_spec.cpp.o.d"
+  "bench/multiop_spec"
+  "bench/multiop_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiop_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

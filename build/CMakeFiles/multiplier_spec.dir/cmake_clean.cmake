@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplier_spec.dir/bench/multiplier_spec.cpp.o"
+  "CMakeFiles/multiplier_spec.dir/bench/multiplier_spec.cpp.o.d"
+  "bench/multiplier_spec"
+  "bench/multiplier_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplier_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiplier_spec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_study.dir/bench/processor_study.cpp.o"
+  "CMakeFiles/processor_study.dir/bench/processor_study.cpp.o.d"
+  "bench/processor_study"
+  "bench/processor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

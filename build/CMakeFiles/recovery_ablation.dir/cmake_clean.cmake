@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_ablation.dir/bench/recovery_ablation.cpp.o"
+  "CMakeFiles/recovery_ablation.dir/bench/recovery_ablation.cpp.o.d"
+  "bench/recovery_ablation"
+  "bench/recovery_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

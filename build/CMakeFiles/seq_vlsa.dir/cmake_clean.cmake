@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_vlsa.dir/bench/seq_vlsa.cpp.o"
+  "CMakeFiles/seq_vlsa.dir/bench/seq_vlsa.cpp.o.d"
+  "bench/seq_vlsa"
+  "bench/seq_vlsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_vlsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for seq_vlsa.
+# This may be replaced when dependencies are built.

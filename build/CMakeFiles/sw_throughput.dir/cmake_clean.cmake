@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_throughput.dir/bench/sw_throughput.cpp.o"
+  "CMakeFiles/sw_throughput.dir/bench/sw_throughput.cpp.o.d"
+  "bench/sw_throughput"
+  "bench/sw_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_longest_run.dir/bench/table1_longest_run.cpp.o"
+  "CMakeFiles/table1_longest_run.dir/bench/table1_longest_run.cpp.o.d"
+  "bench/table1_longest_run"
+  "bench/table1_longest_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_longest_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_walk.dir/bench/theorem1_walk.cpp.o"
+  "CMakeFiles/theorem1_walk.dir/bench/theorem1_walk.cpp.o.d"
+  "bench/theorem1_walk"
+  "bench/theorem1_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

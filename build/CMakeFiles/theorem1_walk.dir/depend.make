@@ -1,0 +1,2 @@
+# Empty dependencies file for theorem1_walk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_latency.dir/bench/vlsa_latency.cpp.o"
+  "CMakeFiles/vlsa_latency.dir/bench/vlsa_latency.cpp.o.d"
+  "bench/vlsa_latency"
+  "bench/vlsa_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_attack_demo.dir/crypto_attack_demo.cpp.o"
+  "CMakeFiles/crypto_attack_demo.dir/crypto_attack_demo.cpp.o.d"
+  "crypto_attack_demo"
+  "crypto_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monte_carlo_pi.dir/monte_carlo_pi.cpp.o"
+  "CMakeFiles/monte_carlo_pi.dir/monte_carlo_pi.cpp.o.d"
+  "monte_carlo_pi"
+  "monte_carlo_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monte_carlo_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

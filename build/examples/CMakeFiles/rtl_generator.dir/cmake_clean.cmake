@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_generator.dir/rtl_generator.cpp.o"
+  "CMakeFiles/rtl_generator.dir/rtl_generator.cpp.o.d"
+  "rtl_generator"
+  "rtl_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

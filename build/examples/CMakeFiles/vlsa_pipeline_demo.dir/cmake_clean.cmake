@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_pipeline_demo.dir/vlsa_pipeline_demo.cpp.o"
+  "CMakeFiles/vlsa_pipeline_demo.dir/vlsa_pipeline_demo.cpp.o.d"
+  "vlsa_pipeline_demo"
+  "vlsa_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_tool.dir/vlsa_tool.cpp.o"
+  "CMakeFiles/vlsa_tool.dir/vlsa_tool.cpp.o.d"
+  "vlsa_tool"
+  "vlsa_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("adders")
+subdirs("analysis")
+subdirs("core")
+subdirs("sim")
+subdirs("workloads")
+subdirs("crypto")
+subdirs("approx")
+subdirs("cpu")
+subdirs("multiop")
+subdirs("multiplier")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adders/cla.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/cla.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/cla.cpp.o.d"
+  "/root/repo/src/adders/condsum.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/condsum.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/condsum.cpp.o.d"
+  "/root/repo/src/adders/factory.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/factory.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/factory.cpp.o.d"
+  "/root/repo/src/adders/pg.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/pg.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/pg.cpp.o.d"
+  "/root/repo/src/adders/prefix.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/prefix.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/prefix.cpp.o.d"
+  "/root/repo/src/adders/ripple.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/ripple.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/ripple.cpp.o.d"
+  "/root/repo/src/adders/skip_select.cpp" "src/adders/CMakeFiles/vlsa_adders.dir/skip_select.cpp.o" "gcc" "src/adders/CMakeFiles/vlsa_adders.dir/skip_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/vlsa_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_adders.dir/cla.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/cla.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/condsum.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/condsum.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/factory.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/factory.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/pg.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/pg.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/prefix.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/prefix.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/ripple.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/ripple.cpp.o.d"
+  "CMakeFiles/vlsa_adders.dir/skip_select.cpp.o"
+  "CMakeFiles/vlsa_adders.dir/skip_select.cpp.o.d"
+  "libvlsa_adders.a"
+  "libvlsa_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

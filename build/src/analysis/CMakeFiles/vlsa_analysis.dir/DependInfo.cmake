@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aca_probability.cpp" "src/analysis/CMakeFiles/vlsa_analysis.dir/aca_probability.cpp.o" "gcc" "src/analysis/CMakeFiles/vlsa_analysis.dir/aca_probability.cpp.o.d"
+  "/root/repo/src/analysis/biguint.cpp" "src/analysis/CMakeFiles/vlsa_analysis.dir/biguint.cpp.o" "gcc" "src/analysis/CMakeFiles/vlsa_analysis.dir/biguint.cpp.o.d"
+  "/root/repo/src/analysis/longest_run.cpp" "src/analysis/CMakeFiles/vlsa_analysis.dir/longest_run.cpp.o" "gcc" "src/analysis/CMakeFiles/vlsa_analysis.dir/longest_run.cpp.o.d"
+  "/root/repo/src/analysis/theorem1.cpp" "src/analysis/CMakeFiles/vlsa_analysis.dir/theorem1.cpp.o" "gcc" "src/analysis/CMakeFiles/vlsa_analysis.dir/theorem1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_analysis.dir/aca_probability.cpp.o"
+  "CMakeFiles/vlsa_analysis.dir/aca_probability.cpp.o.d"
+  "CMakeFiles/vlsa_analysis.dir/biguint.cpp.o"
+  "CMakeFiles/vlsa_analysis.dir/biguint.cpp.o.d"
+  "CMakeFiles/vlsa_analysis.dir/longest_run.cpp.o"
+  "CMakeFiles/vlsa_analysis.dir/longest_run.cpp.o.d"
+  "CMakeFiles/vlsa_analysis.dir/theorem1.cpp.o"
+  "CMakeFiles/vlsa_analysis.dir/theorem1.cpp.o.d"
+  "libvlsa_analysis.a"
+  "libvlsa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

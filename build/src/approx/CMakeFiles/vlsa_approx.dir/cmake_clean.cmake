@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_approx.dir/approx_adders.cpp.o"
+  "CMakeFiles/vlsa_approx.dir/approx_adders.cpp.o.d"
+  "libvlsa_approx.a"
+  "libvlsa_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aca.cpp" "src/core/CMakeFiles/vlsa_core.dir/aca.cpp.o" "gcc" "src/core/CMakeFiles/vlsa_core.dir/aca.cpp.o.d"
+  "/root/repo/src/core/aca_netlist.cpp" "src/core/CMakeFiles/vlsa_core.dir/aca_netlist.cpp.o" "gcc" "src/core/CMakeFiles/vlsa_core.dir/aca_netlist.cpp.o.d"
+  "/root/repo/src/core/error_metrics.cpp" "src/core/CMakeFiles/vlsa_core.dir/error_metrics.cpp.o" "gcc" "src/core/CMakeFiles/vlsa_core.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/core/vlsa.cpp" "src/core/CMakeFiles/vlsa_core.dir/vlsa.cpp.o" "gcc" "src/core/CMakeFiles/vlsa_core.dir/vlsa.cpp.o.d"
+  "/root/repo/src/core/vlsa_sequential.cpp" "src/core/CMakeFiles/vlsa_core.dir/vlsa_sequential.cpp.o" "gcc" "src/core/CMakeFiles/vlsa_core.dir/vlsa_sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vlsa_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/adders/CMakeFiles/vlsa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vlsa_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_core.dir/aca.cpp.o"
+  "CMakeFiles/vlsa_core.dir/aca.cpp.o.d"
+  "CMakeFiles/vlsa_core.dir/aca_netlist.cpp.o"
+  "CMakeFiles/vlsa_core.dir/aca_netlist.cpp.o.d"
+  "CMakeFiles/vlsa_core.dir/error_metrics.cpp.o"
+  "CMakeFiles/vlsa_core.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/vlsa_core.dir/vlsa.cpp.o"
+  "CMakeFiles/vlsa_core.dir/vlsa.cpp.o.d"
+  "CMakeFiles/vlsa_core.dir/vlsa_sequential.cpp.o"
+  "CMakeFiles/vlsa_core.dir/vlsa_sequential.cpp.o.d"
+  "libvlsa_core.a"
+  "libvlsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_cpu.dir/mini_cpu.cpp.o"
+  "CMakeFiles/vlsa_cpu.dir/mini_cpu.cpp.o.d"
+  "libvlsa_cpu.a"
+  "libvlsa_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/adder32.cpp" "src/crypto/CMakeFiles/vlsa_crypto.dir/adder32.cpp.o" "gcc" "src/crypto/CMakeFiles/vlsa_crypto.dir/adder32.cpp.o.d"
+  "/root/repo/src/crypto/attack.cpp" "src/crypto/CMakeFiles/vlsa_crypto.dir/attack.cpp.o" "gcc" "src/crypto/CMakeFiles/vlsa_crypto.dir/attack.cpp.o.d"
+  "/root/repo/src/crypto/tea.cpp" "src/crypto/CMakeFiles/vlsa_crypto.dir/tea.cpp.o" "gcc" "src/crypto/CMakeFiles/vlsa_crypto.dir/tea.cpp.o.d"
+  "/root/repo/src/crypto/text_model.cpp" "src/crypto/CMakeFiles/vlsa_crypto.dir/text_model.cpp.o" "gcc" "src/crypto/CMakeFiles/vlsa_crypto.dir/text_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

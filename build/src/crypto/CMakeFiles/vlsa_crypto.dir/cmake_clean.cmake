@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_crypto.dir/adder32.cpp.o"
+  "CMakeFiles/vlsa_crypto.dir/adder32.cpp.o.d"
+  "CMakeFiles/vlsa_crypto.dir/attack.cpp.o"
+  "CMakeFiles/vlsa_crypto.dir/attack.cpp.o.d"
+  "CMakeFiles/vlsa_crypto.dir/tea.cpp.o"
+  "CMakeFiles/vlsa_crypto.dir/tea.cpp.o.d"
+  "CMakeFiles/vlsa_crypto.dir/text_model.cpp.o"
+  "CMakeFiles/vlsa_crypto.dir/text_model.cpp.o.d"
+  "libvlsa_crypto.a"
+  "libvlsa_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_multiop.dir/csa.cpp.o"
+  "CMakeFiles/vlsa_multiop.dir/csa.cpp.o.d"
+  "CMakeFiles/vlsa_multiop.dir/multi_add.cpp.o"
+  "CMakeFiles/vlsa_multiop.dir/multi_add.cpp.o.d"
+  "libvlsa_multiop.a"
+  "libvlsa_multiop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_multiop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vlsa_multiop.
+# This may be replaced when dependencies are built.

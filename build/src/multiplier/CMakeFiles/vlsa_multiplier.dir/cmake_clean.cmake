@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_multiplier.dir/booth.cpp.o"
+  "CMakeFiles/vlsa_multiplier.dir/booth.cpp.o.d"
+  "CMakeFiles/vlsa_multiplier.dir/spec_multiplier.cpp.o"
+  "CMakeFiles/vlsa_multiplier.dir/spec_multiplier.cpp.o.d"
+  "libvlsa_multiplier.a"
+  "libvlsa_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlsa_multiplier.a"
+)

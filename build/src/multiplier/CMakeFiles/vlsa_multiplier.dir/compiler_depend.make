@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vlsa_multiplier.
+# This may be replaced when dependencies are built.

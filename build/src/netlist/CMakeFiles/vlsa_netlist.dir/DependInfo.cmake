@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/dot.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/dot.cpp.o.d"
+  "/root/repo/src/netlist/emit.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/emit.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/emit.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/equiv.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/equiv.cpp.o.d"
+  "/root/repo/src/netlist/event_sim.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/event_sim.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/event_sim.cpp.o.d"
+  "/root/repo/src/netlist/fault.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/fault.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/fault.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/opt.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/opt.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/opt.cpp.o.d"
+  "/root/repo/src/netlist/seq_sim.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/seq_sim.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/seq_sim.cpp.o.d"
+  "/root/repo/src/netlist/serialize.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/serialize.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/serialize.cpp.o.d"
+  "/root/repo/src/netlist/simulator.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/simulator.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/simulator.cpp.o.d"
+  "/root/repo/src/netlist/sta.cpp" "src/netlist/CMakeFiles/vlsa_netlist.dir/sta.cpp.o" "gcc" "src/netlist/CMakeFiles/vlsa_netlist.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

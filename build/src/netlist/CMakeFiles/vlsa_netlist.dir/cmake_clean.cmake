@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/dot.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/emit.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/emit.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/equiv.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/equiv.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/event_sim.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/event_sim.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/fault.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/fault.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/opt.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/opt.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/seq_sim.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/seq_sim.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/serialize.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/serialize.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/simulator.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/simulator.cpp.o.d"
+  "CMakeFiles/vlsa_netlist.dir/sta.cpp.o"
+  "CMakeFiles/vlsa_netlist.dir/sta.cpp.o.d"
+  "libvlsa_netlist.a"
+  "libvlsa_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_sim.dir/vcd.cpp.o"
+  "CMakeFiles/vlsa_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/vlsa_sim.dir/vlsa_pipeline.cpp.o"
+  "CMakeFiles/vlsa_sim.dir/vlsa_pipeline.cpp.o.d"
+  "libvlsa_sim.a"
+  "libvlsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

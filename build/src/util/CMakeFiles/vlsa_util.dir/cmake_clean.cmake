@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_util.dir/bitvec.cpp.o"
+  "CMakeFiles/vlsa_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/vlsa_util.dir/rng.cpp.o"
+  "CMakeFiles/vlsa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vlsa_util.dir/table.cpp.o"
+  "CMakeFiles/vlsa_util.dir/table.cpp.o.d"
+  "libvlsa_util.a"
+  "libvlsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsa_workloads.dir/operand_stream.cpp.o"
+  "CMakeFiles/vlsa_workloads.dir/operand_stream.cpp.o.d"
+  "libvlsa_workloads.a"
+  "libvlsa_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsa_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aca.dir/test_aca.cpp.o"
+  "CMakeFiles/test_aca.dir/test_aca.cpp.o.d"
+  "test_aca"
+  "test_aca.pdb"
+  "test_aca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aca_netlist.dir/test_aca_netlist.cpp.o"
+  "CMakeFiles/test_aca_netlist.dir/test_aca_netlist.cpp.o.d"
+  "test_aca_netlist"
+  "test_aca_netlist.pdb"
+  "test_aca_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aca_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aca_sub.dir/test_aca_sub.cpp.o"
+  "CMakeFiles/test_aca_sub.dir/test_aca_sub.cpp.o.d"
+  "test_aca_sub"
+  "test_aca_sub.pdb"
+  "test_aca_sub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aca_sub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adders.dir/test_adders.cpp.o"
+  "CMakeFiles/test_adders.dir/test_adders.cpp.o.d"
+  "test_adders"
+  "test_adders.pdb"
+  "test_adders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

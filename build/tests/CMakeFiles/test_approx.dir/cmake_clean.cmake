@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx.dir/test_approx.cpp.o"
+  "CMakeFiles/test_approx.dir/test_approx.cpp.o.d"
+  "test_approx"
+  "test_approx.pdb"
+  "test_approx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

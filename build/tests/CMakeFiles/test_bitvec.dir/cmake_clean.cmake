@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvec.dir/test_bitvec.cpp.o"
+  "CMakeFiles/test_bitvec.dir/test_bitvec.cpp.o.d"
+  "test_bitvec"
+  "test_bitvec.pdb"
+  "test_bitvec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_booth.dir/test_booth.cpp.o"
+  "CMakeFiles/test_booth.dir/test_booth.cpp.o.d"
+  "test_booth"
+  "test_booth.pdb"
+  "test_booth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_booth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_module.dir/test_cross_module.cpp.o"
+  "CMakeFiles/test_cross_module.dir/test_cross_module.cpp.o.d"
+  "test_cross_module"
+  "test_cross_module.pdb"
+  "test_cross_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emit.dir/test_emit.cpp.o"
+  "CMakeFiles/test_emit.dir/test_emit.cpp.o.d"
+  "test_emit"
+  "test_emit.pdb"
+  "test_emit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equiv_opt.dir/test_equiv_opt.cpp.o"
+  "CMakeFiles/test_equiv_opt.dir/test_equiv_opt.cpp.o.d"
+  "test_equiv_opt"
+  "test_equiv_opt.pdb"
+  "test_equiv_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equiv_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_metrics.dir/test_error_metrics.cpp.o"
+  "CMakeFiles/test_error_metrics.dir/test_error_metrics.cpp.o.d"
+  "test_error_metrics"
+  "test_error_metrics.pdb"
+  "test_error_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_sim.dir/test_event_sim.cpp.o"
+  "CMakeFiles/test_event_sim.dir/test_event_sim.cpp.o.d"
+  "test_event_sim"
+  "test_event_sim.pdb"
+  "test_event_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

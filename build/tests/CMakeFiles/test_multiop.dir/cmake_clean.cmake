@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiop.dir/test_multiop.cpp.o"
+  "CMakeFiles/test_multiop.dir/test_multiop.cpp.o.d"
+  "test_multiop"
+  "test_multiop.pdb"
+  "test_multiop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

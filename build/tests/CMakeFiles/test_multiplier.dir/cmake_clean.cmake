@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiplier.dir/test_multiplier.cpp.o"
+  "CMakeFiles/test_multiplier.dir/test_multiplier.cpp.o.d"
+  "test_multiplier"
+  "test_multiplier.pdb"
+  "test_multiplier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

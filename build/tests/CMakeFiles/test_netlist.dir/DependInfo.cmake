@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_netlist.dir/test_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vlsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adders/CMakeFiles/vlsa_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vlsa_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vlsa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vlsa_design.dir/test_vlsa_design.cpp.o"
+  "CMakeFiles/test_vlsa_design.dir/test_vlsa_design.cpp.o.d"
+  "test_vlsa_design"
+  "test_vlsa_design.pdb"
+  "test_vlsa_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vlsa_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
