@@ -1,8 +1,10 @@
 #pragma once
 // Shared helpers for the benchmark harnesses.
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/aca_probability.hpp"
@@ -23,6 +25,23 @@ inline int window_9999(int width) {
 /// Section banner for the combined bench log.
 inline void banner(const std::string& title) {
   std::cout << "\n== " << title << " ==\n";
+}
+
+/// Worker threads for the batch Monte-Carlo driver (tallies are
+/// thread-count independent; this only sets the wall clock).
+inline int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Machine-readable results sidecar: `<name>.bench.json` in the working
+/// directory (gitignored).  Scripts diff these across PRs for the
+/// throughput/accuracy trajectory.
+inline std::ofstream open_bench_json(const std::string& name) {
+  const std::string path = name + ".bench.json";
+  std::ofstream out(path);
+  std::cout << "(machine-readable results -> " << path << ")\n";
+  return out;
 }
 
 }  // namespace vlsa::bench

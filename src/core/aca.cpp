@@ -16,20 +16,22 @@ void check_args(const BitVec& a, const BitVec& b, int k) {
   if (k < 1) throw std::invalid_argument("aca_add: window must be >= 1");
 }
 
-}  // namespace
+// Windowed carry chain shared by aca_add and aca_speculative_carries:
+// bit i of `carries` is the speculative carry out of position i.
+struct CarryTrace {
+  BitVec carries;
+  bool flagged = false;
+};
 
-AcaResult aca_add(const BitVec& a, const BitVec& b, int k, bool carry_in) {
-  check_args(a, b, k);
+CarryTrace window_carries(const BitVec& a, const BitVec& b, int k,
+                          bool carry_in) {
   const int n = a.width();
   const BitVec p = a ^ b;
   const BitVec g = a & b;
 
-  AcaResult out{BitVec(n), false, false};
-  int run = 0;           // propagate run length ending at the current bit
-  bool carry_prev = carry_in;  // speculative c_{i-1}; c_{-1} = carry_in
+  CarryTrace out{BitVec(n), false};
+  int run = 0;  // propagate run length ending at the current bit
   for (int i = 0; i < n; ++i) {
-    out.sum.set_bit(i, p.bit(i) ^ carry_prev);
-    // Speculative carry out of bit i.
     run = p.bit(i) ? run + 1 : 0;
     if (run >= k) out.flagged = true;
     bool carry;
@@ -44,10 +46,33 @@ AcaResult aca_add(const BitVec& a, const BitVec& b, int k, bool carry_in) {
       // The nearest non-propagate position inside the window decides.
       carry = g.bit(i - run);
     }
-    carry_prev = carry;
+    out.carries.set_bit(i, carry);
+  }
+  return out;
+}
+
+}  // namespace
+
+AcaResult aca_add(const BitVec& a, const BitVec& b, int k, bool carry_in) {
+  check_args(a, b, k);
+  const int n = a.width();
+  const BitVec p = a ^ b;
+  const CarryTrace trace = window_carries(a, b, k, carry_in);
+
+  AcaResult out{BitVec(n), false, trace.flagged};
+  bool carry_prev = carry_in;  // speculative c_{i-1}; c_{-1} = carry_in
+  for (int i = 0; i < n; ++i) {
+    out.sum.set_bit(i, p.bit(i) ^ carry_prev);
+    carry_prev = trace.carries.bit(i);
   }
   out.carry_out = carry_prev;
   return out;
+}
+
+BitVec aca_speculative_carries(const BitVec& a, const BitVec& b, int k,
+                               bool carry_in) {
+  check_args(a, b, k);
+  return window_carries(a, b, k, carry_in).carries;
 }
 
 AcaResult aca_sub(const BitVec& a, const BitVec& b, int k) {
@@ -87,6 +112,28 @@ SpeculativeAdder SpeculativeAdder::with_target_accuracy(
   return SpeculativeAdder(width, k);
 }
 
+SpeculativeAdder::SpeculativeAdder(const SpeculativeAdder& other)
+    : width_(other.width_),
+      window_(other.window_),
+      total_(other.total_adds()),
+      flagged_(other.flagged_adds()),
+      wrong_(other.wrong_adds()) {}
+
+SpeculativeAdder& SpeculativeAdder::operator=(const SpeculativeAdder& other) {
+  width_ = other.width_;
+  window_ = other.window_;
+  total_.store(other.total_adds(), std::memory_order_relaxed);
+  flagged_.store(other.flagged_adds(), std::memory_order_relaxed);
+  wrong_.store(other.wrong_adds(), std::memory_order_relaxed);
+  return *this;
+}
+
+void SpeculativeAdder::record(const Outcome& out) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (out.flagged) flagged_.fetch_add(1, std::memory_order_relaxed);
+  if (out.was_wrong) wrong_.fetch_add(1, std::memory_order_relaxed);
+}
+
 SpeculativeAdder::Outcome SpeculativeAdder::add(const BitVec& a,
                                                 const BitVec& b) {
   if (a.width() != width_ || b.width() != width_) {
@@ -96,9 +143,7 @@ SpeculativeAdder::Outcome SpeculativeAdder::add(const BitVec& a,
   const auto exact = a.add_with_carry(b);
   Outcome out{spec.sum, exact.sum, exact.carry_out, spec.flagged,
               spec.sum != exact.sum || spec.carry_out != exact.carry_out};
-  total_ += 1;
-  if (out.flagged) flagged_ += 1;
-  if (out.was_wrong) wrong_ += 1;
+  record(out);
   return out;
 }
 
@@ -111,18 +156,18 @@ SpeculativeAdder::Outcome SpeculativeAdder::sub(const BitVec& a,
   const auto exact = a.add_with_carry(~b, /*carry_in=*/true);
   Outcome out{spec.sum, exact.sum, exact.carry_out, spec.flagged,
               spec.sum != exact.sum || spec.carry_out != exact.carry_out};
-  total_ += 1;
-  if (out.flagged) flagged_ += 1;
-  if (out.was_wrong) wrong_ += 1;
+  record(out);
   return out;
 }
 
 double SpeculativeAdder::observed_flag_rate() const {
-  return total_ == 0 ? 0.0 : static_cast<double>(flagged_) / total_;
+  const long long total = total_adds();
+  return total == 0 ? 0.0 : static_cast<double>(flagged_adds()) / total;
 }
 
 double SpeculativeAdder::observed_error_rate() const {
-  return total_ == 0 ? 0.0 : static_cast<double>(wrong_) / total_;
+  const long long total = total_adds();
+  return total == 0 ? 0.0 : static_cast<double>(wrong_adds()) / total;
 }
 
 }  // namespace vlsa::core

@@ -15,6 +15,8 @@
 // (O(n) per add) for Monte-Carlo error studies and the cryptographic
 // workload.
 
+#include <atomic>
+
 #include "util/bitvec.hpp"
 
 namespace vlsa::core {
@@ -38,6 +40,21 @@ AcaResult aca_add(const BitVec& a, const BitVec& b, int k,
 /// Speculative subtraction a - b (two's complement: a + ~b + 1).
 AcaResult aca_sub(const BitVec& a, const BitVec& b, int k);
 
+/// The windowed carry chain itself: bit i of the result is the
+/// speculative carry out of position i (so `aca_add(...).sum` equals
+/// `p ^ (carries << 1 | carry_in)`).  The window semantics are exactly
+/// those of `aca_add`:
+///   * a full k-propagate window speculates carry 0 (the error source),
+///   * a window clamped at bit 0 with fewer than k positions sees the
+///     architectural `carry_in` exactly,
+///   * otherwise the nearest non-propagate position decides (its
+///     generate bit rides the propagate chain up to the queried bit).
+/// Exposed so alternative evaluators — in particular the bit-sliced
+/// batch engine in sim/batch_engine.hpp — can be checked against the
+/// internal carry lanes, not just the final sums.
+BitVec aca_speculative_carries(const BitVec& a, const BitVec& b, int k,
+                               bool carry_in = false);
+
 /// Just the error-detection signal ER (Sec. 4.1): true iff the addenda
 /// contain a propagate chain of length >= k.  ER == false guarantees
 /// `aca_add(a, b, k).sum == a + b` (tested property).
@@ -52,6 +69,13 @@ int longest_propagate_chain(const BitVec& a, const BitVec& b);
 
 /// A configured speculative adder with running statistics; the software
 /// twin of the VLSA datapath.
+///
+/// Thread safety: `add`/`sub` may be called concurrently from any number
+/// of threads — the statistics counters are relaxed atomics, so totals
+/// are never lost or torn (tests/test_parallel.cpp hammers this).  The
+/// three counters are sampled independently; a reader racing with
+/// writers can observe `flagged_adds() > 0` a moment before the matching
+/// `total_adds()` increment, so compute rates from a quiescent adder.
 class SpeculativeAdder {
  public:
   /// `width` = operand bits, `window` = k.
@@ -80,19 +104,31 @@ class SpeculativeAdder {
   /// Speculative subtraction with the same statistics accounting.
   Outcome sub(const BitVec& a, const BitVec& b);
 
-  // Running statistics over every `add` call.
-  long long total_adds() const { return total_; }
-  long long flagged_adds() const { return flagged_; }
-  long long wrong_adds() const { return wrong_; }
+  /// Copies carry the configuration and a snapshot of the counters.
+  SpeculativeAdder(const SpeculativeAdder& other);
+  SpeculativeAdder& operator=(const SpeculativeAdder& other);
+
+  // Running statistics over every `add`/`sub` call.
+  long long total_adds() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  long long flagged_adds() const {
+    return flagged_.load(std::memory_order_relaxed);
+  }
+  long long wrong_adds() const {
+    return wrong_.load(std::memory_order_relaxed);
+  }
   double observed_flag_rate() const;
   double observed_error_rate() const;
 
  private:
+  void record(const Outcome& out);
+
   int width_;
   int window_;
-  long long total_ = 0;
-  long long flagged_ = 0;
-  long long wrong_ = 0;
+  std::atomic<long long> total_ = 0;
+  std::atomic<long long> flagged_ = 0;
+  std::atomic<long long> wrong_ = 0;
 };
 
 }  // namespace vlsa::core

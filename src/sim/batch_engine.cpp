@@ -1,0 +1,197 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace vlsa::sim {
+
+namespace {
+
+void check_batch(const SlicedBatch& ops, int k) {
+  if (ops.width < 1) {
+    throw std::invalid_argument("batch engine: empty operands");
+  }
+  if (static_cast<int>(ops.a.size()) != ops.width ||
+      static_cast<int>(ops.b.size()) != ops.width) {
+    throw std::invalid_argument("batch engine: slice/width mismatch");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("batch engine: window must be >= 1");
+  }
+}
+
+/// Lane mask of runs: after the doubling loop, r[i] has lane j set iff
+/// lane j's propagate bits [i-k+1 .. i] are all 1.  OR over i (only
+/// i >= k-1 can have a full window) is exactly the scalar ER flag.
+std::uint64_t sliced_flag(const std::vector<std::uint64_t>& p, int k) {
+  const int n = static_cast<int>(p.size());
+  if (k > n) return 0;
+  std::vector<std::uint64_t> r = p;  // r[i]: run of length t ends at i
+  int t = 1;
+  while (t < k) {
+    const int s = std::min(t, k - t);
+    // Descending i so r[i - s] is still the length-t value.
+    for (int i = n - 1; i >= 0; --i) {
+      r[i] = (i >= s) ? (r[i] & r[i - s]) : 0;
+    }
+    t += s;
+  }
+  std::uint64_t any = 0;
+  for (int i = k - 1; i < n; ++i) any |= r[i];
+  return any;
+}
+
+void eval(const std::vector<std::uint64_t>& a,
+          const std::vector<std::uint64_t>& b, int k, std::uint64_t carry_in,
+          int n, BatchResult& out) {
+  out.width = n;
+  out.sum_spec.assign(n, 0);
+  out.sum_exact.assign(n, 0);
+  out.carry_spec.assign(n, 0);
+
+  // Propagate/generate slices (kept as locals: p and g are cheap to
+  // recompute per use but the spec-carry loop reads them k times each).
+  std::vector<std::uint64_t> p(n), g(n);
+  for (int i = 0; i < n; ++i) {
+    p[i] = a[i] ^ b[i];
+    g[i] = a[i] & b[i];
+  }
+
+  // Exact carry chain: c_i = g_i | (p_i & c_{i-1}), c_{-1} = carry_in.
+  std::uint64_t ec = carry_in;
+  for (int i = 0; i < n; ++i) {
+    out.sum_exact[i] = p[i] ^ ec;
+    ec = g[i] | (p[i] & ec);
+  }
+  out.carry_out_exact = ec;
+
+  // Speculative carries: each bit i ripples only its window
+  // [max(0, i-k+1) .. i].  The seed entering the window is 0 when the
+  // window is full-length (a k-propagate window speculates 0 — the error
+  // source) and the architectural carry-in when the window is clamped at
+  // bit 0 with fewer than k positions (a short chain to bit 0 *knows*
+  // the carry-in).  Any generate/kill inside the window overwrites the
+  // seed, so the two cases only differ on all-propagate windows —
+  // exactly the scalar model's case split on the run length.
+  std::uint64_t sc = carry_in;  // c_{i-1}; c_{-1} = carry_in
+  for (int i = 0; i < n; ++i) {
+    out.sum_spec[i] = p[i] ^ sc;
+    const int lo = std::max(0, i - k + 1);
+    std::uint64_t c = (i < k - 1) ? carry_in : 0;
+    for (int j = lo; j <= i; ++j) {
+      c = g[j] | (p[j] & c);
+    }
+    out.carry_spec[i] = c;
+    sc = c;
+  }
+  out.carry_out_spec = sc;
+
+  out.flagged = sliced_flag(p, k);
+
+  out.wrong = out.carry_out_spec ^ out.carry_out_exact;
+  for (int i = 0; i < n; ++i) {
+    out.wrong |= out.sum_spec[i] ^ out.sum_exact[i];
+  }
+}
+
+}  // namespace
+
+void batch_aca_add_into(const SlicedBatch& ops, int k,
+                        std::uint64_t carry_in, BatchResult& out) {
+  check_batch(ops, k);
+  eval(ops.a, ops.b, k, carry_in, ops.width, out);
+}
+
+BatchResult batch_aca_add(const SlicedBatch& ops, int k,
+                          std::uint64_t carry_in) {
+  BatchResult out;
+  batch_aca_add_into(ops, k, carry_in, out);
+  return out;
+}
+
+BatchResult batch_aca_sub(const SlicedBatch& ops, int k) {
+  check_batch(ops, k);
+  // a - b = a + ~b + 1 per lane; every slice word is fully populated
+  // (64 lanes), so the lane-wise complement is a plain word complement.
+  BatchResult out;
+  std::vector<std::uint64_t> bc(ops.width);
+  for (int i = 0; i < ops.width; ++i) bc[i] = ~ops.b[i];
+  eval(ops.a, bc, k, /*carry_in=*/~std::uint64_t{0}, ops.width, out);
+  return out;
+}
+
+std::uint64_t batch_aca_flag(const SlicedBatch& ops, int k) {
+  check_batch(ops, k);
+  std::vector<std::uint64_t> p(ops.width);
+  for (int i = 0; i < ops.width; ++i) p[i] = ops.a[i] ^ ops.b[i];
+  return sliced_flag(p, k);
+}
+
+std::array<int, kBatchLanes> batch_longest_runs(const SlicedBatch& ops) {
+  check_batch(ops, /*k=*/1);
+  const int n = ops.width;
+  std::vector<std::uint64_t> p(n);
+  for (int i = 0; i < n; ++i) p[i] = ops.a[i] ^ ops.b[i];
+
+  std::array<int, kBatchLanes> runs{};
+  // r[i]: lanes whose propagate run of length t ends at bit i.  Extend
+  // one bit per round; a lane's longest run is the last t it survived.
+  std::vector<std::uint64_t> r = p;
+  for (int t = 1; t <= n; ++t) {
+    std::uint64_t alive = 0;
+    for (int i = t - 1; i < n; ++i) alive |= r[i];
+    if (alive == 0) break;
+    while (alive != 0) {
+      const int lane = std::countr_zero(alive);
+      runs[lane] = t;
+      alive &= alive - 1;
+    }
+    for (int i = n - 1; i >= 1; --i) r[i] = r[i - 1] & p[i];
+    r[0] = 0;
+  }
+  return runs;
+}
+
+SlicedBatch transpose_batch(
+    const std::vector<std::pair<util::BitVec, util::BitVec>>& pairs,
+    int width) {
+  if (static_cast<int>(pairs.size()) > kBatchLanes) {
+    throw std::invalid_argument("transpose_batch: more than 64 pairs");
+  }
+  SlicedBatch batch(width);
+  for (int lane = 0; lane < static_cast<int>(pairs.size()); ++lane) {
+    const auto& [a, b] = pairs[lane];
+    if (a.width() != width || b.width() != width) {
+      throw std::invalid_argument("transpose_batch: operand width mismatch");
+    }
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (int i = 0; i < width; ++i) {
+      if (a.bit(i)) batch.a[i] |= bit;
+      if (b.bit(i)) batch.b[i] |= bit;
+    }
+  }
+  return batch;
+}
+
+util::BitVec lane_value(const std::vector<std::uint64_t>& sliced, int width,
+                        int lane) {
+  if (lane < 0 || lane >= kBatchLanes) {
+    throw std::invalid_argument("lane_value: lane out of range");
+  }
+  if (static_cast<int>(sliced.size()) < width) {
+    throw std::invalid_argument("lane_value: slice shorter than width");
+  }
+  util::BitVec v(width);
+  for (int i = 0; i < width; ++i) {
+    v.set_bit(i, (sliced[i] >> lane) & 1);
+  }
+  return v;
+}
+
+void fill_uniform(util::Rng& rng, SlicedBatch& batch) {
+  for (auto& word : batch.a) word = rng.next_u64();
+  for (auto& word : batch.b) word = rng.next_u64();
+}
+
+}  // namespace vlsa::sim

@@ -1,0 +1,106 @@
+#pragma once
+// Bit-sliced (transposed) batch evaluator for the ACA — 64 independent
+// additions per machine word.
+//
+// The scalar model in core/aca.hpp walks one operand pair bit by bit;
+// Monte-Carlo studies built on it top out around 1e4-1e5 trials.  This
+// engine stores a batch of 64 operand pairs *transposed*: word i holds
+// bit i of all 64 lanes (lane j lives in bit j of every word).  All the
+// adder's signals — propagate/generate, the windowed speculative
+// carries, the exact carries, the ER flag, the mispredict indicator —
+// are then plain AND/OR/XOR recurrences over those words, evaluating
+// every lane simultaneously.  One batch costs O(n·k) word operations,
+// i.e. ~k operations per addition instead of a per-bit interpreted
+// loop, which is where the batch Monte-Carlo driver
+// (workloads/batch_monte_carlo.hpp) gets its two-orders-of-magnitude
+// throughput win.
+//
+// The engine is only a valid reproduction instrument because it is
+// bit-exactly equivalent to the scalar specification:
+// tests/test_batch_engine.cpp proves every output lane equal to
+// core::aca_add / aca_flag / aca_is_exact across widths, windows, the
+// carry-in path, and the subtraction path (exhaustively at width 8).
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa::sim {
+
+/// Lanes per batch — one per bit of the slice words.
+inline constexpr int kBatchLanes = 64;
+
+/// 64 operand pairs in transposed layout: `a[i]` / `b[i]` hold bit i of
+/// every lane, for i in [0, width).  Unused lanes are simply lanes whose
+/// bits are all zero (their results are valid too — they compute 0+0).
+struct SlicedBatch {
+  explicit SlicedBatch(int width = 0)
+      : width(width), a(width, 0), b(width, 0) {}
+
+  int width = 0;
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+};
+
+/// All outputs of one batched evaluation, transposed like the inputs.
+/// Mask members hold one bit per lane.
+struct BatchResult {
+  int width = 0;
+  std::vector<std::uint64_t> sum_spec;    ///< speculative (ACA) sums
+  std::vector<std::uint64_t> sum_exact;   ///< true sums (recovery output)
+  std::vector<std::uint64_t> carry_spec;  ///< windowed carry chain, bit i
+                                          ///< = carry out of position i
+  std::uint64_t carry_out_spec = 0;   ///< lane mask: speculative carry out
+  std::uint64_t carry_out_exact = 0;  ///< lane mask: exact carry out
+  std::uint64_t flagged = 0;  ///< lane mask: ER fired (chain >= k)
+  std::uint64_t wrong = 0;    ///< lane mask: speculative != exact
+};
+
+/// Evaluate ACA(width, k) plus the exact adder on all 64 lanes.
+/// `carry_in` is a lane mask (bit j = architectural carry into lane j),
+/// matching the scalar `aca_add(a, b, k, carry_in)` semantics per lane.
+BatchResult batch_aca_add(const SlicedBatch& ops, int k,
+                          std::uint64_t carry_in = 0);
+
+/// Same, reusing `out`'s buffers — the zero-allocation form the
+/// Monte-Carlo driver loops on.
+void batch_aca_add_into(const SlicedBatch& ops, int k,
+                        std::uint64_t carry_in, BatchResult& out);
+
+/// Lane-wise speculative subtraction a - b (two's complement:
+/// a + ~b + 1), matching scalar `aca_sub` per lane.
+BatchResult batch_aca_sub(const SlicedBatch& ops, int k);
+
+/// Just the ER lane mask: bit j set iff lane j has a propagate chain of
+/// length >= k (matches scalar `aca_flag`).
+std::uint64_t batch_aca_flag(const SlicedBatch& ops, int k);
+
+/// Per-lane longest propagate chain (matches scalar
+/// `longest_propagate_chain`) — the statistic behind Table 1.
+std::array<int, kBatchLanes> batch_longest_runs(const SlicedBatch& ops);
+
+/// Transpose up to 64 scalar operand pairs (all of `width`) into a
+/// batch; lanes beyond `pairs.size()` are zero.
+SlicedBatch transpose_batch(
+    const std::vector<std::pair<util::BitVec, util::BitVec>>& pairs,
+    int width);
+
+/// Read one lane back out of a transposed signal (inverse of the
+/// transpose for a single lane).
+util::BitVec lane_value(const std::vector<std::uint64_t>& sliced, int width,
+                        int lane);
+
+/// Fill a batch with i.i.d. uniform bits.  Drawing each slice word
+/// directly is distribution-identical to transposing 64 scalar
+/// `rng.next_bits(width)` draws (every bit of every lane is an
+/// independent fair coin either way) — this is the fast path the
+/// uniform Monte-Carlo driver uses.  It is *not* the same stream as the
+/// scalar draws, so scalar and batch runs agree in distribution, not
+/// trial-for-trial.
+void fill_uniform(util::Rng& rng, SlicedBatch& batch);
+
+}  // namespace vlsa::sim

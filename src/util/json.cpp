@@ -1,0 +1,146 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vlsa::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (int i = 0; i < indent_ * static_cast<int>(stack_.size()); ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level value
+  Frame& top = stack_.back();
+  if (top.scope == Scope::Object) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: value inside object needs a key");
+    }
+    key_pending_ = false;
+    return;  // key() already placed comma/indent
+  }
+  if (!top.empty) os_ << ',';
+  top.empty = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().scope != Scope::Object) {
+    throw std::logic_error("JsonWriter: key outside of object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: key after key");
+  Frame& top = stack_.back();
+  if (!top.empty) os_ << ',';
+  top.empty = false;
+  newline_indent();
+  os_ << '"' << json_escape(name) << "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back({Scope::Object, true});
+  os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().scope != Scope::Object ||
+      key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back({Scope::Array, true});
+  os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().scope != Scope::Array) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  const bool was_empty = stack_.back().empty;
+  stack_.pop_back();
+  if (!was_empty) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+}  // namespace vlsa::util

@@ -1,0 +1,82 @@
+#pragma once
+// Minimal streaming JSON writer for the machine-readable bench outputs.
+//
+// The benches emit <name>.bench.json files so successive PRs have a
+// throughput/accuracy trajectory that scripts can diff; this writer is
+// deliberately tiny (no DOM, no parsing) and emits pretty-printed,
+// deterministic output: keys appear in call order and doubles round-trip
+// (printf %.17g, with NaN/Inf mapped to null since JSON has neither).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace vlsa::util {
+
+/// Escape a string for inclusion in a JSON document (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming writer; nesting is tracked so commas and indentation are
+/// automatic.  Usage:
+///   JsonWriter j(os);
+///   j.begin_object();
+///   j.kv("width", 64).kv("flag_rate", 1e-4);
+///   j.key("rows").begin_array(); ... j.end_array();
+///   j.end_object();
+/// Misuse (value without key inside an object, close of the wrong scope)
+/// throws std::logic_error rather than emitting invalid JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit `"name":` — must be inside an object, before each value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+
+  /// Any other integer type (int, std::uint64_t, std::size_t, ...).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<long long>(v));
+    } else {
+      return value(static_cast<unsigned long long>(v));
+    }
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  bool key_pending_ = false;
+  struct Frame {
+    Scope scope;
+    bool empty = true;
+  };
+  std::vector<Frame> stack_;
+};
+
+}  // namespace vlsa::util

@@ -1,0 +1,109 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vlsa::util {
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable idle;
+  std::deque<std::function<void()>> queue;
+  std::exception_ptr first_error;
+  int active = 0;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) return;  // stopping and drained
+      auto job = std::move(queue.front());
+      queue.pop_front();
+      ++active;
+      lock.unlock();
+      try {
+        job();
+      } catch (...) {
+        lock.lock();
+        if (!first_error) first_error = std::current_exception();
+        lock.unlock();
+      }
+      lock.lock();
+      --active;
+      if (queue.empty() && active == 0) idle.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : state_(std::make_unique<State>()) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  state_->workers.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    state_->workers.emplace_back([s = state_.get()] { s->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->work_ready.notify_all();
+  for (auto& w : state_->workers) w.join();
+}
+
+int ThreadPool::size() const {
+  return static_cast<int>(state_->workers.size());
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->stopping) {
+      throw std::logic_error("ThreadPool::submit: pool is shutting down");
+    }
+    state_->queue.push_back(std::move(job));
+  }
+  state_->work_ready.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->idle.wait(lock,
+                    [&] { return state_->queue.empty() && state_->active == 0; });
+  if (state_->first_error) {
+    auto err = std::exchange(state_->first_error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for_shards(int num_shards, int num_threads,
+                         const std::function<void(int)>& fn) {
+  if (num_shards < 0) {
+    throw std::invalid_argument("parallel_for_shards: negative shard count");
+  }
+  if (num_shards == 0) return;
+  if (num_threads <= 1 || num_shards == 1) {
+    for (int shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, num_shards));
+  for (int shard = 0; shard < num_shards; ++shard) {
+    pool.submit([&fn, shard] { fn(shard); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace vlsa::util

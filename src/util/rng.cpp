@@ -51,6 +51,13 @@ double Rng::next_double() {
 
 bool Rng::next_bool(double p) { return next_double() < p; }
 
+Rng Rng::split(std::uint64_t stream) const {
+  std::uint64_t x = stream;
+  std::uint64_t seed = splitmix64(x) ^ state_[0] ^ rotl(state_[1], 17) ^
+                       rotl(state_[2], 31) ^ rotl(state_[3], 47);
+  return Rng(splitmix64(seed));
+}
+
 BitVec Rng::next_bits(int width) {
   BitVec v(width);
   for (auto& limb : v.limbs()) limb = next_u64();

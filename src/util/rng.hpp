@@ -33,6 +33,26 @@ class Rng {
   /// Uniform random bit vector of the given width.
   BitVec next_bits(int width);
 
+  /// Derive an independent child generator for substream `stream` without
+  /// touching this generator's sequence (const — a parent draws the same
+  /// values whether or not it was split, and splitting twice with the
+  /// same index yields identical children).
+  ///
+  /// Substream spec (frozen: sharded Monte-Carlo tallies are only
+  /// reproducible across thread counts if every shard derives its RNG the
+  /// same way forever):
+  ///
+  ///   child = Rng(sm(sm(stream) ^ s0 ^ rotl(s1,17) ^ rotl(s2,31)
+  ///                             ^ rotl(s3,47)))
+  ///
+  /// where `s0..s3` is this generator's current xoshiro state, `sm(x)` is
+  /// one splitmix64 step (add the golden-gamma 0x9e3779b97f4a7c15, then
+  /// the 30/27/31 xor-multiply finalizer), and the Rng constructor expands
+  /// the 64-bit seed through four further splitmix64 steps.  Distinct
+  /// stream indices therefore land in unrelated regions of seed space,
+  /// and a shard's stream depends only on (master seed, shard index).
+  Rng split(std::uint64_t stream) const;
+
  private:
   std::uint64_t state_[4] = {};
 };

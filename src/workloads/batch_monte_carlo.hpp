@@ -1,0 +1,59 @@
+#pragma once
+// Multithreaded Monte-Carlo driver over the bit-sliced batch engine.
+//
+// Trials are split into fixed-size shards; shard s draws all of its
+// operands from the substream `Rng(seed).split(s)` and accumulates a
+// private tally, and the per-shard tallies are reduced in shard order
+// after the pool drains.  Both the shard layout and the substreams
+// depend only on (trials, seed) — never on the thread count — so the
+// same configuration produces bit-identical tallies on 1, 4, or 13
+// threads (tests/test_parallel.cpp pins this down).  Threads only
+// change the wall clock.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vlsa::workloads {
+
+struct BatchMcConfig {
+  int width = 64;       ///< operand bits (n)
+  int window = 4;       ///< speculation window (k)
+  long long trials = 1 << 20;  ///< rounded up to a whole number of batches
+  std::uint64_t seed = 0x5eedULL;
+  int threads = 1;      ///< worker threads; does not affect the tallies
+  bool collect_runs = true;  ///< longest-propagate-run histogram (Table 1)
+  bool subtract = false;     ///< exercise the a - b (carry-in = 1) path
+};
+
+/// Integer tallies — everything needed for flag/error rates and the
+/// longest-run distribution.  Addition of tallies is associative and
+/// commutative, but the driver still reduces in shard order so any
+/// future non-commutative statistic stays reproducible.
+struct BatchMcTally {
+  long long trials = 0;
+  long long flagged = 0;   ///< ER fired
+  long long wrong = 0;     ///< speculative sum != exact sum
+  std::vector<long long> run_histogram;  ///< [chain length] -> count;
+                                         ///< size width+1 when collected
+
+  void merge(const BatchMcTally& other);
+};
+
+struct BatchMcResult {
+  BatchMcTally tally;
+  int shards = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+
+  double flag_rate() const;
+  double error_rate() const;
+};
+
+/// Run the configured experiment.  `trials` is rounded up to a multiple
+/// of 64 (the batch width); the returned tally reports the actual count.
+BatchMcResult run_batch_monte_carlo(const BatchMcConfig& config);
+
+}  // namespace vlsa::workloads

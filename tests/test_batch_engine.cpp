@@ -1,0 +1,254 @@
+// Differential property tests for the bit-sliced batch engine: every
+// output lane must match the scalar specification in core/aca.hpp
+// bit-for-bit.  This equivalence is what licenses the batch Monte-Carlo
+// driver as a *reproduction* instrument rather than a new model — the
+// paper's statistics are only as trustworthy as this file.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "sim/batch_engine.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::aca_add;
+using core::aca_flag;
+using core::aca_is_exact;
+using core::aca_speculative_carries;
+using core::aca_sub;
+using core::longest_propagate_chain;
+using sim::BatchResult;
+using sim::kBatchLanes;
+using sim::SlicedBatch;
+using util::BitVec;
+using util::Rng;
+
+// The differential grid of the issue: every width crossed with windows
+// {1, 4, log2 n, n}.  333 is deliberately not a multiple of 64 and 8
+// exercises windows wider than the operand.
+const int kWidths[] = {8, 16, 64, 256, 333};
+
+std::vector<int> windows_for(int n) {
+  const int log2n = std::max(1, static_cast<int>(std::lround(std::log2(n))));
+  std::vector<int> ks{1, 4, log2n, n};
+  // Dedup while keeping order (width 8 yields {1, 4, 3, 8}).
+  std::vector<int> out;
+  for (int k : ks) {
+    bool seen = false;
+    for (int o : out) seen = seen || o == k;
+    if (!seen) out.push_back(k);
+  }
+  return out;
+}
+
+// Check every lane of `got` against the scalar model for the same
+// operands.  `carry_in` is the lane mask that was fed to the engine.
+void expect_lanes_match_scalar(const SlicedBatch& ops, int k,
+                               std::uint64_t carry_in,
+                               const BatchResult& got) {
+  const int n = ops.width;
+  for (int lane = 0; lane < kBatchLanes; ++lane) {
+    const BitVec a = sim::lane_value(ops.a, n, lane);
+    const BitVec b = sim::lane_value(ops.b, n, lane);
+    const bool cin = (carry_in >> lane) & 1;
+
+    const auto scalar = aca_add(a, b, k, cin);
+    const auto exact = a.add_with_carry(b, cin);
+
+    ASSERT_EQ(sim::lane_value(got.sum_spec, n, lane), scalar.sum)
+        << "spec sum lane " << lane << " n=" << n << " k=" << k;
+    ASSERT_EQ(sim::lane_value(got.sum_exact, n, lane), exact.sum)
+        << "exact sum lane " << lane << " n=" << n << " k=" << k;
+    ASSERT_EQ(sim::lane_value(got.carry_spec, n, lane),
+              aca_speculative_carries(a, b, k, cin))
+        << "carry lanes " << lane << " n=" << n << " k=" << k;
+    ASSERT_EQ(((got.carry_out_spec >> lane) & 1) != 0, scalar.carry_out)
+        << "spec cout lane " << lane << " n=" << n << " k=" << k;
+    ASSERT_EQ(((got.carry_out_exact >> lane) & 1) != 0, exact.carry_out)
+        << "exact cout lane " << lane << " n=" << n << " k=" << k;
+    ASSERT_EQ(((got.flagged >> lane) & 1) != 0, aca_flag(a, b, k))
+        << "ER lane " << lane << " n=" << n << " k=" << k;
+    // aca_is_exact ignores carry-in/out by definition; the engine's
+    // `wrong` also compares the carry out, so check against the full
+    // scalar comparison and, when cin == 0, against aca_is_exact too.
+    const bool scalar_wrong = scalar.sum != exact.sum ||
+                              scalar.carry_out != exact.carry_out;
+    ASSERT_EQ(((got.wrong >> lane) & 1) != 0, scalar_wrong)
+        << "wrong lane " << lane << " n=" << n << " k=" << k;
+    if (!cin && !scalar_wrong) {
+      ASSERT_TRUE(aca_is_exact(a, b, k))
+          << "lane " << lane << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BatchEngineDifferential, RandomBatchesAcrossWidthAndWindowGrid) {
+  // ~10k random batches spread over the grid (more on the cheap widths),
+  // each batch checked on all 64 lanes against the scalar model —
+  // including random carry-in lane masks every fourth batch.
+  Rng rng(0xba7c4);
+  for (int n : kWidths) {
+    for (int k : windows_for(n)) {
+      const int batches = n <= 64 ? 700 : 150;
+      SlicedBatch ops(n);
+      for (int t = 0; t < batches; ++t) {
+        sim::fill_uniform(rng, ops);
+        const std::uint64_t carry_in = (t % 4 == 0) ? rng.next_u64() : 0;
+        const auto got = sim::batch_aca_add(ops, k, carry_in);
+        expect_lanes_match_scalar(ops, k, carry_in, got);
+      }
+    }
+  }
+}
+
+TEST(BatchEngineDifferential, ExhaustiveWidth8Agreement) {
+  // All 2^16 operand pairs at width 8, both carry-in values, windows
+  // {1, 3, 4, 8} — the batch engine and the scalar model must be
+  // indistinguishable on the entire input space.
+  for (int k : {1, 3, 4, 8}) {
+    for (int cin_all : {0, 1}) {
+      std::vector<std::pair<BitVec, BitVec>> pairs;
+      pairs.reserve(kBatchLanes);
+      for (int av = 0; av < 256; ++av) {
+        for (int bv = 0; bv < 256; ++bv) {
+          pairs.emplace_back(BitVec::from_u64(8, av), BitVec::from_u64(8, bv));
+          if (static_cast<int>(pairs.size()) == kBatchLanes) {
+            const auto ops = sim::transpose_batch(pairs, 8);
+            const std::uint64_t mask = cin_all ? ~std::uint64_t{0} : 0;
+            expect_lanes_match_scalar(ops, k, mask,
+                                      sim::batch_aca_add(ops, k, mask));
+            pairs.clear();
+          }
+        }
+      }
+      ASSERT_TRUE(pairs.empty());  // 65536 pairs = exactly 1024 batches
+    }
+  }
+}
+
+TEST(BatchEngineDifferential, SubtractionPathMatchesScalar) {
+  Rng rng(0x5ab);
+  for (int n : kWidths) {
+    for (int k : windows_for(n)) {
+      SlicedBatch ops(n);
+      for (int t = 0; t < 40; ++t) {
+        sim::fill_uniform(rng, ops);
+        const auto got = sim::batch_aca_sub(ops, k);
+        for (int lane = 0; lane < kBatchLanes; ++lane) {
+          const BitVec a = sim::lane_value(ops.a, n, lane);
+          const BitVec b = sim::lane_value(ops.b, n, lane);
+          const auto scalar = aca_sub(a, b, k);
+          const auto exact = a.add_with_carry(~b, /*carry_in=*/true);
+          ASSERT_EQ(sim::lane_value(got.sum_spec, n, lane), scalar.sum)
+              << "sub lane " << lane << " n=" << n << " k=" << k;
+          ASSERT_EQ(sim::lane_value(got.sum_exact, n, lane), exact.sum);
+          ASSERT_EQ(((got.carry_out_spec >> lane) & 1) != 0,
+                    scalar.carry_out);
+          ASSERT_EQ(((got.flagged >> lane) & 1) != 0, scalar.flagged);
+          const bool wrong = scalar.sum != exact.sum ||
+                             scalar.carry_out != exact.carry_out;
+          ASSERT_EQ(((got.wrong >> lane) & 1) != 0, wrong);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, FlagMaskMatchesDedicatedEvaluator) {
+  Rng rng(0xf1a9);
+  for (int n : {16, 64, 256}) {
+    for (int k : {1, 4, 8, n}) {
+      SlicedBatch ops(n);
+      for (int t = 0; t < 50; ++t) {
+        sim::fill_uniform(rng, ops);
+        ASSERT_EQ(sim::batch_aca_flag(ops, k),
+                  sim::batch_aca_add(ops, k).flagged);
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, SoundnessWrongLanesAreAlwaysFlagged) {
+  // The paper's safety property, ER = 0 => exact, holds per lane: the
+  // wrong mask must be a subset of the flag mask.  Complementary-style
+  // operands make wrong lanes actually occur.
+  Rng rng(0x50);
+  for (int n : {64, 256}) {
+    SlicedBatch ops(n);
+    for (int t = 0; t < 200; ++t) {
+      sim::fill_uniform(rng, ops);
+      if (t % 2 == 0) {
+        // b ~= ~a with a few flipped words: long propagate chains.
+        for (int i = 0; i < n; ++i) ops.b[i] = ~ops.a[i];
+        ops.b[rng.next_below(n)] = rng.next_u64();
+      }
+      for (int k : {2, 4, 8}) {
+        const auto got = sim::batch_aca_add(ops, k);
+        ASSERT_EQ(got.wrong & ~got.flagged, 0u)
+            << "unflagged wrong lane at n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, LongestRunsMatchScalarChainLength) {
+  Rng rng(0x10e);
+  for (int n : {8, 64, 333}) {
+    SlicedBatch ops(n);
+    for (int t = 0; t < 100; ++t) {
+      sim::fill_uniform(rng, ops);
+      const auto runs = sim::batch_longest_runs(ops);
+      for (int lane = 0; lane < kBatchLanes; ++lane) {
+        const BitVec a = sim::lane_value(ops.a, n, lane);
+        const BitVec b = sim::lane_value(ops.b, n, lane);
+        ASSERT_EQ(runs[lane], longest_propagate_chain(a, b))
+            << "lane " << lane << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, TransposeRoundTrip) {
+  Rng rng(0x77);
+  const int n = 96;
+  std::vector<std::pair<BitVec, BitVec>> pairs;
+  for (int i = 0; i < 37; ++i) {  // deliberately a partial batch
+    pairs.emplace_back(rng.next_bits(n), rng.next_bits(n));
+  }
+  const auto ops = sim::transpose_batch(pairs, n);
+  for (int lane = 0; lane < 37; ++lane) {
+    EXPECT_EQ(sim::lane_value(ops.a, n, lane), pairs[lane].first);
+    EXPECT_EQ(sim::lane_value(ops.b, n, lane), pairs[lane].second);
+  }
+  for (int lane = 37; lane < kBatchLanes; ++lane) {
+    EXPECT_TRUE(sim::lane_value(ops.a, n, lane).is_zero());
+    EXPECT_TRUE(sim::lane_value(ops.b, n, lane).is_zero());
+  }
+}
+
+TEST(BatchEngine, RejectsBadArguments) {
+  SlicedBatch ops(8);
+  EXPECT_THROW(sim::batch_aca_add(ops, 0), std::invalid_argument);
+  EXPECT_THROW(sim::batch_aca_add(SlicedBatch(0), 4), std::invalid_argument);
+  SlicedBatch corrupt(8);
+  corrupt.a.pop_back();
+  EXPECT_THROW(sim::batch_aca_add(corrupt, 4), std::invalid_argument);
+  EXPECT_THROW(sim::lane_value(ops.a, 8, 64), std::invalid_argument);
+  EXPECT_THROW(
+      sim::transpose_batch(
+          std::vector<std::pair<BitVec, BitVec>>(65,
+                                                 {BitVec(8), BitVec(8)}),
+          8),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa

@@ -1,0 +1,201 @@
+// The parallel substrate: RNG substreams, the thread pool, and the
+// reproducibility contract of the batch Monte-Carlo driver — same seed
+// must mean bit-identical tallies no matter how many threads ran — plus
+// the thread safety of SpeculativeAdder's statistics counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "workloads/batch_monte_carlo.hpp"
+
+namespace vlsa {
+namespace {
+
+using core::SpeculativeAdder;
+using util::Rng;
+using util::ThreadPool;
+using workloads::BatchMcConfig;
+using workloads::run_batch_monte_carlo;
+
+TEST(RngSplit, IsDeterministicAndLeavesParentUntouched) {
+  Rng parent(42);
+  Rng control(42);
+
+  Rng child_a = parent.split(7);
+  Rng child_b = parent.split(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+
+  // split is const: the parent's own sequence is exactly what it would
+  // have been without any splitting.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(parent.next_u64(), control.next_u64());
+  }
+}
+
+TEST(RngSplit, DistinctStreamsAndDistinctParentsDiverge) {
+  Rng parent(42);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t stream = 0; stream < 256; ++stream) {
+    firsts.insert(parent.split(stream).next_u64());
+  }
+  // All 256 substreams start differently (a collision here would mean
+  // shards silently sharing operands).
+  EXPECT_EQ(firsts.size(), 256u);
+
+  // The substream depends on the parent state, not just the index.
+  Rng other(43);
+  EXPECT_NE(parent.split(0).next_u64(), other.split(0).next_u64());
+}
+
+TEST(RngSplit, ChildIsNotAPrefixOfTheParentStream) {
+  Rng parent(1234);
+  Rng child = parent.split(0);
+  Rng control(1234);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff = any_diff || (child.next_u64() != control.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> seen(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count, &seen, i] {
+      seen[i].fetch_add(1);
+      count.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(seen[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstJobException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 4) throw std::runtime_error("job 4 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);  // the failure does not cancel other jobs
+  // The pool is reusable after an error.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ParallelForShards, CoversAllShardsOnAnyThreadCount) {
+  for (int threads : {1, 2, 13}) {
+    std::vector<std::atomic<int>> hits(57);
+    util::parallel_for_shards(57, threads,
+                              [&](int shard) { hits[shard].fetch_add(1); });
+    for (int s = 0; s < 57; ++s) {
+      ASSERT_EQ(hits[s].load(), 1) << "threads=" << threads << " s=" << s;
+    }
+  }
+}
+
+TEST(BatchMonteCarlo, TalliesAreIdenticalAcrossThreadCounts) {
+  // Several shards' worth of work (32768 trials/shard) so the schedule
+  // actually interleaves, small enough to run three times.
+  BatchMcConfig config;
+  config.width = 64;
+  config.window = 6;
+  config.trials = 200'000;
+  config.seed = 0xabcdef;
+  config.threads = 1;
+  const auto base = run_batch_monte_carlo(config);
+  EXPECT_GE(base.tally.trials, config.trials);
+  EXPECT_GT(base.shards, 1);
+
+  for (int threads : {4, 13}) {
+    config.threads = threads;
+    const auto got = run_batch_monte_carlo(config);
+    EXPECT_EQ(got.tally.trials, base.tally.trials) << threads;
+    EXPECT_EQ(got.tally.flagged, base.tally.flagged) << threads;
+    EXPECT_EQ(got.tally.wrong, base.tally.wrong) << threads;
+    EXPECT_EQ(got.tally.run_histogram, base.tally.run_histogram) << threads;
+  }
+}
+
+TEST(BatchMonteCarlo, TalliesAreInternallyConsistent) {
+  BatchMcConfig config;
+  config.width = 32;
+  config.window = 4;
+  config.trials = 100'000;
+  config.threads = 2;
+  const auto got = run_batch_monte_carlo(config);
+
+  // Soundness per tally: a wrong sum implies a flag.
+  EXPECT_LE(got.tally.wrong, got.tally.flagged);
+  EXPECT_LE(got.tally.flagged, got.tally.trials);
+
+  // The run histogram partitions the trials, and every trial with a
+  // chain >= k must be exactly the flagged count.
+  long long histogram_total = 0, chains_ge_k = 0;
+  for (std::size_t run = 0; run < got.tally.run_histogram.size(); ++run) {
+    histogram_total += got.tally.run_histogram[run];
+    if (static_cast<int>(run) >= config.window) {
+      chains_ge_k += got.tally.run_histogram[run];
+    }
+  }
+  EXPECT_EQ(histogram_total, got.tally.trials);
+  EXPECT_EQ(chains_ge_k, got.tally.flagged);
+}
+
+TEST(BatchMonteCarlo, SubtractPathRuns) {
+  BatchMcConfig config;
+  config.width = 64;
+  config.window = 8;
+  config.trials = 64 * 100;
+  config.subtract = true;
+  config.collect_runs = false;
+  const auto got = run_batch_monte_carlo(config);
+  EXPECT_EQ(got.tally.trials, config.trials);
+  EXPECT_LE(got.tally.wrong, got.tally.flagged);
+}
+
+TEST(SpeculativeAdderConcurrency, CountersSurviveParallelHammering) {
+  // 8 threads x 2000 additions on one shared adder: the relaxed-atomic
+  // counters must neither lose nor invent increments, and the totals
+  // must equal the sum of what each thread observed.
+  SpeculativeAdder adder(64, 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<long long> flagged_seen{0}, wrong_seen{0};
+
+  util::parallel_for_shards(kThreads, kThreads, [&](int shard) {
+    Rng rng = Rng(0xc0ffee).split(shard);
+    long long flagged = 0, wrong = 0;
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto out = adder.add(rng.next_bits(64), rng.next_bits(64));
+      flagged += out.flagged;
+      wrong += out.was_wrong;
+    }
+    flagged_seen.fetch_add(flagged);
+    wrong_seen.fetch_add(wrong);
+  });
+
+  EXPECT_EQ(adder.total_adds(), kThreads * kPerThread);
+  EXPECT_EQ(adder.flagged_adds(), flagged_seen.load());
+  EXPECT_EQ(adder.wrong_adds(), wrong_seen.load());
+  EXPECT_LE(adder.wrong_adds(), adder.flagged_adds());
+}
+
+}  // namespace
+}  // namespace vlsa
