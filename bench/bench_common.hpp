@@ -8,6 +8,16 @@
 #include <vector>
 
 #include "analysis/aca_probability.hpp"
+#include "util/json.hpp"
+
+// Set by bench.cmake at configure time (the commit the build tree was
+// configured from); "unknown" outside a git checkout.
+#ifndef VLSA_GIT_SHA
+#define VLSA_GIT_SHA "unknown"
+#endif
+#ifndef VLSA_BUILD_TYPE
+#define VLSA_BUILD_TYPE "unknown"
+#endif
 
 namespace vlsa::bench {
 
@@ -42,6 +52,18 @@ inline std::ofstream open_bench_json(const std::string& name) {
   std::ofstream out(path);
   std::cout << "(machine-readable results -> " << path << ")\n";
   return out;
+}
+
+/// Provenance block for the sidecars: which commit and build type
+/// produced the numbers, and how parallel the machine was — without
+/// these, cross-PR trajectory diffs compare apples to oranges.  Call
+/// right after the opening `begin_object()`.
+inline void write_provenance(util::JsonWriter& json) {
+  json.key("provenance").begin_object();
+  json.kv("git_sha", VLSA_GIT_SHA);
+  json.kv("build_type", VLSA_BUILD_TYPE);
+  json.kv("hardware_threads", default_threads());
+  json.end_object();
 }
 
 }  // namespace vlsa::bench

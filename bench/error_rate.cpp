@@ -56,6 +56,7 @@ int main() {
   util::JsonWriter json(json_file);
   json.begin_object();
   json.kv("bench", "error_rate");
+  bench::write_provenance(json);
   const int threads = bench::default_threads();
   json.kv("threads", threads);
 

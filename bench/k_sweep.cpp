@@ -32,6 +32,7 @@ int main() {
   util::JsonWriter json(json_file);
   json.begin_object();
   json.kv("bench", "k_sweep");
+  bench::write_provenance(json);
   json.kv("width", n);
   json.kv("threads", threads);
   json.kv("k99", k99);

@@ -51,6 +51,7 @@ int main() {
   auto json_file = bench::open_bench_json("table1_longest_run");
   util::JsonWriter json(json_file);
   json.begin_object();
+  bench::write_provenance(json);
   json.kv("bench", "table1_longest_run");
   const int threads = bench::default_threads();
   json.kv("threads", threads);

@@ -6,13 +6,25 @@
 //   vlsa_tool faults   <circuit> <width> [k]       stuck-at coverage
 //   vlsa_tool settle   <circuit> <width> [k]       average-case delay
 //   vlsa_tool datasheet <width> <accuracy>         size a VLSA design
+//   vlsa_tool serve    <width> [k]                 add "<hex-a> <hex-b>"
+//                                                  lines from stdin via the
+//                                                  arithmetic service
+//   vlsa_tool loadgen  <width> [k] [--rate R --dist D --arrival A
+//                      --requests N --workers W --batch B --queue Q
+//                      --policy block|reject --seed S --json PATH]
+//                                                  drive the service with
+//                                                  synthetic load, report
+//                                                  tail latencies
 //
 // <circuit> is an adder architecture name (ripple-carry, kogge-stone,
 // brent-kung, ...), "aca", "errdet" or "vlsa" (the latter three take k;
 // default = the 99.99% design window).
 
+#include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,6 +40,10 @@
 #include "netlist/opt.hpp"
 #include "netlist/serialize.hpp"
 #include "netlist/sta.hpp"
+#include "service/service.hpp"
+#include "telemetry/registry.hpp"
+#include "workloads/load_gen.hpp"
+#include "workloads/operand_stream.hpp"
 
 namespace {
 
@@ -127,6 +143,150 @@ int cmd_settle(const Netlist& nl) {
   return 0;
 }
 
+// Zero-extend a parsed operand to the service width.
+vlsa::util::BitVec pad_to(const vlsa::util::BitVec& v, int width) {
+  if (v.width() == width) return v;
+  vlsa::util::BitVec out(width);
+  for (std::size_t i = 0; i < v.limbs().size(); ++i) {
+    out.limbs()[i] = v.limbs()[i];
+  }
+  return out;
+}
+
+// Additions over stdin: each line "<hex-a> <hex-b>" (TraceStream text
+// format, '#' comments allowed) is served through the arithmetic
+// service; stdout gets "<hex-sum> <flagged> <latency-cycles>" per
+// request in input order, stderr the telemetry snapshot as JSON.
+int cmd_serve(int width, int window) {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  auto trace = vlsa::workloads::TraceStream::from_text(buffer.str());
+  if (trace.width() > width) {
+    throw std::invalid_argument("trace operands are wider (" +
+                                std::to_string(trace.width()) +
+                                " bits) than the service width");
+  }
+  vlsa::service::ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 1;
+  config.queue_capacity = 1024;
+  vlsa::service::AdderService service(config);
+  std::vector<std::future<vlsa::service::Completion>> futures;
+  futures.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    auto [a, b] = trace.next();
+    auto future = service.submit(pad_to(a, width), pad_to(b, width));
+    futures.push_back(std::move(*future));  // Block policy: always accepted
+  }
+  service.flush();
+  for (auto& future : futures) {
+    const auto completion = future.get();
+    std::cout << completion.sum.to_hex() << " " << (completion.flagged ? 1 : 0)
+              << " " << completion.latency_cycles << "\n";
+  }
+  std::cerr << service.registry().snapshot().to_json() << "\n";
+  return 0;
+}
+
+int cmd_loadgen(int width, int window,
+                const std::vector<std::string>& args, std::size_t next) {
+  vlsa::service::ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 2;
+  vlsa::workloads::LoadGenConfig load;
+  std::string json_path;
+  auto need = [&](std::size_t i, const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    return args[i + 1];
+  };
+  for (std::size_t i = next; i < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = need(i, flag);
+    if (flag == "--rate") {
+      load.rate_per_sec = std::stod(value);
+    } else if (flag == "--dist") {
+      bool found = false;
+      for (auto d : vlsa::workloads::all_distributions()) {
+        if (value == vlsa::workloads::distribution_name(d)) {
+          load.distribution = d;
+          found = true;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument("unknown distribution '" + value + "'");
+      }
+    } else if (flag == "--arrival") {
+      if (value == "poisson") {
+        load.arrival = vlsa::workloads::ArrivalProcess::Poisson;
+      } else if (value == "bursty") {
+        load.arrival = vlsa::workloads::ArrivalProcess::Bursty;
+      } else if (value == "saturate") {
+        load.arrival = vlsa::workloads::ArrivalProcess::Saturate;
+      } else {
+        throw std::invalid_argument("unknown arrival process '" + value +
+                                    "' (poisson, bursty, saturate)");
+      }
+    } else if (flag == "--requests") {
+      load.requests = std::stoll(value);
+    } else if (flag == "--workers") {
+      config.workers = std::stoi(value);
+    } else if (flag == "--batch") {
+      config.max_batch = std::stoi(value);
+    } else if (flag == "--queue") {
+      config.queue_capacity = static_cast<std::size_t>(std::stoull(value));
+    } else if (flag == "--policy") {
+      if (value == "block") {
+        config.overflow = vlsa::service::OverflowPolicy::Block;
+      } else if (value == "reject") {
+        config.overflow = vlsa::service::OverflowPolicy::Reject;
+      } else {
+        throw std::invalid_argument("unknown policy '" + value +
+                                    "' (block, reject)");
+      }
+    } else if (flag == "--seed") {
+      load.seed = std::stoull(value);
+    } else if (flag == "--json") {
+      json_path = value;
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag + "'");
+    }
+  }
+  vlsa::service::AdderService service(config);
+  const auto report = vlsa::workloads::run_load_gen(service, load);
+  const auto snap = service.registry().snapshot();
+  std::cout << "loadgen: " << vlsa::workloads::distribution_name(
+                                  load.distribution)
+            << " x " << vlsa::workloads::arrival_process_name(load.arrival)
+            << " @ " << load.rate_per_sec << "/s, width " << width
+            << ", window " << window << "\n"
+            << "  offered   " << report.offered << "\n"
+            << "  accepted  " << report.accepted << "\n"
+            << "  rejected  " << report.rejected << "\n"
+            << "  achieved  " << report.achieved_rate << " req/s over "
+            << report.seconds << " s\n";
+  for (const auto& h : snap.histograms) {
+    if (h.name == "service.latency_cycles" ||
+        h.name == "service.latency_ns") {
+      std::cout << "  " << h.name << ": p50 " << h.p50() << ", p90 "
+                << h.p90() << ", p99 " << h.p99() << ", p999 " << h.p999()
+                << ", max " << h.max << "\n";
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      throw std::runtime_error("cannot open " + json_path);
+    }
+    out << snap.to_json() << "\n";
+    std::cout << "  telemetry -> " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,10 +294,26 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) {
       std::cerr << "usage: vlsa_tool "
-                   "stats|emit|equiv|faults|settle|datasheet ...\n";
+                   "stats|emit|equiv|faults|settle|datasheet|serve|loadgen"
+                   " ...\n";
       return 1;
     }
     const std::string& cmd = args[0];
+    if (cmd == "serve" || cmd == "loadgen") {
+      if (args.size() < 2) {
+        std::cerr << "usage: vlsa_tool " << cmd << " <width> [k] [flags]\n";
+        return 1;
+      }
+      const int width = std::stoi(args[1]);
+      int k = vlsa::analysis::choose_window(width, 1e-4);
+      std::size_t next = 2;
+      if (args.size() > next && args[next][0] != '-') {
+        k = std::stoi(args[next]);
+        ++next;
+      }
+      return cmd == "serve" ? cmd_serve(width, k)
+                            : cmd_loadgen(width, k, args, next);
+    }
     if (cmd == "datasheet") {
       if (args.size() < 3) {
         std::cerr << "usage: vlsa_tool datasheet <width> <accuracy>\n";

@@ -1,0 +1,188 @@
+#pragma once
+// Bounded MPMC queue — the submission spine of the arithmetic service.
+//
+// Any number of producers push requests; any number of dispatcher
+// workers pop them *in batches* so one queue transaction amortizes over
+// up to 64 requests (the batch engine's lane count).  The bound is the
+// backpressure mechanism: when the queue is full, `try_push` fails
+// immediately (reject policy) and `push_block` waits for space (block
+// policy), so overload degrades into rejections or producer throttling
+// instead of unbounded memory growth.
+//
+// `pop_batch` implements the batching scheduler's max-linger: it waits
+// for the first item, then keeps collecting until either `max` items
+// are in hand or `linger` has elapsed — full batches under load,
+// bounded added latency when arrivals are sparse.  After `close()`,
+// pushes fail, poppers drain whatever remains without lingering, and
+// then `pop_batch` returns 0 — the worker-shutdown signal.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace vlsa::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T&& item) {
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      wake = waiting_consumers_ > 0;
+    }
+    if (wake) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Waits for space; false only when the queue is (or becomes) closed.
+  bool push_block(T&& item) {
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++waiting_producers_;
+      not_full_.wait(lock, [&] {
+        return closed_ || items_.size() < capacity_;
+      });
+      --waiting_producers_;
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      wake = waiting_consumers_ > 0;
+    }
+    if (wake) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking bulk push: moves every element of `items` in, waiting for
+  /// space as needed.  One lock round-trip and at most one wakeup per
+  /// *chunk* of freed capacity instead of per item — this is what lets
+  /// producers keep 64-deep batches ahead of the dispatchers.  Returns
+  /// the number of items pushed, which is items.size() unless the queue
+  /// is (or becomes) closed mid-way.
+  std::size_t push_many_block(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    while (pushed < items.size()) {
+      bool wake = false;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++waiting_producers_;
+        not_full_.wait(lock, [&] {
+          return closed_ || items_.size() < capacity_;
+        });
+        --waiting_producers_;
+        if (closed_) break;
+        while (pushed < items.size() && items_.size() < capacity_) {
+          items_.push_back(std::move(items[pushed]));
+          ++pushed;
+        }
+        wake = waiting_consumers_ > 0;
+      }
+      // More than one consumer can make progress on a multi-item push.
+      if (wake) not_empty_.notify_all();
+    }
+    return pushed;
+  }
+
+  /// Append up to `max` items to `out`.  Blocks until at least one item
+  /// is available (or the queue is closed and empty — returns 0); after
+  /// the first item, waits up to `linger` for the batch to fill.  A
+  /// closed queue drains without lingering.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::microseconds linger) {
+    std::size_t taken = 0;
+    bool wake = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++waiting_consumers_;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      --waiting_consumers_;
+      taken += take_locked(out, max);
+      if (!closed_ && taken > 0 && taken < max && linger.count() > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + linger;
+        while (taken < max && !closed_) {
+          ++waiting_consumers_;
+          const bool got = not_empty_.wait_until(lock, deadline, [&] {
+            return closed_ || !items_.empty();
+          });
+          --waiting_consumers_;
+          if (!got) break;  // linger expired
+          taken += take_locked(out, max - taken);
+        }
+      }
+      wake = taken > 0 && waiting_producers_ > 0;
+    }
+    if (wake) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Non-blocking variant: grab whatever is there, up to `max`.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t taken = 0;
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      taken = take_locked(out, max);
+      wake = taken > 0 && waiting_producers_ > 0;
+    }
+    if (wake) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Fail all future pushes and wake every waiter; queued items remain
+  /// poppable so workers drain before exiting.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::size_t take_locked(std::vector<T>& out, std::size_t max) {
+    std::size_t taken = 0;
+    while (taken < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  // Waiter counts (guarded by mutex_) make notifies precise: a push
+  // into a queue nobody is sleeping on costs zero futex traffic.
+  std::size_t waiting_consumers_ = 0;
+  std::size_t waiting_producers_ = 0;
+};
+
+}  // namespace vlsa::service

@@ -1,0 +1,345 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace vlsa::service {
+
+namespace {
+
+ServiceConfig validated(ServiceConfig config) {
+  if (config.pipeline.width < 1) {
+    throw std::invalid_argument("AdderService: width < 1");
+  }
+  if (config.pipeline.window < 1) {
+    throw std::invalid_argument("AdderService: window < 1");
+  }
+  if (config.pipeline.recovery_cycles < 0) {
+    throw std::invalid_argument("AdderService: negative recovery_cycles");
+  }
+  if (config.workers < 0) {
+    throw std::invalid_argument("AdderService: negative workers");
+  }
+  config.max_batch =
+      std::clamp(config.max_batch, 1, sim::kBatchLanes);
+  return config;
+}
+
+}  // namespace
+
+AdderService::AdderService(const ServiceConfig& config,
+                           telemetry::Registry* registry)
+    : config_(validated(config)),
+      owned_registry_(registry == nullptr
+                          ? std::make_unique<telemetry::Registry>()
+                          : nullptr),
+      registry_(registry == nullptr ? owned_registry_.get() : registry),
+      queue_(config_.queue_capacity),
+      recovery_queue_(config_.queue_capacity + sim::kBatchLanes),
+      submitted_(registry_->counter("service.submitted")),
+      rejected_(registry_->counter("service.rejected")),
+      completed_(registry_->counter("service.completed")),
+      fast_path_(registry_->counter("service.fast_path")),
+      recovered_(registry_->counter("service.recovered")),
+      wrong_(registry_->counter("service.speculative_wrong")),
+      batches_(registry_->counter("service.batches")),
+      queue_depth_(registry_->gauge("service.queue_depth")),
+      latency_cycles_(registry_->histogram("service.latency_cycles")),
+      batch_occupancy_(registry_->histogram("service.batch_occupancy")),
+      latency_ns_(registry_->histogram("service.latency_ns")) {
+  if (config_.workers > 0) {
+    workers_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    recovery_worker_ = std::thread([this] { recovery_loop(); });
+  }
+}
+
+AdderService::~AdderService() { close(); }
+
+std::optional<std::future<Completion>> AdderService::submit(BitVec a,
+                                                            BitVec b) {
+  if (closed_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("AdderService: submit after close");
+  }
+  if (a.width() != config_.pipeline.width ||
+      b.width() != config_.pipeline.width) {
+    throw std::invalid_argument("AdderService: operand width mismatch");
+  }
+  Request request;
+  request.a = std::move(a);
+  request.b = std::move(b);
+  request.arrival_cycle = vclock_.load(std::memory_order_relaxed);
+  if (config_.record_wall_time) {
+    request.arrival_time = std::chrono::steady_clock::now();
+  }
+  auto future = request.promise.get_future();
+
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  // Blocking on a full queue in pump mode would deadlock (nothing
+  // drains until the caller pumps), so pump mode always rejects.
+  const bool block = config_.overflow == OverflowPolicy::Block &&
+                     config_.workers > 0;
+  const bool accepted = block ? queue_.push_block(std::move(request))
+                              : queue_.try_push(std::move(request));
+  if (!accepted) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (queue_.closed()) {
+      throw std::runtime_error("AdderService: submit after close");
+    }
+    rejected_.increment();
+    return std::nullopt;
+  }
+  submitted_.increment();
+  return future;
+}
+
+std::vector<std::optional<std::future<Completion>>>
+AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
+  if (closed_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("AdderService: submit after close");
+  }
+  std::vector<Request> requests;
+  requests.reserve(ops.size());
+  std::vector<std::optional<std::future<Completion>>> futures;
+  futures.reserve(ops.size());
+  const long long arrival = vclock_.load(std::memory_order_relaxed);
+  const auto now = config_.record_wall_time
+                       ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{};
+  for (auto& [a, b] : ops) {
+    if (a.width() != config_.pipeline.width ||
+        b.width() != config_.pipeline.width) {
+      throw std::invalid_argument("AdderService: operand width mismatch");
+    }
+    Request request;
+    request.a = std::move(a);
+    request.b = std::move(b);
+    request.arrival_cycle = arrival;
+    request.arrival_time = now;
+    futures.push_back(request.promise.get_future());
+    requests.push_back(std::move(request));
+  }
+  inflight_.fetch_add(static_cast<long long>(requests.size()),
+                      std::memory_order_acq_rel);
+  std::size_t accepted = 0;
+  if (config_.overflow == OverflowPolicy::Block && config_.workers > 0) {
+    accepted = queue_.push_many_block(requests);
+  } else {
+    // Reject policy (and pump mode, where blocking would deadlock):
+    // leading requests are accepted until the queue fills.
+    for (auto& request : requests) {
+      if (!queue_.try_push(std::move(request))) break;
+      ++accepted;
+    }
+  }
+  const auto dropped = static_cast<long long>(requests.size() - accepted);
+  if (dropped > 0) {
+    inflight_.fetch_sub(dropped, std::memory_order_acq_rel);
+    if (queue_.closed()) {
+      throw std::runtime_error("AdderService: submit after close");
+    }
+    rejected_.increment(dropped);
+    for (std::size_t i = accepted; i < futures.size(); ++i) {
+      futures[i].reset();
+    }
+  }
+  submitted_.increment(static_cast<long long>(accepted));
+  return futures;
+}
+
+void AdderService::worker_loop() {
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(config_.max_batch));
+  sim::BatchResult scratch;
+  while (queue_.pop_batch(batch, static_cast<std::size_t>(config_.max_batch),
+                          config_.max_linger) > 0) {
+    // Depth is sampled per batch, not per submission: the gauge is a
+    // load indicator and must stay off the producers' hot path.
+    queue_depth_.set(static_cast<long long>(queue_.size()));
+    dispatch(batch, scratch, &recovery_queue_);
+    batch.clear();
+  }
+}
+
+void AdderService::recovery_loop() {
+  std::vector<RecoveryItem> items;
+  while (recovery_queue_.pop_batch(items, sim::kBatchLanes,
+                                   std::chrono::microseconds{0}) > 0) {
+    for (auto& item : items) recover_one(std::move(item));
+    items.clear();
+  }
+}
+
+std::size_t AdderService::dispatch(std::vector<Request>& batch,
+                                   sim::BatchResult& scratch,
+                                   BoundedQueue<RecoveryItem>* recovery) {
+  const int width = config_.pipeline.width;
+  // One modeled VLSA cycle per dispatched batch; `round` is this
+  // batch's cycle, so a request submitted and dispatched in the same
+  // round completes with the minimum latency of 1 cycle.
+  const long long round = vclock_.fetch_add(1, std::memory_order_relaxed);
+
+  // Operands are *moved* into the transpose input — the fast path never
+  // needs them again, and the rare flagged lane takes its pair back
+  // below before heading to the recovery lane.
+  std::vector<std::pair<BitVec, BitVec>> pairs;
+  pairs.reserve(batch.size());
+  for (auto& request : batch) {
+    pairs.emplace_back(std::move(request.a), std::move(request.b));
+  }
+  const sim::SlicedBatch ops = sim::transpose_batch(pairs, width);
+  sim::batch_aca_add_into(ops, config_.pipeline.window, 0, scratch);
+
+  batches_.increment();
+  batch_occupancy_.record(batch.size());
+
+  // One word-level un-transpose for the whole batch instead of a
+  // bit-at-a-time lane_value() per request; tiny batches (the batch-1
+  // baseline) extract their few lanes directly instead of paying for
+  // all 64.
+  std::vector<BitVec> sums;
+  if (batch.size() > 8) {
+    sums = sim::lane_values(scratch.sum_spec, width);
+  }
+  // Fast-path telemetry is aggregated over the batch: requests that
+  // arrived in the same cycle (every submit_many chunk) share one
+  // latency, so runs collapse into one record_n and the counters into
+  // one increment each — otherwise 8 workers serialize on these cache
+  // lines and telemetry becomes the throughput ceiling.
+  long long n_fast = 0;
+  std::uint64_t run_value = 0, run_count = 0;
+  for (std::size_t lane = 0; lane < batch.size(); ++lane) {
+    Request& request = batch[lane];
+    const bool flagged = (scratch.flagged >> lane) & 1;
+    const bool wrong = (scratch.wrong >> lane) & 1;
+    if (!flagged) {
+      // Soundness: ER clear implies the speculative sum is exact.
+      Completion completion;
+      completion.sum =
+          sums.empty()
+              ? sim::lane_value(scratch.sum_spec, width,
+                                static_cast<int>(lane))
+              : std::move(sums[lane]);
+      completion.latency_cycles = round + 1 - request.arrival_cycle;
+      const auto cycles =
+          static_cast<std::uint64_t>(completion.latency_cycles);
+      if (run_count > 0 && cycles != run_value) {
+        latency_cycles_.record_n(run_value, run_count);
+        run_count = 0;
+      }
+      run_value = cycles;
+      ++run_count;
+      if (config_.record_wall_time) {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - request.arrival_time;
+        latency_ns_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+      }
+      request.promise.set_value(std::move(completion));
+      ++n_fast;
+      continue;
+    }
+    RecoveryItem item;
+    item.speculative_wrong = wrong;
+    {
+      // The recovery lane is a serial resource: it picks the request up
+      // no earlier than the cycle after detection and holds it for
+      // recovery_cycles — queued flags congest, fattening the tail.
+      std::lock_guard<std::mutex> lock(recovery_clock_mutex_);
+      recovery_free_at_ = std::max(recovery_free_at_, round + 1) +
+                          config_.pipeline.recovery_cycles;
+      item.latency_cycles = recovery_free_at_ - request.arrival_cycle;
+    }
+    request.a = std::move(pairs[lane].first);
+    request.b = std::move(pairs[lane].second);
+    item.request = std::move(request);
+    if (recovery != nullptr) {
+      recovery->push_block(std::move(item));
+    } else {
+      recover_one(std::move(item));
+    }
+  }
+  if (run_count > 0) latency_cycles_.record_n(run_value, run_count);
+  if (n_fast > 0) {
+    fast_path_.increment(n_fast);
+    completed_.increment(n_fast);
+    inflight_.fetch_sub(n_fast, std::memory_order_acq_rel);
+  }
+  return batch.size();
+}
+
+void AdderService::recover_one(RecoveryItem item) {
+  // The recovery lane recomputes the sum exactly — the software twin of
+  // the paper's recovery adder stage.
+  auto exact = item.request.a.add_with_carry(item.request.b);
+  recovered_.increment();
+  if (item.speculative_wrong) wrong_.increment();
+  Completion completion;
+  completion.sum = std::move(exact.sum);
+  completion.flagged = true;
+  completion.speculative_wrong = item.speculative_wrong;
+  completion.latency_cycles = item.latency_cycles;
+  complete(item.request, std::move(completion));
+}
+
+void AdderService::complete(Request& request, Completion completion) {
+  latency_cycles_.record(
+      static_cast<std::uint64_t>(completion.latency_cycles));
+  if (config_.record_wall_time) {
+    const auto elapsed =
+        std::chrono::steady_clock::now() - request.arrival_time;
+    latency_ns_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  if (!completion.flagged) fast_path_.increment();
+  completed_.increment();
+  request.promise.set_value(std::move(completion));
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::size_t AdderService::pump() {
+  if (config_.workers != 0) {
+    throw std::logic_error("AdderService::pump: only valid with workers=0");
+  }
+  std::vector<Request> batch;
+  sim::BatchResult scratch;
+  if (queue_.try_pop_batch(batch,
+                           static_cast<std::size_t>(config_.max_batch)) == 0) {
+    return 0;
+  }
+  queue_depth_.set(static_cast<long long>(queue_.size()));
+  return dispatch(batch, scratch, nullptr);
+}
+
+void AdderService::flush() {
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    if (config_.workers == 0) {
+      if (pump() == 0) break;  // nothing queued; nothing can be in flight
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void AdderService::close() {
+  std::lock_guard<std::mutex> lock(close_mutex_);
+  if (close_finished_) return;
+  closed_.store(true, std::memory_order_release);
+  queue_.close();
+  if (config_.workers == 0) {
+    while (pump() > 0) {
+    }
+  } else {
+    for (auto& worker : workers_) worker.join();
+    recovery_queue_.close();
+    if (recovery_worker_.joinable()) recovery_worker_.join();
+  }
+  close_finished_ = true;
+}
+
+}  // namespace vlsa::service

@@ -1,0 +1,202 @@
+#pragma once
+// AdderService — arithmetic as a service: a concurrent request server
+// over the bit-sliced batch engine (sim/batch_engine.hpp).
+//
+// The paper's processor sketch (Sec. 5) treats the VLSA as a shared
+// functional unit: many in-flight additions, almost all answered in one
+// cycle, the rare ER flag paying a recovery penalty.  This layer is the
+// system-scale version of that argument.  Producers submit operand
+// pairs into a bounded MPMC queue; dispatcher workers pop up to 64
+// outstanding requests (a partial batch after `max_linger`), evaluate
+// them in ONE `batch_aca_add` call, and complete the unflagged majority
+// immediately — soundness (`wrong & ~flagged == 0`, tested in
+// tests/test_batch_engine.cpp) guarantees the fast path returns the
+// exact sum.  Flagged requests detour through a serial *recovery lane*
+// that recomputes the exact sum and models
+// `PipelineConfig::recovery_cycles` of extra service time per request,
+// so adversarial traffic (long propagate chains) visibly congests the
+// tail instead of averaging away.
+//
+// Two clocks. (1) Wall time: nanosecond latency histograms, for real
+// throughput numbers (optional — `record_wall_time`). (2) A modeled
+// cycle clock: each batch dispatch is one VLSA cycle, a fast-path
+// request completes the cycle after dispatch, and the recovery lane is
+// a serial resource at `recovery_cycles` per flagged request.  The
+// modeled histogram is what makes the "fast almost always, slow
+// rarely" claim quantitative (p50 vs p999) and — unlike wall time — is
+// deterministic in pump mode (below).
+//
+// Backpressure: `OverflowPolicy::Reject` fails submissions when the
+// queue is full (counted in `service.rejected`); `Block` throttles the
+// producer.  Either way memory stays bounded under overload.
+//
+// Determinism: with `workers == 0` nothing runs concurrently — the
+// caller drives dispatch with `pump()` (the destructor pumps any
+// leftovers).  Same seed + same submission order then yields a
+// bit-identical telemetry snapshot, the reproducibility anchor for the
+// whole layer (tests/test_service.cpp).  With `workers >= 1` batching
+// depends on real arrival timing, so only the counters (totals, flags)
+// are schedule-independent; histogram shapes vary with load.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/vlsa_pipeline.hpp"
+#include "telemetry/registry.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::service {
+
+using util::BitVec;
+
+/// How a full submission queue treats new requests.
+enum class OverflowPolicy {
+  Block,   ///< producer waits for space (closed-loop throttling)
+  Reject,  ///< submission fails fast, counted in service.rejected
+};
+
+struct ServiceConfig {
+  /// width / window / recovery_cycles of the modeled VLSA datapath.
+  sim::PipelineConfig pipeline;
+  /// Dispatcher threads.  0 = pump mode: no threads, the caller calls
+  /// pump() — fully deterministic (see file comment).
+  int workers = 1;
+  /// Requests packed per batch-engine evaluation, in [1, 64].  1 gives
+  /// the no-batching baseline the throughput bench compares against.
+  int max_batch = sim::kBatchLanes;
+  /// Submission queue bound — the backpressure knob.
+  std::size_t queue_capacity = 1024;
+  /// How long a dispatcher holds a partial batch open for latecomers.
+  std::chrono::microseconds max_linger{50};
+  OverflowPolicy overflow = OverflowPolicy::Block;
+  /// Record wall-clock latency histograms (service.latency_ns).  Off
+  /// for bit-identical fixed-seed telemetry.
+  bool record_wall_time = true;
+};
+
+/// What the requester gets back.
+struct Completion {
+  BitVec sum;              ///< always the exact sum
+  bool flagged = false;    ///< ER fired; took the recovery lane
+  bool speculative_wrong = false;  ///< the one-cycle answer was wrong
+  long long latency_cycles = 0;    ///< modeled: queue wait + service
+};
+
+class AdderService {
+ public:
+  /// `registry`, when given, must outlive the service (metrics from
+  /// several services can share one registry); otherwise the service
+  /// owns one, reachable via registry().
+  explicit AdderService(const ServiceConfig& config,
+                        telemetry::Registry* registry = nullptr);
+
+  /// Drains: every accepted request is completed before destruction
+  /// returns (workers joined, recovery lane flushed, pump-mode leftovers
+  /// pumped).  No promise is ever dropped.
+  ~AdderService();
+
+  AdderService(const AdderService&) = delete;
+  AdderService& operator=(const AdderService&) = delete;
+
+  /// Submit one addition (operands must match the configured width).
+  /// Returns std::nullopt when the queue is full under Reject.  Throws
+  /// std::runtime_error after close(), and std::invalid_argument on a
+  /// width mismatch.  In pump mode a full queue returns std::nullopt
+  /// under either policy (blocking would deadlock — there is no
+  /// consumer until the caller pumps).
+  std::optional<std::future<Completion>> submit(BitVec a, BitVec b);
+
+  /// Submit a batch of additions in one queue transaction — the
+  /// producer-side mirror of the dispatcher's 64-wide batching, and the
+  /// way to saturate the service (per-submission locking caps a
+  /// producer long before the batch engine does).  Element i of the
+  /// result corresponds to ops[i]; std::nullopt marks a rejected
+  /// request (Reject policy or pump mode with a full queue — under
+  /// Block everything is accepted).  Same throw conditions as submit().
+  std::vector<std::optional<std::future<Completion>>> submit_many(
+      std::vector<std::pair<BitVec, BitVec>> ops);
+
+  /// Pump mode only: dispatch at most one batch (plus its recovery
+  /// work) on the calling thread.  Returns requests completed; 0 when
+  /// the queue is empty.
+  std::size_t pump();
+
+  /// Block until every accepted request has completed.
+  void flush();
+
+  /// Stop accepting; drain everything in flight.  Idempotent; the
+  /// destructor calls it.
+  void close();
+
+  const ServiceConfig& config() const { return config_; }
+  telemetry::Registry& registry() { return *registry_; }
+  const telemetry::Registry& registry() const { return *registry_; }
+
+  /// Modeled cycle clock (1 tick per dispatched batch).
+  long long now_cycles() const {
+    return vclock_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Request {
+    BitVec a, b;
+    std::promise<Completion> promise;
+    long long arrival_cycle = 0;
+    std::chrono::steady_clock::time_point arrival_time;
+  };
+  struct RecoveryItem {
+    Request request;
+    bool speculative_wrong = false;
+    long long latency_cycles = 0;  ///< modeled, fixed at dispatch time
+  };
+
+  void worker_loop();
+  void recovery_loop();
+  /// Evaluate one batch; flagged lanes go to `recovery` (worker mode)
+  /// or are recovered inline when `recovery == nullptr` (pump mode).
+  std::size_t dispatch(std::vector<Request>& batch,
+                       sim::BatchResult& scratch,
+                       BoundedQueue<RecoveryItem>* recovery);
+  void recover_one(RecoveryItem item);
+  void complete(Request& request, Completion completion);
+
+  ServiceConfig config_;
+  std::unique_ptr<telemetry::Registry> owned_registry_;
+  telemetry::Registry* registry_;
+
+  BoundedQueue<Request> queue_;
+  BoundedQueue<RecoveryItem> recovery_queue_;
+  std::vector<std::thread> workers_;
+  std::thread recovery_worker_;
+
+  std::atomic<long long> vclock_{0};
+  std::mutex recovery_clock_mutex_;
+  long long recovery_free_at_ = 0;  ///< modeled cycle the lane frees up
+
+  std::atomic<long long> inflight_{0};
+  std::atomic<bool> closed_{false};
+  std::mutex close_mutex_;
+  bool close_finished_ = false;  ///< guarded by close_mutex_
+
+  // Hot-path metrics, resolved once at construction.
+  telemetry::Counter& submitted_;
+  telemetry::Counter& rejected_;
+  telemetry::Counter& completed_;
+  telemetry::Counter& fast_path_;
+  telemetry::Counter& recovered_;
+  telemetry::Counter& wrong_;
+  telemetry::Counter& batches_;
+  telemetry::Gauge& queue_depth_;
+  telemetry::Histogram& latency_cycles_;
+  telemetry::Histogram& batch_occupancy_;
+  telemetry::Histogram& latency_ns_;
+};
+
+}  // namespace vlsa::service

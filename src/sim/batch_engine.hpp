@@ -94,6 +94,12 @@ SlicedBatch transpose_batch(
 util::BitVec lane_value(const std::vector<std::uint64_t>& sliced, int width,
                         int lane);
 
+/// Read all 64 lanes back out of a transposed signal in one pass — a
+/// word-level un-transpose, ~64x cheaper than 64 lane_value() calls.
+/// Element j is lane j's value (unused lanes decode to 0).
+std::vector<util::BitVec> lane_values(
+    const std::vector<std::uint64_t>& sliced, int width);
+
 /// Fill a batch with i.i.d. uniform bits.  Drawing each slice word
 /// directly is distribution-identical to transposing 64 scalar
 /// `rng.next_bits(width)` draws (every bit of every lane is an

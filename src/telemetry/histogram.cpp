@@ -1,0 +1,88 @@
+#include "telemetry/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace vlsa::telemetry {
+
+int HistogramBuckets::index(std::uint64_t value) {
+  if (value < (std::uint64_t{1} << kLinearBits)) {
+    return static_cast<int>(value);
+  }
+  const int octave = std::bit_width(value) - 1;  // floor(log2), >= 4
+  const int sub = static_cast<int>(
+      (value >> (octave - kSubBucketBits)) & (kSubBuckets - 1));
+  return (1 << kLinearBits) + (octave - kFirstOctave) * kSubBuckets + sub;
+}
+
+std::uint64_t HistogramBuckets::lower_bound(int index) {
+  if (index < (1 << kLinearBits)) return static_cast<std::uint64_t>(index);
+  const int rel = index - (1 << kLinearBits);
+  const int octave = kFirstOctave + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (static_cast<std::uint64_t>(sub) << (octave - kSubBucketBits));
+}
+
+void Histogram::record(std::uint64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[HistogramBuckets::index(value)].fetch_add(
+      n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * n, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot(const std::string& name) const {
+  HistogramSnapshot snap;
+  snap.name = name;
+  snap.buckets.resize(HistogramBuckets::kNumBuckets);
+  // Retry while recorders land between the two count reads; after a few
+  // attempts under sustained churn, keep the latest (still torn-free
+  // per cell) copy.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t before = count_.load(std::memory_order_acquire);
+    for (int i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    snap.count = count_.load(std::memory_order_acquire);
+    if (snap.count == before) break;
+  }
+  if (snap.count == 0) snap.min = 0;
+  return snap;
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return HistogramBuckets::lower_bound(i);
+  }
+  return max;  // only reachable on a torn busy-snapshot; max is safe
+}
+
+}  // namespace vlsa::telemetry

@@ -1,0 +1,107 @@
+#pragma once
+// Log-bucketed latency histogram — the tail-latency instrument of the
+// arithmetic service (src/service/).
+//
+// The VLSA's service-level story is a *distribution*, not an average:
+// almost every addition completes on the one-cycle fast path, the rare
+// ER flag pays a multi-cycle recovery, and under load the recovery lane
+// queues — so the interesting numbers are p99/p999, which a mean can
+// never show.  The histogram uses HdrHistogram-style bucketing: values
+// below 2^4 are recorded exactly, and every octave above is split into
+// 8 linear sub-buckets, giving <= 12.5% relative error over the full
+// 64-bit range with a fixed 496-bucket footprint.
+//
+// Recording is wait-free (one relaxed fetch_add per bucket plus the
+// count/sum accumulators and a CAS loop for min/max), so workers on the
+// service hot path never serialize on telemetry.  `snapshot()` copies
+// the buckets and retries while a concurrent recorder moves the total,
+// so a quiescent histogram snapshots exactly and a busy one snapshots
+// a consistent recent state (every load is atomic — TSan-clean).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlsa::telemetry {
+
+/// One histogram bucket layout decision, shared by recorder and
+/// snapshot: exact buckets for values in [0, 16), then 8 sub-buckets
+/// per power of two up to 2^63.
+struct HistogramBuckets {
+  static constexpr int kLinearBits = 4;  ///< values < 2^4 are exact
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8 per octave
+  static constexpr int kFirstOctave = kLinearBits;         // 4
+  static constexpr int kNumBuckets =
+      (1 << kLinearBits) + (64 - kFirstOctave) * kSubBuckets;  // 496
+
+  /// Bucket holding `value` (total order, dense in [0, kNumBuckets)).
+  static int index(std::uint64_t value);
+
+  /// Smallest value that lands in bucket `index` — the representative
+  /// reported for quantiles (so quantiles never overstate).
+  static std::uint64_t lower_bound(int index);
+};
+
+/// A read-only copy of a histogram's state; all quantile math lives
+/// here so snapshots can be compared, serialized, and queried without
+/// touching the live (atomic) histogram.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  ///< dense, HistogramBuckets layout
+
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]: the lower bound of the bucket that
+  /// contains the ceil(q * count)-th smallest recorded value (exact for
+  /// values < 16, <= 12.5% low otherwise).  0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// The live, concurrently-writable histogram.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one observation (wait-free, safe from any thread).
+  void record(std::uint64_t value);
+
+  /// Record `n` observations of the same value in one bucket update —
+  /// the service dispatcher collapses a batch's worth of identical
+  /// latencies into a single call so telemetry never becomes the
+  /// cross-worker contention point.  Equivalent to calling record(value)
+  /// n times.
+  void record_n(std::uint64_t value, std::uint64_t n);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent copy; see file comment for the concurrency contract.
+  HistogramSnapshot snapshot(const std::string& name = "") const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, HistogramBuckets::kNumBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace vlsa::telemetry

@@ -1,0 +1,116 @@
+#include "telemetry/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace vlsa::telemetry {
+
+namespace {
+
+// find-or-create under the caller's lock, after checking the other two
+// maps don't already own the name.
+template <typename Map>
+auto& find_or_create(Map& map, const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Metric = typename Map::mapped_type::element_type;
+    it = map.emplace(name, std::make_unique<Metric>()).first;
+  }
+  return *it->second;
+}
+
+template <typename Map>
+void reject_if_present(const Map& map, const std::string& name,
+                       const char* kind) {
+  if (map.count(name) != 0) {
+    throw std::invalid_argument("Registry: '" + name +
+                                "' already registered as a " + kind);
+  }
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const std::string key(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  reject_if_present(gauges_, key, "gauge");
+  reject_if_present(histograms_, key, "histogram");
+  return find_or_create(counters_, key);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::string key(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  reject_if_present(counters_, key, "counter");
+  reject_if_present(histograms_, key, "histogram");
+  return find_or_create(gauges_, key);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::string key(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  reject_if_present(counters_, key, "counter");
+  reject_if_present(gauges_, key, "gauge");
+  return find_or_create(histograms_, key);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->snapshot(name));
+  }
+  return snap;
+}
+
+void Snapshot::write_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : counters) json.kv(name, value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) json.kv(name, value);
+  json.end_object();
+  json.key("histograms").begin_array();
+  for (const auto& h : histograms) {
+    json.begin_object();
+    json.kv("name", h.name);
+    json.kv("count", h.count).kv("sum", h.sum);
+    json.kv("min", h.min).kv("max", h.max);
+    json.kv("mean", h.mean());
+    json.kv("p50", h.p50()).kv("p90", h.p90());
+    json.kv("p99", h.p99()).kv("p999", h.p999());
+    json.key("buckets").begin_array();
+    for (int i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      json.begin_array();
+      json.value(HistogramBuckets::lower_bound(i));
+      json.value(h.buckets[i]);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  util::JsonWriter json(os);
+  write_json(json);
+  return os.str();
+}
+
+}  // namespace vlsa::telemetry

@@ -1,0 +1,97 @@
+#pragma once
+// Named-metric registry shared by all workers of the arithmetic
+// service — counters, gauges, and latency histograms behind stable
+// references, with snapshot/JSON export through util/json so service
+// runs emit the same machine-readable sidecars the benches do.
+//
+// Concurrency contract: `counter`/`gauge`/`histogram` take a mutex only
+// to find-or-create the named metric; the returned reference is stable
+// for the registry's lifetime and all recording on it is lock-free
+// atomics.  `snapshot()` walks the (name-sorted) metric map and copies
+// every value with atomic loads, so readers never race writers; a
+// snapshot of a quiescent registry is exact and deterministic, which is
+// what makes fixed-seed service runs byte-comparable
+// (tests/test_service.cpp pins this down).
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+
+namespace vlsa::util {
+class JsonWriter;
+}
+
+namespace vlsa::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void increment(long long by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// A level that moves both ways (queue depth, in-flight requests).
+class Gauge {
+ public:
+  void set(long long v) { value_.store(v, std::memory_order_relaxed); }
+  void add(long long by) { value_.fetch_add(by, std::memory_order_relaxed); }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Point-in-time copy of every metric in a registry, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, long long>> counters;
+  std::vector<std::pair<std::string, long long>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Emit as a JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": [{name, count, sum, min, max, mean, p50..p999,
+  /// buckets: [[lower_bound, count], ...]}, ...]}.  Keys are sorted, so
+  /// equal snapshots serialize to identical bytes.
+  void write_json(util::JsonWriter& json) const;
+
+  /// The same document as a string (convenience for tests and the CLI).
+  std::string to_json() const;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// The registry itself.  Metric names are free-form; the service uses
+/// dotted paths ("service.latency_cycles").  Requesting the same name
+/// twice returns the same metric; requesting the same name as two
+/// different kinds throws std::invalid_argument.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vlsa::telemetry

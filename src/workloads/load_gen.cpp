@@ -1,0 +1,132 @@
+#include "workloads/load_gen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace vlsa::workloads {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Exponential variate with the given rate (events/sec), in seconds.
+double exp_interval(util::Rng& rng, double rate_per_sec) {
+  // 1 - next_double() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - rng.next_double()) / rate_per_sec;
+}
+
+// Two-state modulated Poisson process: on-state at burst_factor * rate,
+// off-state scaled so the long-run mean is `rate`.  Sojourn times are
+// exponential; interarrival sampling advances across state boundaries.
+class ArrivalClock {
+ public:
+  ArrivalClock(const LoadGenConfig& config, util::Rng rng)
+      : config_(config), rng_(std::move(rng)) {
+    if (config_.arrival == ArrivalProcess::Bursty) {
+      if (config_.burst_factor * config_.burst_fraction >= 1.0) {
+        throw std::invalid_argument(
+            "LoadGenConfig: burst_factor * burst_fraction must be < 1");
+      }
+      state_remaining_s_ = next_sojourn();
+    }
+  }
+
+  /// Seconds (since the previous arrival) until the next one.
+  double next_interval() {
+    switch (config_.arrival) {
+      case ArrivalProcess::Saturate:
+        return 0.0;
+      case ArrivalProcess::Poisson:
+        return exp_interval(rng_, config_.rate_per_sec);
+      case ArrivalProcess::Bursty: {
+        double waited = 0.0;
+        for (;;) {
+          const double dt = exp_interval(rng_, current_rate());
+          if (dt <= state_remaining_s_) {
+            state_remaining_s_ -= dt;
+            return waited + dt;
+          }
+          waited += state_remaining_s_;
+          in_burst_ = !in_burst_;
+          state_remaining_s_ = next_sojourn();
+        }
+      }
+    }
+    throw std::logic_error("ArrivalClock: bad arrival process");
+  }
+
+ private:
+  double current_rate() const {
+    if (!in_burst_) {
+      const double f = config_.burst_fraction;
+      return config_.rate_per_sec * (1.0 - f * config_.burst_factor) /
+             (1.0 - f);
+    }
+    return config_.rate_per_sec * config_.burst_factor;
+  }
+
+  double next_sojourn() {
+    const double f = config_.burst_fraction;
+    const double mean_s = in_burst_
+                              ? config_.mean_burst_ms * 1e-3
+                              : config_.mean_burst_ms * 1e-3 * (1.0 - f) / f;
+    return exp_interval(rng_, 1.0 / mean_s);
+  }
+
+  const LoadGenConfig& config_;
+  util::Rng rng_;
+  bool in_burst_ = false;
+  double state_remaining_s_ = 0.0;
+};
+
+}  // namespace
+
+const char* arrival_process_name(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::Poisson:
+      return "poisson";
+    case ArrivalProcess::Bursty:
+      return "bursty";
+    case ArrivalProcess::Saturate:
+      return "saturate";
+  }
+  throw std::invalid_argument("arrival_process_name: bad process");
+}
+
+LoadGenReport run_load_gen(service::AdderService& service,
+                           const LoadGenConfig& config) {
+  const int width = service.config().pipeline.width;
+  OperandStream operands(config.distribution, width, config.seed);
+  // Arrival times draw from an independent substream so changing the
+  // operand distribution never reshapes the arrival process.
+  ArrivalClock arrivals(config, util::Rng(config.seed).split(0x715e));
+
+  LoadGenReport report;
+  const auto start = Clock::now();
+  auto scheduled = start;
+  for (long long i = 0; i < config.requests; ++i) {
+    scheduled += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(arrivals.next_interval()));
+    // Open loop: sleep only when ahead of schedule; when behind, submit
+    // immediately (catch-up burst) instead of thinning the load.
+    if (scheduled > Clock::now()) std::this_thread::sleep_until(scheduled);
+    auto [a, b] = operands.next();
+    ++report.offered;
+    // Completions are discarded here — the service records latency and
+    // outcome telemetry for every request; see service.registry().
+    if (service.submit(std::move(a), std::move(b)).has_value()) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+    }
+  }
+  service.flush();
+  report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  report.achieved_rate =
+      report.seconds > 0.0 ? report.accepted / report.seconds : 0.0;
+  return report;
+}
+
+}  // namespace vlsa::workloads

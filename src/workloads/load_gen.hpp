@@ -1,0 +1,66 @@
+#pragma once
+// Open-loop load generator for the arithmetic service.
+//
+// Closed-loop drivers (submit, wait, submit) can never expose queueing
+// collapse: the producer slows down with the server and the tail looks
+// flat.  This generator is open-loop — arrival times come from a
+// modeled process (Poisson, or a two-state bursty modulated Poisson),
+// independent of how the service is doing; if the generator falls
+// behind wall-clock schedule it submits in a catch-up burst rather
+// than thinning the offered load.  Combined with the service's bounded
+// queue this is what produces honest p99/p999 numbers: under Reject
+// overload turns into a measured rejection rate, under Block into
+// producer throttling.
+//
+// Operands come from the operand_stream distributions, so the same
+// sweep covers the paper's uniform model and the adversarial
+// `Complementary` traffic whose near-certain ER flags congest the
+// recovery lane.
+
+#include <cstdint>
+
+#include "service/service.hpp"
+#include "util/rng.hpp"
+#include "workloads/operand_stream.hpp"
+
+namespace vlsa::workloads {
+
+/// Arrival process shapes.
+enum class ArrivalProcess {
+  Poisson,   ///< exponential interarrivals at `rate_per_sec`
+  Bursty,    ///< two-state modulated Poisson (on/off), same mean rate
+  Saturate,  ///< no pacing: submit as fast as the service accepts
+};
+
+const char* arrival_process_name(ArrivalProcess p);
+
+struct LoadGenConfig {
+  Distribution distribution = Distribution::Uniform;
+  ArrivalProcess arrival = ArrivalProcess::Poisson;
+  double rate_per_sec = 100'000.0;  ///< mean offered rate (not Saturate)
+  long long requests = 1 << 16;     ///< total arrivals to offer
+  std::uint64_t seed = 0x10adULL;
+  /// Bursty shape: the on-state offers `burst_factor * rate_per_sec`
+  /// for an expected `burst_fraction` of the time; the off-state rate
+  /// is scaled down so the long-run mean stays `rate_per_sec`.
+  /// Requires burst_factor * burst_fraction < 1.
+  double burst_factor = 8.0;
+  double burst_fraction = 0.1;
+  double mean_burst_ms = 2.0;  ///< expected on-state sojourn
+};
+
+struct LoadGenReport {
+  long long offered = 0;
+  long long accepted = 0;
+  long long rejected = 0;
+  double seconds = 0.0;        ///< submit window + drain (flush)
+  double achieved_rate = 0.0;  ///< completed accepted requests / second
+};
+
+/// Drive `service` with the configured arrival stream, then flush it.
+/// Completions are consumed by the service's own telemetry — read the
+/// latency histograms from `service.registry()` afterwards.
+LoadGenReport run_load_gen(service::AdderService& service,
+                           const LoadGenConfig& config);
+
+}  // namespace vlsa::workloads

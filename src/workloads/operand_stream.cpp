@@ -1,6 +1,7 @@
 #include "workloads/operand_stream.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -51,14 +52,33 @@ TraceStream TraceStream::from_text(const std::string& text) {
   std::string line;
   std::vector<std::pair<std::string, std::string>> raw;
   std::size_t digits = 0;
-  while (std::getline(is, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string a, b;
-    ls >> a >> b;
-    if (a.empty() || b.empty()) {
-      throw std::invalid_argument("TraceStream: bad line '" + line + "'");
+  std::size_t line_no = 0;
+  const auto bad = [&line_no](const std::string& what) {
+    throw std::invalid_argument("TraceStream: line " +
+                                std::to_string(line_no) + ": " + what);
+  };
+  const auto check_hex = [&bad](const std::string& token) {
+    for (char c : token) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) {
+        bad(std::string("invalid hex digit '") + c + "' in operand '" +
+            token + "'");
+      }
     }
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string a, b, extra;
+    ls >> a;
+    if (a.empty() || a[0] == '#') continue;  // blank or comment line
+    if (!(ls >> b) || b[0] == '#') {
+      bad("expected two hex operands, got one");
+    }
+    if (ls >> extra && extra[0] != '#') {
+      bad("trailing garbage '" + extra + "' after operands");
+    }
+    check_hex(a);
+    check_hex(b);
     digits = std::max({digits, a.size(), b.size()});
     raw.emplace_back(a, b);
   }

@@ -1,0 +1,369 @@
+// Tests for the arithmetic service: correctness against the scalar ACA
+// model, fixed-seed determinism of the telemetry snapshot, bounded-queue
+// backpressure, drain-on-destroy, and multi-producer/multi-worker
+// operation (the suites here also run under the `tsan` preset).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/service.hpp"
+#include "telemetry/registry.hpp"
+#include "util/bitvec.hpp"
+#include "workloads/operand_stream.hpp"
+
+namespace vlsa {
+namespace {
+
+using service::AdderService;
+using service::Completion;
+using service::OverflowPolicy;
+using service::ServiceConfig;
+using util::BitVec;
+
+ServiceConfig pump_config(int width, int window,
+                          std::size_t capacity = 4096) {
+  ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 0;
+  config.queue_capacity = capacity;
+  config.record_wall_time = false;
+  return config;
+}
+
+long long counter_value(const telemetry::Snapshot& snap,
+                        const std::string& name) {
+  for (const auto& [key, value] : snap.counters) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return -1;
+}
+
+TEST(ServiceCorrectness, PumpModeMatchesScalarModel) {
+  const int width = 64, window = 8;
+  AdderService service(pump_config(width, window));
+  workloads::OperandStream stream(workloads::Distribution::Uniform, width,
+                                  0xfeed);
+  struct Expected {
+    BitVec sum;
+    bool flagged;
+    std::future<Completion> future;
+  };
+  std::vector<Expected> expected;
+  for (int i = 0; i < 500; ++i) {
+    const auto [a, b] = stream.next();
+    auto future = service.submit(a, b);
+    ASSERT_TRUE(future.has_value());
+    expected.push_back({a + b, core::aca_flag(a, b, window),
+                        std::move(*future)});
+  }
+  service.flush();
+  for (auto& e : expected) {
+    const Completion got = e.future.get();
+    EXPECT_EQ(got.sum, e.sum);
+    EXPECT_EQ(got.flagged, e.flagged);
+    EXPECT_GE(got.latency_cycles, 1);
+  }
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.completed"), 500);
+  EXPECT_EQ(counter_value(snap, "service.fast_path") +
+                counter_value(snap, "service.recovered"),
+            500);
+}
+
+TEST(ServiceDeterminism, FixedSeedSnapshotsAreByteIdentical) {
+  // Single worker (pump mode), fixed seed, wall-time recording off:
+  // the full telemetry snapshot — histograms included — must be
+  // bit-identical across repeats.
+  auto run = [] {
+    // window 4 at width 64 flags often, exercising the recovery lane.
+    AdderService service(pump_config(64, 4));
+    workloads::OperandStream stream(workloads::Distribution::Uniform, 64,
+                                    0x5eed);
+    for (int i = 0; i < 1000; ++i) {
+      auto [a, b] = stream.next();
+      EXPECT_TRUE(service.submit(std::move(a), std::move(b)).has_value());
+      if (i % 3 == 0) service.pump();  // interleave dispatch with arrivals
+    }
+    service.flush();
+    return service.registry().snapshot();
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_GT(counter_value(first, "service.recovered"), 0);
+}
+
+TEST(ServiceCorrectness, SubmitManyMatchesPerRequestSubmit) {
+  const int width = 64, window = 8;
+  AdderService service(pump_config(width, window));
+  workloads::OperandStream stream(workloads::Distribution::Uniform, width,
+                                  0xbead);
+  std::vector<std::pair<BitVec, BitVec>> ops;
+  std::vector<BitVec> sums;
+  for (int i = 0; i < 200; ++i) {
+    auto [a, b] = stream.next();
+    sums.push_back(a + b);
+    ops.emplace_back(std::move(a), std::move(b));
+  }
+  auto futures = service.submit_many(std::move(ops));
+  ASSERT_EQ(futures.size(), 200u);
+  service.flush();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].has_value()) << "rejected at " << i;
+    EXPECT_EQ(futures[i]->get().sum, sums[i]);
+  }
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.submitted"), 200);
+  EXPECT_EQ(counter_value(snap, "service.completed"), 200);
+}
+
+TEST(ServiceBackpressure, SubmitManyRejectsTailBeyondCapacity) {
+  // Pump mode with a 8-slot queue: a 12-element batch accepts the first
+  // 8 and rejects the last 4, in order.
+  AdderService service(pump_config(32, 4, /*capacity=*/8));
+  std::vector<std::pair<BitVec, BitVec>> ops;
+  for (int i = 0; i < 12; ++i) {
+    ops.emplace_back(BitVec::from_u64(32, static_cast<std::uint64_t>(i)),
+                     BitVec::from_u64(32, 1));
+  }
+  auto futures = service.submit_many(std::move(ops));
+  ASSERT_EQ(futures.size(), 12u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(futures[static_cast<std::size_t>(i)].has_value()) << i;
+  }
+  for (int i = 8; i < 12; ++i) {
+    EXPECT_FALSE(futures[static_cast<std::size_t>(i)].has_value()) << i;
+  }
+  service.flush();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)]->get().sum,
+              BitVec::from_u64(32, static_cast<std::uint64_t>(i) + 1));
+  }
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.submitted"), 8);
+  EXPECT_EQ(counter_value(snap, "service.rejected"), 4);
+}
+
+TEST(ServiceBackpressure, BoundedQueueRejectsExactlyWhenFull) {
+  auto config = pump_config(32, 4, /*capacity=*/8);
+  config.overflow = OverflowPolicy::Reject;
+  AdderService service(config);
+  const BitVec a = BitVec::from_u64(32, 1);
+  const BitVec b = BitVec::from_u64(32, 2);
+  std::vector<std::future<Completion>> accepted;
+  for (int i = 0; i < 8; ++i) {
+    auto future = service.submit(a, b);
+    ASSERT_TRUE(future.has_value()) << "rejected below capacity, i=" << i;
+    accepted.push_back(std::move(*future));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(service.submit(a, b).has_value());
+  }
+  {
+    const auto snap = service.registry().snapshot();
+    EXPECT_EQ(counter_value(snap, "service.submitted"), 8);
+    EXPECT_EQ(counter_value(snap, "service.rejected"), 3);
+  }
+  // Draining frees capacity: the next submission is accepted again.
+  service.flush();
+  auto future = service.submit(a, b);
+  ASSERT_TRUE(future.has_value());
+  accepted.push_back(std::move(*future));
+  service.flush();
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().sum, BitVec::from_u64(32, 3));
+  }
+}
+
+TEST(ServiceShutdown, DestructorDrainsInFlight) {
+  telemetry::Registry registry;
+  std::vector<std::future<Completion>> futures;
+  const int width = 64;
+  workloads::OperandStream stream(workloads::Distribution::Uniform, width,
+                                  0xd1e);
+  std::vector<BitVec> sums;
+  {
+    ServiceConfig config;
+    config.pipeline.width = width;
+    config.pipeline.window = 8;
+    config.workers = 2;
+    config.queue_capacity = 256;
+    AdderService service(config, &registry);
+    for (int i = 0; i < 2000; ++i) {
+      auto [a, b] = stream.next();
+      sums.push_back(a + b);
+      auto future = service.submit(std::move(a), std::move(b));
+      ASSERT_TRUE(future.has_value());
+      futures.push_back(std::move(*future));
+    }
+    // Destructor runs here with requests still queued and in flight.
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Completion got = futures[i].get();  // must not hang or throw
+    EXPECT_EQ(got.sum, sums[i]);
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(counter_value(snap, "service.completed"), 2000);
+}
+
+TEST(ServiceShutdown, SubmitAfterCloseThrows) {
+  AdderService service(pump_config(32, 4));
+  service.close();
+  EXPECT_THROW(
+      service.submit(BitVec::from_u64(32, 1), BitVec::from_u64(32, 2)),
+      std::runtime_error);
+}
+
+TEST(ServiceShutdown, OperandWidthMismatchThrows) {
+  AdderService service(pump_config(32, 4));
+  EXPECT_THROW(
+      service.submit(BitVec::from_u64(16, 1), BitVec::from_u64(32, 2)),
+      std::invalid_argument);
+}
+
+TEST(ServiceConcurrency, MultiProducerBlockPolicyCompletesAll) {
+  telemetry::Registry registry;
+  {
+    ServiceConfig config;
+    config.pipeline.width = 64;
+    config.pipeline.window = 6;
+    config.workers = 4;
+    config.queue_capacity = 64;  // small bound: exercises blocking
+    config.overflow = OverflowPolicy::Block;
+    AdderService service(config, &registry);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 2000;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&service, p] {
+        workloads::OperandStream stream(workloads::Distribution::Uniform,
+                                        64, 100 + p);
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto [a, b] = stream.next();
+          ASSERT_TRUE(
+              service.submit(std::move(a), std::move(b)).has_value());
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    service.flush();
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(counter_value(snap, "service.completed"),
+              kProducers * kPerProducer);
+    EXPECT_EQ(counter_value(snap, "service.rejected"), 0);
+  }
+}
+
+TEST(ServiceRecovery, ComplementaryTrafficCongestsRecoveryLane) {
+  const int width = 64, window = 8;
+  auto config = pump_config(width, window);
+  config.pipeline.recovery_cycles = 2;
+  AdderService service(config);
+  util::Rng rng(7);
+  std::vector<std::pair<BitVec, std::future<Completion>>> expected;
+  for (int i = 0; i < 256; ++i) {
+    const BitVec a = rng.next_bits(width);
+    const BitVec b = ~a;  // full-width propagate chain: always flags
+    auto future = service.submit(a, b);
+    ASSERT_TRUE(future.has_value());
+    expected.emplace_back(a + b, std::move(*future));
+  }
+  service.flush();
+  for (auto& [sum, future] : expected) {
+    const Completion got = future.get();
+    EXPECT_EQ(got.sum, sum);
+    EXPECT_TRUE(got.flagged);
+    EXPECT_GE(got.latency_cycles, 1 + config.pipeline.recovery_cycles);
+  }
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.recovered"), 256);
+  EXPECT_EQ(counter_value(snap, "service.fast_path"), 0);
+  // The serial recovery lane backs up: the tail is far above the median.
+  for (const auto& h : snap.histograms) {
+    if (h.name == "service.latency_cycles") {
+      EXPECT_GT(h.p999(), h.p50());
+      EXPECT_GE(h.max, 256u * 2u);  // ~2 cycles per queued recovery
+    }
+  }
+}
+
+TEST(ServiceTelemetry, FastPathMinimumLatencyIsOneCycle) {
+  // A huge window never flags: everything takes the one-cycle fast path.
+  AdderService service(pump_config(64, 64));
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64, 3);
+  for (int i = 0; i < 64; ++i) {
+    auto [a, b] = stream.next();
+    ASSERT_TRUE(service.submit(std::move(a), std::move(b)).has_value());
+  }
+  service.flush();
+  const auto snap = service.registry().snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name == "service.latency_cycles") {
+      EXPECT_EQ(h.min, 1u);
+      EXPECT_EQ(h.count, 64u);
+    }
+  }
+  EXPECT_EQ(counter_value(snap, "service.recovered"), 0);
+}
+
+TEST(BoundedQueue, PushPopBatchBasics) {
+  service::BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_TRUE(queue.try_push(4));
+  EXPECT_FALSE(queue.try_push(5));  // full
+  std::vector<int> out;
+  EXPECT_EQ(queue.try_pop_batch(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(queue.try_push(5));  // space again
+  out.clear();
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  service::BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));
+  std::vector<int> out;
+  // A closed queue drains without lingering...
+  EXPECT_EQ(queue.pop_batch(out, 64, std::chrono::microseconds(1'000'000)),
+            2u);
+  // ...and then reports shutdown immediately (no block).
+  EXPECT_EQ(queue.pop_batch(out, 64, std::chrono::microseconds(1'000'000)),
+            0u);
+}
+
+TEST(BoundedQueue, PopBatchLingerCollectsLateArrivals) {
+  service::BoundedQueue<int> queue(64);
+  EXPECT_TRUE(queue.try_push(1));
+  std::thread late([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(queue.try_push(2));
+  });
+  std::vector<int> out;
+  const auto taken =
+      queue.pop_batch(out, 64, std::chrono::microseconds(200'000));
+  late.join();
+  // The linger window must have picked up the second item.
+  EXPECT_EQ(taken, 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace vlsa

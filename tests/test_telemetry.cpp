@@ -1,0 +1,181 @@
+// Tests for the telemetry layer: bucket math, quantile extraction,
+// concurrent recording, registry semantics, and deterministic JSON
+// serialization (the property the service determinism test builds on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+#include "telemetry/registry.hpp"
+
+namespace vlsa {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::HistogramBuckets;
+using telemetry::Registry;
+
+TEST(TelemetryHistogram, SmallValuesLandInExactBuckets) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.count, 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(snap.buckets[i], 1u) << "bucket " << i;
+  }
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 15u);
+  EXPECT_EQ(snap.sum, 120u);
+}
+
+TEST(TelemetryHistogram, BucketIndexIsMonotoneAndInvertible) {
+  // lower_bound is a left inverse of index, and the representative
+  // never overstates the value by construction (it is a lower bound
+  // within 12.5%).
+  for (int i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
+    EXPECT_EQ(HistogramBuckets::index(HistogramBuckets::lower_bound(i)), i);
+  }
+  std::vector<std::uint64_t> probes;
+  for (int shift = 0; shift < 63; ++shift) {
+    probes.push_back(std::uint64_t{1} << shift);
+    probes.push_back((std::uint64_t{1} << shift) + 1);
+    probes.push_back((std::uint64_t{1} << shift) * 2 - 1);
+  }
+  std::sort(probes.begin(), probes.end());
+  int previous = 0;
+  for (std::uint64_t v : probes) {
+    const int idx = HistogramBuckets::index(v);
+    const std::uint64_t lower = HistogramBuckets::lower_bound(idx);
+    EXPECT_LE(lower, v);
+    EXPECT_GE(idx, previous) << "not monotone at " << v;
+    previous = idx;
+    if (v >= 16) {
+      EXPECT_LE(v - lower, v / 8) << "relative error too large at " << v;
+    }
+  }
+}
+
+TEST(TelemetryHistogram, QuantilesOnKnownData) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(100);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 90u + 1000u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_EQ(snap.p50(), 1u);
+  EXPECT_EQ(snap.p90(), 1u);
+  // p99 falls in 100's bucket; the reported value is its lower bound.
+  const std::uint64_t bucket_100 =
+      HistogramBuckets::lower_bound(HistogramBuckets::index(100));
+  EXPECT_EQ(snap.p99(), bucket_100);
+  EXPECT_EQ(snap.p999(), bucket_100);
+  EXPECT_NEAR(snap.mean(), 10.9, 1e-9);
+}
+
+TEST(TelemetryHistogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto snap = h.snapshot("empty");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p999(), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(TelemetryHistogram, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.buckets[t], static_cast<std::uint64_t>(kPerThread));
+  }
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 7u);
+}
+
+TEST(TelemetryRegistry, SameNameReturnsSameMetric) {
+  Registry registry;
+  auto& c1 = registry.counter("service.submitted");
+  auto& c2 = registry.counter("service.submitted");
+  EXPECT_EQ(&c1, &c2);
+  c1.increment(3);
+  EXPECT_EQ(c2.value(), 3);
+  auto& h1 = registry.histogram("latency");
+  auto& h2 = registry.histogram("latency");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(TelemetryRegistry, CrossKindNameCollisionThrows) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+  registry.histogram("h");
+  EXPECT_THROW(registry.counter("h"), std::invalid_argument);
+}
+
+TEST(TelemetryRegistry, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.counter("zulu");
+  registry.counter("alpha");
+  registry.counter("mike");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mike");
+  EXPECT_EQ(snap.counters[2].first, "zulu");
+}
+
+TEST(TelemetryRegistry, IdenticalHistoriesSerializeIdentically) {
+  auto build = [] {
+    Registry registry;
+    registry.counter("requests").increment(42);
+    registry.gauge("depth").set(-7);
+    auto& h = registry.histogram("latency");
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+    return registry.snapshot().to_json();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"p99\""), std::string::npos);
+  EXPECT_NE(a.find("\"requests\": 42"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, ConcurrentMetricCreationIsSafe) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter("shared").increment();
+        registry.histogram("hist").record(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters[0].second, 8000);
+  EXPECT_EQ(snap.histograms[0].count, 8000u);
+}
+
+}  // namespace
+}  // namespace vlsa

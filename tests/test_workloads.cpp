@@ -1,13 +1,17 @@
 // Tests for the operand distributions: reproducibility, structural
-// properties of each distribution, and the input-dependence of the ACA
-// error rate they are designed to expose.
+// properties of each distribution, the input-dependence of the ACA
+// error rate they are designed to expose, trace parsing, and the
+// open-loop load generator (the LoadGen suite also runs under the
+// `tsan` preset).
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "core/aca.hpp"
+#include "workloads/load_gen.hpp"
 #include "workloads/operand_stream.hpp"
 
 namespace vlsa {
@@ -144,6 +148,43 @@ TEST(TraceStream, RejectsBadInput) {
   EXPECT_THROW(workloads::TraceStream(bad, 8), std::invalid_argument);
 }
 
+TEST(TraceStream, ParseErrorsCarryLineNumbers) {
+  const auto message_of = [](const std::string& text) {
+    try {
+      workloads::TraceStream::from_text(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string("(no error)");
+  };
+  // Missing second operand on line 3 (line 1 is a comment, line 2 ok).
+  EXPECT_NE(message_of("# trace\nff 01\nabcd\n").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(message_of("# trace\nff 01\nabcd\n").find("got one"),
+            std::string::npos);
+  // Invalid hex digit, reported with the offending operand.
+  const auto bad_hex = message_of("ff 0x1\n");
+  EXPECT_NE(bad_hex.find("line 1"), std::string::npos);
+  EXPECT_NE(bad_hex.find("invalid hex digit 'x'"), std::string::npos);
+  // Trailing garbage after the two operands.
+  const auto garbage = message_of("ff 01\nff 01 02\n");
+  EXPECT_NE(garbage.find("line 2"), std::string::npos);
+  EXPECT_NE(garbage.find("trailing garbage"), std::string::npos);
+}
+
+TEST(TraceStream, CommentsAndBlanksAreSkipped) {
+  // Whitespace-only lines, full-line comments, and trailing comments
+  // after a complete operand pair are all fine.
+  const auto stream = workloads::TraceStream::from_text(
+      "# header\n"
+      "\n"
+      "   \n"
+      "  # indented comment\n"
+      "ff 01 # trailing comment\n");
+  EXPECT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream.width(), 8);
+}
+
 TEST(OperandStream, RejectsBadWidth) {
   EXPECT_THROW(OperandStream(Distribution::Uniform, 0, 1),
                std::invalid_argument);
@@ -155,6 +196,54 @@ TEST(OperandStream, DistributionNamesUnique) {
     names.insert(workloads::distribution_name(d));
   }
   EXPECT_EQ(names.size(), workloads::all_distributions().size());
+}
+
+service::ServiceConfig loadgen_service_config(int workers) {
+  service::ServiceConfig config;
+  config.pipeline.width = 32;
+  config.pipeline.window = 6;
+  config.workers = workers;
+  config.queue_capacity = 4096;
+  return config;
+}
+
+TEST(LoadGen, SaturateOffersAndCompletesEverything) {
+  service::AdderService service(loadgen_service_config(/*workers=*/2));
+  workloads::LoadGenConfig load;
+  load.arrival = workloads::ArrivalProcess::Saturate;
+  load.requests = 5000;
+  load.seed = 42;
+  const auto report = workloads::run_load_gen(service, load);
+  EXPECT_EQ(report.offered, 5000);
+  EXPECT_EQ(report.accepted, 5000);  // Block policy: nothing rejected
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_GT(report.achieved_rate, 0.0);
+  const auto snap = service.registry().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "service.completed") EXPECT_EQ(value, 5000);
+  }
+}
+
+TEST(LoadGen, PoissonAtHighRateCompletesAll) {
+  service::AdderService service(loadgen_service_config(/*workers=*/1));
+  workloads::LoadGenConfig load;
+  load.arrival = workloads::ArrivalProcess::Poisson;
+  load.rate_per_sec = 2e6;  // far above service: exercises catch-up path
+  load.requests = 3000;
+  const auto report = workloads::run_load_gen(service, load);
+  EXPECT_EQ(report.accepted + report.rejected, report.offered);
+  EXPECT_EQ(report.offered, 3000);
+  EXPECT_EQ(report.rejected, 0);
+}
+
+TEST(LoadGen, BurstyRejectsImpossibleShape) {
+  service::AdderService service(loadgen_service_config(/*workers=*/1));
+  workloads::LoadGenConfig load;
+  load.arrival = workloads::ArrivalProcess::Bursty;
+  load.burst_factor = 20.0;
+  load.burst_fraction = 0.1;  // 20 * 0.1 >= 1: off-state rate negative
+  EXPECT_THROW(workloads::run_load_gen(service, load),
+               std::invalid_argument);
 }
 
 }  // namespace
