@@ -1,6 +1,9 @@
 // vlsa_tool — the repository's EDA toolbox as one command-line program.
 //
 //   vlsa_tool stats    <circuit> <width> [k]       timing/area/structure
+//   vlsa_tool lint     <circuit> <width> [k] [--fanout-cap N] [--strict]
+//                      [--swept]                   structural sanity pass;
+//                                                  exit 0 clean, 3 findings
 //   vlsa_tool emit     <circuit> <width> [k] --verilog|--vhdl|--dot|--text
 //   vlsa_tool equiv    <circuit-a> <circuit-b> <width> [k]
 //   vlsa_tool faults   <circuit> <width> [k]       stuck-at coverage
@@ -17,8 +20,9 @@
 //                                                  tail latencies
 //
 // <circuit> is an adder architecture name (ripple-carry, kogge-stone,
-// brent-kung, ...), "aca", "errdet" or "vlsa" (the latter three take k;
-// default = the 99.99% design window).
+// brent-kung, ...), "aca", "errdet", "vlsa", or a multiplier —
+// "mul-exact", "mul-aca", "mul-booth" (k-taking circuits default to the
+// 99.99% design window).
 
 #include <fstream>
 #include <future>
@@ -32,11 +36,13 @@
 #include "analysis/aca_probability.hpp"
 #include "core/aca_netlist.hpp"
 #include "core/vlsa.hpp"
+#include "multiplier/spec_multiplier.hpp"
 #include "netlist/dot.hpp"
 #include "netlist/emit.hpp"
 #include "netlist/equiv.hpp"
 #include "netlist/event_sim.hpp"
 #include "netlist/fault.hpp"
+#include "netlist/lint.hpp"
 #include "netlist/opt.hpp"
 #include "netlist/serialize.hpp"
 #include "netlist/sta.hpp"
@@ -74,8 +80,19 @@ Netlist build_circuit(const std::string& name, int width, int window) {
   if (name == "vlsa") {
     return vlsa::core::build_vlsa(width, window).nl;
   }
-  throw std::invalid_argument("unknown circuit '" + name +
-                              "' (adder name, aca, aca+er, errdet or vlsa)");
+  if (name == "mul-exact") {
+    return vlsa::multiplier::build_exact_multiplier(width).nl;
+  }
+  if (name == "mul-aca") {
+    return vlsa::multiplier::build_speculative_multiplier(width, window).nl;
+  }
+  if (name == "mul-booth") {
+    return vlsa::multiplier::build_booth_multiplier(width, window).nl;
+  }
+  throw std::invalid_argument(
+      "unknown circuit '" + name +
+      "' (adder name, aca, aca+er, errdet, vlsa, mul-exact, mul-aca or "
+      "mul-booth)");
 }
 
 int cmd_stats(const Netlist& nl) {
@@ -91,6 +108,47 @@ int cmd_stats(const Netlist& nl) {
             << area.max_input_fanout << ")\n"
             << "  dead gates   " << structure.dead_gates << "\n";
   return 0;
+}
+
+// Structural sanity pass.  Default bar: no Error-severity findings
+// (generators legitimately carry dead logic pre-sweep); `--strict`
+// requires a completely clean report, `--swept` lints the netlist after
+// dead-logic elimination (the post-synthesis view every shipped
+// generator must keep spotless), `--fanout-cap N` enables the fanout
+// check.  Exit code 0 = passed, 3 = findings above the bar.
+int cmd_lint(const Netlist& nl, const std::vector<std::string>& args,
+             std::size_t next) {
+  vlsa::netlist::LintOptions options;
+  bool strict = false;
+  bool swept = false;
+  for (std::size_t i = next; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--strict") {
+      strict = true;
+    } else if (flag == "--swept") {
+      swept = true;
+    } else if (flag == "--fanout-cap") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for --fanout-cap");
+      }
+      options.fanout_cap = std::stoi(args[++i]);
+    } else {
+      throw std::invalid_argument("unknown lint flag '" + flag + "'");
+    }
+  }
+  const Netlist* target = &nl;
+  Netlist swept_nl("swept");
+  if (swept) {
+    swept_nl = vlsa::netlist::remove_dead_gates(nl);
+    target = &swept_nl;
+  }
+  const auto report = vlsa::netlist::lint(*target, options);
+  std::cout << report.to_string();
+  std::cout << nl.module_name() << (swept ? " (swept)" : "") << ": "
+            << report.errors << " error(s), " << report.warnings
+            << " warning(s) over " << target->num_nets() << " nets\n";
+  const bool ok = strict ? report.clean() : report.structurally_sound();
+  return ok ? 0 : 3;
 }
 
 int cmd_emit(const Netlist& nl, const std::string& format) {
@@ -294,8 +352,8 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) {
       std::cerr << "usage: vlsa_tool "
-                   "stats|emit|equiv|faults|settle|datasheet|serve|loadgen"
-                   " ...\n";
+                   "stats|lint|emit|equiv|faults|settle|datasheet|serve|"
+                   "loadgen ...\n";
       return 1;
     }
     const std::string& cmd = args[0];
@@ -349,6 +407,7 @@ int main(int argc, char** argv) {
     }
     const Netlist nl = build_circuit(args[1], width, k);
     if (cmd == "stats") return cmd_stats(nl);
+    if (cmd == "lint") return cmd_lint(nl, args, next);
     if (cmd == "emit") {
       return cmd_emit(nl, args.size() > next ? args[next] : "--verilog");
     }

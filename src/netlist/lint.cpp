@@ -1,0 +1,404 @@
+#include "netlist/lint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "netlist/cell_library.hpp"
+
+namespace vlsa::netlist {
+
+namespace {
+
+bool valid_id(NetId id, int num_nets) { return id >= 0 && id < num_nets; }
+
+bool is_real_cell(CellKind kind) {
+  return kind != CellKind::Input && kind != CellKind::Const0 &&
+         kind != CellKind::Const1;
+}
+
+int fanin_of(CellKind kind) {
+  return CellLibrary::umc18().spec(kind).fanin;
+}
+
+std::string cell_label(const Netlist& nl, NetId id) {
+  return "net " + std::to_string(id) + " (" +
+         cell_kind_name(nl.gate(id).kind) + ")";
+}
+
+// ----- combinational cycle detection (iterative Tarjan SCC) -----
+//
+// Dependency edges run consumer -> producer over *combinational* cells
+// only: a flip-flop samples its D pin at the clock edge, so feedback
+// through a DFF is sequential, not a combinational loop.  Every SCC
+// with more than one member (or a self-loop) is one diagnostic.
+
+struct SccResult {
+  std::vector<std::vector<NetId>> cycles;  // each sorted ascending
+};
+
+SccResult find_combinational_cycles(const Netlist& nl) {
+  const int n = nl.num_nets();
+  std::vector<std::vector<NetId>> succ(static_cast<std::size_t>(n));
+  std::vector<bool> self_loop(static_cast<std::size_t>(n), false);
+  for (NetId u = 0; u < n; ++u) {
+    const Gate& g = nl.gate(u);
+    if (g.kind == CellKind::Dff) continue;
+    const int fanin = fanin_of(g.kind);
+    for (int pin = 0; pin < fanin; ++pin) {
+      const NetId v = g.inputs[pin];
+      if (!valid_id(v, n)) continue;  // reported separately
+      if (v == u) self_loop[static_cast<std::size_t>(u)] = true;
+      succ[static_cast<std::size_t>(u)].push_back(v);
+    }
+  }
+
+  SccResult result;
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<NetId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    NetId node;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> dfs;
+
+  for (NetId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const auto u = static_cast<std::size_t>(frame.node);
+      if (frame.next_succ == 0) {
+        index[u] = lowlink[u] = next_index++;
+        stack.push_back(frame.node);
+        on_stack[u] = true;
+      }
+      bool descended = false;
+      while (frame.next_succ < succ[u].size()) {
+        const NetId v_id = succ[u][frame.next_succ++];
+        const auto v = static_cast<std::size_t>(v_id);
+        if (index[v] == kUnvisited) {
+          dfs.push_back({v_id, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) lowlink[u] = std::min(lowlink[u], index[v]);
+      }
+      if (descended) continue;
+      // u is finished: pop an SCC if u is its root.
+      if (lowlink[u] == index[u]) {
+        std::vector<NetId> members;
+        for (;;) {
+          const NetId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          members.push_back(w);
+          if (w == frame.node) break;
+        }
+        if (members.size() > 1 || self_loop[u]) {
+          std::sort(members.begin(), members.end());
+          result.cycles.push_back(std::move(members));
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const auto parent = static_cast<std::size_t>(dfs.back().node);
+        lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+      }
+    }
+  }
+  std::sort(result.cycles.begin(), result.cycles.end());
+  return result;
+}
+
+// Fixpoint reverse reachability from the primary outputs (the same
+// sweep opt.cpp uses, hardened against invalid ids so lint can run on
+// corrupted netlists without crashing).
+std::vector<bool> observable_mask(const Netlist& nl) {
+  const int n = nl.num_nets();
+  std::vector<bool> live(static_cast<std::size_t>(n), false);
+  for (const Port& p : nl.outputs()) {
+    if (valid_id(p.net, n)) live[static_cast<std::size_t>(p.net)] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = n; i-- > 0;) {
+      if (!live[static_cast<std::size_t>(i)]) continue;
+      const Gate& g = nl.gate(i);
+      const int fanin = fanin_of(g.kind);
+      for (int pin = 0; pin < fanin; ++pin) {
+        const NetId in = g.inputs[pin];
+        if (!valid_id(in, n)) continue;
+        if (!live[static_cast<std::size_t>(in)]) {
+          live[static_cast<std::size_t>(in)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return live;
+}
+
+struct BusName {
+  std::string base;
+  int index = -1;  // -1: not of the form base[digits]
+};
+
+BusName split_bus_name(const std::string& name) {
+  BusName out;
+  const std::size_t open = name.rfind('[');
+  if (open == std::string::npos || name.empty() || name.back() != ']' ||
+      open + 2 > name.size() - 1) {
+    out.base = name;
+    return out;
+  }
+  int value = 0;
+  for (std::size_t i = open + 1; i + 1 < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      out.base = name;
+      return out;
+    }
+    value = value * 10 + (c - '0');
+  }
+  out.base = name.substr(0, open);
+  out.index = value;
+  return out;
+}
+
+}  // namespace
+
+const char* lint_kind_name(LintKind kind) {
+  switch (kind) {
+    case LintKind::CombinationalLoop: return "combinational-loop";
+    case LintKind::UndrivenNet: return "undriven-net";
+    case LintKind::MultiplyDrivenNet: return "multiply-driven-net";
+    case LintKind::InvalidNetRef: return "invalid-net-ref";
+    case LintKind::FloatingInput: return "floating-input";
+    case LintKind::PortNameCollision: return "port-name-collision";
+    case LintKind::PortBusGap: return "port-bus-gap";
+    case LintKind::DeadCell: return "dead-cell";
+    case LintKind::UnusedPrimaryInput: return "unused-primary-input";
+    case LintKind::FanoutCapExceeded: return "fanout-cap-exceeded";
+  }
+  return "unknown";
+}
+
+LintSeverity lint_kind_severity(LintKind kind) {
+  switch (kind) {
+    case LintKind::DeadCell:
+    case LintKind::UnusedPrimaryInput:
+    case LintKind::FanoutCapExceeded:
+      return LintSeverity::Warning;
+    default:
+      return LintSeverity::Error;
+  }
+}
+
+std::string LintDiagnostic::message() const {
+  std::ostringstream os;
+  os << (lint_kind_severity(kind) == LintSeverity::Error ? "error"
+                                                         : "warning")
+     << ": " << lint_kind_name(kind);
+  if (net != kNoNet) {
+    os << ": net " << net;
+    if (pin >= 0) os << " pin " << pin;
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::vector<LintDiagnostic> LintReport::of_kind(LintKind kind) const {
+  std::vector<LintDiagnostic> out;
+  for (const LintDiagnostic& d : diagnostics) {
+    if (d.kind == kind) out.push_back(d);
+  }
+  return out;
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintDiagnostic& d : diagnostics) {
+    out += d.message();
+    out += '\n';
+  }
+  return out;
+}
+
+LintReport lint(const Netlist& nl, const LintOptions& options) {
+  LintReport report;
+  const int n = nl.num_nets();
+  auto add = [&report](LintKind kind, NetId net, int pin,
+                       std::string detail) {
+    if (lint_kind_severity(kind) == LintSeverity::Error) {
+      ++report.errors;
+    } else {
+      ++report.warnings;
+    }
+    report.diagnostics.push_back(
+        LintDiagnostic{kind, net, pin, std::move(detail)});
+  };
+
+  // --- driver structure: every net id claimed by exactly one output ---
+  std::vector<int> drivers(static_cast<std::size_t>(n), 0);
+  for (NetId i = 0; i < n; ++i) {
+    const NetId out = nl.gate(i).output;
+    if (!valid_id(out, n)) {
+      add(LintKind::InvalidNetRef, i, -1,
+          "gate output id " + std::to_string(out) + " is out of range");
+      continue;
+    }
+    drivers[static_cast<std::size_t>(out)] += 1;
+  }
+  for (NetId i = 0; i < n; ++i) {
+    if (drivers[static_cast<std::size_t>(i)] == 0) {
+      add(LintKind::UndrivenNet, i, -1,
+          "no gate output claims this net id");
+    } else if (drivers[static_cast<std::size_t>(i)] > 1) {
+      add(LintKind::MultiplyDrivenNet, i, -1,
+          std::to_string(drivers[static_cast<std::size_t>(i)]) +
+              " gate outputs claim this net id");
+    }
+  }
+
+  // --- pin connectivity ---
+  for (NetId i = 0; i < n; ++i) {
+    const Gate& g = nl.gate(i);
+    const int fanin = fanin_of(g.kind);
+    for (int pin = 0; pin < fanin; ++pin) {
+      const NetId in = g.inputs[pin];
+      if (in == kNoNet) {
+        add(LintKind::FloatingInput, i, pin,
+            g.kind == CellKind::Dff
+                ? "flip-flop D input never connected (connect_dff)"
+                : std::string(cell_kind_name(g.kind)) +
+                      " input pin left unconnected");
+      } else if (!valid_id(in, n)) {
+        add(LintKind::InvalidNetRef, i, pin,
+            "input references net " + std::to_string(in) +
+                ", which is out of range");
+      }
+    }
+  }
+
+  // --- combinational loops ---
+  for (const auto& cycle : find_combinational_cycles(nl).cycles) {
+    std::ostringstream os;
+    os << "cycle through " << cycle.size() << " cell(s):";
+    const std::size_t shown = std::min<std::size_t>(cycle.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      os << ' ' << cell_label(nl, cycle[i]);
+    }
+    if (shown < cycle.size()) os << " ...";
+    add(LintKind::CombinationalLoop, cycle.front(), -1, os.str());
+  }
+
+  // --- port names ---
+  std::map<std::string, int> name_count;
+  for (const Port& p : nl.inputs()) name_count[p.name] += 1;
+  for (const Port& p : nl.outputs()) name_count[p.name] += 1;
+  for (const auto& [name, count] : name_count) {
+    if (count > 1) {
+      add(LintKind::PortNameCollision, kNoNet, -1,
+          "port name '" + name + "' declared " + std::to_string(count) +
+              " times");
+    }
+  }
+  const auto check_bus_gaps = [&](const std::vector<Port>& ports,
+                                  const char* direction) {
+    std::map<std::string, std::vector<int>> buses;
+    for (const Port& p : ports) {
+      const BusName bus = split_bus_name(p.name);
+      if (bus.index >= 0) buses[bus.base].push_back(bus.index);
+    }
+    for (auto& [base, indices] : buses) {
+      std::sort(indices.begin(), indices.end());
+      indices.erase(std::unique(indices.begin(), indices.end()),
+                    indices.end());
+      const int width = indices.back() + 1;
+      if (static_cast<int>(indices.size()) == width) continue;
+      int missing = 0;
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] != static_cast<int>(i)) break;
+        missing = static_cast<int>(i) + 1;
+      }
+      add(LintKind::PortBusGap, kNoNet, -1,
+          std::string(direction) + " bus '" + base + "' is missing index " +
+              std::to_string(missing) + " (declares " +
+              std::to_string(indices.size()) + " of " +
+              std::to_string(width) + " bits)");
+    }
+  };
+  check_bus_gaps(nl.inputs(), "input");
+  check_bus_gaps(nl.outputs(), "output");
+  for (const Port& p : nl.outputs()) {
+    if (!valid_id(p.net, n)) {
+      add(LintKind::InvalidNetRef, kNoNet, -1,
+          "output port '" + p.name + "' references net " +
+              std::to_string(p.net) + ", which is out of range");
+    }
+  }
+
+  // --- observability (needs outputs to reason from) ---
+  if (!nl.outputs().empty() &&
+      (options.check_dead_cells || options.check_unused_inputs)) {
+    const std::vector<bool> live = observable_mask(nl);
+    if (options.check_dead_cells) {
+      for (NetId i = 0; i < n; ++i) {
+        if (!is_real_cell(nl.gate(i).kind)) continue;
+        if (!live[static_cast<std::size_t>(i)]) {
+          add(LintKind::DeadCell, i, -1,
+              std::string(cell_kind_name(nl.gate(i).kind)) +
+                  " reaches no primary output (remove_dead_gates sweeps "
+                  "it)");
+        }
+      }
+    }
+  }
+
+  // --- fanout (also powers unused-input detection) ---
+  std::vector<int> fanout(static_cast<std::size_t>(n), 0);
+  for (NetId i = 0; i < n; ++i) {
+    const Gate& g = nl.gate(i);
+    const int fanin = fanin_of(g.kind);
+    for (int pin = 0; pin < fanin; ++pin) {
+      if (valid_id(g.inputs[pin], n)) {
+        fanout[static_cast<std::size_t>(g.inputs[pin])] += 1;
+      }
+    }
+  }
+  for (const Port& p : nl.outputs()) {
+    if (valid_id(p.net, n)) fanout[static_cast<std::size_t>(p.net)] += 1;
+  }
+  if (options.check_unused_inputs && !nl.outputs().empty()) {
+    for (const Port& p : nl.inputs()) {
+      if (!valid_id(p.net, n)) continue;
+      if (fanout[static_cast<std::size_t>(p.net)] == 0) {
+        add(LintKind::UnusedPrimaryInput, p.net, -1,
+            "primary input '" + p.name +
+                "' feeds no cell and no output port");
+      }
+    }
+  }
+  if (options.fanout_cap > 0) {
+    for (NetId i = 0; i < n; ++i) {
+      if (fanout[static_cast<std::size_t>(i)] > options.fanout_cap) {
+        add(LintKind::FanoutCapExceeded, i, -1,
+            "fanout " + std::to_string(fanout[static_cast<std::size_t>(i)]) +
+                " exceeds cap " + std::to_string(options.fanout_cap));
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace vlsa::netlist

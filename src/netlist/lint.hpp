@@ -1,0 +1,101 @@
+#pragma once
+// Structural lint — the netlist layer's machine-checked sanity pass.
+//
+// Every delay/area/error-rate number downstream (STA, the simulators,
+// the Fig. 8 benches) silently assumes the generated netlist is
+// well-formed: acyclic through combinational cells, every net driven
+// exactly once, every used input pin connected, every cell observable
+// from some primary output.  A generator bug that violates one of these
+// does not crash anything — it just corrupts every number computed from
+// the netlist, which is exactly the failure mode the rectification
+// literature warns about for approximate-adder pipelines.  `lint()`
+// turns each invariant into a typed diagnostic so generator bugs fail
+// loudly, in tests and in `vlsa_tool lint`.
+//
+// Two severities:
+//
+//  * Error — structural corruption that invalidates analyses outright
+//    (loops, undriven/multiply-driven nets, floating pins, invalid
+//    references, port collisions).  Every shipped generator must be
+//    error-clean at all times (tests/test_lint.cpp sweeps them).
+//  * Warning — structurally legal but suspicious constructs (dead
+//    cells, unused primary inputs, fanout-cap violations).  Generators
+//    legitimately build dead logic that `remove_dead_gates` sweeps
+//    before any area/delay is reported; after the sweep a netlist must
+//    be completely clean.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist {
+
+enum class LintKind {
+  // ----- errors -----
+  CombinationalLoop,   ///< cycle through combinational cells (no DFF cut)
+  UndrivenNet,         ///< net id no gate's output claims
+  MultiplyDrivenNet,   ///< net id claimed by more than one gate output
+  InvalidNetRef,       ///< pin/output/port references an id outside the IR
+  FloatingInput,       ///< used input pin (or DFF D) left unconnected
+  PortNameCollision,   ///< two ports share one exact name
+  PortBusGap,          ///< bus "name[i]" indices are not contiguous from 0
+  // ----- warnings -----
+  DeadCell,            ///< cell outside the cone of every primary output
+  UnusedPrimaryInput,  ///< input net that feeds no pin and no output port
+  FanoutCapExceeded,   ///< fanout above LintOptions::fanout_cap
+};
+
+enum class LintSeverity { Warning, Error };
+
+/// Stable lower-case name, e.g. "combinational-loop" (CLI + test output).
+[[nodiscard]] const char* lint_kind_name(LintKind kind);
+
+[[nodiscard]] LintSeverity lint_kind_severity(LintKind kind);
+
+/// One finding.  `net` is the offending net/cell id where one exists
+/// (kNoNet for pure port-name findings); `pin` the offending input pin
+/// for FloatingInput/InvalidNetRef on a pin (-1 otherwise).
+struct LintDiagnostic {
+  LintKind kind;
+  NetId net = kNoNet;
+  int pin = -1;
+  std::string detail;
+
+  /// "error: combinational-loop: net 12: <detail>".
+  [[nodiscard]] std::string message() const;
+};
+
+struct LintOptions {
+  /// Maximum allowed fanout per net; 0 disables the check.  The cell
+  /// library's linear delay model stays meaningful only for bounded
+  /// fanout, so benches comparing architectures may want a cap.
+  int fanout_cap = 0;
+  /// Observability warnings (dead cells / unused inputs) need primary
+  /// outputs to reason from; they are skipped when the netlist has
+  /// none, and can be disabled for intentionally partial netlists.
+  bool check_dead_cells = true;
+  bool check_unused_inputs = true;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+  int errors = 0;
+  int warnings = 0;
+
+  /// No findings at all (the post-sweep bar for shipped generators).
+  [[nodiscard]] bool clean() const { return errors == 0 && warnings == 0; }
+  /// No Error-severity findings (the always-on bar).
+  [[nodiscard]] bool structurally_sound() const { return errors == 0; }
+
+  [[nodiscard]] std::vector<LintDiagnostic> of_kind(LintKind kind) const;
+
+  /// One diagnostic message per line; "" when clean.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run every structural check; diagnostics are ordered by check, then
+/// by net id, so reports are deterministic.
+[[nodiscard]] LintReport lint(const Netlist& nl, const LintOptions& options = {});
+
+}  // namespace vlsa::netlist

@@ -116,6 +116,17 @@ class Netlist {
   NetId find_input(std::string_view name) const;
   NetId find_output(std::string_view name) const;
 
+  /// Unchecked mutable access to a gate record, bypassing every
+  /// construction-time invariant (operand existence, creation-order
+  /// topology, one-driver-per-net).  Exists so the structural lint
+  /// tests can seed exactly the defects the builder API refuses to
+  /// create, and for low-level tooling; normal code never needs it —
+  /// a netlist mutated through here is only safe to hand to
+  /// netlist::lint().
+  Gate& unchecked_gate(NetId id) {
+    return gates_[static_cast<std::size_t>(id)];
+  }
+
  private:
   NetId push_gate(CellKind kind, NetId a = kNoNet, NetId b = kNoNet,
                   NetId c = kNoNet);

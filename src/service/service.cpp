@@ -249,7 +249,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
       // The recovery lane is a serial resource: it picks the request up
       // no earlier than the cycle after detection and holds it for
       // recovery_cycles — queued flags congest, fattening the tail.
-      std::lock_guard<std::mutex> lock(recovery_clock_mutex_);
+      util::LockGuard lock(recovery_clock_mutex_);
       recovery_free_at_ = std::max(recovery_free_at_, round + 1) +
                           config_.pipeline.recovery_cycles;
       item.latency_cycles = recovery_free_at_ - request.arrival_cycle;
@@ -327,7 +327,7 @@ void AdderService::flush() {
 }
 
 void AdderService::close() {
-  std::lock_guard<std::mutex> lock(close_mutex_);
+  util::LockGuard lock(close_mutex_);
   if (close_finished_) return;
   closed_.store(true, std::memory_order_release);
   queue_.close();

@@ -38,6 +38,7 @@
 // depends on real arrival timing, so only the counters (totals, flags)
 // are schedule-independent; histogram shapes vary with load.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -51,6 +52,8 @@
 #include "sim/vlsa_pipeline.hpp"
 #include "telemetry/registry.hpp"
 #include "util/bitvec.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace vlsa::service {
 
@@ -176,14 +179,33 @@ class AdderService {
   std::vector<std::thread> workers_;
   std::thread recovery_worker_;
 
+  // Memory-ordering audit (every atomic below, and why its ordering is
+  // what it is):
+  //
+  //  * vclock_ — relaxed everywhere.  A pure tick counter: values are
+  //    compared arithmetically to compute modeled latencies, and no
+  //    other data is published through it.  fetch_add is already atomic
+  //    read-modify-write, so ticks are never lost.
+  //  * inflight_ — fetch_add/fetch_sub acq_rel, loads acquire.  The
+  //    release half of each decrement orders the promise fulfillment
+  //    (set_value) before the count drop, so a flush() that observes 0
+  //    with an acquire load happens-after every completion it waited
+  //    for.  The increment side could be relaxed, but submit/complete
+  //    share one helper pattern and the cost is unmeasurable off the
+  //    per-batch path.
+  //  * closed_ — store release in close(), load acquire in the submit
+  //    paths: a submitter that sees closed_ == true also sees the
+  //    queue_.close() that preceded the store (it will observe
+  //    queue_.closed() and throw rather than silently drop).
   std::atomic<long long> vclock_{0};
-  std::mutex recovery_clock_mutex_;
-  long long recovery_free_at_ = 0;  ///< modeled cycle the lane frees up
+  util::Mutex recovery_clock_mutex_;
+  /// Modeled cycle the serial recovery lane frees up.
+  long long recovery_free_at_ GUARDED_BY(recovery_clock_mutex_) = 0;
 
   std::atomic<long long> inflight_{0};
   std::atomic<bool> closed_{false};
-  std::mutex close_mutex_;
-  bool close_finished_ = false;  ///< guarded by close_mutex_
+  util::Mutex close_mutex_;
+  bool close_finished_ GUARDED_BY(close_mutex_) = false;
 
   // Hot-path metrics, resolved once at construction.
   telemetry::Counter& submitted_;

@@ -38,8 +38,7 @@ inline constexpr int kBatchLanes = 64;
 /// every lane, for i in [0, width).  Unused lanes are simply lanes whose
 /// bits are all zero (their results are valid too — they compute 0+0).
 struct SlicedBatch {
-  explicit SlicedBatch(int width = 0)
-      : width(width), a(width, 0), b(width, 0) {}
+  explicit SlicedBatch(int w = 0) : width(w), a(w, 0), b(w, 0) {}
 
   int width = 0;
   std::vector<std::uint64_t> a;

@@ -50,16 +50,19 @@ HistogramSnapshot Histogram::snapshot(const std::string& name) const {
   snap.buckets.resize(HistogramBuckets::kNumBuckets);
   // Retry while recorders land between the two count reads; after a few
   // attempts under sustained churn, keep the latest (still torn-free
-  // per cell) copy.
+  // per cell) copy.  The bracketing loads are relaxed on purpose: the
+  // recorder's count update is relaxed, so acquire here would pair with
+  // nothing and buy nothing — the loop is a freshness heuristic, not a
+  // seqlock (see the ordering audit in histogram.hpp).
   for (int attempt = 0; attempt < 4; ++attempt) {
-    const std::uint64_t before = count_.load(std::memory_order_acquire);
+    const std::uint64_t before = count_.load(std::memory_order_relaxed);
     for (int i = 0; i < HistogramBuckets::kNumBuckets; ++i) {
       snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     }
     snap.sum = sum_.load(std::memory_order_relaxed);
     snap.min = min_.load(std::memory_order_relaxed);
     snap.max = max_.load(std::memory_order_relaxed);
-    snap.count = count_.load(std::memory_order_acquire);
+    snap.count = count_.load(std::memory_order_relaxed);
     if (snap.count == before) break;
   }
   if (snap.count == 0) snap.min = 0;

@@ -17,6 +17,18 @@
 // the buckets and retries while a concurrent recorder moves the total,
 // so a quiescent histogram snapshots exactly and a busy one snapshots
 // a consistent recent state (every load is atomic — TSan-clean).
+//
+// Memory-ordering audit: every atomic here is relaxed, deliberately.
+// Each cell (bucket, count, sum, min, max) is independently atomic, so
+// no update is ever lost or torn; there is no cross-cell invariant a
+// stronger ordering could protect, because record_n touches the cells
+// in separate operations that a concurrent snapshot may interleave at
+// ANY ordering.  The histogram's contract is therefore: exact when
+// quiescent (what the deterministic service tests compare), per-cell
+// consistent and approximately fresh when busy.  The snapshot retry
+// loop is a best-effort freshness heuristic on top — it cannot be a
+// seqlock without release/acquire bracketing *in the recorder*, which
+// would put a fence on the hot path for a guarantee no reader needs.
 
 #include <array>
 #include <atomic>

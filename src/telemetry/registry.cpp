@@ -34,7 +34,7 @@ void reject_if_present(const Map& map, const std::string& name,
 
 Counter& Registry::counter(std::string_view name) {
   const std::string key(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   reject_if_present(gauges_, key, "gauge");
   reject_if_present(histograms_, key, "histogram");
   return find_or_create(counters_, key);
@@ -42,7 +42,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   const std::string key(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   reject_if_present(counters_, key, "counter");
   reject_if_present(histograms_, key, "histogram");
   return find_or_create(gauges_, key);
@@ -50,7 +50,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   const std::string key(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   reject_if_present(counters_, key, "counter");
   reject_if_present(gauges_, key, "gauge");
   return find_or_create(histograms_, key);
@@ -58,7 +58,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 Snapshot Registry::snapshot() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());

@@ -16,13 +16,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "telemetry/histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace vlsa::util {
 class JsonWriter;
@@ -31,6 +32,14 @@ class JsonWriter;
 namespace vlsa::telemetry {
 
 /// Monotonically increasing event count.
+///
+/// Ordering: relaxed on every access, deliberately.  A counter is a
+/// single independent cell — fetch_add is an atomic read-modify-write,
+/// so increments are never lost at any ordering, and nothing reads a
+/// counter to establish happens-before with other data (readers that
+/// need exact cross-metric consistency snapshot a *quiescent* registry;
+/// see Registry::snapshot).  Stronger orderings here would only add
+/// fence traffic to the service hot path.
 class Counter {
  public:
   void increment(long long by = 1) {
@@ -43,6 +52,10 @@ class Counter {
 };
 
 /// A level that moves both ways (queue depth, in-flight requests).
+///
+/// Ordering: relaxed, same argument as Counter — a gauge is a sampled
+/// load indicator, not a synchronization point; `set` races between
+/// writers resolve to one writer's value, which is all a level needs.
 class Gauge {
  public:
   void set(long long v) { value_.store(v, std::memory_order_relaxed); }
@@ -88,10 +101,16 @@ class Registry {
   Snapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps only ever grow and the mapped metrics live behind
+  // unique_ptr, so the references handed out stay valid; the mutex
+  // covers the map structure itself (find-or-create and snapshot
+  // iteration), never the metric values, which are lock-free atomics.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace vlsa::telemetry

@@ -1,0 +1,116 @@
+#pragma once
+// Annotated synchronization primitives — thin wrappers over the
+// <mutex>/<condition_variable> types that carry the Clang
+// thread-safety-analysis attributes (util/thread_annotations.hpp).
+//
+// `std::mutex` itself cannot be annotated, so every class whose locking
+// discipline should be machine-checked holds a `util::Mutex` and marks
+// its protected state `GUARDED_BY(mutex_)`.  The wrappers add no state
+// and no behavior beyond the standard types; a build with annotations
+// disabled (any non-Clang compiler) compiles to exactly the std
+// equivalents.
+//
+// Conventions (see docs/static_analysis.md):
+//   * `LockGuard` for plain critical sections (== std::lock_guard).
+//   * `UniqueLock` when a CondVar wait or a manual unlock/relock is
+//     needed (== std::unique_lock); it is a re-lockable scoped
+//     capability, so the analysis tracks `unlock()`/`lock()` pairs.
+//   * `CondVar` deliberately has NO predicate-lambda overloads: the
+//     analysis does not propagate the held capability into lambda
+//     bodies, so guarded fields read inside a predicate would warn.
+//     Call sites write the canonical `while (!pred) cv.wait(lock);`
+//     loop instead, which the analysis checks completely.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::util {
+
+/// Annotated exclusive mutex (wraps std::mutex).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { impl_.lock(); }
+  void unlock() RELEASE() { impl_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  /// The wrapped native mutex — needed by CondVar; never lock it
+  /// directly (the analysis cannot see such a lock).
+  std::mutex& native() { return impl_; }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII critical section (== std::lock_guard<std::mutex>).
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII lock usable with CondVar and manual unlock/relock
+/// (== std::unique_lock<std::mutex>).  Re-lockable scoped capability:
+/// after `unlock()` the analysis knows the capability is dropped until
+/// the matching `lock()` (or destruction, which releases only if held —
+/// std::unique_lock semantics).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  /// Constructs locked.
+  explicit UniqueLock(Mutex& mutex) ACQUIRE(mutex) : impl_(mutex.native()) {}
+  ~UniqueLock() RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() { impl_.lock(); }
+  void unlock() RELEASE() { impl_.unlock(); }
+
+  /// The wrapped native lock — for CondVar only.
+  std::unique_lock<std::mutex>& native() { return impl_; }
+
+ private:
+  std::unique_lock<std::mutex> impl_;
+};
+
+/// Condition variable over util::Mutex (wraps std::condition_variable).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { impl_.notify_one(); }
+  void notify_all() noexcept { impl_.notify_all(); }
+
+  /// Atomically release `lock` and sleep; the lock is held again when
+  /// this returns.  Spurious wakeups happen — always wait in a loop.
+  void wait(UniqueLock& lock) { impl_.wait(lock.native()); }
+
+  /// Timed variant; std::cv_status::timeout when `deadline` passed.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return impl_.wait_until(lock.native(), deadline);
+  }
+
+ private:
+  std::condition_variable impl_;
+};
+
+}  // namespace vlsa::util

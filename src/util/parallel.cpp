@@ -1,30 +1,33 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace vlsa::util {
 
 struct ThreadPool::State {
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable idle;
-  std::deque<std::function<void()>> queue;
-  std::exception_ptr first_error;
-  int active = 0;
-  bool stopping = false;
+  Mutex mutex;
+  CondVar work_ready;
+  CondVar idle;
+  std::deque<std::function<void()>> queue GUARDED_BY(mutex);
+  std::exception_ptr first_error GUARDED_BY(mutex);
+  int active GUARDED_BY(mutex) = 0;
+  bool stopping GUARDED_BY(mutex) = false;
+  // Written only by the constructing thread before any worker can
+  // observe it through this vector; workers never touch it.
   std::vector<std::thread> workers;
 
   void worker_loop() {
-    std::unique_lock<std::mutex> lock(mutex);
+    UniqueLock lock(mutex);
     for (;;) {
-      work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+      while (!stopping && queue.empty()) work_ready.wait(lock);
       if (queue.empty()) return;  // stopping and drained
       auto job = std::move(queue.front());
       queue.pop_front();
@@ -56,7 +59,7 @@ ThreadPool::ThreadPool(int num_threads) : state_(std::make_unique<State>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     state_->stopping = true;
   }
   state_->work_ready.notify_all();
@@ -69,7 +72,7 @@ int ThreadPool::size() const {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    LockGuard lock(state_->mutex);
     if (state_->stopping) {
       throw std::logic_error("ThreadPool::submit: pool is shutting down");
     }
@@ -79,9 +82,10 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->idle.wait(lock,
-                    [&] { return state_->queue.empty() && state_->active == 0; });
+  UniqueLock lock(state_->mutex);
+  while (!state_->queue.empty() || state_->active != 0) {
+    state_->idle.wait(lock);
+  }
   if (state_->first_error) {
     auto err = std::exchange(state_->first_error, nullptr);
     lock.unlock();

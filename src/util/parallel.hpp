@@ -9,6 +9,11 @@
 // slot, then reduce the slots in shard-index order after wait_idle().
 // Everything built that way tallies identically for 1, 4, or 13 threads
 // (tests/test_parallel.cpp locks this down).
+//
+// The pool's internal locking discipline is machine-checked: its state
+// lives behind an annotated util::Mutex (GUARDED_BY in parallel.cpp)
+// and compiles clean under `clang++ -Wthread-safety` — the
+// `thread-safety` CMake preset.
 
 #include <functional>
 #include <memory>

@@ -1,0 +1,82 @@
+#pragma once
+// Clang thread-safety-analysis annotation macros.
+//
+// These expand to Clang's `capability` attribute family when compiling
+// with a Clang that understands them (the `thread-safety` CMake preset
+// builds with `-Wthread-safety -Werror`) and to nothing everywhere else,
+// so GCC builds are unaffected.  The macro set and spelling follow the
+// canonical mutex.h from the Clang documentation; see
+// docs/static_analysis.md for the conventions used in this repository.
+//
+// The short version:
+//
+//   * a lockable type is marked CAPABILITY("mutex"),
+//   * data protected by a lock is marked GUARDED_BY(lock),
+//   * a function that must be called with the lock held is marked
+//     REQUIRES(lock),
+//   * functions that take/drop the lock are marked ACQUIRE/RELEASE,
+//   * RAII holders are marked SCOPED_CAPABILITY.
+//
+// With those in place, `clang++ -Wthread-safety` proves at compile time
+// that every access to a guarded field happens under its lock — the
+// static complement to the TSan preset, which only sees the schedules a
+// test run happens to exercise.
+
+#if defined(__clang__) && !defined(SWIG)
+#define VLSA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VLSA_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) VLSA_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY VLSA_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) VLSA_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) VLSA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  VLSA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  VLSA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  VLSA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  VLSA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  VLSA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  VLSA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  VLSA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  VLSA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  VLSA_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  VLSA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  VLSA_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) VLSA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) VLSA_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  VLSA_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) VLSA_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VLSA_THREAD_ANNOTATION(no_thread_safety_analysis)

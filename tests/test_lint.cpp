@@ -1,0 +1,316 @@
+// Structural lint tests: broken fixtures proving every diagnostic kind
+// fires on exactly the defect it names, plus a sweep holding all
+// shipped generators to the lint bar (error-free raw, finding-free
+// after remove_dead_gates).
+//
+// The fixtures use Netlist::unchecked_gate() to seed corruptions the
+// builder API refuses to create (double drivers, dangling references,
+// back-edges); that is the hook's entire reason to exist.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adders/adders.hpp"
+#include "core/aca_netlist.hpp"
+#include "multiplier/spec_multiplier.hpp"
+#include "netlist/lint.hpp"
+#include "netlist/opt.hpp"
+
+namespace vlsa::netlist {
+namespace {
+
+using core::RecoveryStyle;
+
+// A tiny healthy netlist: s = a ^ b, c = a & b (half adder).
+Netlist half_adder() {
+  Netlist nl("ha");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.mark_output(nl.xor2(a, b), "s");
+  nl.mark_output(nl.and2(a, b), "c");
+  return nl;
+}
+
+TEST(LintBasics, CleanNetlistReportsNothing) {
+  const LintReport report = lint(half_adder());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_TRUE(report.structurally_sound());
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.warnings, 0);
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_EQ(report.to_string(), "");
+}
+
+TEST(LintBasics, KindNamesAndSeveritiesAreStable) {
+  EXPECT_STREQ(lint_kind_name(LintKind::CombinationalLoop),
+               "combinational-loop");
+  EXPECT_STREQ(lint_kind_name(LintKind::DeadCell), "dead-cell");
+  EXPECT_STREQ(lint_kind_name(LintKind::FanoutCapExceeded),
+               "fanout-cap-exceeded");
+  EXPECT_EQ(lint_kind_severity(LintKind::UndrivenNet), LintSeverity::Error);
+  EXPECT_EQ(lint_kind_severity(LintKind::FloatingInput), LintSeverity::Error);
+  EXPECT_EQ(lint_kind_severity(LintKind::DeadCell), LintSeverity::Warning);
+  EXPECT_EQ(lint_kind_severity(LintKind::UnusedPrimaryInput),
+            LintSeverity::Warning);
+}
+
+TEST(LintBasics, DiagnosticMessageFormat) {
+  LintDiagnostic d{LintKind::FloatingInput, 7, 1, "AND2 input left open"};
+  EXPECT_EQ(d.message(),
+            "error: floating-input: net 7 pin 1: AND2 input left open");
+  LintDiagnostic w{LintKind::DeadCell, 3, -1, "unreachable"};
+  EXPECT_EQ(w.message(), "warning: dead-cell: net 3: unreachable");
+}
+
+// ----- seeded-defect fixtures: each diagnostic fires on its defect -----
+
+TEST(LintFixtures, CombinationalLoopDetected) {
+  Netlist nl("loop");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  const NetId y = nl.or2(x, a);
+  nl.mark_output(y, "z");
+  // Rewire x's first input forward to y: x -> y -> x.
+  nl.unchecked_gate(x).inputs[0] = y;
+
+  const LintReport report = lint(nl);
+  EXPECT_FALSE(report.structurally_sound());
+  const auto loops = report.of_kind(LintKind::CombinationalLoop);
+  ASSERT_EQ(loops.size(), 1u) << report.to_string();
+  EXPECT_EQ(loops[0].net, x);  // lowest-numbered member of the cycle
+  EXPECT_NE(loops[0].detail.find("2 cell(s)"), std::string::npos)
+      << loops[0].detail;
+}
+
+TEST(LintFixtures, SelfLoopDetected) {
+  Netlist nl("selfloop");
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.inv(a);
+  nl.mark_output(x, "z");
+  nl.unchecked_gate(x).inputs[0] = x;
+
+  const auto loops = lint(nl).of_kind(LintKind::CombinationalLoop);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].net, x);
+  EXPECT_NE(loops[0].detail.find("1 cell(s)"), std::string::npos);
+}
+
+TEST(LintFixtures, DffFeedbackIsNotACombinationalLoop) {
+  Netlist nl("toggle");
+  const NetId q = nl.dff();
+  nl.connect_dff(q, nl.inv(q));  // classic toggle flop
+  nl.mark_output(q, "q");
+
+  const LintReport report = lint(nl);
+  EXPECT_TRUE(report.of_kind(LintKind::CombinationalLoop).empty())
+      << report.to_string();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(LintFixtures, DoubleDriverAlsoLeavesANetUndriven) {
+  Netlist nl("dd");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  const NetId y = nl.or2(a, b);
+  nl.mark_output(x, "x");
+  nl.mark_output(y, "y");
+  // y's gate now claims x's net id: x has two drivers, y none.
+  nl.unchecked_gate(y).output = x;
+
+  const LintReport report = lint(nl);
+  const auto multi = report.of_kind(LintKind::MultiplyDrivenNet);
+  ASSERT_EQ(multi.size(), 1u) << report.to_string();
+  EXPECT_EQ(multi[0].net, x);
+  const auto undriven = report.of_kind(LintKind::UndrivenNet);
+  ASSERT_EQ(undriven.size(), 1u);
+  EXPECT_EQ(undriven[0].net, y);
+  EXPECT_EQ(report.errors, 2);
+}
+
+TEST(LintFixtures, UnconnectedDffIsAFloatingInput) {
+  Netlist nl("floatdff");
+  const NetId q = nl.dff();  // D never connected
+  nl.mark_output(q, "q");
+
+  const auto floating = lint(nl).of_kind(LintKind::FloatingInput);
+  ASSERT_EQ(floating.size(), 1u);
+  EXPECT_EQ(floating[0].net, q);
+  EXPECT_EQ(floating[0].pin, 0);
+  EXPECT_NE(floating[0].detail.find("connect_dff"), std::string::npos);
+}
+
+TEST(LintFixtures, SeededFloatingPinOnCombinationalCell) {
+  Netlist nl("floatpin");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.and2(a, b);
+  nl.mark_output(x, "x");
+  nl.unchecked_gate(x).inputs[1] = kNoNet;
+
+  const auto floating = lint(nl).of_kind(LintKind::FloatingInput);
+  ASSERT_EQ(floating.size(), 1u);
+  EXPECT_EQ(floating[0].net, x);
+  EXPECT_EQ(floating[0].pin, 1);
+}
+
+TEST(LintFixtures, OutOfRangePinIsAnInvalidNetRef) {
+  Netlist nl("badref");
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.inv(a);
+  nl.mark_output(x, "x");
+  nl.unchecked_gate(x).inputs[0] = 999;
+
+  const auto bad = lint(nl).of_kind(LintKind::InvalidNetRef);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].net, x);
+  EXPECT_EQ(bad[0].pin, 0);
+  EXPECT_NE(bad[0].detail.find("999"), std::string::npos);
+}
+
+TEST(LintFixtures, DeadCellIsAWarningNotAnError) {
+  Netlist nl("dead");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId dead = nl.and2(a, b);  // feeds nothing
+  nl.mark_output(nl.xor2(a, b), "s");
+
+  const LintReport report = lint(nl);
+  EXPECT_TRUE(report.structurally_sound());
+  EXPECT_FALSE(report.clean());
+  const auto cells = report.of_kind(LintKind::DeadCell);
+  ASSERT_EQ(cells.size(), 1u) << report.to_string();
+  EXPECT_EQ(cells[0].net, dead);
+  // The sweep removes it, and the swept netlist is spotless.
+  EXPECT_TRUE(lint(remove_dead_gates(nl)).clean());
+  // The check can be disabled for intentionally partial netlists.
+  LintOptions options;
+  options.check_dead_cells = false;
+  EXPECT_TRUE(lint(nl, options).clean());
+}
+
+TEST(LintFixtures, UnusedPrimaryInputDetected) {
+  Netlist nl("unused");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");  // never read
+  nl.mark_output(nl.or2(a, b), "z");
+
+  const auto unused = lint(nl).of_kind(LintKind::UnusedPrimaryInput);
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].net, c);
+  EXPECT_NE(unused[0].detail.find("'c'"), std::string::npos);
+}
+
+TEST(LintFixtures, FanoutCapEnforcedOnlyWhenEnabled) {
+  Netlist nl("fanout");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.mark_output(nl.and2(a, b), "x");
+  nl.mark_output(nl.or2(a, b), "y");
+  nl.mark_output(nl.xor2(a, b), "z");  // a and b each fan out to 3 pins
+
+  EXPECT_TRUE(lint(nl).clean());  // cap disabled by default
+  LintOptions options;
+  options.fanout_cap = 2;
+  const auto over = lint(nl, options).of_kind(LintKind::FanoutCapExceeded);
+  ASSERT_EQ(over.size(), 2u);
+  EXPECT_EQ(over[0].net, a);
+  EXPECT_EQ(over[1].net, b);
+  options.fanout_cap = 3;
+  EXPECT_TRUE(lint(nl, options).clean());
+}
+
+TEST(LintFixtures, DuplicatePortNameDetected) {
+  Netlist nl("dup");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("a");  // same name, distinct nets
+  nl.mark_output(nl.or2(a, b), "z");
+
+  const auto dup = lint(nl).of_kind(LintKind::PortNameCollision);
+  ASSERT_EQ(dup.size(), 1u);
+  EXPECT_NE(dup[0].detail.find("'a'"), std::string::npos);
+  EXPECT_NE(dup[0].detail.find("2 times"), std::string::npos);
+}
+
+TEST(LintFixtures, BusGapDetected) {
+  Netlist nl("gap");
+  const NetId s0 = nl.add_input("s[0]");
+  const NetId s2 = nl.add_input("s[2]");  // s[1] missing
+  nl.mark_output(nl.xor2(s0, s2), "z");
+
+  const auto gaps = lint(nl).of_kind(LintKind::PortBusGap);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_NE(gaps[0].detail.find("'s'"), std::string::npos);
+  EXPECT_NE(gaps[0].detail.find("missing index 1"), std::string::npos);
+}
+
+// ----- shipped-generator sweep: the lint bar every builder must hold ---
+//
+//  * raw netlist: structurally sound (zero Error findings) — the
+//    generators legitimately build dead logic pre-sweep;
+//  * after remove_dead_gates: completely clean (zero findings).
+
+void expect_lint_bar(const Netlist& nl, const std::string& what) {
+  const LintReport raw = lint(nl);
+  EXPECT_TRUE(raw.structurally_sound())
+      << what << " raw:\n"
+      << raw.to_string();
+  EXPECT_TRUE(raw.of_kind(LintKind::UnusedPrimaryInput).empty())
+      << what << " has unused primary inputs:\n"
+      << raw.to_string();
+  const LintReport swept = lint(remove_dead_gates(nl));
+  EXPECT_TRUE(swept.clean()) << what << " swept:\n" << swept.to_string();
+}
+
+TEST(LintSweep, AllAdderArchitectures) {
+  for (const adders::AdderKind kind : adders::all_adder_kinds()) {
+    for (const int width : {8, 16, 33}) {
+      expect_lint_bar(adders::build_adder(kind, width).nl,
+                      std::string(adders::adder_kind_name(kind)) + " w=" +
+                          std::to_string(width));
+    }
+  }
+}
+
+TEST(LintSweep, AcaSharedAndNaive) {
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {16, 4}, {32, 8}, {64, 8}, {20, 6}}) {
+    const std::string tag =
+        "(" + std::to_string(n) + "," + std::to_string(k) + ")";
+    expect_lint_bar(core::build_aca(n, k).nl, "aca" + tag);
+    expect_lint_bar(core::build_aca(n, k, /*with_error_flag=*/true).nl,
+                    "aca+er" + tag);
+    expect_lint_bar(core::build_aca_naive(n, k).nl, "aca-naive" + tag);
+    expect_lint_bar(core::build_error_detector(n, k).nl, "errdet" + tag);
+  }
+}
+
+TEST(LintSweep, VlsaBothRecoveryStyles) {
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {16, 4}, {32, 8}, {64, 16}}) {
+    const std::string tag =
+        "(" + std::to_string(n) + "," + std::to_string(k) + ")";
+    expect_lint_bar(core::build_vlsa(n, k, RecoveryStyle::ReuseBlocks).nl,
+                    "vlsa-reuse" + tag);
+    expect_lint_bar(
+        core::build_vlsa(n, k, RecoveryStyle::ReplicatedAdder).nl,
+        "vlsa-replicated" + tag);
+  }
+}
+
+TEST(LintSweep, Multipliers) {
+  expect_lint_bar(multiplier::build_exact_multiplier(8).nl, "mul-exact w=8");
+  expect_lint_bar(multiplier::build_speculative_multiplier(8, 6).nl,
+                  "mul-aca w=8 k=6");
+  expect_lint_bar(multiplier::build_booth_multiplier(8, 0).nl,
+                  "mul-booth-exact w=8");
+  expect_lint_bar(multiplier::build_booth_multiplier(8, 6).nl,
+                  "mul-booth w=8 k=6");
+}
+
+}  // namespace
+}  // namespace vlsa::netlist

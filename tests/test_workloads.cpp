@@ -220,7 +220,9 @@ TEST(LoadGen, SaturateOffersAndCompletesEverything) {
   EXPECT_GT(report.achieved_rate, 0.0);
   const auto snap = service.registry().snapshot();
   for (const auto& [name, value] : snap.counters) {
-    if (name == "service.completed") EXPECT_EQ(value, 5000);
+    if (name == "service.completed") {
+      EXPECT_EQ(value, 5000);
+    }
   }
 }
 
