@@ -31,6 +31,7 @@
 #include "bench_common.hpp"
 #include "service/service.hpp"
 #include "telemetry/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "workloads/load_gen.hpp"
@@ -232,6 +233,11 @@ int main() {
     json.kv("max_cycles", cycles.max);
     json.kv("p50_ns", ns.p50()).kv("p99_ns", ns.p99());
     json.kv("p999_ns", ns.p999());
+    // Full registry snapshot (every counter/gauge/histogram, buckets and
+    // min/max/sum included) so cross-PR trajectory tooling can diff any
+    // metric, not just the ones this bench happened to surface.
+    json.key("registry");
+    snap.write_json(json);
     json.end_object();
   }
   json.end_array();
@@ -278,6 +284,36 @@ int main() {
   std::cout << "(bursts at 8x the mean rate overrun the 512-slot queue: "
                "backpressure turns overload into a rejection rate instead "
                "of unbounded memory)\n";
+
+  bench::banner("Tracing overhead — idle gate vs 1% sampled session");
+  // Tracing is compiled in unconditionally; the first row is the cost
+  // of the disabled gate (one relaxed load per instrumentation site),
+  // the second the cost of a live session at 1% detail sampling.  The
+  // observability acceptance bar is < 10% regression for the latter.
+  const auto idle = measure_throughput(/*workers=*/4, sim::kBatchLanes,
+                                       480'000);
+  double sampled_rps = 0.0;
+  {
+    trace::TraceConfig trace_config;
+    trace_config.sample_rate = 0.01;
+    trace_config.ring_capacity = std::size_t{1} << 12;
+    trace::TraceSession session(trace_config);
+    sampled_rps = measure_throughput(/*workers=*/4, sim::kBatchLanes,
+                                     480'000)
+                      .requests_per_sec;
+  }
+  const double overhead = 1.0 - sampled_rps / idle.requests_per_sec;
+  util::Table tracing({"mode", "Mreq/s"});
+  tracing.add_row({"gate only (no session)",
+                   util::Table::num(idle.requests_per_sec / 1e6, 2)});
+  tracing.add_row({"session @ 1% sampling",
+                   util::Table::num(sampled_rps / 1e6, 2)});
+  tracing.print(std::cout);
+  std::cout << "1% sampling overhead: " << util::Table::num(overhead * 100, 1)
+            << "% (bar: < 10%)\n";
+  json.kv("tracing_idle_rps", idle.requests_per_sec);
+  json.kv("tracing_sampled_1pct_rps", sampled_rps);
+  json.kv("tracing_sampled_1pct_overhead", overhead);
 
   json.end_object();
   return 0;

@@ -9,24 +9,43 @@
 //   vlsa_tool faults   <circuit> <width> [k]       stuck-at coverage
 //   vlsa_tool settle   <circuit> <width> [k]       average-case delay
 //   vlsa_tool datasheet <width> <accuracy>         size a VLSA design
-//   vlsa_tool serve    <width> [k]                 add "<hex-a> <hex-b>"
+//   vlsa_tool serve    <width> [k] [obs flags]     add "<hex-a> <hex-b>"
 //                                                  lines from stdin via the
 //                                                  arithmetic service
 //   vlsa_tool loadgen  <width> [k] [--rate R --dist D --arrival A
 //                      --requests N --workers W --batch B --queue Q
 //                      --policy block|reject --seed S --json PATH]
-//                                                  drive the service with
+//                      [obs flags]                 drive the service with
 //                                                  synthetic load, report
 //                                                  tail latencies
+//   vlsa_tool trace    <width> [k] [loadgen flags] loadgen with tracing on
+//                                                  (default --trace-out
+//                                                  trace.json)
+//   vlsa_tool stats service <width> [k] [--requests N --dist D
+//                      --format json|prom]         run a quick load, dump
+//                                                  the telemetry registry
+//
+// Observability flags (serve / loadgen / trace):
+//   --trace-out PATH          Chrome/Perfetto trace_event JSON
+//   --trace-sample R          detail-event sample rate in [0,1] (default 1)
+//   --trace-ring N            events retained per thread (default 16384)
+//   --metrics-out PATH        Prometheus exposition text, rewritten
+//                             periodically by a background reporter
+//   --metrics-interval-ms N   reporter period (default 1000)
+//   --postmortem-out PATH     last-N ER=1 operand dump as JSON
+//   --postmortem-cap N        postmortem ring capacity (default 64)
+//   --drift-window N          ER drift-monitor window (default 16384)
 //
 // <circuit> is an adder architecture name (ripple-carry, kogge-stone,
 // brent-kung, ...), "aca", "errdet", "vlsa", or a multiplier —
 // "mul-exact", "mul-aca", "mul-booth" (k-taking circuits default to the
 // 99.99% design window).
 
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -47,7 +66,11 @@
 #include "netlist/serialize.hpp"
 #include "netlist/sta.hpp"
 #include "service/service.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
+#include "trace/drift.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/trace.hpp"
 #include "workloads/load_gen.hpp"
 #include "workloads/operand_stream.hpp"
 
@@ -211,11 +234,148 @@ vlsa::util::BitVec pad_to(const vlsa::util::BitVec& v, int width) {
   return out;
 }
 
+// Observability knobs shared by the service-facing subcommands
+// (serve / loadgen / trace).  Everything is off by default except the
+// drift monitor, which is cheap enough (one lock per batch) to always
+// run; artifacts land on disk, drift log lines on stderr.
+struct ObsOptions {
+  std::string trace_out;
+  double trace_sample = 1.0;
+  std::size_t trace_ring = std::size_t{1} << 14;
+  std::string metrics_out;
+  long long metrics_interval_ms = 1000;
+  std::string postmortem_out;
+  std::size_t postmortem_cap = 64;
+  std::uint64_t drift_window = std::uint64_t{1} << 14;
+
+  bool tracing() const { return !trace_out.empty(); }
+
+  /// True when any on-disk artifact was requested; `serve` keeps its
+  /// stderr pure-JSON (telemetry snapshot only) unless this is set.
+  bool any_artifacts() const {
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !postmortem_out.empty();
+  }
+};
+
+// Returns true when `flag` is an observability flag (value consumed).
+bool parse_obs_flag(ObsOptions& obs, const std::string& flag,
+                    const std::string& value) {
+  if (flag == "--trace-out") {
+    obs.trace_out = value;
+  } else if (flag == "--trace-sample") {
+    obs.trace_sample = std::stod(value);
+  } else if (flag == "--trace-ring") {
+    obs.trace_ring = static_cast<std::size_t>(std::stoull(value));
+  } else if (flag == "--metrics-out") {
+    obs.metrics_out = value;
+  } else if (flag == "--metrics-interval-ms") {
+    obs.metrics_interval_ms = std::stoll(value);
+  } else if (flag == "--postmortem-out") {
+    obs.postmortem_out = value;
+  } else if (flag == "--postmortem-cap") {
+    obs.postmortem_cap = static_cast<std::size_t>(std::stoull(value));
+  } else if (flag == "--drift-window") {
+    obs.drift_window = std::stoull(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Assembles the optional observability pieces around one service run:
+// trace session, drift monitor, postmortem ring, metrics reporter.
+// Construct before the AdderService, call attach() on its config, and
+// finish() after flush to write the requested artifacts.
+class Observability {
+ public:
+  Observability(const ObsOptions& obs, vlsa::telemetry::Registry& registry,
+                int width, int window)
+      : obs_(obs), postmortem_(obs.postmortem_cap) {
+    vlsa::trace::DriftConfig drift_config;
+    drift_config.width = width;
+    drift_config.k = window;
+    drift_config.window = obs.drift_window;
+    drift_ = std::make_unique<vlsa::trace::DriftMonitor>(drift_config,
+                                                         &registry,
+                                                         &std::cerr);
+    if (obs.tracing()) {
+      vlsa::trace::TraceConfig trace_config;
+      trace_config.sample_rate = obs.trace_sample;
+      trace_config.ring_capacity = obs.trace_ring;
+      session_ = std::make_unique<vlsa::trace::TraceSession>(trace_config);
+    }
+    if (!obs.metrics_out.empty()) {
+      reporter_ = std::make_unique<vlsa::telemetry::MetricsReporter>(
+          registry, obs.metrics_out,
+          std::chrono::milliseconds(obs.metrics_interval_ms));
+    }
+  }
+
+  void attach(vlsa::service::ServiceConfig& config) {
+    config.postmortem = &postmortem_;
+    config.drift = drift_.get();
+  }
+
+  /// Stop recording and write the requested artifacts; `status` gets
+  /// one human-readable line per artifact plus the drift verdict.
+  void finish(std::ostream& status) {
+    if (session_ != nullptr) {
+      session_->stop();
+      std::ofstream out(obs_.trace_out);
+      if (!out) {
+        throw std::runtime_error("cannot open " + obs_.trace_out);
+      }
+      const auto stats = session_->write_chrome_json(out);
+      status << "  trace     -> " << obs_.trace_out << " (" << stats.events
+             << " events, " << stats.dropped << " dropped, " << stats.threads
+             << " threads)\n";
+    }
+    if (reporter_ != nullptr) {
+      reporter_->stop();  // final write included
+      status << "  metrics   -> " << obs_.metrics_out << " ("
+             << reporter_->writes() << " periodic writes)\n";
+    }
+    if (!obs_.postmortem_out.empty()) {
+      std::ofstream out(obs_.postmortem_out);
+      if (!out) {
+        throw std::runtime_error("cannot open " + obs_.postmortem_out);
+      }
+      out << postmortem_.to_json() << "\n";
+      status << "  postmortem-> " << obs_.postmortem_out << " ("
+             << postmortem_.total_recorded() << " ER=1 requests captured)\n";
+    }
+    const auto drift = drift_->status();
+    status << "  drift     " << drift.windows_out_of_band << "/"
+           << drift.windows << " windows out of band (expected ER "
+           << drift.expected << ", last observed " << drift.last_observed
+           << ")\n";
+  }
+
+ private:
+  const ObsOptions obs_;
+  vlsa::trace::PostmortemRing postmortem_;
+  std::unique_ptr<vlsa::trace::DriftMonitor> drift_;
+  std::unique_ptr<vlsa::trace::TraceSession> session_;
+  std::unique_ptr<vlsa::telemetry::MetricsReporter> reporter_;
+};
+
 // Additions over stdin: each line "<hex-a> <hex-b>" (TraceStream text
 // format, '#' comments allowed) is served through the arithmetic
 // service; stdout gets "<hex-sum> <flagged> <latency-cycles>" per
 // request in input order, stderr the telemetry snapshot as JSON.
-int cmd_serve(int width, int window) {
+int cmd_serve(int width, int window, const std::vector<std::string>& args,
+              std::size_t next) {
+  ObsOptions obs;
+  for (std::size_t i = next; i < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    if (!parse_obs_flag(obs, flag, args[i + 1])) {
+      throw std::invalid_argument("unknown serve flag '" + flag + "'");
+    }
+  }
   std::ostringstream buffer;
   buffer << std::cin.rdbuf();
   auto trace = vlsa::workloads::TraceStream::from_text(buffer.str());
@@ -224,37 +384,48 @@ int cmd_serve(int width, int window) {
                                 std::to_string(trace.width()) +
                                 " bits) than the service width");
   }
+  vlsa::telemetry::Registry registry;
+  Observability observability(obs, registry, width, window);
   vlsa::service::ServiceConfig config;
   config.pipeline.width = width;
   config.pipeline.window = window;
   config.workers = 1;
   config.queue_capacity = 1024;
-  vlsa::service::AdderService service(config);
-  std::vector<std::future<vlsa::service::Completion>> futures;
-  futures.reserve(trace.size());
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    auto [a, b] = trace.next();
-    auto future = service.submit(pad_to(a, width), pad_to(b, width));
-    futures.push_back(std::move(*future));  // Block policy: always accepted
+  observability.attach(config);
+  {
+    vlsa::service::AdderService service(config, &registry);
+    std::vector<std::future<vlsa::service::Completion>> futures;
+    futures.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      auto [a, b] = trace.next();
+      auto future = service.submit(pad_to(a, width), pad_to(b, width));
+      futures.push_back(std::move(*future));  // Block policy: always accepted
+    }
+    service.flush();
+    for (auto& future : futures) {
+      const auto completion = future.get();
+      std::cout << completion.sum.to_hex() << " "
+                << (completion.flagged ? 1 : 0) << " "
+                << completion.latency_cycles << "\n";
+    }
+    std::cerr << service.registry().snapshot().to_json() << "\n";
   }
-  service.flush();
-  for (auto& future : futures) {
-    const auto completion = future.get();
-    std::cout << completion.sum.to_hex() << " " << (completion.flagged ? 1 : 0)
-              << " " << completion.latency_cycles << "\n";
+  if (obs.any_artifacts()) {
+    observability.finish(std::cerr);
   }
-  std::cerr << service.registry().snapshot().to_json() << "\n";
   return 0;
 }
 
 int cmd_loadgen(int width, int window,
-                const std::vector<std::string>& args, std::size_t next) {
+                const std::vector<std::string>& args, std::size_t next,
+                bool force_trace = false) {
   vlsa::service::ServiceConfig config;
   config.pipeline.width = width;
   config.pipeline.window = window;
   config.workers = 2;
   vlsa::workloads::LoadGenConfig load;
   std::string json_path;
+  ObsOptions obs;
   auto need = [&](std::size_t i, const std::string& flag) -> const std::string& {
     if (i + 1 >= args.size()) {
       throw std::invalid_argument("missing value for " + flag);
@@ -309,13 +480,22 @@ int cmd_loadgen(int width, int window,
       load.seed = std::stoull(value);
     } else if (flag == "--json") {
       json_path = value;
-    } else {
+    } else if (!parse_obs_flag(obs, flag, value)) {
       throw std::invalid_argument("unknown flag '" + flag + "'");
     }
   }
-  vlsa::service::AdderService service(config);
-  const auto report = vlsa::workloads::run_load_gen(service, load);
-  const auto snap = service.registry().snapshot();
+  // `vlsa_tool trace` is loadgen with tracing on by default.
+  if (force_trace && obs.trace_out.empty()) obs.trace_out = "trace.json";
+  vlsa::telemetry::Registry registry;
+  Observability observability(obs, registry, width, window);
+  observability.attach(config);
+  vlsa::telemetry::Snapshot snap;
+  vlsa::workloads::LoadGenReport report;
+  {
+    vlsa::service::AdderService service(config, &registry);
+    report = vlsa::workloads::run_load_gen(service, load);
+    snap = service.registry().snapshot();
+  }
   std::cout << "loadgen: " << vlsa::workloads::distribution_name(
                                   load.distribution)
             << " x " << vlsa::workloads::arrival_process_name(load.arrival)
@@ -326,6 +506,19 @@ int cmd_loadgen(int width, int window,
             << "  rejected  " << report.rejected << "\n"
             << "  achieved  " << report.achieved_rate << " req/s over "
             << report.seconds << " s\n";
+  // Per-phase backpressure: rejections (Reject policy) and producer
+  // stall time (Block policy) no longer collapse into one number.
+  const auto phase_line = [](const char* name,
+                             const vlsa::workloads::PhaseStats& phase) {
+    std::cout << "  " << name << "    offered " << phase.offered
+              << ", accepted " << phase.accepted << ", rejected "
+              << phase.rejected << ", submit stall " << phase.submit_stall_s
+              << " s\n";
+  };
+  phase_line("steady", report.steady);
+  if (load.arrival == vlsa::workloads::ArrivalProcess::Bursty) {
+    phase_line("burst ", report.burst);
+  }
   for (const auto& h : snap.histograms) {
     if (h.name == "service.latency_cycles" ||
         h.name == "service.latency_ns") {
@@ -342,6 +535,79 @@ int cmd_loadgen(int width, int window,
     out << snap.to_json() << "\n";
     std::cout << "  telemetry -> " << json_path << "\n";
   }
+  observability.finish(std::cout);
+  return 0;
+}
+
+// `vlsa_tool stats service` — run a quick synthetic load and dump the
+// full telemetry registry, as deterministic JSON (pump mode, fixed
+// seed) or Prometheus exposition text.
+int cmd_stats_service(int width, int window,
+                      const std::vector<std::string>& args,
+                      std::size_t next) {
+  long long requests = 1 << 15;
+  auto distribution = vlsa::workloads::Distribution::Uniform;
+  std::string format = "json";
+  for (std::size_t i = next; i < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    const std::string& value = args[i + 1];
+    if (flag == "--requests") {
+      requests = std::stoll(value);
+    } else if (flag == "--dist") {
+      bool found = false;
+      for (auto d : vlsa::workloads::all_distributions()) {
+        if (value == vlsa::workloads::distribution_name(d)) {
+          distribution = d;
+          found = true;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument("unknown distribution '" + value + "'");
+      }
+    } else if (flag == "--format") {
+      if (value != "json" && value != "prom") {
+        throw std::invalid_argument("unknown format '" + value +
+                                    "' (json, prom)");
+      }
+      format = value;
+    } else {
+      throw std::invalid_argument("unknown stats flag '" + flag + "'");
+    }
+  }
+  // Pump mode + wall clock off: the snapshot is bit-identical for a
+  // fixed seed, so `stats service` output is diffable run to run.
+  vlsa::service::ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 0;
+  config.record_wall_time = false;
+  vlsa::telemetry::Registry registry;
+  vlsa::trace::DriftConfig drift_config;
+  drift_config.width = width;
+  drift_config.k = window;
+  vlsa::trace::DriftMonitor drift(drift_config, &registry, &std::cerr);
+  config.drift = &drift;
+  {
+    vlsa::service::AdderService service(config, &registry);
+    vlsa::workloads::OperandStream stream(distribution, width, 0x57a7);
+    for (long long i = 0; i < requests; ++i) {
+      auto [a, b] = stream.next();
+      if (!service.submit(a, b).has_value()) {
+        service.pump();  // pump-mode queue full: drain and retry once
+        service.submit(std::move(a), std::move(b));
+      }
+    }
+    service.flush();
+  }
+  const auto snap = registry.snapshot();
+  if (format == "prom") {
+    vlsa::telemetry::write_prometheus(snap, std::cout);
+  } else {
+    std::cout << snap.to_json() << "\n";
+  }
   return 0;
 }
 
@@ -353,24 +619,33 @@ int main(int argc, char** argv) {
     if (args.empty()) {
       std::cerr << "usage: vlsa_tool "
                    "stats|lint|emit|equiv|faults|settle|datasheet|serve|"
-                   "loadgen ...\n";
+                   "loadgen|trace ...\n";
       return 1;
     }
     const std::string& cmd = args[0];
-    if (cmd == "serve" || cmd == "loadgen") {
-      if (args.size() < 2) {
-        std::cerr << "usage: vlsa_tool " << cmd << " <width> [k] [flags]\n";
+    const bool stats_service =
+        cmd == "stats" && args.size() > 1 && args[1] == "service";
+    if (cmd == "serve" || cmd == "loadgen" || cmd == "trace" ||
+        stats_service) {
+      // `stats service` shifts the positional arguments by one.
+      const std::size_t base = stats_service ? 2 : 1;
+      if (args.size() < base + 1) {
+        std::cerr << "usage: vlsa_tool " << cmd
+                  << (stats_service ? " service" : "")
+                  << " <width> [k] [flags]\n";
         return 1;
       }
-      const int width = std::stoi(args[1]);
+      const int width = std::stoi(args[base]);
       int k = vlsa::analysis::choose_window(width, 1e-4);
-      std::size_t next = 2;
+      std::size_t next = base + 1;
       if (args.size() > next && args[next][0] != '-') {
         k = std::stoi(args[next]);
         ++next;
       }
-      return cmd == "serve" ? cmd_serve(width, k)
-                            : cmd_loadgen(width, k, args, next);
+      if (stats_service) return cmd_stats_service(width, k, args, next);
+      if (cmd == "serve") return cmd_serve(width, k, args, next);
+      return cmd_loadgen(width, k, args, next,
+                         /*force_trace=*/cmd == "trace");
     }
     if (cmd == "datasheet") {
       if (args.size() < 3) {

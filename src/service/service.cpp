@@ -1,8 +1,14 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
+
+#include "core/aca.hpp"
+#include "trace/drift.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/trace.hpp"
 
 namespace vlsa::service {
 
@@ -93,6 +99,11 @@ std::optional<std::future<Completion>> AdderService::submit(BitVec a,
     return std::nullopt;
   }
   submitted_.increment();
+  if (trace::enabled() && trace::sample()) {
+    trace::EventArgs args;
+    args.k = config_.pipeline.window;
+    trace::emit_instant(trace::EventName::kSubmit, args);
+  }
   return future;
 }
 
@@ -147,6 +158,13 @@ AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
     }
   }
   submitted_.increment(static_cast<long long>(accepted));
+  // One submit instant per chunk (not per request): submit_many is the
+  // batched producer path, and the chunk is its unit of work.
+  if (accepted > 0 && trace::enabled() && trace::sample()) {
+    trace::EventArgs args;
+    args.k = config_.pipeline.window;
+    trace::emit_instant(trace::EventName::kSubmit, args);
+  }
   return futures;
 }
 
@@ -177,21 +195,56 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
                                    sim::BatchResult& scratch,
                                    BoundedQueue<RecoveryItem>* recovery) {
   const int width = config_.pipeline.width;
+  const int window = config_.pipeline.window;
   // One modeled VLSA cycle per dispatched batch; `round` is this
   // batch's cycle, so a request submitted and dispatched in the same
   // round completes with the minimum latency of 1 cycle.
   const long long round = vclock_.fetch_add(1, std::memory_order_relaxed);
 
+  // Tracing gates, resolved once per batch: `tracing` is the single
+  // relaxed load that keeps the idle cost at one branch; `sampled`
+  // gates the detail events for this whole batch; recovery-path events
+  // additionally honor the session's always-on-recovery knob.
+  const bool tracing = trace::enabled();
+  const bool sampled = tracing && trace::sample();
+  const bool trace_recovery = sampled || (tracing && trace::sample_recovery());
+  const auto batch_id = static_cast<std::uint64_t>(round);
+
   // Operands are *moved* into the transpose input — the fast path never
   // needs them again, and the rare flagged lane takes its pair back
   // below before heading to the recovery lane.
+  const std::uint64_t t_pack = sampled ? trace::now_ns() : 0;
   std::vector<std::pair<BitVec, BitVec>> pairs;
   pairs.reserve(batch.size());
   for (auto& request : batch) {
     pairs.emplace_back(std::move(request.a), std::move(request.b));
   }
   const sim::SlicedBatch ops = sim::transpose_batch(pairs, width);
-  sim::batch_aca_add_into(ops, config_.pipeline.window, 0, scratch);
+  if (sampled) {
+    trace::EventArgs args;
+    args.batch = batch_id;
+    args.k = window;
+    args.lane = static_cast<int>(batch.size());  // occupancy, not a lane
+    trace::emit_complete(trace::EventName::kBatchPack, t_pack, args);
+  }
+  const std::uint64_t t_eval = sampled ? trace::now_ns() : 0;
+  sim::batch_aca_add_into(ops, window, 0, scratch);
+  if (sampled) {
+    trace::EventArgs args;
+    args.batch = batch_id;
+    args.k = window;
+    trace::emit_complete(trace::EventName::kEngineEval, t_eval, args);
+  }
+
+  if (config_.drift != nullptr) {
+    const std::uint64_t used =
+        batch.size() >= sim::kBatchLanes
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << batch.size()) - 1;
+    config_.drift->record_batch(
+        batch.size(),
+        static_cast<std::uint64_t>(std::popcount(scratch.flagged & used)));
+  }
 
   batches_.increment();
   batch_occupancy_.record(batch.size());
@@ -239,12 +292,42 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
                 .count()));
       }
+      if (sampled) {
+        trace::EventArgs args;
+        args.batch = batch_id;
+        args.lane = static_cast<int>(lane);
+        args.k = window;
+        args.er = 0;
+        // Queue-wait needs the arrival timestamp, which only exists
+        // when wall-clock recording is on.
+        if (config_.record_wall_time) {
+          trace::emit_complete(trace::EventName::kQueueWait,
+                               trace::to_session_ns(request.arrival_time),
+                               args);
+        }
+        trace::emit_instant(trace::EventName::kComplete, args);
+      }
       request.promise.set_value(std::move(completion));
       ++n_fast;
       continue;
     }
     RecoveryItem item;
     item.speculative_wrong = wrong;
+    item.batch = batch_id;
+    item.lane = static_cast<int>(lane);
+    if (trace_recovery) {
+      trace::EventArgs args;
+      args.batch = batch_id;
+      args.lane = static_cast<int>(lane);
+      args.k = window;
+      args.er = 1;
+      if (sampled && config_.record_wall_time) {
+        trace::emit_complete(trace::EventName::kQueueWait,
+                             trace::to_session_ns(request.arrival_time),
+                             args);
+      }
+      trace::emit_instant(trace::EventName::kErCheck, args);
+    }
     {
       // The recovery lane is a serial resource: it picks the request up
       // no earlier than the cycle after detection and holds it for
@@ -273,9 +356,31 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
 }
 
 void AdderService::recover_one(RecoveryItem item) {
+  const bool trace_recovery = trace::enabled() && trace::sample_recovery();
+  const std::uint64_t t_start = trace_recovery ? trace::now_ns() : 0;
   // The recovery lane recomputes the sum exactly — the software twin of
   // the paper's recovery adder stage.
   auto exact = item.request.a.add_with_carry(item.request.b);
+  if (config_.postmortem != nullptr) {
+    config_.postmortem->record(item.request.a, item.request.b,
+                               config_.pipeline.window,
+                               item.speculative_wrong, item.batch, item.lane,
+                               t_start);
+  }
+  if (trace_recovery) {
+    trace::EventArgs args;
+    args.batch = item.batch;
+    args.lane = item.lane;
+    args.k = config_.pipeline.window;
+    args.er = 1;
+    args.chain =
+        core::longest_propagate_chain(item.request.a, item.request.b);
+    args.a_lo = item.request.a.limbs()[0];
+    args.b_lo = item.request.b.limbs()[0];
+    args.has_operands = true;
+    trace::emit_complete(trace::EventName::kRecovery, t_start, args);
+    trace::emit_instant(trace::EventName::kComplete, args);
+  }
   recovered_.increment();
   if (item.speculative_wrong) wrong_.increment();
   Completion completion;

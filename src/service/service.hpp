@@ -55,6 +55,11 @@
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace vlsa::trace {
+class DriftMonitor;
+class PostmortemRing;
+}  // namespace vlsa::trace
+
 namespace vlsa::service {
 
 using util::BitVec;
@@ -80,8 +85,18 @@ struct ServiceConfig {
   std::chrono::microseconds max_linger{50};
   OverflowPolicy overflow = OverflowPolicy::Block;
   /// Record wall-clock latency histograms (service.latency_ns).  Off
-  /// for bit-identical fixed-seed telemetry.
+  /// for bit-identical fixed-seed telemetry.  Also gates queue-wait
+  /// trace spans (they need the arrival timestamp).
   bool record_wall_time = true;
+  /// Observability hooks (trace/postmortem.hpp, trace/drift.hpp); both
+  /// non-owning and optional — when set they must outlive the service.
+  /// The postmortem ring captures every ER=1 request's operands; the
+  /// drift monitor ingests one (count, flagged) sample per batch.
+  /// Request-path *trace events* need no hook: the service emits them
+  /// whenever a trace::TraceSession is active (one relaxed atomic load
+  /// per batch when idle).
+  trace::PostmortemRing* postmortem = nullptr;
+  trace::DriftMonitor* drift = nullptr;
 };
 
 /// What the requester gets back.
@@ -158,6 +173,8 @@ class AdderService {
     Request request;
     bool speculative_wrong = false;
     long long latency_cycles = 0;  ///< modeled, fixed at dispatch time
+    std::uint64_t batch = 0;       ///< dispatch round that flagged it
+    int lane = -1;                 ///< lane within that batch
   };
 
   void worker_loop();

@@ -1,0 +1,152 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlsa::telemetry {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out.push_back('_');
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+std::string full_name(std::string_view prefix, std::string_view name) {
+  if (prefix.empty()) return prometheus_name(name);
+  return prometheus_name(prefix) + "_" + prometheus_name(name);
+}
+
+void quantile_line(std::ostream& os, const std::string& name, double q,
+                   std::uint64_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%g", q);
+  os << name << "{quantile=\"" << buf << "\"} " << value << "\n";
+}
+
+}  // namespace
+
+void write_prometheus(const Snapshot& snapshot, std::ostream& os,
+                      std::string_view prefix) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = full_name(prefix, name);
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = full_name(prefix, name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string metric = full_name(prefix, h.name);
+    // Quantiles are precomputed bucket lower bounds -> summary, not
+    // histogram (no le-bucket re-aggregation is possible server-side
+    // anyway with log-bucketed lower bounds).
+    os << "# TYPE " << metric << " summary\n";
+    quantile_line(os, metric, 0.5, h.p50());
+    quantile_line(os, metric, 0.9, h.p90());
+    quantile_line(os, metric, 0.99, h.p99());
+    quantile_line(os, metric, 0.999, h.p999());
+    os << metric << "_sum " << h.sum << "\n";
+    os << metric << "_count " << h.count << "\n";
+    // Tracked extremes: exact values, not bucket representatives.
+    os << "# TYPE " << metric << "_min gauge\n";
+    os << metric << "_min " << h.min << "\n";
+    os << "# TYPE " << metric << "_max gauge\n";
+    os << metric << "_max " << h.max << "\n";
+  }
+}
+
+std::string to_prometheus(const Snapshot& snapshot,
+                          std::string_view prefix) {
+  std::ostringstream os;
+  write_prometheus(snapshot, os, prefix);
+  return os.str();
+}
+
+MetricsReporter::MetricsReporter(const Registry& registry, std::string path,
+                                 std::chrono::milliseconds interval,
+                                 std::string_view prefix)
+    : registry_(registry),
+      path_(std::move(path)),
+      prefix_(prefix),
+      interval_(interval) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsReporter::~MetricsReporter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructors must not throw; a failed final write already
+    // surfaced through write_now() for callers that wanted it.
+  }
+}
+
+void MetricsReporter::stop() {
+  {
+    util::LockGuard lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    util::LockGuard lock(mutex_);
+    stopped_ = true;
+  }
+  write_now();
+}
+
+void MetricsReporter::write_now() const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("MetricsReporter: cannot open " + tmp);
+    }
+    write_prometheus(registry_.snapshot(), out, prefix_);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("MetricsReporter: cannot rename " + tmp +
+                             " -> " + path_);
+  }
+}
+
+void MetricsReporter::loop() {
+  util::UniqueLock lock(mutex_);
+  for (;;) {
+    const auto deadline = std::chrono::steady_clock::now() + interval_;
+    while (!stopping_) {
+      if (wake_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (stopping_) return;
+    lock.unlock();
+    try {
+      write_now();
+      writes_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // Periodic writes are best-effort (disk full, path vanished);
+      // stop()'s final write_now() rethrows for the caller.
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace vlsa::telemetry

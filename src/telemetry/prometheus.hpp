@@ -1,0 +1,95 @@
+#pragma once
+// Prometheus text-exposition export for telemetry::Registry snapshots,
+// plus a background reporter thread that scrapes-to-file periodically.
+//
+// The JSON sidecars (registry.hpp) are the *archival* format — byte-
+// stable, diffable across PRs.  This module is the *live* format: the
+// same snapshot rendered as Prometheus exposition text (version 0.0.4)
+// so a node_exporter-style textfile collector, or anything that speaks
+// the format, can scrape a running service.  Mapping:
+//
+//   Counter    -> counter     vlsa_service_submitted 12345
+//   Gauge      -> gauge       vlsa_service_queue_depth 17
+//   Histogram  -> summary     vlsa_service_latency_ns{quantile="0.5"} ...
+//                             ..._sum / ..._count
+//              -> two gauges  ..._min / ..._max (exact tracked extremes —
+//                             quantiles are bucket lower bounds, min/max
+//                             are not derivable from them)
+//
+// Metric names are sanitized (dots and any non-[a-zA-Z0-9_] become '_')
+// and prefixed ("vlsa_" by default); snapshots are name-sorted already,
+// so equal snapshots render to identical bytes — the same determinism
+// contract as the JSON export.
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "telemetry/registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::telemetry {
+
+/// Sanitize one metric name for the exposition format: characters
+/// outside [a-zA-Z0-9_] map to '_', and a leading digit gains a '_'
+/// prefix ("service.latency_ns" -> "service_latency_ns").
+std::string prometheus_name(std::string_view name);
+
+/// Render a snapshot as exposition text.  `prefix` is prepended to
+/// every metric name with a '_' separator (pass "" for none).
+void write_prometheus(const Snapshot& snapshot, std::ostream& os,
+                      std::string_view prefix = "vlsa");
+
+/// Same document as a string.
+std::string to_prometheus(const Snapshot& snapshot,
+                          std::string_view prefix = "vlsa");
+
+/// Periodically snapshots a registry and rewrites a metrics file in
+/// exposition format (write-to-temp + rename, so scrapers never read a
+/// partial file).  The destructor stops the thread and writes one
+/// final snapshot, so short-lived runs still leave fresh metrics
+/// behind.  The registry must outlive the reporter.
+class MetricsReporter {
+ public:
+  MetricsReporter(const Registry& registry, std::string path,
+                  std::chrono::milliseconds interval =
+                      std::chrono::milliseconds(1000),
+                  std::string_view prefix = "vlsa");
+  ~MetricsReporter();
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  /// Stop the background thread (idempotent); writes a final snapshot.
+  void stop();
+
+  /// Snapshot and rewrite the file now (also usable after stop()).
+  /// Throws std::runtime_error when the file cannot be written.
+  void write_now() const;
+
+  /// Completed periodic writes (not counting write_now / final).
+  std::uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  const Registry& registry_;
+  const std::string path_;
+  const std::string prefix_;
+  const std::chrono::milliseconds interval_;
+  std::atomic<std::uint64_t> writes_{0};
+
+  util::Mutex mutex_;
+  util::CondVar wake_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  bool stopped_ GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace vlsa::telemetry

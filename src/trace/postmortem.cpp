@@ -1,0 +1,82 @@
+#include "trace/postmortem.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/aca.hpp"
+#include "util/json.hpp"
+
+namespace vlsa::trace {
+
+PostmortemRing::PostmortemRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void PostmortemRing::record(const util::BitVec& a, const util::BitVec& b,
+                            int k, bool wrong, std::uint64_t batch, int lane,
+                            std::uint64_t ts_ns) {
+  PostmortemRecord rec;
+  rec.ts_ns = ts_ns;
+  rec.a = a;
+  rec.b = b;
+  rec.k = k;
+  rec.chain = core::longest_propagate_chain(a, b);
+  rec.wrong = wrong;
+  rec.batch = batch;
+  rec.lane = lane;
+  util::LockGuard lock(mutex_);
+  rec.sequence = next_sequence_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[rec.sequence % capacity_] = std::move(rec);
+  }
+}
+
+std::uint64_t PostmortemRing::total_recorded() const {
+  util::LockGuard lock(mutex_);
+  return next_sequence_;
+}
+
+std::vector<PostmortemRecord> PostmortemRing::records() const {
+  util::LockGuard lock(mutex_);
+  std::vector<PostmortemRecord> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const PostmortemRecord& x, const PostmortemRecord& y) {
+              return x.sequence < y.sequence;
+            });
+  return out;
+}
+
+std::string PostmortemRing::to_json() const {
+  const auto records = this->records();
+  std::uint64_t total = 0;
+  {
+    util::LockGuard lock(mutex_);
+    total = next_sequence_;
+  }
+  std::ostringstream os;
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.kv("capacity", capacity_);
+  json.kv("total_recorded", total);
+  json.key("records").begin_array();
+  for (const auto& rec : records) {
+    json.begin_object();
+    json.kv("sequence", rec.sequence);
+    json.kv("ts_ns", rec.ts_ns);
+    json.kv("a", rec.a.to_hex());
+    json.kv("b", rec.b.to_hex());
+    json.kv("width", rec.a.width());
+    json.kv("k", rec.k);
+    json.kv("chain", rec.chain);
+    json.kv("wrong", rec.wrong);
+    json.kv("batch", rec.batch);
+    json.kv("lane", rec.lane);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return os.str();
+}
+
+}  // namespace vlsa::trace

@@ -1,0 +1,76 @@
+#pragma once
+// Misprediction postmortem ring — the last N ER=1 requests, with full
+// operands and the actual longest propagate-chain length.
+//
+// The trace rings (trace/trace.hpp) answer "when and how long"; this
+// ring answers "on WHAT".  Every request that takes the recovery lane
+// deposits its operands here, so after an error-rate incident the
+// operator can dump the offending inputs and see immediately whether
+// they share structure (the complementary-operand attack surface of
+// Sec. 6, an accumulator workload whose deltas ride long propagate
+// chains, ...).  The chain length is recomputed from the operands —
+// ground truth, not the detector's view — so entries where
+// `chain >= k` but `wrong == false` exhibit the ER detector's
+// one-sided-ness (flags are sound, not exact).
+//
+// Recording is mutex-guarded: ER events are the *rare* path by design
+// (the 99.99% design point flags ~1e-4 of requests), so a lock here
+// never touches the fast-path throughput, and it keeps the ring exact —
+// no sampling, no drops within the window — which matters because
+// postmortems are about the tail, not the aggregate.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::trace {
+
+/// One captured misprediction.
+struct PostmortemRecord {
+  std::uint64_t sequence = 0;  ///< monotone capture index (0-based)
+  std::uint64_t ts_ns = 0;     ///< session clock if tracing, else 0
+  util::BitVec a;
+  util::BitVec b;
+  int k = 0;           ///< speculation window in force
+  int chain = 0;       ///< actual longest propagate chain (recomputed)
+  bool wrong = false;  ///< speculative sum differed from exact
+  std::uint64_t batch = 0;  ///< dispatch round that flagged it
+  int lane = -1;            ///< lane within that batch
+};
+
+/// Fixed-capacity ring of the most recent ER=1 requests.
+class PostmortemRing {
+ public:
+  explicit PostmortemRing(std::size_t capacity = 64);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Capture one flagged request.  `chain` is recomputed from the
+  /// operands via core::longest_propagate_chain.  Thread-safe.
+  void record(const util::BitVec& a, const util::BitVec& b, int k,
+              bool wrong, std::uint64_t batch, int lane,
+              std::uint64_t ts_ns = 0);
+
+  /// Total ER=1 requests ever recorded (>= size()).
+  std::uint64_t total_recorded() const;
+
+  /// Oldest-first copy of the retained records.
+  std::vector<PostmortemRecord> records() const;
+
+  /// JSON document: {"capacity", "total_recorded", "records": [{
+  /// "sequence", "ts_ns", "a", "b" (hex), "k", "chain", "wrong",
+  /// "batch", "lane"}, ...]}.  Deterministic for a quiescent ring.
+  std::string to_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mutex_;
+  std::vector<PostmortemRecord> ring_ GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace vlsa::trace

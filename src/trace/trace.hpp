@@ -1,0 +1,251 @@
+#pragma once
+// Low-overhead request-path tracing for the arithmetic service —
+// per-thread lock-free event rings plus a Chrome/Perfetto
+// `trace_event` JSON exporter.
+//
+// The paper's service-level story is a *distribution* of latencies, and
+// the telemetry layer (src/telemetry/) already shows its shape — but a
+// histogram cannot answer "why was THIS request slow?".  The tracer
+// answers it: every stage of the request path (submit → queue-wait →
+// batch-pack → engine-eval → ER-check → recovery → complete) emits a
+// typed event carrying the batch id, lane index, window k, and the ER
+// flag, so a Perfetto timeline shows exactly which batch a request rode,
+// whether its lane flagged, and how long the serial recovery lane held
+// it.  Recovery spans additionally carry the operands (low 64 bits) and
+// the actual longest activated propagate-chain length — the ground truth
+// the drift monitor (trace/drift.hpp) checks statistically.
+//
+// Design constraints, in order:
+//
+//  1. *Cheap when idle.*  Tracing is compiled in unconditionally; when
+//     no TraceSession is active every instrumentation site costs ONE
+//     relaxed atomic load and a predictable branch (`trace::enabled()`).
+//     No allocation, no TLS initialization, no fences.
+//  2. *Wait-free recording.*  Each thread writes to its own ring — no
+//     shared tail, no CAS loop.  A full ring overwrites its oldest
+//     events (tracing must never block or slow the service); the
+//     collector reports how many were dropped.
+//  3. *Race-free collection, TSan-clean.*  Every slot is a sequence
+//     number plus a fixed array of atomic words (a seqlock whose payload
+//     is itself atomic, so there is no C++ data race to suppress).  The
+//     collector validates the sequence number on both sides of the copy
+//     and discards torn slots; it may run while writers are live.
+//
+// Sampling: `TraceConfig::sample_rate` gates the *detail* events
+// (submit / queue-wait / batch-pack / engine-eval / complete) — the
+// service decides once per batch.  Recovery-path events (er-check /
+// recovery) are always recorded while a session is active
+// (`always_sample_recovery`), because mispredictions are the rare,
+// diagnostic-critical signal the whole subsystem exists for.
+//
+// Memory-ordering audit:
+//  * g_enabled — relaxed load on the hot path: it only gates work, it
+//    publishes nothing.  Emit paths that proceed re-read the session
+//    generation with acquire (below) before touching session state.
+//  * generation_ — store release when a session starts (after the epoch
+//    and config are written), load acquire in the per-thread
+//    registration check: a thread that observes the new generation also
+//    observes the session's epoch/config.
+//  * slot seq — writer: relaxed odd mark, payload stores relaxed, even
+//    mark release; reader: acquire first read, relaxed payload copies,
+//    acquire fence, relaxed re-read.  The classic seqlock handshake,
+//    with atomic payload words so no read is ever UB.
+//  * ring head_ — store release after the slot is published so a
+//    collector that reads head_ (acquire) sees every slot it covers.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::trace {
+
+/// The fixed event taxonomy of the service request path (docs/
+/// observability.md).  Names are stable identifiers — scripts and the
+/// golden-file test match on them.
+enum class EventName : std::uint8_t {
+  kSubmit = 0,     ///< instant: producer handed a request to the queue
+  kQueueWait = 1,  ///< span: arrival → dispatcher pop (needs wall clock)
+  kBatchPack = 2,  ///< span: operand transpose into the sliced batch
+  kEngineEval = 3, ///< span: one batch_aca_add_into evaluation
+  kErCheck = 4,    ///< instant: a lane's ER flag fired
+  kRecovery = 5,   ///< span: serial recovery-lane recomputation
+  kComplete = 6,   ///< instant: completion delivered to the requester
+};
+inline constexpr int kNumEventNames = 7;
+
+/// Stable lowercase-dashed name ("engine-eval") used in exports.
+const char* event_name(EventName name);
+
+/// Chrome trace_event phases we emit: complete spans and instants.
+enum class Phase : std::uint8_t {
+  kComplete = 0,  ///< "X": ts + dur
+  kInstant = 1,   ///< "i"
+};
+
+/// Sentinel for "no batch id".
+inline constexpr std::uint64_t kNoBatch = ~std::uint64_t{0};
+
+/// Optional event arguments.  Absent fields are omitted from the JSON.
+struct EventArgs {
+  std::uint64_t batch = kNoBatch;  ///< dispatch round (service vclock)
+  int lane = -1;                   ///< lane index within the batch
+  int k = -1;                      ///< speculation window
+  int er = -1;                     ///< ER flag: -1 unknown, 0, 1
+  int chain = -1;                  ///< longest propagate chain (recovery)
+  /// Low 64 bits of the operands (recovery events; wider operands are
+  /// truncated — the postmortem ring keeps them in full).
+  std::uint64_t a_lo = 0;
+  std::uint64_t b_lo = 0;
+  bool has_operands = false;
+};
+
+/// One decoded trace event, as stored in the rings.
+struct TraceEvent {
+  /// Number of 64-bit words a slot payload occupies.
+  static constexpr int kWords = 7;
+
+  std::uint64_t ts_ns = 0;   ///< since session start
+  std::uint64_t dur_ns = 0;  ///< kComplete spans only
+  std::uint32_t tid = 0;     ///< session-local thread index
+  EventName name = EventName::kSubmit;
+  Phase phase = Phase::kInstant;
+  EventArgs args;
+
+  std::array<std::uint64_t, kWords> encode() const;
+  static TraceEvent decode(const std::array<std::uint64_t, kWords>& words);
+};
+
+/// Single-writer event ring with seqlock slots; any thread may collect.
+/// Capacity is rounded up to a power of two.  The writer never blocks
+/// and never fails: a full ring overwrites its oldest slot.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Record one event.  Single writer only (the owning thread).
+  void push(const TraceEvent& event);
+
+  /// Total events ever pushed (monotone; collect() uses it to report
+  /// drops).
+  std::uint64_t pushed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Append every currently-readable event (oldest first) to `out`.
+  /// Safe concurrently with the writer; slots the writer is mid-update
+  /// on (or overwrote during the copy) are skipped, never torn.
+  /// Returns the number of events appended.
+  std::size_t collect(std::vector<TraceEvent>& out) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, TraceEvent::kWords> words{};
+  };
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Session knobs.
+struct TraceConfig {
+  /// Probability that a batch (and the submits feeding it) records the
+  /// detail events.  1.0 = trace everything, 0.0 = recovery-only.
+  double sample_rate = 1.0;
+  /// Events retained per thread (rounded up to a power of two).
+  std::size_t ring_capacity = std::size_t{1} << 14;
+  /// Record er-check/recovery events regardless of sampling.
+  bool always_sample_recovery = true;
+};
+
+/// What an export saw.
+struct CollectStats {
+  std::uint64_t events = 0;   ///< events exported
+  std::uint64_t dropped = 0;  ///< ring overwrites (pushed - retained)
+  std::uint64_t threads = 0;  ///< rings that recorded at least one event
+};
+
+// ---------------------------------------------------------------------
+// Hot-path API (what the service calls).  All of these are safe to call
+// with no session active; only `enabled()` should be called first as
+// the cheap gate.
+
+/// One relaxed atomic load — the instrumentation gate.
+bool enabled();
+
+/// Nanoseconds since the active session started (0 with no session).
+std::uint64_t now_ns();
+
+/// Convert an absolute steady_clock time to session-relative ns
+/// (clamped to 0 for times before the session started).
+std::uint64_t to_session_ns(std::chrono::steady_clock::time_point t);
+
+/// Per-batch sampling decision (thread-local xorshift against
+/// `sample_rate`; always true at rate 1.0, always false at 0.0).
+bool sample();
+
+/// True when recovery-path events should be recorded (session active
+/// and `always_sample_recovery`, or the batch was sampled anyway).
+bool sample_recovery();
+
+/// Record a complete span that started at `start_ns` (ends now).
+void emit_complete(EventName name, std::uint64_t start_ns,
+                   const EventArgs& args = {});
+
+/// Record a complete span with an explicit duration.
+void emit_span(EventName name, std::uint64_t start_ns, std::uint64_t dur_ns,
+               const EventArgs& args = {});
+
+/// Record an instant event (timestamped now).
+void emit_instant(EventName name, const EventArgs& args = {});
+
+// ---------------------------------------------------------------------
+
+/// An active tracing window.  At most one session exists at a time
+/// (constructing a second throws std::logic_error).  Construction
+/// enables the global gate; destruction (or stop()) disables it.
+/// Export may be called before or after stop(); a quiescent session
+/// exports byte-identical documents every time (the golden-file
+/// property tests/test_trace.cpp pins down).
+class TraceSession {
+ public:
+  explicit TraceSession(const TraceConfig& config = {});
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const TraceConfig& config() const { return config_; }
+
+  /// Disable recording (idempotent).  Buffers remain exportable.
+  void stop();
+
+  /// Collect every thread ring into one time-sorted event list.
+  std::vector<TraceEvent> collect(CollectStats* stats = nullptr) const;
+
+  /// Chrome/Perfetto trace_event JSON ("traceEvents" array of "X"/"i"
+  /// events plus thread-name metadata; ts/dur in microseconds).  Load
+  /// via chrome://tracing or ui.perfetto.dev.
+  CollectStats write_chrome_json(std::ostream& os) const;
+
+  /// write_chrome_json to a string (tests, CLI).
+  std::string chrome_json() const;
+
+ private:
+  TraceConfig config_;
+};
+
+}  // namespace vlsa::trace

@@ -57,6 +57,10 @@ class ArrivalClock {
     throw std::logic_error("ArrivalClock: bad arrival process");
   }
 
+  /// Phase the most recently sampled arrival lands in (next_interval
+  /// advances the on/off state machine before returning).
+  bool in_burst() const { return in_burst_; }
+
  private:
   double current_rate() const {
     if (!in_burst_) {
@@ -113,13 +117,22 @@ LoadGenReport run_load_gen(service::AdderService& service,
     // immediately (catch-up burst) instead of thinning the load.
     if (scheduled > Clock::now()) std::this_thread::sleep_until(scheduled);
     auto [a, b] = operands.next();
+    PhaseStats& phase = arrivals.in_burst() ? report.burst : report.steady;
     ++report.offered;
+    ++phase.offered;
     // Completions are discarded here — the service records latency and
     // outcome telemetry for every request; see service.registry().
-    if (service.submit(std::move(a), std::move(b)).has_value()) {
+    const auto submit_start = Clock::now();
+    const bool accepted =
+        service.submit(std::move(a), std::move(b)).has_value();
+    phase.submit_stall_s +=
+        std::chrono::duration<double>(Clock::now() - submit_start).count();
+    if (accepted) {
       ++report.accepted;
+      ++phase.accepted;
     } else {
       ++report.rejected;
+      ++phase.rejected;
     }
   }
   service.flush();

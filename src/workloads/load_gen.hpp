@@ -49,12 +49,32 @@ struct LoadGenConfig {
   double mean_burst_ms = 2.0;  ///< expected on-state sojourn
 };
 
+/// Backpressure accounting for one arrival phase.  The two overflow
+/// policies push back in different currencies — Reject rejects
+/// submissions, Block stalls the producer — and a single aggregate
+/// `rejected` count collapsed them (Block always reported 0 and the
+/// throttling was invisible).  Each phase now reports both.
+struct PhaseStats {
+  long long offered = 0;
+  long long accepted = 0;
+  long long rejected = 0;  ///< Reject policy (and pump-mode overflow)
+  /// Wall time spent inside submit() for this phase's arrivals.  Under
+  /// Block this is dominated by producer throttling on a full queue;
+  /// under Reject it stays near zero.
+  double submit_stall_s = 0.0;
+};
+
 struct LoadGenReport {
   long long offered = 0;
   long long accepted = 0;
   long long rejected = 0;
   double seconds = 0.0;        ///< submit window + drain (flush)
   double achieved_rate = 0.0;  ///< completed accepted requests / second
+  /// Per-phase breakdown: `steady` covers Poisson/Saturate arrivals and
+  /// the Bursty off-state; `burst` covers the Bursty on-state (always
+  /// zero for the other processes).
+  PhaseStats steady;
+  PhaseStats burst;
 };
 
 /// Drive `service` with the configured arrival stream, then flush it.

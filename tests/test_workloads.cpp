@@ -238,6 +238,40 @@ TEST(LoadGen, PoissonAtHighRateCompletesAll) {
   EXPECT_EQ(report.rejected, 0);
 }
 
+TEST(LoadGen, PhaseBreakdownSumsToTheTotals) {
+  service::AdderService service(loadgen_service_config(/*workers=*/2));
+  workloads::LoadGenConfig load;
+  load.arrival = workloads::ArrivalProcess::Bursty;
+  load.rate_per_sec = 500'000.0;
+  load.requests = 5000;
+  load.seed = 7;
+  const auto report = workloads::run_load_gen(service, load);
+  EXPECT_EQ(report.steady.offered + report.burst.offered, report.offered);
+  EXPECT_EQ(report.steady.accepted + report.burst.accepted, report.accepted);
+  EXPECT_EQ(report.steady.rejected + report.burst.rejected, report.rejected);
+  // Both phases of the two-state process must actually occur.
+  EXPECT_GT(report.steady.offered, 0);
+  EXPECT_GT(report.burst.offered, 0);
+  EXPECT_GE(report.steady.submit_stall_s, 0.0);
+  EXPECT_GE(report.burst.submit_stall_s, 0.0);
+}
+
+TEST(LoadGen, RejectPolicyAttributesRejectionsToPhases) {
+  auto config = loadgen_service_config(/*workers=*/1);
+  config.queue_capacity = 16;  // tiny queue: overload must reject
+  config.overflow = service::OverflowPolicy::Reject;
+  service::AdderService service(config);
+  workloads::LoadGenConfig load;
+  load.arrival = workloads::ArrivalProcess::Saturate;
+  load.requests = 20000;
+  const auto report = workloads::run_load_gen(service, load);
+  EXPECT_GT(report.rejected, 0);
+  // Saturate has no burst state: everything lands in `steady`, so the
+  // per-phase ledger carries the full rejection count.
+  EXPECT_EQ(report.burst.offered, 0);
+  EXPECT_EQ(report.steady.rejected, report.rejected);
+}
+
 TEST(LoadGen, BurstyRejectsImpossibleShape) {
   service::AdderService service(loadgen_service_config(/*workers=*/1));
   workloads::LoadGenConfig load;
