@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/aca_probability.hpp"
+#include "sim/isa.hpp"
 #include "util/json.hpp"
 
 // Set by bench.cmake at configure time (the commit the build tree was
@@ -63,6 +64,11 @@ inline void write_provenance(util::JsonWriter& json) {
   json.kv("git_sha", VLSA_GIT_SHA);
   json.kv("build_type", VLSA_BUILD_TYPE);
   json.kv("hardware_threads", default_threads());
+  // Which SIMD tier the batch engine dispatches on (scalar/avx2/avx512
+  // — honors VLSA_FORCE_ISA) and the lanes one evaluation advances.
+  // Throughput numbers are incomparable across tiers without these.
+  json.kv("isa", sim::isa_name(sim::active_isa()));
+  json.kv("engine_lanes", sim::active_lanes());
   json.end_object();
 }
 

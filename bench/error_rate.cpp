@@ -94,6 +94,8 @@ int main() {
       json.kv("flagged", mc.tally.flagged);
       json.kv("wrong", mc.tally.wrong);
       json.kv("trials_per_sec", mc.trials_per_sec);
+      json.kv("isa", sim::isa_name(mc.isa));
+      json.kv("lanes", mc.lanes);
       json.end_object();
     }
   }
@@ -122,7 +124,9 @@ int main() {
     util::Table duel({"engine", "trials", "Mtrials/s", "speedup"});
     duel.add_row({"scalar loop", "50000",
                   util::Table::num(scalar_tps / 1e6, 2), "1.0"});
-    duel.add_row({"batch (" + std::to_string(threads) + " thr)",
+    duel.add_row({"batch " + std::string(sim::isa_name(mc.isa)) + " (" +
+                      std::to_string(mc.lanes) + " lanes, " +
+                      std::to_string(threads) + " thr)",
                   std::to_string(mc.tally.trials),
                   util::Table::num(mc.trials_per_sec / 1e6, 2),
                   util::Table::num(speedup, 1)});
@@ -135,6 +139,8 @@ int main() {
     json.kv("batch_trials_per_sec", mc.trials_per_sec);
     json.kv("batch_trials", mc.tally.trials);
     json.kv("speedup", speedup);
+    json.kv("isa", sim::isa_name(mc.isa));
+    json.kv("lanes", mc.lanes);
     json.end_object();
   }
 

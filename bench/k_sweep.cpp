@@ -86,6 +86,8 @@ int main() {
     json.kv("expected_cycles_rec2",
             analysis::expected_vlsa_cycles(n, k, 2));
     json.kv("trials_per_sec", mc.trials_per_sec);
+    json.kv("isa", sim::isa_name(mc.isa));
+    json.kv("lanes", mc.lanes);
     if (!note.empty()) json.kv("note", note);
     json.end_object();
   }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Documentation gate for CI (.github/workflows/ci.yml, docs-check job).
+
+Checks, in order:
+  1. every required docs/ page exists;
+  2. every relative markdown link (and its #anchor, if any) in README.md
+     and docs/*.md resolves to a real file (and a real heading);
+  3. every vlsa_tool subcommand named in the docs is one the binary
+     actually implements (parsed from the usage string in
+     examples/vlsa_tool.cpp);
+  4. docs/architecture.md names every src/ subsystem, and
+     docs/benchmarks.md names every bench binary.
+
+Stdlib only; exits non-zero with one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+REQUIRED_DOCS = [
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/hardware.md",
+    "docs/integration.md",
+    "docs/observability.md",
+    "docs/static_analysis.md",
+    "docs/theory.md",
+]
+
+# [text](target) — good enough for the hand-written markdown here
+# (no reference-style links, no angle-bracket targets in this repo).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug: lowercase, drop punctuation,
+    spaces to dashes (backticks and markdown emphasis stripped)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    return {github_anchor(h) for h in HEADING_RE.findall(path.read_text())}
+
+
+def tool_subcommands() -> set:
+    """The subcommand list from vlsa_tool's top-level usage string.
+    The string literal is split across source lines, so join adjacent
+    literals before looking for the a|b|c token."""
+    source = (REPO / "examples" / "vlsa_tool.cpp").read_text()
+    joined = re.sub(r'"\s*\n\s*"', "", source)
+    match = re.search(r'usage: vlsa_tool ([a-z|]+)', joined)
+    if not match:
+        sys.exit("check_docs: cannot find the usage string in "
+                 "examples/vlsa_tool.cpp")
+    return set(match.group(1).split("|"))
+
+
+def main() -> int:
+    problems = []
+
+    for rel in REQUIRED_DOCS:
+        if not (REPO / rel).is_file():
+            problems.append(f"missing required page: {rel}")
+
+    doc_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    subcommands = tool_subcommands()
+
+    for doc in doc_files:
+        text = doc.read_text()
+        rel_doc = doc.relative_to(REPO)
+
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = (doc.parent / path_part).resolve() if path_part else doc
+            if not dest.exists():
+                problems.append(f"{rel_doc}: broken link -> {target}")
+                continue
+            if anchor and dest.suffix == ".md":
+                if github_anchor(anchor) not in anchors_of(dest):
+                    problems.append(
+                        f"{rel_doc}: broken anchor -> {target}")
+
+        # `vlsa_tool <word>` in prose or code blocks must name a real
+        # subcommand (uppercase follow-ons like "vlsa_tool CLI" are
+        # prose, not invocations, and don't match).
+        for cmd in re.findall(r"vlsa_tool\s+([a-z][a-z0-9_-]*)\b", text):
+            if cmd not in subcommands:
+                problems.append(
+                    f"{rel_doc}: unknown vlsa_tool subcommand '{cmd}' "
+                    f"(binary implements: {', '.join(sorted(subcommands))})")
+
+    arch = (REPO / "docs" / "architecture.md")
+    if arch.is_file():
+        arch_text = arch.read_text()
+        for sub in sorted(p.name for p in (REPO / "src").iterdir()
+                          if p.is_dir()):
+            if f"src/{sub}/" not in arch_text and f"{sub}/" not in arch_text:
+                problems.append(
+                    f"docs/architecture.md: src/{sub}/ not covered")
+
+    benchmarks = (REPO / "docs" / "benchmarks.md")
+    if benchmarks.is_file():
+        bench_text = FENCE_RE.sub("", benchmarks.read_text())
+        for src in sorted((REPO / "bench").glob("*.cpp")):
+            if f"`{src.stem}`" not in bench_text:
+                problems.append(
+                    f"docs/benchmarks.md: bench/{src.stem} not covered")
+
+    for problem in problems:
+        print(f"check_docs: {problem}")
+    if not problems:
+        checked = len(doc_files)
+        print(f"check_docs: OK ({checked} files, "
+              f"{len(subcommands)} vlsa_tool subcommands)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,13 @@ ServiceConfig validated(ServiceConfig config) {
   if (config.workers < 0) {
     throw std::invalid_argument("AdderService: negative workers");
   }
+  if (config.max_batch < 0) {
+    throw std::invalid_argument("AdderService: negative max_batch");
+  }
+  // 0 = auto: pack to the SIMD lane width this process dispatches on.
+  const int lanes = sim::active_lanes();
   config.max_batch =
-      std::clamp(config.max_batch, 1, sim::kBatchLanes);
+      config.max_batch == 0 ? lanes : std::clamp(config.max_batch, 1, lanes);
   return config;
 }
 
@@ -42,7 +47,7 @@ AdderService::AdderService(const ServiceConfig& config,
                           : nullptr),
       registry_(registry == nullptr ? owned_registry_.get() : registry),
       queue_(config_.queue_capacity),
-      recovery_queue_(config_.queue_capacity + sim::kBatchLanes),
+      recovery_queue_(config_.queue_capacity + sim::kMaxBatchLanes),
       submitted_(registry_->counter("service.submitted")),
       rejected_(registry_->counter("service.rejected")),
       completed_(registry_->counter("service.completed")),
@@ -171,7 +176,7 @@ AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
 void AdderService::worker_loop() {
   std::vector<Request> batch;
   batch.reserve(static_cast<std::size_t>(config_.max_batch));
-  sim::BatchResult scratch;
+  sim::WideResult scratch;
   while (queue_.pop_batch(batch, static_cast<std::size_t>(config_.max_batch),
                           config_.max_linger) > 0) {
     // Depth is sampled per batch, not per submission: the gauge is a
@@ -184,7 +189,7 @@ void AdderService::worker_loop() {
 
 void AdderService::recovery_loop() {
   std::vector<RecoveryItem> items;
-  while (recovery_queue_.pop_batch(items, sim::kBatchLanes,
+  while (recovery_queue_.pop_batch(items, sim::kMaxBatchLanes,
                                    std::chrono::microseconds{0}) > 0) {
     for (auto& item : items) recover_one(std::move(item));
     items.clear();
@@ -192,10 +197,14 @@ void AdderService::recovery_loop() {
 }
 
 std::size_t AdderService::dispatch(std::vector<Request>& batch,
-                                   sim::BatchResult& scratch,
+                                   sim::WideResult& scratch,
                                    BoundedQueue<RecoveryItem>* recovery) {
   const int width = config_.pipeline.width;
   const int window = config_.pipeline.window;
+  // Evaluate at the smallest lane count that fits this batch: a
+  // partial pop (or the batch-1 baseline) keeps the 64-lane cost, a
+  // full SIMD-width pop runs one AVX2/AVX-512 evaluation.
+  const int lanes = sim::lanes_for_batch(static_cast<int>(batch.size()));
   // One modeled VLSA cycle per dispatched batch; `round` is this
   // batch's cycle, so a request submitted and dispatched in the same
   // round completes with the minimum latency of 1 cycle.
@@ -219,7 +228,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   for (auto& request : batch) {
     pairs.emplace_back(std::move(request.a), std::move(request.b));
   }
-  const sim::SlicedBatch ops = sim::transpose_batch(pairs, width);
+  const sim::WideBatch ops = sim::wide_transpose_batch(pairs, width, lanes);
   if (sampled) {
     trace::EventArgs args;
     args.batch = batch_id;
@@ -228,7 +237,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
     trace::emit_complete(trace::EventName::kBatchPack, t_pack, args);
   }
   const std::uint64_t t_eval = sampled ? trace::now_ns() : 0;
-  sim::batch_aca_add_into(ops, window, 0, scratch);
+  sim::wide_aca_add_into(ops, window, nullptr, scratch);
   if (sampled) {
     trace::EventArgs args;
     args.batch = batch_id;
@@ -237,13 +246,9 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   }
 
   if (config_.drift != nullptr) {
-    const std::uint64_t used =
-        batch.size() >= sim::kBatchLanes
-            ? ~std::uint64_t{0}
-            : (std::uint64_t{1} << batch.size()) - 1;
     config_.drift->record_batch(
-        batch.size(),
-        static_cast<std::uint64_t>(std::popcount(scratch.flagged & used)));
+        batch.size(), static_cast<std::uint64_t>(scratch.flagged_count(
+                          static_cast<int>(batch.size()))));
   }
 
   batches_.increment();
@@ -255,7 +260,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   // all 64.
   std::vector<BitVec> sums;
   if (batch.size() > 8) {
-    sums = sim::lane_values(scratch.sum_spec, width);
+    sums = sim::wide_lane_values(scratch.sum_spec, width, lanes);
   }
   // Fast-path telemetry is aggregated over the batch: requests that
   // arrived in the same cycle (every submit_many chunk) share one
@@ -266,15 +271,15 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   std::uint64_t run_value = 0, run_count = 0;
   for (std::size_t lane = 0; lane < batch.size(); ++lane) {
     Request& request = batch[lane];
-    const bool flagged = (scratch.flagged >> lane) & 1;
-    const bool wrong = (scratch.wrong >> lane) & 1;
+    const bool flagged = scratch.flagged_lane(static_cast<int>(lane));
+    const bool wrong = scratch.wrong_lane(static_cast<int>(lane));
     if (!flagged) {
       // Soundness: ER clear implies the speculative sum is exact.
       Completion completion;
       completion.sum =
           sums.empty()
-              ? sim::lane_value(scratch.sum_spec, width,
-                                static_cast<int>(lane))
+              ? sim::wide_lane_value(scratch.sum_spec, width, lanes / 64,
+                                     static_cast<int>(lane))
               : std::move(sums[lane]);
       completion.latency_cycles = round + 1 - request.arrival_cycle;
       const auto cycles =
@@ -412,7 +417,7 @@ std::size_t AdderService::pump() {
     throw std::logic_error("AdderService::pump: only valid with workers=0");
   }
   std::vector<Request> batch;
-  sim::BatchResult scratch;
+  sim::WideResult scratch;
   if (queue_.try_pop_batch(batch,
                            static_cast<std::size_t>(config_.max_batch)) == 0) {
     return 0;

@@ -6,9 +6,10 @@
 // functional unit: many in-flight additions, almost all answered in one
 // cycle, the rare ER flag paying a recovery penalty.  This layer is the
 // system-scale version of that argument.  Producers submit operand
-// pairs into a bounded MPMC queue; dispatcher workers pop up to 64
-// outstanding requests (a partial batch after `max_linger`), evaluate
-// them in ONE `batch_aca_add` call, and complete the unflagged majority
+// pairs into a bounded MPMC queue; dispatcher workers pop up to the
+// detected SIMD lane width of outstanding requests (64/256/512 — see
+// sim/isa.hpp; a partial batch after `max_linger`), evaluate
+// them in ONE `wide_aca_add` call, and complete the unflagged majority
 // immediately — soundness (`wrong & ~flagged == 0`, tested in
 // tests/test_batch_engine.cpp) guarantees the fast path returns the
 // exact sum.  Flagged requests detour through a serial *recovery lane*
@@ -76,9 +77,14 @@ struct ServiceConfig {
   /// Dispatcher threads.  0 = pump mode: no threads, the caller calls
   /// pump() — fully deterministic (see file comment).
   int workers = 1;
-  /// Requests packed per batch-engine evaluation, in [1, 64].  1 gives
-  /// the no-batching baseline the throughput bench compares against.
-  int max_batch = sim::kBatchLanes;
+  /// Requests packed per batch-engine evaluation, in
+  /// [1, sim::active_lanes()].  0 (the default) packs to the detected
+  /// SIMD lane width (64 scalar, 256 AVX2, 512 AVX-512 — or whatever
+  /// VLSA_FORCE_ISA pins).  1 gives the no-batching baseline the
+  /// throughput bench compares against.  Each dispatch still evaluates
+  /// at the smallest lane count that fits the batch it actually popped
+  /// (sim::lanes_for_batch), so small batches keep the 64-lane cost.
+  int max_batch = 0;
   /// Submission queue bound — the backpressure knob.
   std::size_t queue_capacity = 1024;
   /// How long a dispatcher holds a partial batch open for latecomers.
@@ -182,7 +188,7 @@ class AdderService {
   /// Evaluate one batch; flagged lanes go to `recovery` (worker mode)
   /// or are recovered inline when `recovery == nullptr` (pump mode).
   std::size_t dispatch(std::vector<Request>& batch,
-                       sim::BatchResult& scratch,
+                       sim::WideResult& scratch,
                        BoundedQueue<RecoveryItem>* recovery);
   void recover_one(RecoveryItem item);
   void complete(Request& request, Completion completion);

@@ -1,10 +1,24 @@
 #include "sim/batch_engine.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstddef>
 #include <stdexcept>
 
+#include "sim/wide_kernel.hpp"
+
 namespace vlsa::sim {
+
+// The evaluation recurrences live in wide_kernel.hpp, templated over a
+// LaneWord; this file instantiates the scalar (64-lane) tier and hosts
+// both public APIs.  The legacy 64-lane entry points below are exactly
+// the wide path with one word per bit (stride 1, group offset 0) — one
+// algorithm, every tier differentially tested against core::aca_*.
+
+namespace detail {
+
+const Kernels* scalar_kernels() { return make_kernels<ScalarWord>(); }
+
+}  // namespace detail
 
 namespace {
 
@@ -21,77 +35,53 @@ void check_batch(const SlicedBatch& ops, int k) {
   }
 }
 
-/// Lane mask of runs: after the doubling loop, r[i] has lane j set iff
-/// lane j's propagate bits [i-k+1 .. i] are all 1.  OR over i (only
-/// i >= k-1 can have a full window) is exactly the scalar ER flag.
-std::uint64_t sliced_flag(const std::vector<std::uint64_t>& p, int k) {
-  const int n = static_cast<int>(p.size());
-  if (k > n) return 0;
-  std::vector<std::uint64_t> r = p;  // r[i]: run of length t ends at i
-  int t = 1;
-  while (t < k) {
-    const int s = std::min(t, k - t);
-    // Descending i so r[i - s] is still the length-t value.
-    for (int i = n - 1; i >= 0; --i) {
-      r[i] = (i >= s) ? (r[i] & r[i - s]) : 0;
-    }
-    t += s;
+void check_lanes(int lanes) {
+  if (lanes < 64 || lanes > kMaxBatchLanes || lanes % 64 != 0) {
+    throw std::invalid_argument(
+        "batch engine: lanes must be a multiple of 64 in [64, 512]");
   }
-  std::uint64_t any = 0;
-  for (int i = k - 1; i < n; ++i) any |= r[i];
-  return any;
 }
 
-void eval(const std::vector<std::uint64_t>& a,
-          const std::vector<std::uint64_t>& b, int k, std::uint64_t carry_in,
-          int n, BatchResult& out) {
+void check_wide(const WideBatch& ops, int k) {
+  if (ops.width < 1) {
+    throw std::invalid_argument("batch engine: empty operands");
+  }
+  check_lanes(ops.lanes);
+  const auto expect =
+      static_cast<std::size_t>(ops.width) * static_cast<std::size_t>(
+                                                ops.words());
+  if (ops.a.size() != expect || ops.b.size() != expect) {
+    throw std::invalid_argument("batch engine: slice/width/lanes mismatch");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("batch engine: window must be >= 1");
+  }
+}
+
+/// Run the eval kernel group by group over a wide slice pair.
+void wide_eval(const std::uint64_t* a, const std::uint64_t* b, int n,
+               int lanes, int k, const std::uint64_t* carry_in,
+               WideResult& out, Isa isa) {
+  const int words = lanes / 64;
   out.width = n;
-  out.sum_spec.assign(n, 0);
-  out.sum_exact.assign(n, 0);
-  out.carry_spec.assign(n, 0);
+  out.lanes = lanes;
+  const auto signal_words =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(words);
+  out.sum_spec.assign(signal_words, 0);
+  out.sum_exact.assign(signal_words, 0);
+  out.carry_spec.assign(signal_words, 0);
+  out.carry_out_spec.assign(static_cast<std::size_t>(words), 0);
+  out.carry_out_exact.assign(static_cast<std::size_t>(words), 0);
+  out.flagged.assign(static_cast<std::size_t>(words), 0);
+  out.wrong.assign(static_cast<std::size_t>(words), 0);
 
-  // Propagate/generate slices (kept as locals: p and g are cheap to
-  // recompute per use but the spec-carry loop reads them k times each).
-  std::vector<std::uint64_t> p(n), g(n);
-  for (int i = 0; i < n; ++i) {
-    p[i] = a[i] ^ b[i];
-    g[i] = a[i] & b[i];
-  }
-
-  // Exact carry chain: c_i = g_i | (p_i & c_{i-1}), c_{-1} = carry_in.
-  std::uint64_t ec = carry_in;
-  for (int i = 0; i < n; ++i) {
-    out.sum_exact[i] = p[i] ^ ec;
-    ec = g[i] | (p[i] & ec);
-  }
-  out.carry_out_exact = ec;
-
-  // Speculative carries: each bit i ripples only its window
-  // [max(0, i-k+1) .. i].  The seed entering the window is 0 when the
-  // window is full-length (a k-propagate window speculates 0 — the error
-  // source) and the architectural carry-in when the window is clamped at
-  // bit 0 with fewer than k positions (a short chain to bit 0 *knows*
-  // the carry-in).  Any generate/kill inside the window overwrites the
-  // seed, so the two cases only differ on all-propagate windows —
-  // exactly the scalar model's case split on the run length.
-  std::uint64_t sc = carry_in;  // c_{i-1}; c_{-1} = carry_in
-  for (int i = 0; i < n; ++i) {
-    out.sum_spec[i] = p[i] ^ sc;
-    const int lo = std::max(0, i - k + 1);
-    std::uint64_t c = (i < k - 1) ? carry_in : 0;
-    for (int j = lo; j <= i; ++j) {
-      c = g[j] | (p[j] & c);
-    }
-    out.carry_spec[i] = c;
-    sc = c;
-  }
-  out.carry_out_spec = sc;
-
-  out.flagged = sliced_flag(p, k);
-
-  out.wrong = out.carry_out_spec ^ out.carry_out_exact;
-  for (int i = 0; i < n; ++i) {
-    out.wrong |= out.sum_spec[i] ^ out.sum_exact[i];
+  const detail::EvalOut eo{out.sum_spec.data(),       out.sum_exact.data(),
+                           out.carry_spec.data(),     out.carry_out_spec.data(),
+                           out.carry_out_exact.data(), out.flagged.data(),
+                           out.wrong.data()};
+  const detail::Kernels* kn = detail::kernels_for(isa, words);
+  for (int w0 = 0; w0 < words; w0 += kn->group_words) {
+    kn->eval(a, b, n, words, w0, k, carry_in, eo);
   }
 }
 
@@ -100,7 +90,18 @@ void eval(const std::vector<std::uint64_t>& a,
 void batch_aca_add_into(const SlicedBatch& ops, int k,
                         std::uint64_t carry_in, BatchResult& out) {
   check_batch(ops, k);
-  eval(ops.a, ops.b, k, carry_in, ops.width, out);
+  const int n = ops.width;
+  out.width = n;
+  out.sum_spec.assign(static_cast<std::size_t>(n), 0);
+  out.sum_exact.assign(static_cast<std::size_t>(n), 0);
+  out.carry_spec.assign(static_cast<std::size_t>(n), 0);
+  const detail::EvalOut eo{out.sum_spec.data(),   out.sum_exact.data(),
+                           out.carry_spec.data(), &out.carry_out_spec,
+                           &out.carry_out_exact,  &out.flagged,
+                           &out.wrong};
+  detail::kernel_eval<detail::ScalarWord>(ops.a.data(), ops.b.data(), n,
+                                          /*stride=*/1, /*w0=*/0, k,
+                                          &carry_in, eo);
 }
 
 BatchResult batch_aca_add(const SlicedBatch& ops, int k,
@@ -114,60 +115,96 @@ BatchResult batch_aca_sub(const SlicedBatch& ops, int k) {
   check_batch(ops, k);
   // a - b = a + ~b + 1 per lane; every slice word is fully populated
   // (64 lanes), so the lane-wise complement is a plain word complement.
-  BatchResult out;
-  std::vector<std::uint64_t> bc(ops.width);
-  for (int i = 0; i < ops.width; ++i) bc[i] = ~ops.b[i];
-  eval(ops.a, bc, k, /*carry_in=*/~std::uint64_t{0}, ops.width, out);
-  return out;
+  SlicedBatch neg(ops.width);
+  neg.a = ops.a;
+  for (int i = 0; i < ops.width; ++i) neg.b[i] = ~ops.b[i];
+  return batch_aca_add(neg, k, /*carry_in=*/~std::uint64_t{0});
 }
 
 std::uint64_t batch_aca_flag(const SlicedBatch& ops, int k) {
   check_batch(ops, k);
-  std::vector<std::uint64_t> p(ops.width);
-  for (int i = 0; i < ops.width; ++i) p[i] = ops.a[i] ^ ops.b[i];
-  return sliced_flag(p, k);
+  std::uint64_t flagged = 0;
+  detail::kernel_flag_only<detail::ScalarWord>(ops.a.data(), ops.b.data(),
+                                               ops.width, /*stride=*/1,
+                                               /*w0=*/0, k, &flagged);
+  return flagged;
 }
 
 std::array<int, kBatchLanes> batch_longest_runs(const SlicedBatch& ops) {
   check_batch(ops, /*k=*/1);
-  const int n = ops.width;
-  std::vector<std::uint64_t> p(n);
-  for (int i = 0; i < n; ++i) p[i] = ops.a[i] ^ ops.b[i];
-
   std::array<int, kBatchLanes> runs{};
-  // r[i]: lanes whose propagate run of length t ends at bit i.  Extend
-  // one bit per round; a lane's longest run is the last t it survived.
-  std::vector<std::uint64_t> r = p;
-  for (int t = 1; t <= n; ++t) {
-    std::uint64_t alive = 0;
-    for (int i = t - 1; i < n; ++i) alive |= r[i];
-    if (alive == 0) break;
-    while (alive != 0) {
-      const int lane = std::countr_zero(alive);
-      runs[lane] = t;
-      alive &= alive - 1;
-    }
-    for (int i = n - 1; i >= 1; --i) r[i] = r[i - 1] & p[i];
-    r[0] = 0;
+  detail::kernel_longest_runs<detail::ScalarWord>(
+      ops.a.data(), ops.b.data(), ops.width, /*stride=*/1, /*w0=*/0,
+      runs.data());
+  return runs;
+}
+
+void wide_aca_add_into(const WideBatch& ops, int k,
+                       const std::uint64_t* carry_in, WideResult& out,
+                       Isa isa) {
+  check_wide(ops, k);
+  wide_eval(ops.a.data(), ops.b.data(), ops.width, ops.lanes, k, carry_in,
+            out, isa);
+}
+
+WideResult wide_aca_add(const WideBatch& ops, int k,
+                        const std::uint64_t* carry_in, Isa isa) {
+  WideResult out;
+  wide_aca_add_into(ops, k, carry_in, out, isa);
+  return out;
+}
+
+void wide_aca_sub_into(const WideBatch& ops, int k, WideResult& out,
+                       Isa isa) {
+  check_wide(ops, k);
+  // a - b = a + ~b + 1 per lane, carry-in set on every lane.
+  std::vector<std::uint64_t> bc(ops.b.size());
+  for (std::size_t i = 0; i < bc.size(); ++i) bc[i] = ~ops.b[i];
+  const std::vector<std::uint64_t> ones(
+      static_cast<std::size_t>(ops.words()), ~std::uint64_t{0});
+  wide_eval(ops.a.data(), bc.data(), ops.width, ops.lanes, k, ones.data(),
+            out, isa);
+}
+
+WideResult wide_aca_sub(const WideBatch& ops, int k, Isa isa) {
+  WideResult out;
+  wide_aca_sub_into(ops, k, out, isa);
+  return out;
+}
+
+std::vector<std::uint64_t> wide_aca_flag(const WideBatch& ops, int k,
+                                         Isa isa) {
+  check_wide(ops, k);
+  const int words = ops.words();
+  std::vector<std::uint64_t> flagged(static_cast<std::size_t>(words), 0);
+  const detail::Kernels* kn = detail::kernels_for(isa, words);
+  for (int w0 = 0; w0 < words; w0 += kn->group_words) {
+    kn->flag_only(ops.a.data(), ops.b.data(), ops.width, words, w0, k,
+                  flagged.data());
+  }
+  return flagged;
+}
+
+std::vector<int> wide_longest_runs(const WideBatch& ops, Isa isa) {
+  check_wide(ops, /*k=*/1);
+  const int words = ops.words();
+  std::vector<int> runs(static_cast<std::size_t>(ops.lanes), 0);
+  const detail::Kernels* kn = detail::kernels_for(isa, words);
+  for (int w0 = 0; w0 < words; w0 += kn->group_words) {
+    kn->longest_runs(ops.a.data(), ops.b.data(), ops.width, words, w0,
+                     runs.data() + static_cast<std::ptrdiff_t>(w0) * 64);
   }
   return runs;
 }
 
 namespace {
 
-/// In-place 64x64 bit-matrix transpose (recursive block swaps, Hacker's
-/// Delight 7-3), LSB-first indexing: afterwards bit c of w[r] is what
-/// bit r of w[c] was.  384 word ops — the service dispatcher leans on
-/// this; the bit-at-a-time loop it replaced cost ~64x more.
+/// In-place 64x64 bit-matrix transpose, LSB-first indexing: afterwards
+/// bit c of w[r] is what bit r of w[c] was.  384 word ops — the
+/// single-block (scalar) instantiation of the kernel the wide paths
+/// run 4/8 blocks at a time.
 void transpose64x64(std::uint64_t* w) {
-  std::uint64_t m = 0x00000000FFFFFFFFull;
-  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = ((w[k] >> j) ^ w[k + j]) & m;
-      w[k] ^= t << j;
-      w[k + j] ^= t;
-    }
-  }
+  detail::kernel_transpose64<detail::ScalarWord>(w);
 }
 
 }  // namespace
@@ -204,6 +241,59 @@ SlicedBatch transpose_batch(
   return batch;
 }
 
+WideBatch wide_transpose_batch(
+    const std::vector<std::pair<util::BitVec, util::BitVec>>& pairs,
+    int width, int lanes, Isa isa) {
+  check_lanes(lanes);
+  if (static_cast<int>(pairs.size()) > lanes) {
+    throw std::invalid_argument(
+        "wide_transpose_batch: more pairs than lanes");
+  }
+  for (const auto& [a, b] : pairs) {
+    if (a.width() != width || b.width() != width) {
+      throw std::invalid_argument(
+          "wide_transpose_batch: operand width mismatch");
+    }
+  }
+  WideBatch batch(width, lanes);
+  const int words = batch.words();
+  const int limbs = (width + 63) / 64;
+  const detail::Kernels* kn = detail::kernels_for(isa, words);
+  const int g_words = kn->group_words;
+  // One (gather, G-block transpose, scatter) per G lane groups x limb.
+  // The interleaved block layout kernel_transpose64 wants is the wide
+  // slice layout restricted to those groups, so the scatter side is
+  // plain contiguous copies.
+  std::vector<std::uint64_t> ta(static_cast<std::size_t>(64) * g_words);
+  std::vector<std::uint64_t> tb(ta.size());
+  for (int w0 = 0; w0 < words; w0 += g_words) {
+    const int group_lanes = std::clamp(
+        static_cast<int>(pairs.size()) - w0 * 64, 0, 64 * g_words);
+    for (int limb = 0; limb < limbs; ++limb) {
+      std::fill(ta.begin(), ta.end(), 0);
+      std::fill(tb.begin(), tb.end(), 0);
+      for (int idx = 0; idx < group_lanes; ++idx) {
+        const auto at =
+            static_cast<std::size_t>(idx % 64) * g_words + idx / 64;
+        ta[at] = pairs[w0 * 64 + idx].first.limbs()[limb];
+        tb[at] = pairs[w0 * 64 + idx].second.limbs()[limb];
+      }
+      kn->transpose64(ta.data());
+      kn->transpose64(tb.data());
+      const int hi = std::min(64, width - limb * 64);
+      for (int i = 0; i < hi; ++i) {
+        const auto at =
+            static_cast<std::size_t>(limb * 64 + i) * words + w0;
+        std::copy_n(ta.data() + static_cast<std::size_t>(i) * g_words,
+                    g_words, batch.a.data() + at);
+        std::copy_n(tb.data() + static_cast<std::size_t>(i) * g_words,
+                    g_words, batch.b.data() + at);
+      }
+    }
+  }
+  return batch;
+}
+
 util::BitVec lane_value(const std::vector<std::uint64_t>& sliced, int width,
                         int lane) {
   if (lane < 0 || lane >= kBatchLanes) {
@@ -215,6 +305,24 @@ util::BitVec lane_value(const std::vector<std::uint64_t>& sliced, int width,
   util::BitVec v(width);
   for (int i = 0; i < width; ++i) {
     v.set_bit(i, (sliced[i] >> lane) & 1);
+  }
+  return v;
+}
+
+util::BitVec wide_lane_value(const std::vector<std::uint64_t>& sliced,
+                             int width, int words, int lane) {
+  if (words < 1 || lane < 0 || lane >= words * 64) {
+    throw std::invalid_argument("wide_lane_value: lane out of range");
+  }
+  if (sliced.size() < static_cast<std::size_t>(width) *
+                          static_cast<std::size_t>(words)) {
+    throw std::invalid_argument("wide_lane_value: slice shorter than width");
+  }
+  util::BitVec v(width);
+  const int w = lane >> 6;
+  const int bit = lane & 63;
+  for (int i = 0; i < width; ++i) {
+    v.set_bit(i, (sliced[static_cast<std::size_t>(i) * words + w] >> bit) & 1);
   }
   return v;
 }
@@ -239,7 +347,54 @@ std::vector<util::BitVec> lane_values(
   return lanes;
 }
 
+std::vector<util::BitVec> wide_lane_values(
+    const std::vector<std::uint64_t>& sliced, int width, int lanes,
+    Isa isa) {
+  check_lanes(lanes);
+  const int words = lanes / 64;
+  if (sliced.size() < static_cast<std::size_t>(width) *
+                          static_cast<std::size_t>(words)) {
+    throw std::invalid_argument("wide_lane_values: slice shorter than width");
+  }
+  std::vector<util::BitVec> out(static_cast<std::size_t>(lanes),
+                                util::BitVec(width));
+  const int limbs = (width + 63) / 64;
+  const detail::Kernels* kn = detail::kernels_for(isa, words);
+  const int g_words = kn->group_words;
+  // Inverse of wide_transpose_batch: the gather side is contiguous
+  // copies out of the wide slice, the G-block transpose runs on the
+  // selected tier, and the scatter writes one limb per lane.
+  std::vector<std::uint64_t> t(static_cast<std::size_t>(64) * g_words);
+  for (int w0 = 0; w0 < words; w0 += g_words) {
+    for (int limb = 0; limb < limbs; ++limb) {
+      const int hi = std::min(64, width - limb * 64);
+      for (int i = 0; i < hi; ++i) {
+        std::copy_n(sliced.data() +
+                        static_cast<std::size_t>(limb * 64 + i) * words + w0,
+                    g_words, t.data() + static_cast<std::size_t>(i) * g_words);
+      }
+      if (hi < 64) {
+        std::fill(t.begin() + static_cast<std::size_t>(hi) * g_words,
+                  t.end(), 0);
+      }
+      kn->transpose64(t.data());
+      for (int idx = 0; idx < 64 * g_words; ++idx) {
+        const int g = idx / 64;
+        const int lane = idx % 64;
+        out[static_cast<std::size_t>((w0 + g) * 64 + lane)].limbs()[limb] =
+            t[static_cast<std::size_t>(lane) * g_words + g];
+      }
+    }
+  }
+  return out;
+}
+
 void fill_uniform(util::Rng& rng, SlicedBatch& batch) {
+  for (auto& word : batch.a) word = rng.next_u64();
+  for (auto& word : batch.b) word = rng.next_u64();
+}
+
+void fill_uniform(util::Rng& rng, WideBatch& batch) {
   for (auto& word : batch.a) word = rng.next_u64();
   for (auto& word : batch.b) word = rng.next_u64();
 }

@@ -22,10 +22,12 @@
 // carry-in path, and the subtraction path (exhaustively at width 8).
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "sim/isa.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
@@ -107,5 +109,135 @@ std::vector<util::BitVec> lane_values(
 /// scalar draws, so scalar and batch runs agree in distribution, not
 /// trial-for-trial.
 void fill_uniform(util::Rng& rng, SlicedBatch& batch);
+
+// ---------------------------------------------------------------------------
+// Wide (SIMD-dispatched) batches — the 64-lane API above generalised to
+// any multiple of 64 lanes up to kMaxBatchLanes.  The layout is the
+// same transposition with a word stride: bit i of the batch lives in
+// the `lanes/64` consecutive words at offset `i * (lanes/64)`, lane j
+// in bit (j % 64) of word (j / 64) of each group.  Evaluation runs on
+// the widest kernel the requested ISA allows (see sim/isa.hpp): one
+// AVX-512 step advances 512 lanes, AVX2 256, scalar 64, all
+// bit-identical to each other and to the scalar core::aca_* model
+// (tests/test_batch_engine.cpp forces each tier via VLSA_FORCE_ISA).
+// ---------------------------------------------------------------------------
+
+/// Widest batch any kernel tier produces (AVX-512: 8 words x 64).
+inline constexpr int kMaxBatchLanes = 512;
+
+/// Smallest supported lane count that fits `count` requests — the
+/// service uses this so small batches keep the 64-lane cost.
+[[nodiscard]] constexpr int lanes_for_batch(int count) {
+  if (count <= 64) return 64;
+  if (count <= 256) return 256;
+  return kMaxBatchLanes;
+}
+
+/// `lanes` operand pairs in the wide transposed layout; lanes must be a
+/// positive multiple of 64, at most kMaxBatchLanes.  Unused lanes are
+/// all-zero (they validly compute 0+0).
+struct WideBatch {
+  explicit WideBatch(int w = 0, int l = 64)
+      : width(w),
+        lanes(l),
+        a(static_cast<std::size_t>(w) * (l / 64), 0),
+        b(static_cast<std::size_t>(w) * (l / 64), 0) {}
+
+  int width = 0;
+  int lanes = 64;
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+
+  /// Words per bit position (= lane-mask words = lanes / 64).
+  [[nodiscard]] int words() const { return lanes / 64; }
+};
+
+/// All outputs of one wide evaluation.  Signal members hold
+/// `width * words()` words (wide slice layout); mask members hold
+/// `words()` words, lane j in bit (j % 64) of word (j / 64).
+struct WideResult {
+  int width = 0;
+  int lanes = 0;
+  std::vector<std::uint64_t> sum_spec;    ///< speculative (ACA) sums
+  std::vector<std::uint64_t> sum_exact;   ///< true sums (recovery output)
+  std::vector<std::uint64_t> carry_spec;  ///< windowed carry chain
+  std::vector<std::uint64_t> carry_out_spec;   ///< lane mask
+  std::vector<std::uint64_t> carry_out_exact;  ///< lane mask
+  std::vector<std::uint64_t> flagged;  ///< lane mask: ER fired (chain >= k)
+  std::vector<std::uint64_t> wrong;    ///< lane mask: speculative != exact
+
+  [[nodiscard]] int words() const { return lanes / 64; }
+  [[nodiscard]] bool flagged_lane(int lane) const {
+    return ((flagged[static_cast<std::size_t>(lane >> 6)] >> (lane & 63)) &
+            1) != 0;
+  }
+  [[nodiscard]] bool wrong_lane(int lane) const {
+    return ((wrong[static_cast<std::size_t>(lane >> 6)] >> (lane & 63)) &
+            1) != 0;
+  }
+  /// Flagged lanes among the first `used_lanes`.
+  [[nodiscard]] int flagged_count(int used_lanes) const {
+    int count = 0;
+    for (int w = 0; w * 64 < used_lanes; ++w) {
+      std::uint64_t m = flagged[static_cast<std::size_t>(w)];
+      const int rem = used_lanes - w * 64;
+      if (rem < 64) m &= (std::uint64_t{1} << rem) - 1;
+      count += std::popcount(m);
+    }
+    return count;
+  }
+};
+
+/// Evaluate ACA(width, k) plus the exact adder on all lanes.
+/// `carry_in` is a nullable lane-mask pointer (`ops.words()` words;
+/// nullptr = no carry in).  `isa` is the upper bound on the kernel tier
+/// (see resolved_isa); the default is the process-wide choice.
+void wide_aca_add_into(const WideBatch& ops, int k,
+                       const std::uint64_t* carry_in, WideResult& out,
+                       Isa isa = active_isa());
+
+[[nodiscard]] WideResult wide_aca_add(const WideBatch& ops, int k,
+                                      const std::uint64_t* carry_in = nullptr,
+                                      Isa isa = active_isa());
+
+/// Lane-wise speculative subtraction a - b (a + ~b + 1 per lane).
+void wide_aca_sub_into(const WideBatch& ops, int k, WideResult& out,
+                       Isa isa = active_isa());
+
+[[nodiscard]] WideResult wide_aca_sub(const WideBatch& ops, int k,
+                                      Isa isa = active_isa());
+
+/// Just the ER lane mask (`ops.words()` words).
+[[nodiscard]] std::vector<std::uint64_t> wide_aca_flag(
+    const WideBatch& ops, int k, Isa isa = active_isa());
+
+/// Per-lane longest propagate chain (`ops.lanes` entries).
+[[nodiscard]] std::vector<int> wide_longest_runs(const WideBatch& ops,
+                                                 Isa isa = active_isa());
+
+/// Transpose up to `lanes` scalar operand pairs (all of `width`) into a
+/// wide batch; lanes beyond `pairs.size()` are zero.  The bit-matrix
+/// transpose itself runs on the `isa` tier (4/8 blocks per step — see
+/// wide_kernel.hpp:kernel_transpose64); the result is identical on
+/// every tier.
+[[nodiscard]] WideBatch wide_transpose_batch(
+    const std::vector<std::pair<util::BitVec, util::BitVec>>& pairs,
+    int width, int lanes, Isa isa = active_isa());
+
+/// Read one lane out of a wide-sliced signal of `words` stride.
+[[nodiscard]] util::BitVec wide_lane_value(
+    const std::vector<std::uint64_t>& sliced, int width, int words, int lane);
+
+/// Read all `lanes` lanes out of a wide-sliced signal in one pass
+/// (word-level un-transpose, like lane_values, SIMD-widened like
+/// wide_transpose_batch).
+[[nodiscard]] std::vector<util::BitVec> wide_lane_values(
+    const std::vector<std::uint64_t>& sliced, int width, int lanes,
+    Isa isa = active_isa());
+
+/// Fill a wide batch with i.i.d. uniform bits (same contract as the
+/// 64-lane fill_uniform: distribution-identical to scalar draws, not
+/// stream-identical).
+void fill_uniform(util::Rng& rng, WideBatch& batch);
 
 }  // namespace vlsa::sim

@@ -1,0 +1,18 @@
+// AVX2 instantiation of the bit-sliced kernels — the only translation
+// unit compiled with -mavx2 (src/sim/CMakeLists.txt), so no 256-bit
+// code can leak into paths a non-AVX2 CPU executes.  When the compiler
+// lacks the flag this TU still builds and reports the tier absent.
+
+#include "sim/wide_kernel.hpp"
+
+namespace vlsa::sim::detail {
+
+const Kernels* avx2_kernels() {
+#if defined(__AVX2__)
+  return make_kernels<Avx2Word>();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace vlsa::sim::detail

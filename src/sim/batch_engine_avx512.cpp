@@ -1,0 +1,19 @@
+// AVX-512 instantiation of the bit-sliced kernels — the only
+// translation unit compiled with -mavx512f/bw/dq/vl
+// (src/sim/CMakeLists.txt), so no 512-bit code can leak into paths a
+// non-AVX-512 CPU executes.  When the compiler lacks the flags this TU
+// still builds and reports the tier absent.
+
+#include "sim/wide_kernel.hpp"
+
+namespace vlsa::sim::detail {
+
+const Kernels* avx512_kernels() {
+#if defined(__AVX512F__)
+  return make_kernels<Avx512Word>();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace vlsa::sim::detail

@@ -12,9 +12,9 @@ namespace vlsa::workloads {
 
 namespace {
 
-// Shard granularity: 512 batches = 32768 trials per shard.  Fixed (not
-// derived from the thread count) so the shard -> substream mapping, and
-// with it every tally, is identical at any parallelism.
+// Shard granularity: 512 batches per shard (512 * lanes trials).
+// Fixed (not derived from the thread count) so the shard -> substream
+// mapping, and with it every tally, is identical at any parallelism.
 constexpr long long kBatchesPerShard = 512;
 
 }  // namespace
@@ -52,9 +52,16 @@ BatchMcResult run_batch_monte_carlo(const BatchMcConfig& config) {
   if (config.threads < 1) {
     throw std::invalid_argument("batch Monte-Carlo: need at least 1 thread");
   }
+  if (config.lanes != 0 &&
+      (config.lanes < 64 || config.lanes > sim::kMaxBatchLanes ||
+       config.lanes % 64 != 0)) {
+    throw std::invalid_argument(
+        "batch Monte-Carlo: lanes must be 0 or a multiple of 64 in "
+        "[64, 512]");
+  }
 
-  const long long batches =
-      (config.trials + sim::kBatchLanes - 1) / sim::kBatchLanes;
+  const int lanes = config.lanes == 0 ? sim::active_lanes() : config.lanes;
+  const long long batches = (config.trials + lanes - 1) / lanes;
   const int shards =
       static_cast<int>((batches + kBatchesPerShard - 1) / kBatchesPerShard);
   const util::Rng master(config.seed);
@@ -71,21 +78,25 @@ BatchMcResult run_batch_monte_carlo(const BatchMcConfig& config) {
     if (config.collect_runs) {
       tally.run_histogram.assign(config.width + 1, 0);
     }
-    sim::SlicedBatch batch(config.width);
-    sim::BatchResult result;
+    sim::WideBatch batch(config.width, lanes);
+    sim::WideResult result;
     for (long long i = 0; i < n_batches; ++i) {
       sim::fill_uniform(rng, batch);
       if (config.subtract) {
-        result = sim::batch_aca_sub(batch, config.window);
+        sim::wide_aca_sub_into(batch, config.window, result);
       } else {
-        sim::batch_aca_add_into(batch, config.window, /*carry_in=*/0,
-                                result);
+        sim::wide_aca_add_into(batch, config.window, /*carry_in=*/nullptr,
+                               result);
       }
-      tally.trials += sim::kBatchLanes;
-      tally.flagged += std::popcount(result.flagged);
-      tally.wrong += std::popcount(result.wrong);
+      tally.trials += lanes;
+      for (const std::uint64_t m : result.flagged) {
+        tally.flagged += std::popcount(m);
+      }
+      for (const std::uint64_t m : result.wrong) {
+        tally.wrong += std::popcount(m);
+      }
       if (config.collect_runs) {
-        const auto runs = sim::batch_longest_runs(batch);
+        const auto runs = sim::wide_longest_runs(batch);
         for (int run : runs) tally.run_histogram[run] += 1;
       }
     }
@@ -95,6 +106,8 @@ BatchMcResult run_batch_monte_carlo(const BatchMcConfig& config) {
   BatchMcResult out;
   out.shards = shards;
   out.threads = config.threads;
+  out.lanes = lanes;
+  out.isa = sim::resolved_isa(sim::active_isa(), lanes);
   for (const auto& tally : partial) out.tally.merge(tally);
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
   out.trials_per_sec =

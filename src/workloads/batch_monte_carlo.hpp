@@ -5,14 +5,19 @@
 // operands from the substream `Rng(seed).split(s)` and accumulates a
 // private tally, and the per-shard tallies are reduced in shard order
 // after the pool drains.  Both the shard layout and the substreams
-// depend only on (trials, seed) — never on the thread count — so the
-// same configuration produces bit-identical tallies on 1, 4, or 13
-// threads (tests/test_parallel.cpp pins this down).  Threads only
-// change the wall clock.
+// depend only on (trials, seed, lanes) — never on the thread count —
+// so the same configuration produces bit-identical tallies on 1, 4, or
+// 13 threads (tests/test_parallel.cpp pins this down).  Threads only
+// change the wall clock.  The lane count (batch width drawn per RNG
+// step) *is* part of the stream: a 256-lane run is distribution-
+// identical but not trial-for-trial identical to a 64-lane run, so pin
+// `lanes` explicitly when a tally must be reproduced across machines
+// with different SIMD tiers.
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/isa.hpp"
 #include "util/rng.hpp"
 
 namespace vlsa::workloads {
@@ -25,6 +30,10 @@ struct BatchMcConfig {
   int threads = 1;      ///< worker threads; does not affect the tallies
   bool collect_runs = true;  ///< longest-propagate-run histogram (Table 1)
   bool subtract = false;     ///< exercise the a - b (carry-in = 1) path
+  /// Lanes per engine batch: a multiple of 64 in [64, 512], or 0 (the
+  /// default) for the detected SIMD lane width (sim::active_lanes()).
+  /// Part of the RNG stream — see the file comment.
+  int lanes = 0;
 };
 
 /// Integer tallies — everything needed for flag/error rates and the
@@ -45,6 +54,9 @@ struct BatchMcResult {
   BatchMcTally tally;
   int shards = 0;
   int threads = 0;
+  int lanes = 0;  ///< lanes per batch the run actually used
+  /// Kernel tier the batches resolved to (provenance for sidecars).
+  sim::Isa isa = sim::Isa::Scalar;
   double seconds = 0.0;
   double trials_per_sec = 0.0;
 
@@ -53,7 +65,7 @@ struct BatchMcResult {
 };
 
 /// Run the configured experiment.  `trials` is rounded up to a multiple
-/// of 64 (the batch width); the returned tally reports the actual count.
+/// of the lane count; the returned tally reports the actual count.
 BatchMcResult run_batch_monte_carlo(const BatchMcConfig& config);
 
 }  // namespace vlsa::workloads

@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -248,6 +250,356 @@ TEST(BatchEngine, RejectsBadArguments) {
                                                  {BitVec(8), BitVec(8)}),
           8),
       std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Wide (SIMD-dispatched) engine — every kernel tier the machine supports
+// is differentially pinned to the scalar core model and required to be
+// bit-identical to the scalar tier.  Under VLSA_FORCE_ISA=<tier> the
+// whole suite additionally reruns with that tier as the default, so CI
+// exercises the scalar fallback on any hardware.
+// ---------------------------------------------------------------------------
+
+using sim::Isa;
+using sim::WideBatch;
+using sim::WideResult;
+
+/// Every tier this build + machine can actually run.  Scalar is always
+/// first: the wide tiers are compared against its outputs.
+std::vector<Isa> testable_isas() {
+  std::vector<Isa> out{Isa::Scalar};
+  for (Isa isa : {Isa::Avx2, Isa::Avx512}) {
+    if (sim::isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+/// Lane mask for the wide layout: bit (j % 64) of word (j / 64).
+std::vector<std::uint64_t> random_lane_mask(Rng& rng, int lanes) {
+  std::vector<std::uint64_t> mask(static_cast<std::size_t>(lanes) / 64);
+  for (auto& w : mask) w = rng.next_u64();
+  return mask;
+}
+
+void expect_wide_lane_matches_scalar(const WideBatch& ops,
+                                     const std::vector<std::uint64_t>& cin,
+                                     int k, const WideResult& got, int lane,
+                                     const char* label) {
+  const int n = ops.width;
+  const int words = ops.words();
+  const BitVec a = sim::wide_lane_value(ops.a, n, words, lane);
+  const BitVec b = sim::wide_lane_value(ops.b, n, words, lane);
+  const bool lane_cin =
+      !cin.empty() &&
+      ((cin[static_cast<std::size_t>(lane / 64)] >> (lane % 64)) & 1) != 0;
+  const auto scalar = aca_add(a, b, k, lane_cin);
+  const auto exact = a.add_with_carry(b, lane_cin);
+  ASSERT_EQ(sim::wide_lane_value(got.sum_spec, n, words, lane), scalar.sum)
+      << label << " spec sum lane " << lane << " n=" << n << " k=" << k;
+  ASSERT_EQ(sim::wide_lane_value(got.sum_exact, n, words, lane), exact.sum)
+      << label << " exact sum lane " << lane << " n=" << n << " k=" << k;
+  const bool spec_cout =
+      ((got.carry_out_spec[static_cast<std::size_t>(lane / 64)] >>
+        (lane % 64)) &
+       1) != 0;
+  ASSERT_EQ(spec_cout, scalar.carry_out)
+      << label << " spec cout lane " << lane;
+  ASSERT_EQ(got.flagged_lane(lane), aca_flag(a, b, k))
+      << label << " ER lane " << lane << " n=" << n << " k=" << k;
+  ASSERT_EQ(got.wrong_lane(lane),
+            scalar.sum != exact.sum || scalar.carry_out != exact.carry_out)
+      << label << " wrong lane " << lane << " n=" << n << " k=" << k;
+}
+
+TEST(BatchEngineWide, EveryTierMatchesScalarModelOnRandomOperands) {
+  Rng rng(0x51d0);
+  for (Isa isa : testable_isas()) {
+    for (int lanes : {64, 128, 256, 512}) {
+      // A tier only runs when its group divides the batch; smaller
+      // batches silently resolve to a narrower tier (checked in
+      // BatchEngineIsa.ResolvedIsaFallsBackToDividingTier).
+      for (int n : {8, 64, 333}) {
+        for (int k : windows_for(n)) {
+          WideBatch ops(n, lanes);
+          for (int t = 0; t < 6; ++t) {
+            sim::fill_uniform(rng, ops);
+            const auto cin = (t % 2 == 0)
+                                 ? random_lane_mask(rng, lanes)
+                                 : std::vector<std::uint64_t>{};
+            const auto got = sim::wide_aca_add(
+                ops, k, cin.empty() ? nullptr : cin.data(), isa);
+            for (int lane = 0; lane < lanes; ++lane) {
+              expect_wide_lane_matches_scalar(ops, cin, k, got, lane,
+                                              sim::isa_name(isa));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEngineWide, EveryTierMatchesScalarOnAllPropagateOperands) {
+  // Adversarial case: b = ~a makes every bit position a propagate, so
+  // the chain spans the whole operand — the worst case for speculation
+  // and the exact pattern where window seeding bugs would show.  With
+  // carry-in set the speculative sum is wrong on every lane; without it
+  // the speculative sum happens to be right but the flag still fires.
+  const int n = 256;
+  for (Isa isa : testable_isas()) {
+    for (int lanes : {64, 256, 512}) {
+      Rng rng(0xadf);
+      WideBatch ops(n, lanes);
+      sim::fill_uniform(rng, ops);
+      for (std::size_t i = 0; i < ops.b.size(); ++i) ops.b[i] = ~ops.a[i];
+      for (int k : {4, n / 2, n}) {
+        std::vector<std::uint64_t> ones(
+            static_cast<std::size_t>(lanes) / 64, ~std::uint64_t{0});
+        const auto got = sim::wide_aca_add(ops, k, ones.data(), isa);
+        for (int lane = 0; lane < lanes; ++lane) {
+          expect_wide_lane_matches_scalar(ops, ones, k, got, lane,
+                                          sim::isa_name(isa));
+          ASSERT_TRUE(got.flagged_lane(lane));  // chain = n >= k always
+          // With carry-in, the length-k window seeds 0 where the exact
+          // chain carries 1 — at minimum the carry-out mispredicts.
+          ASSERT_TRUE(got.wrong_lane(lane));
+        }
+        const auto no_cin = sim::wide_aca_add(ops, k, nullptr, isa);
+        for (int lane = 0; lane < lanes; ++lane) {
+          ASSERT_TRUE(no_cin.flagged_lane(lane));
+          // All-propagate with cin=0: every window ripples to 0 carries,
+          // which matches the exact chain — flagged but not wrong.
+          ASSERT_FALSE(no_cin.wrong_lane(lane));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEngineWide, AllTiersProduceBitIdenticalOutputs) {
+  // Stronger than per-lane agreement: the raw output vectors of every
+  // supported tier must equal the scalar tier's word for word.
+  Rng rng(0xb17);
+  const auto isas = testable_isas();
+  for (int lanes : {256, 512}) {
+    for (int n : {64, 333}) {
+      WideBatch ops(n, lanes);
+      sim::fill_uniform(rng, ops);
+      const auto cin = random_lane_mask(rng, lanes);
+      const int k = 8;
+      const auto ref = sim::wide_aca_add(ops, k, cin.data(), Isa::Scalar);
+      for (Isa isa : isas) {
+        const auto got = sim::wide_aca_add(ops, k, cin.data(), isa);
+        EXPECT_EQ(got.sum_spec, ref.sum_spec) << sim::isa_name(isa);
+        EXPECT_EQ(got.sum_exact, ref.sum_exact) << sim::isa_name(isa);
+        EXPECT_EQ(got.carry_spec, ref.carry_spec) << sim::isa_name(isa);
+        EXPECT_EQ(got.carry_out_spec, ref.carry_out_spec)
+            << sim::isa_name(isa);
+        EXPECT_EQ(got.carry_out_exact, ref.carry_out_exact)
+            << sim::isa_name(isa);
+        EXPECT_EQ(got.flagged, ref.flagged) << sim::isa_name(isa);
+        EXPECT_EQ(got.wrong, ref.wrong) << sim::isa_name(isa);
+        EXPECT_EQ(sim::wide_aca_flag(ops, k, isa), ref.flagged)
+            << sim::isa_name(isa);
+        EXPECT_EQ(sim::wide_longest_runs(ops, isa),
+                  sim::wide_longest_runs(ops, Isa::Scalar))
+            << sim::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST(BatchEngineWide, LongestRunsMatchScalarChainLength) {
+  Rng rng(0x3a1);
+  for (Isa isa : testable_isas()) {
+    for (int lanes : {64, 512}) {
+      for (int n : {8, 333}) {
+        WideBatch ops(n, lanes);
+        sim::fill_uniform(rng, ops);
+        const auto runs = sim::wide_longest_runs(ops, isa);
+        ASSERT_EQ(static_cast<int>(runs.size()), lanes);
+        for (int lane = 0; lane < lanes; ++lane) {
+          const BitVec a = sim::wide_lane_value(ops.a, n, ops.words(), lane);
+          const BitVec b = sim::wide_lane_value(ops.b, n, ops.words(), lane);
+          ASSERT_EQ(runs[lane], longest_propagate_chain(a, b))
+              << sim::isa_name(isa) << " lane " << lane << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEngineWide, SubtractionPathMatchesScalar) {
+  Rng rng(0x5b5);
+  for (Isa isa : testable_isas()) {
+    const int n = 64;
+    const int k = 6;
+    WideBatch ops(n, 512);
+    sim::fill_uniform(rng, ops);
+    const auto got = sim::wide_aca_sub(ops, k, isa);
+    for (int lane = 0; lane < ops.lanes; ++lane) {
+      const BitVec a = sim::wide_lane_value(ops.a, n, ops.words(), lane);
+      const BitVec b = sim::wide_lane_value(ops.b, n, ops.words(), lane);
+      const auto scalar = aca_sub(a, b, k);
+      ASSERT_EQ(sim::wide_lane_value(got.sum_spec, n, ops.words(), lane),
+                scalar.sum)
+          << sim::isa_name(isa) << " lane " << lane;
+      ASSERT_EQ(got.flagged_lane(lane), scalar.flagged)
+          << sim::isa_name(isa) << " lane " << lane;
+    }
+  }
+}
+
+TEST(BatchEngineWide, TransposeRoundTripOnEveryTier) {
+  Rng rng(0x7a2);
+  const int n = 96;
+  for (Isa isa : testable_isas()) {
+    for (int lanes : {64, 256, 512}) {
+      std::vector<std::pair<BitVec, BitVec>> pairs;
+      const int used = lanes - 27;  // deliberately a partial batch
+      for (int i = 0; i < used; ++i) {
+        pairs.emplace_back(rng.next_bits(n), rng.next_bits(n));
+      }
+      const auto ops = sim::wide_transpose_batch(pairs, n, lanes, isa);
+      const auto back_a = sim::wide_lane_values(ops.a, n, lanes, isa);
+      const auto back_b = sim::wide_lane_values(ops.b, n, lanes, isa);
+      for (int lane = 0; lane < used; ++lane) {
+        ASSERT_EQ(back_a[static_cast<std::size_t>(lane)], pairs[lane].first)
+            << sim::isa_name(isa) << " lane " << lane;
+        ASSERT_EQ(back_b[static_cast<std::size_t>(lane)], pairs[lane].second)
+            << sim::isa_name(isa) << " lane " << lane;
+      }
+      for (int lane = used; lane < lanes; ++lane) {
+        ASSERT_TRUE(back_a[static_cast<std::size_t>(lane)].is_zero());
+        ASSERT_TRUE(back_b[static_cast<std::size_t>(lane)].is_zero());
+      }
+    }
+  }
+}
+
+TEST(BatchEngineWide, WideMatchesLegacy64LaneEngine) {
+  // The 64-lane API is now a thin wrapper over the scalar kernel; a
+  // 64-lane WideBatch must reproduce it exactly.
+  Rng rng(0x64'64);
+  const int n = 128;
+  const int k = 9;
+  SlicedBatch legacy(n);
+  sim::fill_uniform(rng, legacy);
+  WideBatch wide(n, 64);
+  wide.a = legacy.a;
+  wide.b = legacy.b;
+  const std::uint64_t cin = rng.next_u64();
+  const auto lres = sim::batch_aca_add(legacy, k, cin);
+  const auto wres = sim::wide_aca_add(wide, k, &cin);
+  EXPECT_EQ(wres.sum_spec, lres.sum_spec);
+  EXPECT_EQ(wres.sum_exact, lres.sum_exact);
+  EXPECT_EQ(wres.carry_out_spec[0], lres.carry_out_spec);
+  EXPECT_EQ(wres.carry_out_exact[0], lres.carry_out_exact);
+  EXPECT_EQ(wres.flagged[0], lres.flagged);
+  EXPECT_EQ(wres.wrong[0], lres.wrong);
+}
+
+TEST(BatchEngineWide, RejectsBadArguments) {
+  WideBatch ops(8, 64);
+  EXPECT_THROW(sim::wide_aca_add(ops, 0), std::invalid_argument);
+  EXPECT_THROW(sim::wide_aca_add(WideBatch(0, 64), 4), std::invalid_argument);
+  // Lane counts are validated at dispatch: not a multiple of 64, zero,
+  // or beyond kMaxBatchLanes all reject.
+  WideBatch bad(8, 64);
+  bad.lanes = 96;
+  EXPECT_THROW(sim::wide_aca_add(bad, 4), std::invalid_argument);
+  bad.lanes = 0;
+  EXPECT_THROW(sim::wide_aca_add(bad, 4), std::invalid_argument);
+  bad.lanes = 1024;
+  EXPECT_THROW(sim::wide_aca_add(bad, 4), std::invalid_argument);
+  EXPECT_THROW(sim::wide_lane_values(ops.a, 8, 128), std::invalid_argument);
+  EXPECT_THROW(
+      sim::wide_transpose_batch(
+          std::vector<std::pair<BitVec, BitVec>>(65,
+                                                 {BitVec(8), BitVec(8)}),
+          8, 64),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ISA probing and dispatch resolution.
+// ---------------------------------------------------------------------------
+
+TEST(BatchEngineIsa, NamesLanesAndParsingAgree) {
+  EXPECT_STREQ(sim::isa_name(Isa::Scalar), "scalar");
+  EXPECT_STREQ(sim::isa_name(Isa::Avx2), "avx2");
+  EXPECT_STREQ(sim::isa_name(Isa::Avx512), "avx512");
+  EXPECT_EQ(sim::isa_lanes(Isa::Scalar), 64);
+  EXPECT_EQ(sim::isa_lanes(Isa::Avx2), 256);
+  EXPECT_EQ(sim::isa_lanes(Isa::Avx512), 512);
+  for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512}) {
+    EXPECT_EQ(sim::parse_isa(sim::isa_name(isa)), isa);
+  }
+  EXPECT_EQ(sim::parse_isa("AVX2"), Isa::Avx2);       // case-insensitive
+  EXPECT_EQ(sim::parse_isa("avx-512"), Isa::Avx512);  // hyphen alias
+  EXPECT_EQ(sim::parse_isa("neon"), std::nullopt);
+  EXPECT_EQ(sim::parse_isa(""), std::nullopt);
+}
+
+TEST(BatchEngineIsa, SupportImpliesCompiledAndScalarAlwaysWorks) {
+  EXPECT_TRUE(sim::isa_compiled(Isa::Scalar));
+  EXPECT_TRUE(sim::isa_supported(Isa::Scalar));
+  for (Isa isa : {Isa::Avx2, Isa::Avx512}) {
+    if (sim::isa_supported(isa)) {
+      EXPECT_TRUE(sim::isa_compiled(isa));
+    }
+  }
+  EXPECT_TRUE(sim::isa_supported(sim::best_isa()));
+  EXPECT_TRUE(sim::isa_supported(sim::active_isa()));
+  EXPECT_EQ(sim::active_lanes(), sim::isa_lanes(sim::active_isa()));
+}
+
+TEST(BatchEngineIsa, ResolvedIsaFallsBackToDividingTier) {
+  // resolved_isa reports which tier a dispatch actually runs: the
+  // widest supported tier <= requested whose group divides the batch.
+  for (Isa req : testable_isas()) {
+    // 64 lanes (1 word): only the scalar group divides it.
+    EXPECT_EQ(sim::resolved_isa(req, 64), Isa::Scalar);
+    // 128 lanes (2 words): no SIMD group (4 or 8 words) divides it.
+    EXPECT_EQ(sim::resolved_isa(req, 128), Isa::Scalar);
+    const Isa at256 = sim::resolved_isa(req, 256);
+    const Isa at512 = sim::resolved_isa(req, 512);
+    if (req == Isa::Scalar) {
+      EXPECT_EQ(at256, Isa::Scalar);
+      EXPECT_EQ(at512, Isa::Scalar);
+    } else {
+      // 256 lanes never resolves above AVX2 (the AVX-512 group is 8
+      // words, 256 lanes is 4); 512 takes the requested tier.
+      EXPECT_EQ(at256, Isa::Avx2);
+      EXPECT_EQ(at512, req);
+    }
+  }
+  EXPECT_THROW(static_cast<void>(sim::resolved_isa(Isa::Scalar, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(sim::resolved_isa(Isa::Scalar, 96)),
+               std::invalid_argument);
+}
+
+TEST(BatchEngineIsa, ForcedIsaIsHonored) {
+  // When CI forces a tier via VLSA_FORCE_ISA, the process-wide choice
+  // must match it — this is what makes the forced-scalar differential
+  // run in CI meaningful.
+  const char* forced = std::getenv("VLSA_FORCE_ISA");
+  if (forced == nullptr || *forced == '\0') {
+    GTEST_SKIP() << "VLSA_FORCE_ISA not set";
+  }
+  const auto parsed = sim::parse_isa(forced);
+  ASSERT_TRUE(parsed.has_value()) << forced;
+  EXPECT_EQ(sim::active_isa(), *parsed);
+}
+
+TEST(BatchEngineIsa, LanesForBatchPicksSmallestFit) {
+  EXPECT_EQ(sim::lanes_for_batch(1), 64);
+  EXPECT_EQ(sim::lanes_for_batch(64), 64);
+  EXPECT_EQ(sim::lanes_for_batch(65), 256);
+  EXPECT_EQ(sim::lanes_for_batch(256), 256);
+  EXPECT_EQ(sim::lanes_for_batch(257), 512);
+  EXPECT_EQ(sim::lanes_for_batch(512), 512);
 }
 
 }  // namespace

@@ -111,14 +111,18 @@ TEST(ParallelForShards, CoversAllShardsOnAnyThreadCount) {
 }
 
 TEST(BatchMonteCarlo, TalliesAreIdenticalAcrossThreadCounts) {
-  // Several shards' worth of work (32768 trials/shard) so the schedule
-  // actually interleaves, small enough to run three times.
+  // Several shards' worth of work (512 batches/shard) so the schedule
+  // actually interleaves, small enough to run three times.  Lanes are
+  // pinned so the shard count doesn't depend on the machine's SIMD
+  // tier (the lane count is part of the stream; the thread count must
+  // not be).
   BatchMcConfig config;
   config.width = 64;
   config.window = 6;
   config.trials = 200'000;
   config.seed = 0xabcdef;
   config.threads = 1;
+  config.lanes = 64;
   const auto base = run_batch_monte_carlo(config);
   EXPECT_GE(base.tally.trials, config.trials);
   EXPECT_GT(base.shards, 1);
@@ -158,6 +162,46 @@ TEST(BatchMonteCarlo, TalliesAreInternallyConsistent) {
   EXPECT_EQ(chains_ge_k, got.tally.flagged);
 }
 
+TEST(BatchMonteCarlo, ExplicitLaneCountsAgreeStatistically) {
+  // The lane count is part of the RNG stream, so wider runs are not
+  // trial-for-trial identical to 64-lane ones — but the flag rate is an
+  // estimate of the same probability (Eq. 2 of the paper) and must
+  // agree within Monte-Carlo error.  The result also records which
+  // lane count / ISA tier produced it (bench sidecar provenance).
+  BatchMcConfig config;
+  config.width = 64;
+  config.window = 6;
+  config.trials = 400'000;
+  config.seed = 0x1a9e5;
+  config.threads = 2;
+  double rates[2];
+  const int lane_options[2] = {64, 256};
+  for (int i = 0; i < 2; ++i) {
+    config.lanes = lane_options[i];
+    const auto got = run_batch_monte_carlo(config);
+    EXPECT_EQ(got.lanes, lane_options[i]);
+    EXPECT_EQ(got.isa,
+              sim::resolved_isa(sim::active_isa(), lane_options[i]));
+    EXPECT_GE(got.tally.trials, config.trials);
+    EXPECT_EQ(got.tally.trials % lane_options[i], 0);
+    rates[i] = static_cast<double>(got.tally.flagged) /
+               static_cast<double>(got.tally.trials);
+  }
+  // ER(64, 6) ~ 0.2; with 4e5 trials the standard error is ~6e-4.
+  EXPECT_NEAR(rates[0], rates[1], 0.01);
+}
+
+TEST(BatchMonteCarlo, RejectsBadLaneCounts) {
+  BatchMcConfig config;
+  config.width = 8;
+  config.trials = 1000;
+  for (int lanes : {-64, 32, 96, 1024}) {
+    config.lanes = lanes;
+    EXPECT_THROW(run_batch_monte_carlo(config), std::invalid_argument)
+        << lanes;
+  }
+}
+
 TEST(BatchMonteCarlo, SubtractPathRuns) {
   BatchMcConfig config;
   config.width = 64;
@@ -165,6 +209,7 @@ TEST(BatchMonteCarlo, SubtractPathRuns) {
   config.trials = 64 * 100;
   config.subtract = true;
   config.collect_runs = false;
+  config.lanes = 64;  // keep trials an exact multiple of the batch
   const auto got = run_batch_monte_carlo(config);
   EXPECT_EQ(got.tally.trials, config.trials);
   EXPECT_LE(got.tally.wrong, got.tally.flagged);

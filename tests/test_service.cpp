@@ -15,6 +15,7 @@
 #include "core/aca.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/service.hpp"
+#include "sim/isa.hpp"
 #include "telemetry/registry.hpp"
 #include "util/bitvec.hpp"
 #include "workloads/operand_stream.hpp"
@@ -78,6 +79,45 @@ TEST(ServiceCorrectness, PumpModeMatchesScalarModel) {
   EXPECT_EQ(counter_value(snap, "service.fast_path") +
                 counter_value(snap, "service.recovered"),
             500);
+}
+
+TEST(ServiceCorrectness, WideBatchDispatchMatchesScalarModel) {
+  // max_batch = the detected SIMD lane width (the default): a flush
+  // after >512 queued submissions makes every dispatch pop a batch
+  // wider than 64 lanes, driving the wide transpose/eval/un-transpose
+  // path end to end.  Window 6 at width 64 flags often enough that the
+  // recovery lane runs inside wide batches too.
+  const int width = 64, window = 6;
+  auto config = pump_config(width, window);
+  config.max_batch = sim::active_lanes();
+  AdderService service(config);
+  workloads::OperandStream stream(workloads::Distribution::Uniform, width,
+                                  0x51d5);
+  struct Expected {
+    BitVec sum;
+    bool flagged;
+    std::future<Completion> future;
+  };
+  std::vector<Expected> expected;
+  for (int i = 0; i < 1200; ++i) {
+    const auto [a, b] = stream.next();
+    auto future = service.submit(a, b);
+    ASSERT_TRUE(future.has_value());
+    expected.push_back({a + b, core::aca_flag(a, b, window),
+                        std::move(*future)});
+  }
+  service.flush();
+  int flagged = 0;
+  for (auto& e : expected) {
+    const Completion got = e.future.get();
+    EXPECT_EQ(got.sum, e.sum);
+    EXPECT_EQ(got.flagged, e.flagged);
+    flagged += e.flagged ? 1 : 0;
+  }
+  EXPECT_GT(flagged, 0);  // the batch actually exercised recovery
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.completed"), 1200);
+  EXPECT_EQ(counter_value(snap, "service.recovered"), flagged);
 }
 
 TEST(ServiceDeterminism, FixedSeedSnapshotsAreByteIdentical) {
