@@ -6,6 +6,15 @@
 //                                                  exit 0 clean, 3 findings
 //   vlsa_tool emit     <circuit> <width> [k] --verilog|--vhdl|--dot|--text
 //   vlsa_tool equiv    <circuit-a> <circuit-b> <width> [k]
+//   vlsa_tool prove    <circuit-a> <circuit-b> <width> [k] [--conflicts N]
+//                                                  SAT proof of equivalence;
+//                                                  exit 0 proven, 2 counter-
+//                                                  example, 4 budget exceeded
+//   vlsa_tool prove    speculation|recovery|vlsa <width> [k] [--conflicts N]
+//                                                  paper obligations: ACA+ER
+//                                                  vs exact under flag=0,
+//                                                  recovery-path exactness,
+//                                                  or both ("vlsa")
 //   vlsa_tool faults   <circuit> <width> [k]       stuck-at coverage
 //   vlsa_tool settle   <circuit> <width> [k]       average-case delay
 //   vlsa_tool datasheet <width> <accuracy>         size a VLSA design
@@ -61,6 +70,7 @@
 #include "netlist/equiv.hpp"
 #include "netlist/event_sim.hpp"
 #include "netlist/fault.hpp"
+#include "netlist/formal/miter.hpp"
 #include "netlist/lint.hpp"
 #include "netlist/opt.hpp"
 #include "netlist/serialize.hpp"
@@ -198,11 +208,111 @@ int cmd_equiv(const Netlist& a, const Netlist& b) {
               << (result.exhaustive ? ", exhaustive" : "") << ")\n";
     return 0;
   }
-  std::cout << "NOT equivalent: output '" << result.mismatched_output
-            << "' differs; counterexample inputs (LSB first):\n  ";
-  for (bool bit : result.counterexample) std::cout << (bit ? '1' : '0');
-  std::cout << "\n";
+  std::cout << "NOT equivalent: " << result.failure_message << "\n";
   return 2;
+}
+
+// Run one formal proof obligation and report it.  Exit code 0 = proven,
+// 2 = counterexample (operands printed as hex, replayable through
+// `vlsa_tool serve` or the simulator), 4 = conflict budget exceeded.
+int run_proof(const std::string& label, const Netlist& lhs,
+              const Netlist& rhs,
+              const vlsa::netlist::formal::MiterSpec& spec,
+              const vlsa::netlist::formal::FormalOptions& options) {
+  namespace formal = vlsa::netlist::formal;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = formal::check_equivalence_formal(lhs, rhs, spec,
+                                                       options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << label << ": " << result.summary() << " [" << seconds
+            << " s]\n";
+  if (result.verdict == formal::FormalVerdict::Counterexample) {
+    const auto a = formal::counterexample_bus(lhs, result.counterexample,
+                                              "a");
+    const auto b = formal::counterexample_bus(lhs, result.counterexample,
+                                              "b");
+    std::cout << "  counterexample operands: a=0x" << a.to_hex() << " b=0x"
+              << b.to_hex() << "\n";
+    return 2;
+  }
+  if (result.verdict == formal::FormalVerdict::Unknown) return 4;
+  return 0;
+}
+
+// `vlsa_tool prove` — SAT-certified equivalence.  Two shapes:
+//   prove <circuit-a> <circuit-b> <width> [k]   unconditional miter
+//   prove speculation|recovery|vlsa <width> [k] the paper's obligations
+int cmd_prove(const std::vector<std::string>& args) {
+  namespace formal = vlsa::netlist::formal;
+  if (args.size() < 3) {
+    std::cerr << "usage: vlsa_tool prove <a> <b> <width> [k] "
+                 "[--conflicts N]\n"
+                 "       vlsa_tool prove speculation|recovery|vlsa <width> "
+                 "[k] [--conflicts N]\n";
+    return 1;
+  }
+  const std::string& mode = args[1];
+  const bool obligation =
+      mode == "speculation" || mode == "recovery" || mode == "vlsa";
+  const std::size_t width_pos = obligation ? 2 : 3;
+  if (args.size() < width_pos + 1) {
+    std::cerr << "usage: vlsa_tool prove " << mode
+              << (obligation ? " <width> [k]" : " <b> <width> [k]") << "\n";
+    return 1;
+  }
+  const int width = std::stoi(args[width_pos]);
+  int k = vlsa::analysis::choose_window(width, 1e-4);
+  std::size_t next = width_pos + 1;
+  if (args.size() > next && args[next][0] != '-') {
+    k = std::stoi(args[next]);
+    ++next;
+  }
+  formal::FormalOptions options;
+  for (std::size_t i = next; i < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    if (flag == "--conflicts") {
+      options.conflict_limit = std::stoll(args[i + 1]);
+    } else {
+      throw std::invalid_argument("unknown prove flag '" + flag + "'");
+    }
+  }
+
+  const Netlist exact =
+      vlsa::adders::build_adder(vlsa::adders::AdderKind::RippleCarry, width)
+          .nl;
+  if (mode == "speculation" || mode == "vlsa") {
+    // The paper's theorem 1: whenever the error flag is 0, the ACA sum
+    // equals the exact sum.  flag=0 is assumed; the flag port itself is
+    // excluded from comparison.
+    const Netlist aca = vlsa::core::build_aca(width, k, true).nl;
+    vlsa::netlist::formal::MiterSpec spec;
+    spec.assume_zero = {"error"};
+    const int rc = run_proof("speculation(flag=0) width " +
+                                 std::to_string(width) + " k " +
+                                 std::to_string(k),
+                             aca, exact, spec, options);
+    if (rc != 0 || mode == "speculation") return rc;
+  }
+  if (mode == "recovery" || mode == "vlsa") {
+    // The recovery path must be exact for every input, flagged or not:
+    // compare the VLSA datapath's final sum/cout against a plain adder,
+    // skipping its extra outputs (speculative bus, error, valid).
+    const Netlist vlsa_nl = vlsa::core::build_vlsa(width, k).nl;
+    vlsa::netlist::formal::MiterSpec spec;
+    spec.ignore_unmatched_outputs = true;
+    return run_proof("recovery width " + std::to_string(width) + " k " +
+                         std::to_string(k),
+                     vlsa_nl, exact, spec, options);
+  }
+  // Pairwise: two named circuits, all outputs compared.
+  return run_proof(mode + " vs " + args[2],
+                   build_circuit(mode, width, k),
+                   build_circuit(args[2], width, k), {}, options);
 }
 
 int cmd_faults(const Netlist& nl) {
@@ -618,8 +728,8 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) {
       std::cerr << "usage: vlsa_tool "
-                   "stats|lint|emit|equiv|faults|settle|datasheet|serve|"
-                   "loadgen|trace ...\n";
+                   "stats|lint|emit|equiv|prove|faults|settle|datasheet|"
+                   "serve|loadgen|trace ...\n";
       return 1;
     }
     const std::string& cmd = args[0];
@@ -656,6 +766,9 @@ int main(int argc, char** argv) {
                                                   std::stod(args[2]))
                        .datasheet();
       return 0;
+    }
+    if (cmd == "prove") {
+      return cmd_prove(args);
     }
     if (cmd == "equiv") {
       if (args.size() < 4) {

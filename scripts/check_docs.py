@@ -23,6 +23,7 @@ REPO = Path(__file__).resolve().parent.parent
 REQUIRED_DOCS = [
     "docs/architecture.md",
     "docs/benchmarks.md",
+    "docs/formal_verification.md",
     "docs/hardware.md",
     "docs/integration.md",
     "docs/observability.md",
@@ -55,9 +56,24 @@ def tool_subcommands() -> set:
     literals before looking for the a|b|c token."""
     source = (REPO / "examples" / "vlsa_tool.cpp").read_text()
     joined = re.sub(r'"\s*\n\s*"', "", source)
-    match = re.search(r'usage: vlsa_tool ([a-z|]+)', joined)
+    # Require an actual a|b|c alternation so per-subcommand usage lines
+    # (e.g. "usage: vlsa_tool prove <a> <b> ...") don't match first.
+    match = re.search(r'usage: vlsa_tool ([a-z]+(?:\|[a-z]+)+)', joined)
     if not match:
         sys.exit("check_docs: cannot find the usage string in "
+                 "examples/vlsa_tool.cpp")
+    return set(match.group(1).split("|"))
+
+
+def prove_modes() -> set:
+    """The named proof obligations of `vlsa_tool prove` (the
+    speculation|recovery|vlsa alternation in its usage string)."""
+    source = (REPO / "examples" / "vlsa_tool.cpp").read_text()
+    joined = re.sub(r'"\s*\n\s*"', "", source)
+    match = re.search(r'vlsa_tool prove ([a-z]+(?:\|[a-z]+)+) <width>',
+                      joined)
+    if not match:
+        sys.exit("check_docs: cannot find the prove usage string in "
                  "examples/vlsa_tool.cpp")
     return set(match.group(1).split("|"))
 
@@ -106,6 +122,17 @@ def main() -> int:
             if f"src/{sub}/" not in arch_text and f"{sub}/" not in arch_text:
                 problems.append(
                     f"docs/architecture.md: src/{sub}/ not covered")
+
+    # Every named proof obligation of `vlsa_tool prove` must be
+    # documented on the formal-verification page.
+    formal = (REPO / "docs" / "formal_verification.md")
+    if formal.is_file():
+        formal_text = formal.read_text()
+        for mode in sorted(prove_modes()):
+            if not re.search(rf"\bprove\s+{re.escape(mode)}\b", formal_text):
+                problems.append(
+                    f"docs/formal_verification.md: prove mode '{mode}' "
+                    "not documented")
 
     benchmarks = (REPO / "docs" / "benchmarks.md")
     if benchmarks.is_file():

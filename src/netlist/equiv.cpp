@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "netlist/simulator.hpp"
+#include "util/bitvec.hpp"
 #include "util/rng.hpp"
 
 namespace vlsa::netlist {
@@ -17,24 +18,86 @@ struct PortMap {
 };
 
 PortMap map_ports(const Netlist& lhs, const Netlist& rhs) {
-  if (lhs.inputs().size() != rhs.inputs().size() ||
-      lhs.outputs().size() != rhs.outputs().size()) {
-    throw std::invalid_argument("check_equivalence: port count mismatch");
-  }
   PortMap map;
-  auto find = [](const std::vector<Port>& ports, const std::string& name) {
+  auto find = [](const std::vector<Port>& ports, const std::string& name,
+                 const char* direction, const char* side) {
     for (std::size_t i = 0; i < ports.size(); ++i) {
       if (ports[i].name == name) return i;
     }
-    throw std::invalid_argument("check_equivalence: missing port " + name);
+    throw std::invalid_argument(std::string("check_equivalence: ") +
+                                direction + " '" + name +
+                                "' has no counterpart in the " + side +
+                                " netlist");
   };
+  // Match each port by name in both directions so the exception names the
+  // exact offending port instead of a bare count mismatch.
   for (const Port& p : lhs.inputs()) {
-    map.rhs_input_for_lhs.push_back(find(rhs.inputs(), p.name));
+    map.rhs_input_for_lhs.push_back(find(rhs.inputs(), p.name, "input", "rhs"));
+  }
+  for (const Port& p : rhs.inputs()) {
+    find(lhs.inputs(), p.name, "input", "lhs");
   }
   for (const Port& p : lhs.outputs()) {
-    map.rhs_output_for_lhs.push_back(find(rhs.outputs(), p.name));
+    map.rhs_output_for_lhs.push_back(
+        find(rhs.outputs(), p.name, "output", "rhs"));
+  }
+  for (const Port& p : rhs.outputs()) {
+    find(lhs.outputs(), p.name, "output", "lhs");
   }
   return map;
+}
+
+// Format the witnessing input assignment grouped by bus: "a[i]" style
+// ports collapse into one hex number per bus, scalars print as name=0/1.
+std::string format_witness(const Netlist& lhs,
+                           const std::vector<bool>& assignment) {
+  struct Bus {
+    std::string name;
+    util::BitVec bits;
+    bool scalar = false;
+  };
+  std::vector<Bus> buses;
+  auto bus_for = [&](const std::string& base) -> Bus& {
+    for (Bus& b : buses) {
+      if (b.name == base) return b;
+    }
+    buses.push_back({base, util::BitVec(0), false});
+    return buses.back();
+  };
+  const auto& inputs = lhs.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::string& name = inputs[i].name;
+    const auto lb = name.rfind('[');
+    std::size_t index = 0;
+    bool indexed = false;
+    if (lb != std::string::npos && name.back() == ']') {
+      indexed = true;
+      for (std::size_t p = lb + 1; p + 1 < name.size(); ++p) {
+        const char c = name[p];
+        if (c < '0' || c > '9') {
+          indexed = false;
+          break;
+        }
+        index = index * 10 + static_cast<std::size_t>(c - '0');
+      }
+    }
+    Bus& bus = bus_for(indexed ? name.substr(0, lb) : name);
+    if (!indexed) {
+      bus.scalar = true;
+      index = 0;
+    }
+    if (static_cast<std::size_t>(bus.bits.width()) <= index) {
+      bus.bits = bus.bits.resized(static_cast<int>(index) + 1);
+    }
+    bus.bits.set_bit(static_cast<int>(index), assignment[i]);
+  }
+  std::string out;
+  for (const Bus& b : buses) {
+    if (!out.empty()) out += ' ';
+    out += b.name + '=';
+    out += b.scalar ? (b.bits.bit(0) ? "1" : "0") : "0x" + b.bits.to_hex();
+  }
+  return out;
 }
 
 }  // namespace
@@ -119,6 +182,10 @@ EquivalenceResult check_equivalence(const Netlist& lhs, const Netlist& rhs,
         for (std::size_t i = 0; i < n_in; ++i) {
           result.counterexample[i] = (lhs_stim[i] >> lane) & 1;
         }
+        result.failure_message =
+            "output '" + result.mismatched_output +
+            "' differs; witness inputs: " +
+            format_witness(lhs, result.counterexample);
         return result;
       }
     }

@@ -24,6 +24,11 @@ struct EquivalenceResult {
   /// the first netlist, plus the differing output name).
   std::vector<bool> counterexample;
   std::string mismatched_output;
+  /// Human-readable description of the mismatch: names the differing
+  /// output and prints the witnessing input vector grouped by bus
+  /// (e.g. "output 'sum[5]' differs; witness inputs: a=0xffef b=0xffd1").
+  /// Empty when the circuits matched on every vector checked.
+  std::string failure_message;
 };
 
 /// Check functional equivalence of `lhs` and `rhs`.

@@ -1,0 +1,191 @@
+#include "netlist/formal/cnf.hpp"
+
+#include <stdexcept>
+
+namespace vlsa::netlist::formal {
+
+CnfBuilder::CnfBuilder() {
+  nodes_.push_back({NodeType::Const, kLitUndef, kLitUndef});  // var 0 = true
+}
+
+Lit CnfBuilder::new_node(NodeType type, Lit a, Lit b) {
+  const int var = static_cast<int>(nodes_.size());
+  nodes_.push_back({type, a, b});
+  return make_lit(var, false);
+}
+
+Lit CnfBuilder::add_input() {
+  const Lit l = new_node(NodeType::Input, kLitUndef, kLitUndef);
+  input_vars_.push_back(var_of(l));
+  return l;
+}
+
+Lit CnfBuilder::lit_and(Lit a, Lit b) {
+  if (a == lit_false() || b == lit_false()) return lit_false();
+  if (a == lit_true()) return b;
+  if (b == lit_true()) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return lit_false();
+  if (a > b) std::swap(a, b);
+  const Key key{static_cast<std::uint8_t>(NodeType::And), a, b};
+  const auto it = hash_.find(key);
+  if (it != hash_.end()) return it->second;
+  const Lit l = new_node(NodeType::And, a, b);
+  hash_.emplace(key, l);
+  return l;
+}
+
+Lit CnfBuilder::lit_xor(Lit a, Lit b) {
+  // Fold inverters into the result's polarity so XOR and XNOR of the
+  // same operands hash to one node.
+  bool pol = false;
+  if (sign_of(a)) { a = negate(a); pol = !pol; }
+  if (sign_of(b)) { b = negate(b); pol = !pol; }
+  if (a == lit_true()) return pol ? b : negate(b);
+  if (b == lit_true()) return pol ? a : negate(a);
+  if (a == b) return pol ? lit_true() : lit_false();
+  if (a > b) std::swap(a, b);
+  const Key key{static_cast<std::uint8_t>(NodeType::Xor), a, b};
+  const auto it = hash_.find(key);
+  Lit l;
+  if (it != hash_.end()) {
+    l = it->second;
+  } else {
+    l = new_node(NodeType::Xor, a, b);
+    hash_.emplace(key, l);
+  }
+  return pol ? negate(l) : l;
+}
+
+Lit CnfBuilder::lit_cell(CellKind kind, Lit a, Lit b, Lit c) {
+  switch (kind) {
+    case CellKind::Const0: return lit_false();
+    case CellKind::Const1: return lit_true();
+    case CellKind::Buf:    return a;
+    case CellKind::Inv:    return negate(a);
+    case CellKind::And2:   return lit_and(a, b);
+    case CellKind::Or2:    return lit_or(a, b);
+    case CellKind::Nand2:  return negate(lit_and(a, b));
+    case CellKind::Nor2:   return negate(lit_or(a, b));
+    case CellKind::Xor2:   return lit_xor(a, b);
+    case CellKind::Xnor2:  return negate(lit_xor(a, b));
+    case CellKind::And3:   return lit_and(lit_and(a, b), c);
+    case CellKind::Or3:    return lit_or(lit_or(a, b), c);
+    case CellKind::Aoi21:  return negate(lit_or(lit_and(a, b), c));
+    case CellKind::Oai21:  return negate(lit_and(lit_or(a, b), c));
+    case CellKind::Mux2:   return lit_mux(a, b, c);
+    case CellKind::Input:
+    case CellKind::Dff:
+      break;
+  }
+  throw std::logic_error("CnfBuilder::lit_cell: non-combinational cell");
+}
+
+std::vector<Lit> CnfBuilder::encode_netlist(const Netlist& nl,
+                                            std::span<const Lit> input_lits) {
+  if (nl.is_sequential()) {
+    throw std::invalid_argument(
+        "CnfBuilder::encode_netlist: combinational netlists only");
+  }
+  if (input_lits.size() != nl.inputs().size()) {
+    throw std::invalid_argument(
+        "CnfBuilder::encode_netlist: input literal arity mismatch");
+  }
+  std::vector<Lit> net_lit(static_cast<std::size_t>(nl.num_nets()), kLitUndef);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    net_lit[static_cast<std::size_t>(nl.inputs()[i].net)] = input_lits[i];
+  }
+  // Creation order is topological, so one forward sweep suffices.
+  for (const Gate& g : nl.gates()) {
+    if (g.kind == CellKind::Input) continue;
+    const auto in = [&](int i) {
+      const NetId net = g.inputs[i];
+      return net == kNoNet ? lit_false()
+                           : net_lit[static_cast<std::size_t>(net)];
+    };
+    net_lit[static_cast<std::size_t>(g.output)] =
+        lit_cell(g.kind, in(0), in(1), in(2));
+  }
+  return net_lit;
+}
+
+int CnfBuilder::emit(Solver& solver, std::span<const Lit> roots,
+                     std::vector<char>* in_cone_out) const {
+  if (solver.num_vars() != 0) {
+    throw std::logic_error("CnfBuilder::emit: solver must be empty");
+  }
+  // Builder variables map 1:1 onto solver variables.
+  for (std::size_t v = 0; v < nodes_.size(); ++v) solver.new_var();
+
+  // Cone of influence of the roots (iterative DFS over node operands).
+  std::vector<char> in_cone(nodes_.size(), 0);
+  std::vector<int> stack;
+  const auto visit = [&](Lit l) {
+    const int v = var_of(l);
+    if (!in_cone[static_cast<std::size_t>(v)]) {
+      in_cone[static_cast<std::size_t>(v)] = 1;
+      stack.push_back(v);
+    }
+  };
+  for (const Lit r : roots) visit(r);
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(v)];
+    if (n.type == NodeType::And || n.type == NodeType::Xor) {
+      visit(n.a);
+      visit(n.b);
+    }
+  }
+
+  if (in_cone_out != nullptr) *in_cone_out = in_cone;
+
+  int emitted = 0;
+  solver.add_clause({lit_true()});  // the reserved constant
+  ++emitted;
+  for (std::size_t v = 1; v < nodes_.size(); ++v) {
+    if (!in_cone[v]) continue;
+    const Node& n = nodes_[v];
+    const Lit o = make_lit(static_cast<int>(v), false);
+    if (n.type == NodeType::And) {
+      solver.add_clause({negate(o), n.a});
+      solver.add_clause({negate(o), n.b});
+      solver.add_clause({o, negate(n.a), negate(n.b)});
+      emitted += 3;
+    } else if (n.type == NodeType::Xor) {
+      solver.add_clause({negate(o), n.a, n.b});
+      solver.add_clause({negate(o), negate(n.a), negate(n.b)});
+      solver.add_clause({o, negate(n.a), n.b});
+      solver.add_clause({o, n.a, negate(n.b)});
+      emitted += 4;
+    }
+  }
+  return emitted;
+}
+
+std::vector<std::uint64_t> CnfBuilder::simulate(
+    std::span<const std::uint64_t> input_words) const {
+  if (input_words.size() != input_vars_.size()) {
+    throw std::invalid_argument("CnfBuilder::simulate: input arity mismatch");
+  }
+  std::vector<std::uint64_t> value(nodes_.size(), 0);
+  value[0] = ~std::uint64_t{0};  // constant true
+  for (std::size_t i = 0; i < input_vars_.size(); ++i) {
+    value[static_cast<std::size_t>(input_vars_[i])] = input_words[i];
+  }
+  const auto lit_word = [&](Lit l) {
+    const std::uint64_t w = value[static_cast<std::size_t>(var_of(l))];
+    return sign_of(l) ? ~w : w;
+  };
+  for (std::size_t v = 1; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    if (n.type == NodeType::And) {
+      value[v] = lit_word(n.a) & lit_word(n.b);
+    } else if (n.type == NodeType::Xor) {
+      value[v] = lit_word(n.a) ^ lit_word(n.b);
+    }
+  }
+  return value;
+}
+
+}  // namespace vlsa::netlist::formal

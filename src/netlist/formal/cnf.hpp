@@ -1,0 +1,112 @@
+#pragma once
+// Structurally hashed CNF construction from netlists (Tseitin encoding).
+//
+// The builder maintains an AIG-like node graph over solver literals:
+// every cell of a Netlist is decomposed into AND / XOR nodes with
+// inverters folded into literal polarity, constants propagated, and
+// identical nodes merged by a structural hash.  Because a miter encodes
+// *two* circuits over the same input literals, the hash merges their
+// common substructure — two runs of the same generator collapse to the
+// same literals and the miter is proved by construction, and even
+// unrelated adders share their propagate/generate layer.  Clauses are
+// emitted only for nodes inside the cone of influence of the requested
+// roots, using the standard Tseitin clauses (3 per AND, 4 per XOR).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/formal/solver.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlsa::netlist::formal {
+
+/// Builds a hashed AND/XOR node graph and emits it as CNF.
+class CnfBuilder {
+ public:
+  CnfBuilder();
+
+  /// The constant literals (var 0 is reserved as "true").
+  Lit lit_true() const { return make_lit(0, false); }
+  Lit lit_false() const { return make_lit(0, true); }
+
+  /// A fresh unconstrained variable (primary input).
+  Lit add_input();
+
+  // Hashed, constant-folding node constructors.
+  Lit lit_and(Lit a, Lit b);
+  Lit lit_or(Lit a, Lit b) {
+    return negate(lit_and(negate(a), negate(b)));
+  }
+  Lit lit_xor(Lit a, Lit b);
+  Lit lit_mux(Lit sel, Lit d0, Lit d1) {
+    return lit_or(lit_and(sel, d1), lit_and(negate(sel), d0));
+  }
+
+  /// The literal computed by one library cell over operand literals
+  /// (combinational kinds only; throws on Dff).
+  Lit lit_cell(CellKind kind, Lit a, Lit b, Lit c);
+
+  /// Encode a whole combinational netlist: `input_lits[i]` drives the
+  /// i-th primary input (Netlist::inputs() order).  Returns the literal
+  /// of every net, indexed by NetId.
+  std::vector<Lit> encode_netlist(const Netlist& nl,
+                                  std::span<const Lit> input_lits);
+
+  /// Number of structural nodes (inputs + AND + XOR, excluding the
+  /// constant).
+  int num_nodes() const { return static_cast<int>(nodes_.size()) - 1; }
+
+  /// Emit Tseitin clauses for every node in the cone of influence of
+  /// `roots` into `solver` (which must be empty).  Returns the number of
+  /// clauses emitted.  Call once; solve with roots as assumptions or
+  /// assert them via Solver::add_clause.  `in_cone_out`, if given, gets
+  /// one flag per variable saying whether its node was encoded.
+  int emit(Solver& solver, std::span<const Lit> roots,
+           std::vector<char>* in_cone_out = nullptr) const;
+
+  /// 64 parallel random-ish evaluations of every node, for candidate
+  /// discovery in SAT sweeping: `input_words[i]` is the 64-lane value of
+  /// input i (add_input() order).  Returns one word per node variable.
+  std::vector<std::uint64_t> simulate(
+      std::span<const std::uint64_t> input_words) const;
+
+  int num_inputs() const { return static_cast<int>(input_vars_.size()); }
+  /// Variable of the i-th add_input() call.
+  int input_var(int i) const { return input_vars_[static_cast<std::size_t>(i)]; }
+
+ private:
+  enum class NodeType : std::uint8_t { Const, Input, And, Xor };
+
+  struct Node {
+    NodeType type;
+    Lit a = kLitUndef;
+    Lit b = kLitUndef;
+  };
+
+  struct Key {
+    std::uint8_t type;
+    Lit a;
+    Lit b;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.type) << 60;
+      h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.a)) << 29);
+      h ^= static_cast<std::uint32_t>(k.b);
+      h *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  Lit new_node(NodeType type, Lit a, Lit b);
+
+  std::vector<Node> nodes_;  // indexed by variable
+  std::vector<int> input_vars_;
+  std::unordered_map<Key, Lit, KeyHash> hash_;
+};
+
+}  // namespace vlsa::netlist::formal

@@ -1,0 +1,367 @@
+#include "netlist/formal/miter.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/formal/cnf.hpp"
+#include "netlist/formal/solver.hpp"
+#include "util/rng.hpp"
+
+namespace vlsa::netlist::formal {
+
+namespace {
+
+// Map a port list to name -> index, rejecting nothing (netlist
+// construction already forbids duplicate port names).
+std::unordered_map<std::string, std::size_t> port_index(
+    const std::vector<Port>& ports) {
+  std::unordered_map<std::string, std::size_t> map;
+  map.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) map.emplace(ports[i].name, i);
+  return map;
+}
+
+// One compared output pair, in lhs outputs() order.
+struct ComparedOutput {
+  std::string name;
+  Lit diff;  // XOR of the two output literals
+};
+
+// The SAT-sweeping preprocessing pass: find internal equivalence
+// candidates by constrained random simulation, confirm them bottom-up
+// with budgeted incremental SAT calls, and pin each proven equality into
+// the solver as two binary clauses.  Proven facts make the final
+// output-slice proofs near-trivial on wide adder miters.
+struct SweepOutcome {
+  int candidates = 0;
+  int merges = 0;
+};
+
+SweepOutcome sat_sweep(const CnfBuilder& builder, Solver& solver,
+                       const std::vector<char>& in_cone,
+                       std::span<const Lit> care_zero_lits,
+                       const FormalOptions& options) {
+  SweepOutcome outcome;
+  const int num_inputs = builder.num_inputs();
+  const int num_vars = builder.num_nodes() + 1;
+
+  // Accumulate >= 128 signature bits per node over lanes where every
+  // care literal (the assumed-zero flags) evaluates to 0, so that
+  // *conditionally* equivalent nodes — equal only when the flag is quiet
+  // — still land in the same candidate bucket.
+  constexpr int kSigWords = 2;
+  constexpr int kSigBits = kSigWords * 64;
+  std::vector<std::uint64_t> sig(
+      static_cast<std::size_t>(num_vars) * kSigWords, 0);
+  util::Rng rng(options.seed);
+  std::vector<std::uint64_t> input_words(static_cast<std::size_t>(num_inputs));
+  int collected = 0;
+  for (int round = 0; round < 64 && collected < kSigBits; ++round) {
+    for (auto& w : input_words) w = rng.next_u64();
+    const std::vector<std::uint64_t> value = builder.simulate(input_words);
+    std::uint64_t care = ~std::uint64_t{0};
+    for (const Lit f : care_zero_lits) {
+      const std::uint64_t w = value[static_cast<std::size_t>(var_of(f))];
+      care &= sign_of(f) ? w : ~w;
+    }
+    for (int lane = 0; lane < 64 && collected < kSigBits; ++lane) {
+      if (((care >> lane) & 1) == 0) continue;
+      const int word = collected / 64;
+      const int bit = collected % 64;
+      for (int v = 0; v < num_vars; ++v) {
+        const std::uint64_t b =
+            (value[static_cast<std::size_t>(v)] >> lane) & 1;
+        sig[static_cast<std::size_t>(v) * kSigWords +
+            static_cast<std::size_t>(word)] |= b << bit;
+      }
+      ++collected;
+    }
+  }
+  if (collected < kSigBits) return outcome;  // care set too thin: skip
+
+  // Bucket nodes by polarity-canonical signature (a node and its
+  // complement conjecture the same equivalence class).
+  struct SigKey {
+    std::uint64_t w0, w1;
+    bool operator==(const SigKey&) const = default;
+  };
+  struct SigKeyHash {
+    std::size_t operator()(const SigKey& k) const {
+      std::uint64_t h = k.w0 * 0x9e3779b97f4a7c15ULL;
+      h ^= k.w1 + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Member {
+    int var;
+    bool flipped;
+  };
+  std::unordered_map<SigKey, std::vector<Member>, SigKeyHash> buckets;
+  for (int v = 1; v < num_vars; ++v) {  // skip the constant
+    if (!in_cone[static_cast<std::size_t>(v)]) continue;
+    std::uint64_t w0 = sig[static_cast<std::size_t>(v) * kSigWords];
+    std::uint64_t w1 = sig[static_cast<std::size_t>(v) * kSigWords + 1];
+    const bool flip = (w0 & 1) != 0;
+    if (flip) {
+      w0 = ~w0;
+      w1 = ~w1;
+    }
+    buckets[SigKey{w0, w1}].push_back({v, flip});
+  }
+
+  // Confirm candidates bottom-up: within a bucket the lowest variable is
+  // the representative (creation order is topological), and each later
+  // member is conjectured equal to it modulo relative polarity.
+  struct Candidate {
+    int rep, var;
+    bool anti;  // true: var == NOT rep
+  };
+  std::vector<Candidate> candidates;
+  for (auto& [key, members] : buckets) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) { return a.var < b.var; });
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      candidates.push_back({members[0].var, members[i].var,
+                            members[0].flipped != members[i].flipped});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.var < b.var; });
+  outcome.candidates = static_cast<int>(candidates.size());
+
+  for (const Candidate& c : candidates) {
+    const Lit rep = make_lit(c.rep, false);
+    const Lit m = make_lit(c.var, c.anti);  // conjecture: rep == m
+    // rep == m  iff  both (rep & !m) and (!rep & m) are unsatisfiable.
+    const Lit q1[2] = {rep, negate(m)};
+    if (solver.solve(q1, options.sweep_conflict_limit) != SatVerdict::Unsat) {
+      continue;
+    }
+    const Lit q2[2] = {negate(rep), m};
+    if (solver.solve(q2, options.sweep_conflict_limit) != SatVerdict::Unsat) {
+      continue;
+    }
+    solver.add_clause({negate(rep), m});
+    solver.add_clause({rep, negate(m)});
+    ++outcome.merges;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::string FormalResult::summary() const {
+  std::ostringstream out;
+  switch (verdict) {
+    case FormalVerdict::Proven:
+      out << "PROVEN equivalent: " << outputs_compared << " output(s) UNSAT ("
+          << outputs_structural << " structural)";
+      break;
+    case FormalVerdict::Counterexample:
+      out << "NOT equivalent: output '" << mismatched_output
+          << "' differs (counterexample found)";
+      break;
+    case FormalVerdict::Unknown:
+      out << "UNKNOWN: conflict budget exhausted on output '"
+          << mismatched_output << "'";
+      break;
+  }
+  out << "; " << nodes << " nodes, " << clauses << " clauses, " << conflicts
+      << " conflicts, " << decisions << " decisions";
+  if (sweep_candidates > 0) {
+    out << ", sweep " << sweep_merges << "/" << sweep_candidates;
+  }
+  return out.str();
+}
+
+FormalResult check_equivalence_formal(const Netlist& lhs, const Netlist& rhs,
+                                      const MiterSpec& spec,
+                                      const FormalOptions& options) {
+  if (lhs.is_sequential() || rhs.is_sequential()) {
+    throw std::invalid_argument(
+        "check_equivalence_formal: combinational netlists only");
+  }
+
+  // ----- input matching (by name, must agree exactly) -----
+  // Name-check both directions before the count so the exception names
+  // the first offending port rather than reporting a bare count.
+  const auto rhs_inputs = port_index(rhs.inputs());
+  const auto lhs_inputs = port_index(lhs.inputs());
+  for (const Port& p : rhs.inputs()) {
+    if (lhs_inputs.find(p.name) == lhs_inputs.end()) {
+      throw std::invalid_argument("check_equivalence_formal: input '" +
+                                  p.name + "' missing from '" +
+                                  lhs.module_name() + "'");
+    }
+  }
+  CnfBuilder builder;
+  std::vector<Lit> lhs_in_lits;
+  std::vector<Lit> rhs_in_lits(rhs.inputs().size(), kLitUndef);
+  lhs_in_lits.reserve(lhs.inputs().size());
+  for (const Port& p : lhs.inputs()) {
+    const auto it = rhs_inputs.find(p.name);
+    if (it == rhs_inputs.end()) {
+      throw std::invalid_argument(
+          "check_equivalence_formal: input '" + p.name +
+          "' missing from '" + rhs.module_name() + "'");
+    }
+    const Lit l = builder.add_input();
+    lhs_in_lits.push_back(l);
+    rhs_in_lits[it->second] = l;
+  }
+
+  // ----- encode both circuits over the shared input literals -----
+  const std::vector<Lit> lhs_nets = builder.encode_netlist(lhs, lhs_in_lits);
+  const std::vector<Lit> rhs_nets = builder.encode_netlist(rhs, rhs_in_lits);
+  const auto lhs_out_lit = [&](const Port& p) {
+    return lhs_nets[static_cast<std::size_t>(p.net)];
+  };
+  const auto rhs_out_lit = [&](const Port& p) {
+    return rhs_nets[static_cast<std::size_t>(p.net)];
+  };
+
+  // ----- output matching -----
+  std::unordered_set<std::string> assumed(spec.assume_zero.begin(),
+                                          spec.assume_zero.end());
+  const auto lhs_outputs = port_index(lhs.outputs());
+  const auto rhs_outputs = port_index(rhs.outputs());
+  std::vector<Lit> assume_lits;
+  for (const std::string& name : spec.assume_zero) {
+    const auto it = lhs_outputs.find(name);
+    if (it == lhs_outputs.end()) {
+      throw std::invalid_argument(
+          "check_equivalence_formal: assumed-zero output '" + name +
+          "' is not an output of '" + lhs.module_name() + "'");
+    }
+    assume_lits.push_back(lhs_out_lit(lhs.outputs()[it->second]));
+  }
+  std::vector<ComparedOutput> compared;
+  for (const Port& p : lhs.outputs()) {
+    if (assumed.contains(p.name)) continue;
+    const auto it = rhs_outputs.find(p.name);
+    if (it == rhs_outputs.end()) {
+      if (spec.ignore_unmatched_outputs) continue;
+      throw std::invalid_argument(
+          "check_equivalence_formal: output '" + p.name +
+          "' missing from '" + rhs.module_name() + "'");
+    }
+    const Lit diff = builder.lit_xor(
+        lhs_out_lit(p), rhs_out_lit(rhs.outputs()[it->second]));
+    compared.push_back({p.name, diff});
+  }
+  if (!spec.ignore_unmatched_outputs) {
+    for (const Port& p : rhs.outputs()) {
+      if (!lhs_outputs.contains(p.name) && !assumed.contains(p.name)) {
+        throw std::invalid_argument(
+            "check_equivalence_formal: output '" + p.name +
+            "' missing from '" + lhs.module_name() + "'");
+      }
+    }
+  }
+  if (compared.empty()) {
+    throw std::invalid_argument(
+        "check_equivalence_formal: no outputs left to compare");
+  }
+
+  // ----- emit the cone of all proof obligations -----
+  FormalResult result;
+  result.nodes = builder.num_nodes();
+  std::vector<Lit> roots;
+  roots.reserve(compared.size() + assume_lits.size());
+  for (const ComparedOutput& c : compared) roots.push_back(c.diff);
+  for (const Lit a : assume_lits) roots.push_back(a);
+  Solver solver;
+  std::vector<char> in_cone;
+  result.clauses = builder.emit(solver, roots, &in_cone);
+  for (const Lit a : assume_lits) {
+    solver.add_clause({negate(a)});  // the flag = 0 assumption, permanent
+  }
+
+  // ----- SAT sweeping: pin internal equivalences bottom-up -----
+  if (options.sweep) {
+    const SweepOutcome sweep =
+        sat_sweep(builder, solver, in_cone, assume_lits, options);
+    result.sweep_candidates = sweep.candidates;
+    result.sweep_merges = sweep.merges;
+  }
+
+  // ----- prove one output slice at a time, LSB first -----
+  const auto finish = [&](FormalResult& r) -> FormalResult& {
+    r.conflicts = solver.stats().conflicts;
+    r.decisions = solver.stats().decisions;
+    r.propagations = solver.stats().propagations;
+    return r;
+  };
+  for (const ComparedOutput& c : compared) {
+    ++result.outputs_compared;
+    if (c.diff == builder.lit_false()) {
+      ++result.outputs_structural;  // hashed to the same literal
+      continue;
+    }
+    const SatVerdict verdict =
+        c.diff == builder.lit_true()
+            ? solver.solve({}, options.conflict_limit)  // any model differs
+            : [&] {
+                const Lit assumption[1] = {c.diff};
+                return solver.solve(assumption, options.conflict_limit);
+              }();
+    if (verdict == SatVerdict::Unsat) {
+      // Pin the proven equality so later slices can reuse it.
+      solver.add_clause({negate(c.diff)});
+      continue;
+    }
+    result.mismatched_output = c.name;
+    if (verdict == SatVerdict::Unknown) {
+      result.verdict = FormalVerdict::Unknown;
+      return finish(result);
+    }
+    result.verdict = FormalVerdict::Counterexample;
+    result.counterexample.resize(lhs.inputs().size());
+    for (std::size_t i = 0; i < lhs.inputs().size(); ++i) {
+      result.counterexample[i] =
+          solver.model_value(var_of(lhs_in_lits[i])) != sign_of(lhs_in_lits[i]);
+    }
+    return finish(result);
+  }
+  return finish(result);
+}
+
+util::BitVec counterexample_bus(const Netlist& lhs,
+                                const std::vector<bool>& assignment,
+                                const std::string& name) {
+  const auto& inputs = lhs.inputs();
+  if (assignment.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "counterexample_bus: assignment size does not match lhs inputs");
+  }
+  // Gather `name[i]` members (or the scalar port `name`).
+  std::vector<std::pair<int, bool>> bits;  // (bit index, value)
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::string& port = inputs[i].name;
+    if (port == name) {
+      bits.emplace_back(0, assignment[i]);
+      continue;
+    }
+    if (port.size() > name.size() + 2 && port.compare(0, name.size(), name) == 0 &&
+        port[name.size()] == '[' && port.back() == ']') {
+      const int idx = std::stoi(port.substr(name.size() + 1,
+                                            port.size() - name.size() - 2));
+      bits.emplace_back(idx, assignment[i]);
+    }
+  }
+  if (bits.empty()) {
+    throw std::invalid_argument("counterexample_bus: no input named '" + name +
+                                "'");
+  }
+  int width = 0;
+  for (const auto& [idx, value] : bits) width = std::max(width, idx + 1);
+  util::BitVec out(width);
+  for (const auto& [idx, value] : bits) out.set_bit(idx, value);
+  return out;
+}
+
+}  // namespace vlsa::netlist::formal

@@ -1,0 +1,102 @@
+#pragma once
+// SAT-based formal equivalence checking between two netlists.
+//
+// Complements netlist/equiv.hpp's random simulation with *proof*: a
+// miter is built over the shared primary inputs (matched by name), both
+// circuits are Tseitin-encoded through the structurally hashing
+// CnfBuilder, and each pair of same-named outputs is XOR-compared.  An
+// UNSAT verdict on every XOR is a proof of equivalence at any width —
+// this is what certifies the paper's central claims (ACA exactness
+// whenever the error flag is 0, and recovery-path exactness) at widths
+// the 64-way simulation checker cannot begin to exhaust.
+//
+// Conditional equivalence (the flag = 0 case) is encoded by constraining
+// the named flag outputs of the first netlist to 0 and excluding them
+// from comparison — the block-based conditional-error-model view of
+// arXiv 1703.03522 reduced to a single assumption literal.
+//
+// Tractability at width 256+ comes from three layers (see
+// docs/formal_verification.md):
+//   1. structural hashing merges the circuits' common substructure;
+//   2. SAT sweeping proves internal node equivalences bottom-up (found
+//      by constrained random simulation, confirmed by budgeted SAT
+//      calls) and pins them as clauses;
+//   3. the outputs are proved one slice at a time, LSB first, on one
+//      incremental solver that keeps everything it learned.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/bitvec.hpp"
+
+namespace vlsa::netlist::formal {
+
+/// What the miter compares and what it assumes.
+struct MiterSpec {
+  /// lhs output names constrained to constant 0 (e.g. {"error"}); these
+  /// are excluded from comparison on both sides.  Must exist on lhs.
+  std::vector<std::string> assume_zero;
+  /// If true, outputs present on only one side are skipped instead of
+  /// rejected (used to compare a full VLSA datapath, which also exposes
+  /// its speculative bus, against a plain exact adder).
+  bool ignore_unmatched_outputs = false;
+};
+
+struct FormalOptions {
+  /// Conflict budget per output proof obligation; 0 = unlimited.
+  long long conflict_limit = 0;
+  /// Enable the SAT-sweeping preprocessing layer.
+  bool sweep = true;
+  /// Conflict budget per internal sweeping candidate.
+  long long sweep_conflict_limit = 2000;
+  /// Random-simulation seed for sweeping candidate discovery.
+  std::uint64_t seed = 1;
+};
+
+enum class FormalVerdict {
+  Proven,          ///< every compared output UNSAT: equivalent
+  Counterexample,  ///< some miter output SAT: inputs found that differ
+  Unknown,         ///< conflict budget exhausted before a verdict
+};
+
+struct FormalResult {
+  FormalVerdict verdict = FormalVerdict::Proven;
+  bool proven() const { return verdict == FormalVerdict::Proven; }
+
+  /// On Counterexample: the differing output (lhs name) and the input
+  /// assignment, in lhs Netlist::inputs() order (decode buses with
+  /// counterexample_bus()).  On Unknown: the output that timed out.
+  std::string mismatched_output;
+  std::vector<bool> counterexample;
+
+  // Proof effort accounting.
+  int outputs_compared = 0;
+  int outputs_structural = 0;  ///< equal by structural hashing alone
+  int sweep_candidates = 0;
+  int sweep_merges = 0;
+  int nodes = 0;     ///< hashed AND/XOR nodes in the combined graph
+  int clauses = 0;   ///< Tseitin clauses emitted
+  long long conflicts = 0;
+  long long decisions = 0;
+  long long propagations = 0;
+
+  /// One-line human-readable verdict + effort summary.
+  std::string summary() const;
+};
+
+/// Prove `lhs` and `rhs` equivalent (under `spec`), or produce a
+/// counterexample.  Inputs are matched by name and must agree exactly;
+/// throws std::invalid_argument naming the first offending port.
+FormalResult check_equivalence_formal(const Netlist& lhs, const Netlist& rhs,
+                                      const MiterSpec& spec = {},
+                                      const FormalOptions& options = {});
+
+/// Decode the bits of bus `name[0..w)` (or single-bit port `name`) from
+/// a counterexample assignment into a BitVec, LSB first.
+util::BitVec counterexample_bus(const Netlist& lhs,
+                                const std::vector<bool>& assignment,
+                                const std::string& name);
+
+}  // namespace vlsa::netlist::formal

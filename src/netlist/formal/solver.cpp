@@ -1,0 +1,486 @@
+#include "netlist/formal/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vlsa::netlist::formal {
+
+Solver::Solver() = default;
+
+int Solver::new_var() {
+  const int v = num_vars();
+  watches_.emplace_back();
+  watches_.emplace_back();
+  assign_.push_back(kUnset);
+  polarity_.push_back(0);  // default phase false: circuit nets idle low
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  model_.push_back(0);
+  heap_insert(v);
+  return v;
+}
+
+// ----- activity heap (max-heap on activity_, indexed by heap_pos_) -----
+
+void Solver::heap_insert(int var) {
+  if (heap_pos_[static_cast<std::size_t>(var)] >= 0) return;
+  heap_pos_[static_cast<std::size_t>(var)] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heap_percolate_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_percolate_up(int pos) {
+  const int var = heap_[static_cast<std::size_t>(pos)];
+  const double act = activity_[static_cast<std::size_t>(var)];
+  while (pos > 0) {
+    const int parent = (pos - 1) / 2;
+    const int pvar = heap_[static_cast<std::size_t>(parent)];
+    if (activity_[static_cast<std::size_t>(pvar)] >= act) break;
+    heap_[static_cast<std::size_t>(pos)] = pvar;
+    heap_pos_[static_cast<std::size_t>(pvar)] = pos;
+    pos = parent;
+  }
+  heap_[static_cast<std::size_t>(pos)] = var;
+  heap_pos_[static_cast<std::size_t>(var)] = pos;
+}
+
+void Solver::heap_percolate_down(int pos) {
+  const int size = static_cast<int>(heap_.size());
+  const int var = heap_[static_cast<std::size_t>(pos)];
+  const double act = activity_[static_cast<std::size_t>(var)];
+  while (true) {
+    int child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child + 1)])] >
+            activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child)])]) {
+      ++child;
+    }
+    const int cvar = heap_[static_cast<std::size_t>(child)];
+    if (act >= activity_[static_cast<std::size_t>(cvar)]) break;
+    heap_[static_cast<std::size_t>(pos)] = cvar;
+    heap_pos_[static_cast<std::size_t>(cvar)] = pos;
+    pos = child;
+  }
+  heap_[static_cast<std::size_t>(pos)] = var;
+  heap_pos_[static_cast<std::size_t>(var)] = pos;
+}
+
+int Solver::heap_pop() {
+  const int top = heap_.front();
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  const int last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    heap_pos_[static_cast<std::size_t>(last)] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+void Solver::var_bump(int var) {
+  double& act = activity_[static_cast<std::size_t>(var)];
+  act += var_inc_;
+  if (act > 1e100) {  // rescale everything to keep doubles finite
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  const int pos = heap_pos_[static_cast<std::size_t>(var)];
+  if (pos >= 0) heap_percolate_up(pos);
+}
+
+void Solver::clause_bump(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (const int ref : learnt_refs_) {
+      clauses_[static_cast<std::size_t>(ref)].activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+// ----- clause attachment -----
+
+int Solver::attach_clause(std::vector<Lit> lits, bool learnt) {
+  assert(lits.size() >= 2);
+  const int idx = static_cast<int>(clauses_.size());
+  Clause c;
+  c.lits = std::move(lits);
+  c.learnt = learnt;
+  clauses_.push_back(std::move(c));
+  const auto& stored = clauses_.back().lits;
+  watches_[static_cast<std::size_t>(negate(stored[0]))].push_back(
+      {idx, stored[1]});
+  watches_[static_cast<std::size_t>(negate(stored[1]))].push_back(
+      {idx, stored[0]});
+  if (learnt) {
+    learnt_refs_.push_back(idx);
+  } else {
+    ++num_problem_clauses_;
+  }
+  return idx;
+}
+
+void Solver::detach_clause(int idx) {
+  Clause& c = clauses_[static_cast<std::size_t>(idx)];
+  for (int w = 0; w < 2; ++w) {
+    auto& list = watches_[static_cast<std::size_t>(negate(c.lits[static_cast<std::size_t>(w)]))];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].clause == idx) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+  c.deleted = true;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  if (dead_) return false;
+  if (decision_level() != 0) {
+    throw std::logic_error("Solver::add_clause: only at decision level 0");
+  }
+  // Normalize: drop false/duplicate literals, detect tautologies.
+  std::vector<Lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  std::vector<Lit> out;
+  out.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Lit l = c[i];
+    if (i + 1 < c.size() && c[i + 1] == negate(l)) return true;  // tautology
+    if (!out.empty() && out.back() == l) continue;
+    if (lit_value(l) == kTrue) return true;  // already satisfied at level 0
+    if (lit_value(l) == kFalse) continue;    // falsified at level 0: drop
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    dead_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], -1);
+    if (propagate() != -1) {
+      dead_ = true;
+      return false;
+    }
+    return true;
+  }
+  attach_clause(std::move(out), /*learnt=*/false);
+  return true;
+}
+
+// ----- search -----
+
+void Solver::enqueue(Lit l, int reason) {
+  const auto v = static_cast<std::size_t>(var_of(l));
+  assert(assign_[v] == kUnset);
+  assign_[v] = sign_of(l) ? kFalse : kTrue;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& list = watches_[static_cast<std::size_t>(p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Watcher w = list[i];
+      if (lit_value(w.blocker) == kTrue) {
+        list[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[static_cast<std::size_t>(w.clause)];
+      auto& cl = c.lits;
+      // Ensure the falsified watch (¬p) sits in slot 1.
+      if (cl[0] == negate(p)) std::swap(cl[0], cl[1]);
+      if (lit_value(cl[0]) == kTrue) {
+        list[keep++] = {w.clause, cl[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < cl.size(); ++k) {
+        if (lit_value(cl[k]) != kFalse) {
+          std::swap(cl[1], cl[k]);
+          watches_[static_cast<std::size_t>(negate(cl[1]))].push_back(
+              {w.clause, cl[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      list[keep++] = {w.clause, cl[0]};
+      if (lit_value(cl[0]) == kFalse) {
+        // Conflict: keep the remaining watchers, then report.
+        for (std::size_t k = i + 1; k < list.size(); ++k) list[keep++] = list[k];
+        list.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(cl[0], w.clause);
+    }
+    list.resize(keep);
+  }
+  return -1;
+}
+
+// True when every antecedent of `l` is already marked seen — the cheap
+// (non-recursive) clause-minimization test.
+bool Solver::literal_redundant(Lit l) const {
+  const int r = reason_[static_cast<std::size_t>(var_of(l))];
+  if (r < 0) return false;
+  const Clause& c = clauses_[static_cast<std::size_t>(r)];
+  for (const Lit q : c.lits) {
+    if (var_of(q) == var_of(l)) continue;
+    if (level_[static_cast<std::size_t>(var_of(q))] == 0) continue;
+    if (!seen_[static_cast<std::size_t>(var_of(q))]) return false;
+  }
+  return true;
+}
+
+void Solver::analyze(int confl, std::vector<Lit>& learnt, int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting (1UIP) literal
+  int counter = 0;
+  Lit p = kLitUndef;
+  auto index = static_cast<int>(trail_.size()) - 1;
+  // Every variable whose seen_ flag we raise, so all of them — including
+  // literals later dropped by minimization — can be cleared at the end.
+  std::vector<int> to_clear;
+
+  do {
+    Clause& c = clauses_[static_cast<std::size_t>(confl)];
+    if (c.learnt) clause_bump(c);
+    for (const Lit q : c.lits) {
+      if (p != kLitUndef && q == p) continue;
+      const auto v = static_cast<std::size_t>(var_of(q));
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      to_clear.push_back(var_of(q));
+      var_bump(var_of(q));
+      if (level_[v] >= decision_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail back to the next marked literal.
+    while (!seen_[static_cast<std::size_t>(var_of(trail_[static_cast<std::size_t>(index)]))]) {
+      --index;
+    }
+    p = trail_[static_cast<std::size_t>(index)];
+    seen_[static_cast<std::size_t>(var_of(p))] = 0;
+    confl = reason_[static_cast<std::size_t>(var_of(p))];
+    --counter;
+    --index;
+  } while (counter > 0);
+  learnt[0] = negate(p);
+
+  // Local minimization: drop literals implied by the rest of the clause.
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!literal_redundant(learnt[i])) learnt[kept++] = learnt[i];
+  }
+  learnt.resize(kept);
+
+  // Backtrack to the second-highest decision level in the clause and put
+  // that literal in watch slot 1.
+  backtrack_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[static_cast<std::size_t>(var_of(learnt[i]))] >
+          level_[static_cast<std::size_t>(var_of(learnt[max_i]))]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(var_of(learnt[1]))];
+  }
+  // Clear every flag raised above, not just the surviving clause literals:
+  // literals dropped by minimization would otherwise keep seen_ set and
+  // silently corrupt the next conflict analysis.
+  for (const int v : to_clear) seen_[static_cast<std::size_t>(v)] = 0;
+}
+
+void Solver::cancel_until(int target) {
+  if (decision_level() <= target) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(target)];
+  for (auto i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Lit l = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(var_of(l));
+    polarity_[v] = assign_[v];  // phase saving
+    assign_[v] = kUnset;
+    reason_[v] = -1;
+    heap_insert(var_of(l));
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(target));
+  qhead_ = trail_.size();
+}
+
+int Solver::pick_branch_var() {
+  while (!heap_.empty()) {
+    const int v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] == kUnset) return v;
+  }
+  return -1;
+}
+
+void Solver::reduce_learnt_db() {
+  // Keep the most active half; never drop a clause that is currently the
+  // reason for an assignment, nor binary clauses (cheap and valuable).
+  std::sort(learnt_refs_.begin(), learnt_refs_.end(), [this](int a, int b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<char> locked(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const int r = reason_[static_cast<std::size_t>(var_of(l))];
+    if (r >= 0) locked[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<int> kept;
+  kept.reserve(learnt_refs_.size());
+  const std::size_t to_drop = learnt_refs_.size() / 2;
+  for (std::size_t i = 0; i < learnt_refs_.size(); ++i) {
+    const int ref = learnt_refs_[i];
+    const Clause& c = clauses_[static_cast<std::size_t>(ref)];
+    if (i < to_drop && !locked[static_cast<std::size_t>(ref)] &&
+        c.lits.size() > 2) {
+      detach_clause(ref);
+    } else {
+      kept.push_back(ref);
+    }
+  }
+  learnt_refs_ = std::move(kept);
+}
+
+namespace {
+// Luby restart sequence: 1,1,2,1,1,2,4,...
+double luby(double y, int x) {
+  int size = 1;
+  int seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x = x % size;
+  }
+  double result = 1;
+  for (int i = 0; i < seq; ++i) result *= y;
+  return result;
+}
+}  // namespace
+
+SatVerdict Solver::solve(std::span<const Lit> assumptions,
+                         long long conflict_limit) {
+  if (dead_) return SatVerdict::Unsat;
+  for (const Lit a : assumptions) {
+    if (var_of(a) < 0 || var_of(a) >= num_vars()) {
+      throw std::invalid_argument("Solver::solve: assumption out of range");
+    }
+  }
+  if (max_learnts_ <= 0) {
+    max_learnts_ = std::max(4000.0, num_problem_clauses_ / 3.0);
+  }
+
+  const long long start_conflicts = stats_.conflicts;
+  int curr_restarts = 0;
+  long long restart_budget =
+      static_cast<long long>(luby(2.0, curr_restarts) * 100);
+  long long conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const int confl = propagate();
+    if (confl != -1) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        dead_ = true;
+        return SatVerdict::Unsat;
+      }
+      int backtrack_level = 0;
+      analyze(confl, learnt, backtrack_level);
+      // Backjumping below the assumption levels is fine: the asserting
+      // literal lands there, and the decision loop re-establishes the
+      // remaining assumptions (detecting a now-falsified one as Unsat).
+      cancel_until(backtrack_level);
+      ++stats_.learned_clauses;
+      stats_.learned_literals += static_cast<long long>(learnt.size());
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        const int ref = attach_clause(learnt, /*learnt=*/true);
+        clause_bump(clauses_[static_cast<std::size_t>(ref)]);
+        enqueue(learnt[0], ref);
+      }
+      var_decay();
+      clause_decay();
+      if (conflict_limit > 0 &&
+          stats_.conflicts - start_conflicts >= conflict_limit) {
+        cancel_until(0);
+        return SatVerdict::Unknown;
+      }
+      continue;
+    }
+
+    if (conflicts_since_restart >= restart_budget) {
+      ++stats_.restarts;
+      ++curr_restarts;
+      restart_budget = static_cast<long long>(luby(2.0, curr_restarts) * 100);
+      conflicts_since_restart = 0;
+      cancel_until(0);
+      continue;
+    }
+    if (static_cast<double>(learnt_refs_.size()) >= max_learnts_) {
+      max_learnts_ *= 1.5;
+      reduce_learnt_db();
+    }
+
+    // Re-establish assumptions (they are popped by restarts/backjumps),
+    // one decision level each.
+    if (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+      if (lit_value(a) == kFalse) {
+        cancel_until(0);
+        return SatVerdict::Unsat;
+      }
+      new_decision_level();
+      if (lit_value(a) == kUnset) enqueue(a, -1);
+      continue;
+    }
+
+    const int next = pick_branch_var();
+    if (next < 0) {
+      // Every variable assigned: satisfying model found.
+      for (int v = 0; v < num_vars(); ++v) {
+        model_[static_cast<std::size_t>(v)] =
+            assign_[static_cast<std::size_t>(v)] == kTrue ? 1 : 0;
+      }
+      cancel_until(0);
+      return SatVerdict::Sat;
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(make_lit(next, polarity_[static_cast<std::size_t>(next)] != kTrue),
+            -1);
+  }
+}
+
+}  // namespace vlsa::netlist::formal

@@ -1,0 +1,154 @@
+#pragma once
+// Self-contained CDCL SAT solver — the proof engine behind the formal
+// equivalence checker (see formal/miter.hpp and docs/formal_verification.md).
+//
+// A deliberately small MiniSat-style core: two-literal watches, 1UIP
+// conflict-clause learning with local minimization, VSIDS decision
+// activities on an indexed heap, phase saving, Luby restarts and learnt
+// clause-database reduction.  Solving under *assumptions* is first-class
+// because the miter slices one proof obligation per output and reuses
+// everything the solver learned for the lower bits — the incremental
+// pattern that makes wide adder miters tractable (PolyAdd, arXiv
+// 2009.03242, shows adder equivalence is polynomially easy; slicing is
+// how a general-purpose CDCL core gets to exploit that structure).
+//
+// No external dependencies; nothing here knows about netlists.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlsa::netlist::formal {
+
+/// A literal: variable index (0-based) with sign, encoded as 2*var + neg.
+/// This is the encoding the watch lists index on, so it is also the
+/// public one — use the helpers below rather than the raw arithmetic.
+using Lit = std::int32_t;
+
+inline constexpr Lit kLitUndef = -1;
+
+constexpr Lit make_lit(int var, bool negated = false) {
+  return static_cast<Lit>(2 * var + (negated ? 1 : 0));
+}
+constexpr Lit negate(Lit l) { return l ^ 1; }
+constexpr int var_of(Lit l) { return l >> 1; }
+constexpr bool sign_of(Lit l) { return (l & 1) != 0; }
+
+/// Outcome of a `solve()` call.  `Unknown` is only possible when a
+/// conflict budget was given and exhausted.
+enum class SatVerdict { Sat, Unsat, Unknown };
+
+struct SolverStats {
+  long long decisions = 0;
+  long long conflicts = 0;
+  long long propagations = 0;
+  long long learned_clauses = 0;
+  long long learned_literals = 0;
+  long long restarts = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Create a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+  int num_clauses() const { return num_problem_clauses_; }
+
+  /// Add a problem clause (disjunction of literals).  Returns false if
+  /// the clause makes the formula trivially unsatisfiable at the top
+  /// level (the solver is then dead: every solve() returns Unsat).
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Solve under `assumptions` (each literal is held true for this call
+  /// only).  `conflict_limit` of 0 means no budget.  Learnt clauses are
+  /// kept across calls — that is the point.
+  SatVerdict solve(std::span<const Lit> assumptions = {},
+                   long long conflict_limit = 0);
+
+  /// After a Sat verdict: the value of `var` in the satisfying model
+  /// (unconstrained variables default to false).
+  bool model_value(int var) const {
+    return model_[static_cast<std::size_t>(var)] == 1;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Truth values are stored per variable: 0 = false, 1 = true, 2 = unset.
+  static constexpr std::uint8_t kFalse = 0, kTrue = 1, kUnset = 2;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    int clause = -1;
+    Lit blocker = kLitUndef;  // satisfied blocker short-circuits the visit
+  };
+
+  std::uint8_t lit_value(Lit l) const {
+    const std::uint8_t v = assign_[static_cast<std::size_t>(var_of(l))];
+    return v == kUnset ? kUnset : (v ^ static_cast<std::uint8_t>(sign_of(l)));
+  }
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int confl, std::vector<Lit>& learnt, int& backtrack_level);
+  bool literal_redundant(Lit l) const;
+  void cancel_until(int level);
+  int pick_branch_var();
+
+  void var_bump(int var);
+  void var_decay() { var_inc_ /= kVarDecay; }
+  void clause_bump(Clause& c);
+  void clause_decay() { clause_inc_ /= kClauseDecay; }
+  void heap_insert(int var);
+  void heap_percolate_up(int pos);
+  void heap_percolate_down(int pos);
+  int heap_pop();
+
+  int attach_clause(std::vector<Lit> lits, bool learnt);
+  void detach_clause(int idx);
+  void reduce_learnt_db();
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+
+  std::vector<Clause> clauses_;       // problem + learnt, index = clause ref
+  std::vector<int> learnt_refs_;      // indices of live learnt clauses
+  int num_problem_clauses_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit
+  std::vector<std::uint8_t> assign_;           // per var
+  std::vector<std::uint8_t> polarity_;         // saved phase per var
+  std::vector<int> level_;                     // per var
+  std::vector<int> reason_;                    // per var, clause ref or -1
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;  // per var
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<int> heap_;       // max-heap of vars by activity
+  std::vector<int> heap_pos_;   // var -> position in heap_, -1 if absent
+
+  std::vector<std::uint8_t> seen_;  // analyze scratch, per var
+  std::vector<std::uint8_t> model_;
+  bool dead_ = false;  // top-level contradiction reached
+
+  double max_learnts_ = 0;
+  SolverStats stats_;
+};
+
+}  // namespace vlsa::netlist::formal
