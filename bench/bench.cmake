@@ -52,3 +52,5 @@ vlsa_add_bench(processor_study)
 vlsa_add_bench(energy_study)
 vlsa_add_bench(seq_vlsa)
 vlsa_add_bench(service_throughput)
+vlsa_add_bench(net_throughput)
+target_link_libraries(net_throughput PRIVATE vlsa_net)

@@ -21,12 +21,27 @@
 //   vlsa_tool serve    <width> [k] [obs flags]     add "<hex-a> <hex-b>"
 //                                                  lines from stdin via the
 //                                                  arithmetic service
+//   vlsa_tool serve    <width> [k] --listen host:port [--workers W
+//                      --queue Q --policy block|reject --threads T]
+//                      [obs flags]                 epoll TCP server speaking
+//                                                  the binary framing of
+//                                                  docs/networking.md;
+//                                                  SIGINT/SIGTERM drains and
+//                                                  exits 0, dumping the
+//                                                  telemetry registry as
+//                                                  Prometheus text on stdout
 //   vlsa_tool loadgen  <width> [k] [--rate R --dist D --arrival A
 //                      --requests N --workers W --batch B --queue Q
 //                      --policy block|reject --seed S --json PATH]
 //                      [obs flags]                 drive the service with
 //                                                  synthetic load, report
 //                                                  tail latencies
+//   vlsa_tool loadgen  <width> [k] --connect host:port [--connections C
+//                      --outstanding O --rate R --dist D --arrival A
+//                      --requests N --seed S --json PATH]
+//                                                  the same arrival streams
+//                                                  offered over TCP to a
+//                                                  `serve --listen` process
 //   vlsa_tool trace    <width> [k] [loadgen flags] loadgen with tracing on
 //                                                  (default --trace-out
 //                                                  trace.json)
@@ -50,7 +65,9 @@
 // "mul-exact", "mul-aca", "mul-booth" (k-taking circuits default to the
 // 99.99% design window).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -58,6 +75,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adders/adders.hpp"
@@ -75,6 +93,7 @@
 #include "netlist/opt.hpp"
 #include "netlist/serialize.hpp"
 #include "netlist/sta.hpp"
+#include "net/server.hpp"
 #include "service/service.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
@@ -334,6 +353,37 @@ int cmd_settle(const Netlist& nl) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Graceful stop: SIGINT/SIGTERM set a flag the serving loops poll.  No
+// SA_RESTART, deliberately — a blocking stdin read (the in-process serve
+// mode) returns EINTR, the stream ends, and that mode also drains
+// whatever it accepted and exits 0.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+// "host:port" -> parts (the port may be 0 = kernel-assigned).
+std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
+  const auto pos = s.rfind(':');
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= s.size()) {
+    throw std::invalid_argument("expected host:port, got '" + s + "'");
+  }
+  const int port = std::stoi(s.substr(pos + 1));
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("port out of range in '" + s + "'");
+  }
+  return {s.substr(0, pos), static_cast<std::uint16_t>(port)};
+}
+
 // Zero-extend a parsed operand to the service width.
 vlsa::util::BitVec pad_to(const vlsa::util::BitVec& v, int width) {
   if (v.width() == width) return v;
@@ -474,18 +524,85 @@ class Observability {
 // format, '#' comments allowed) is served through the arithmetic
 // service; stdout gets "<hex-sum> <flagged> <latency-cycles>" per
 // request in input order, stderr the telemetry snapshot as JSON.
+// `serve --listen`: bind the epoll TCP front-end (net/server.hpp) on
+// the given address and run until SIGINT/SIGTERM, then drain — stop
+// accepting, let in-flight requests complete, flush responses and
+// observability artifacts — and exit 0.  stdout carries exactly one
+// "listening on host:port" line up front (the CI smoke test parses the
+// bound port out of it) and the final telemetry registry as Prometheus
+// exposition text after the drain.
+int serve_network(int width, int window, const std::string& listen,
+                  vlsa::service::ServiceConfig config, int event_threads,
+                  const ObsOptions& obs) {
+  vlsa::telemetry::Registry registry;
+  Observability observability(obs, registry, width, window);
+  observability.attach(config);
+  {
+    vlsa::service::AdderService service(config, &registry);
+    vlsa::net::ServerConfig server_config;
+    const auto [host, port] = parse_hostport(listen);
+    server_config.host = host;
+    server_config.port = port;
+    server_config.event_threads = event_threads;
+    vlsa::net::Server server(server_config, service);
+    install_stop_handlers();
+    std::cout << "listening on " << server.address() << std::endl;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "serve: draining (" << server.active_connections()
+              << " connections active)\n";
+    server.shutdown();
+    service.close();
+    vlsa::telemetry::write_prometheus(registry.snapshot(), std::cout);
+  }
+  if (obs.any_artifacts()) {
+    observability.finish(std::cerr);
+  }
+  return 0;
+}
+
 int cmd_serve(int width, int window, const std::vector<std::string>& args,
               std::size_t next) {
   ObsOptions obs;
+  std::string listen;
+  vlsa::service::ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 1;
+  config.queue_capacity = 1024;
+  int event_threads = 2;
   for (std::size_t i = next; i < args.size(); i += 2) {
     const std::string& flag = args[i];
     if (i + 1 >= args.size()) {
       throw std::invalid_argument("missing value for " + flag);
     }
-    if (!parse_obs_flag(obs, flag, args[i + 1])) {
+    const std::string& value = args[i + 1];
+    if (flag == "--listen") {
+      listen = value;
+    } else if (flag == "--workers") {
+      config.workers = std::stoi(value);
+    } else if (flag == "--queue") {
+      config.queue_capacity = static_cast<std::size_t>(std::stoull(value));
+    } else if (flag == "--policy") {
+      if (value == "block") {
+        config.overflow = vlsa::service::OverflowPolicy::Block;
+      } else if (value == "reject") {
+        config.overflow = vlsa::service::OverflowPolicy::Reject;
+      } else {
+        throw std::invalid_argument("unknown policy '" + value +
+                                    "' (block, reject)");
+      }
+    } else if (flag == "--threads") {
+      event_threads = std::stoi(value);
+    } else if (!parse_obs_flag(obs, flag, value)) {
       throw std::invalid_argument("unknown serve flag '" + flag + "'");
     }
   }
+  if (!listen.empty()) {
+    return serve_network(width, window, listen, config, event_threads, obs);
+  }
+  install_stop_handlers();  // SIGINT: stdin read ends, we drain + exit 0
   std::ostringstream buffer;
   buffer << std::cin.rdbuf();
   auto trace = vlsa::workloads::TraceStream::from_text(buffer.str());
@@ -496,11 +613,6 @@ int cmd_serve(int width, int window, const std::vector<std::string>& args,
   }
   vlsa::telemetry::Registry registry;
   Observability observability(obs, registry, width, window);
-  vlsa::service::ServiceConfig config;
-  config.pipeline.width = width;
-  config.pipeline.window = window;
-  config.workers = 1;
-  config.queue_capacity = 1024;
   observability.attach(config);
   {
     vlsa::service::AdderService service(config, &registry);
@@ -535,6 +647,9 @@ int cmd_loadgen(int width, int window,
   config.workers = 2;
   vlsa::workloads::LoadGenConfig load;
   std::string json_path;
+  std::string connect;
+  int connections = 4;
+  int outstanding = 256;
   ObsOptions obs;
   auto need = [&](std::size_t i, const std::string& flag) -> const std::string& {
     if (i + 1 >= args.size()) {
@@ -590,9 +705,62 @@ int cmd_loadgen(int width, int window,
       load.seed = std::stoull(value);
     } else if (flag == "--json") {
       json_path = value;
+    } else if (flag == "--connect") {
+      connect = value;
+    } else if (flag == "--connections") {
+      connections = std::stoi(value);
+    } else if (flag == "--outstanding") {
+      outstanding = std::stoi(value);
     } else if (!parse_obs_flag(obs, flag, value)) {
       throw std::invalid_argument("unknown flag '" + flag + "'");
     }
+  }
+  if (!connect.empty()) {
+    // Network mode: the service lives in another process (`vlsa_tool
+    // serve --listen`); everything here is client-side.
+    install_stop_handlers();  // SIGINT: stop offering, drain, exit
+    vlsa::workloads::NetLoadGenConfig net_config;
+    net_config.base = load;
+    const auto [host, port] = parse_hostport(connect);
+    net_config.host = host;
+    net_config.port = port;
+    net_config.width = width;
+    net_config.connections = connections;
+    net_config.max_outstanding = outstanding;
+    net_config.stop = &g_stop;
+    vlsa::telemetry::Registry registry;
+    net_config.registry = &registry;
+    const auto report = vlsa::workloads::run_load_gen_net(net_config);
+    std::cout << "loadgen(net): " << connect << " x " << connections
+              << " connections, "
+              << vlsa::workloads::distribution_name(load.distribution)
+              << " x "
+              << vlsa::workloads::arrival_process_name(load.arrival)
+              << " @ " << load.rate_per_sec << "/s, width " << width << "\n"
+              << "  offered   " << report.offered << "\n"
+              << "  ok        " << report.ok << "\n"
+              << "  rejected  " << report.rejected << "\n"
+              << "  errors    " << report.errors << "\n"
+              << "  recovered " << report.recovered << "\n"
+              << "  achieved  " << report.achieved_rate << " req/s over "
+              << report.seconds << " s\n";
+    const auto snap = registry.snapshot();
+    for (const auto& h : snap.histograms) {
+      if (h.name == "netclient.e2e_ns") {
+        std::cout << "  e2e ns: p50 " << h.p50() << ", p90 " << h.p90()
+                  << ", p99 " << h.p99() << ", p999 " << h.p999()
+                  << ", max " << h.max << "\n";
+      }
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        throw std::runtime_error("cannot open " + json_path);
+      }
+      out << snap.to_json() << "\n";
+      std::cout << "  telemetry -> " << json_path << "\n";
+    }
+    return report.errors > 0 ? 1 : 0;
   }
   // `vlsa_tool trace` is loadgen with tracing on by default.
   if (force_trace && obs.trace_out.empty()) obs.trace_out = "trace.json";

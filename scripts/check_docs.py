@@ -26,6 +26,7 @@ REQUIRED_DOCS = [
     "docs/formal_verification.md",
     "docs/hardware.md",
     "docs/integration.md",
+    "docs/networking.md",
     "docs/observability.md",
     "docs/static_analysis.md",
     "docs/theory.md",

@@ -86,7 +86,7 @@ std::optional<std::future<Completion>> AdderService::submit(BitVec a,
   if (config_.record_wall_time) {
     request.arrival_time = std::chrono::steady_clock::now();
   }
-  auto future = request.promise.get_future();
+  auto future = request.promise.emplace().get_future();
 
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   // Blocking on a full queue in pump mode would deadlock (nothing
@@ -112,6 +112,50 @@ std::optional<std::future<Completion>> AdderService::submit(BitVec a,
   return future;
 }
 
+bool AdderService::try_submit_callback(BitVec&& a, BitVec&& b,
+                                       CompletionCallback callback) {
+  if (closed_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("AdderService: submit after close");
+  }
+  if (a.width() != config_.pipeline.width ||
+      b.width() != config_.pipeline.width) {
+    throw std::invalid_argument("AdderService: operand width mismatch");
+  }
+  Request request;
+  request.a = std::move(a);
+  request.b = std::move(b);
+  request.callback = std::move(callback);
+  request.arrival_cycle = vclock_.load(std::memory_order_relaxed);
+  if (config_.record_wall_time) {
+    request.arrival_time = std::chrono::steady_clock::now();
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  // Always try-semantics: this path exists for event loops, which must
+  // never park on a condition variable.  The caller translates a full
+  // queue into its own backpressure (socket read stall or REJECTED
+  // frame); only the Reject policy counts it as a service rejection.
+  if (!queue_.try_push(std::move(request))) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    // Not consumed on failure: hand the operands back so a Block-policy
+    // caller can park them for retry without having paid a defensive
+    // copy on every successful submit (the overwhelmingly common case).
+    a = std::move(request.a);
+    b = std::move(request.b);
+    if (queue_.closed()) {
+      throw std::runtime_error("AdderService: submit after close");
+    }
+    if (config_.overflow == OverflowPolicy::Reject) rejected_.increment();
+    return false;
+  }
+  submitted_.increment();
+  if (trace::enabled() && trace::sample()) {
+    trace::EventArgs args;
+    args.k = config_.pipeline.window;
+    trace::emit_instant(trace::EventName::kSubmit, args);
+  }
+  return true;
+}
+
 std::vector<std::optional<std::future<Completion>>>
 AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
   if (closed_.load(std::memory_order_acquire)) {
@@ -135,7 +179,7 @@ AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
     request.b = std::move(b);
     request.arrival_cycle = arrival;
     request.arrival_time = now;
-    futures.push_back(request.promise.get_future());
+    futures.push_back(request.promise.emplace().get_future());
     requests.push_back(std::move(request));
   }
   inflight_.fetch_add(static_cast<long long>(requests.size()),
@@ -312,7 +356,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
         }
         trace::emit_instant(trace::EventName::kComplete, args);
       }
-      request.promise.set_value(std::move(completion));
+      deliver(request, std::move(completion));
       ++n_fast;
       continue;
     }
@@ -408,8 +452,16 @@ void AdderService::complete(Request& request, Completion completion) {
   }
   if (!completion.flagged) fast_path_.increment();
   completed_.increment();
-  request.promise.set_value(std::move(completion));
+  deliver(request, std::move(completion));
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void AdderService::deliver(Request& request, Completion&& completion) {
+  if (request.callback) {
+    request.callback(std::move(completion));
+  } else {
+    request.promise->set_value(std::move(completion));
+  }
 }
 
 std::size_t AdderService::pump() {

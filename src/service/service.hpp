@@ -42,6 +42,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -147,6 +148,27 @@ class AdderService {
   std::vector<std::optional<std::future<Completion>>> submit_many(
       std::vector<std::pair<BitVec, BitVec>> ops);
 
+  /// Completion delivery for callers that cannot block on a future —
+  /// the network front-end's event loops (src/net/server.cpp).  The
+  /// callback runs on whichever service thread completes the request
+  /// (dispatcher fast path or recovery lane), so it must be cheap and
+  /// must not call back into submit paths.
+  using CompletionCallback = std::function<void(Completion)>;
+
+  /// Non-blocking submit with callback completion: pushes with
+  /// try-semantics REGARDLESS of the overflow policy (an event loop can
+  /// never afford to block) and returns false when the queue is full —
+  /// the caller maps that onto its own backpressure currency (the net
+  /// server stops reading the socket under Block, sends a REJECTED
+  /// frame under Reject).  A false return is counted in
+  /// service.rejected only under Reject; under Block it is a stall, not
+  /// a rejection — and the operands are handed back through the rvalue
+  /// references untouched, so the caller can park the SAME frame for a
+  /// retry instead of copying operands defensively on every attempt.
+  /// Same throw conditions as submit().
+  bool try_submit_callback(BitVec&& a, BitVec&& b,
+                           CompletionCallback callback);
+
   /// Pump mode only: dispatch at most one batch (plus its recovery
   /// work) on the calling thread.  Returns requests completed; 0 when
   /// the queue is empty.
@@ -171,7 +193,13 @@ class AdderService {
  private:
   struct Request {
     BitVec a, b;
-    std::promise<Completion> promise;
+    /// Engaged only on the future paths (submit/submit_many) — a
+    /// default-constructed std::promise allocates its shared state, so
+    /// the callback path (one request per network frame) must not pay
+    /// for a promise it never reads.
+    std::optional<std::promise<Completion>> promise;
+    /// When set, completion is delivered here instead of the promise.
+    CompletionCallback callback;
     long long arrival_cycle = 0;
     std::chrono::steady_clock::time_point arrival_time;
   };
@@ -192,6 +220,9 @@ class AdderService {
                        BoundedQueue<RecoveryItem>* recovery);
   void recover_one(RecoveryItem item);
   void complete(Request& request, Completion completion);
+  /// Hand the finished completion to whichever channel the request
+  /// carries (callback or promise).
+  static void deliver(Request& request, Completion&& completion);
 
   ServiceConfig config_;
   std::unique_ptr<telemetry::Registry> owned_registry_;

@@ -75,8 +75,13 @@ bool isa_compiled(Isa isa) { return kernels_of(isa) != nullptr; }
 bool isa_supported(Isa isa) { return isa_compiled(isa) && cpu_has(isa); }
 
 Isa best_isa() {
-  if (isa_supported(Isa::Avx512)) return Isa::Avx512;
+  // AVX2 ahead of AVX-512, deliberately: on the machines we measure,
+  // 512-bit execution downclocks the core and ends up *slower* end to
+  // end than AVX2 at every service width (docs/benchmarks.md records
+  // the numbers).  VLSA_FORCE_ISA=avx512 (active_isa) is the explicit
+  // opt-in for parts where the wide tier does win.
   if (isa_supported(Isa::Avx2)) return Isa::Avx2;
+  if (isa_supported(Isa::Avx512)) return Isa::Avx512;
   return Isa::Scalar;
 }
 

@@ -41,7 +41,13 @@ enum class Isa { Scalar = 0, Avx2 = 1, Avx512 = 2 };
 /// AVX-512 requires F+BW+DQ+VL, the flag set the TU is built with).
 [[nodiscard]] bool isa_supported(Isa isa);
 
-/// Widest supported tier on this machine/build.
+/// Preferred supported tier on this machine/build.  NOT simply the
+/// widest: AVX2 is preferred over AVX-512 even when both are supported,
+/// because measured batch throughput at service widths is HIGHER on
+/// AVX2 (BENCH_simd.json: 1.807x vs 1.755x over scalar at width 1024 —
+/// 512-bit execution downclocks the core and the wider lanes do not
+/// earn the frequency loss back; see docs/benchmarks.md).  Set
+/// VLSA_FORCE_ISA=avx512 to opt back in on parts where it wins.
 [[nodiscard]] Isa best_isa();
 
 /// The process-wide tier: best_isa(), unless VLSA_FORCE_ISA names

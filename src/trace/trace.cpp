@@ -191,6 +191,18 @@ const char* event_name(EventName name) {
       return "recovery";
     case EventName::kComplete:
       return "complete";
+    case EventName::kNetAccept:
+      return "net-accept";
+    case EventName::kNetRead:
+      return "net-read";
+    case EventName::kNetDecode:
+      return "net-decode";
+    case EventName::kNetDispatch:
+      return "net-dispatch";
+    case EventName::kNetWrite:
+      return "net-write";
+    case EventName::kNetClose:
+      return "net-close";
   }
   return "unknown";
 }

@@ -78,8 +78,16 @@ enum class EventName : std::uint8_t {
   kErCheck = 4,    ///< instant: a lane's ER flag fired
   kRecovery = 5,   ///< span: serial recovery-lane recomputation
   kComplete = 6,   ///< instant: completion delivered to the requester
+  // Socket path (src/net/server.cpp).  `batch` carries the connection
+  // id, `lane` a frame count where noted.
+  kNetAccept = 7,    ///< instant: connection accepted
+  kNetRead = 8,      ///< span: one drain-until-EAGAIN read burst
+  kNetDecode = 9,    ///< span: decoding the bytes of one read burst
+  kNetDispatch = 10, ///< instant: a decoded frame entered the service
+  kNetWrite = 11,    ///< span: one flush of the connection write buffer
+  kNetClose = 12,    ///< instant: connection torn down
 };
-inline constexpr int kNumEventNames = 7;
+inline constexpr int kNumEventNames = 13;
 
 /// Stable lowercase-dashed name ("engine-eval") used in exports.
 const char* event_name(EventName name);

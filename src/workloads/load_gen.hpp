@@ -17,7 +17,9 @@
 // `Complementary` traffic whose near-certain ER flags congest the
 // recovery lane.
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "service/service.hpp"
 #include "util/rng.hpp"
@@ -82,5 +84,50 @@ struct LoadGenReport {
 /// latency histograms from `service.registry()` afterwards.
 LoadGenReport run_load_gen(service::AdderService& service,
                            const LoadGenConfig& config);
+
+// ---------------------------------------------------------------------
+// Network mode: the same arrival processes and operand distributions,
+// offered over TCP through net/client.hpp instead of in-process
+// submit().  Each connection gets its own thread, client, and
+// independent RNG substreams; the offered rate and request budget are
+// split evenly across connections, so `base.rate_per_sec` stays the
+// AGGREGATE rate.
+
+struct NetLoadGenConfig {
+  LoadGenConfig base;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Operand width in bits; must match the server's configured width or
+  /// every frame comes back Status::Error.
+  int width = 64;
+  int connections = 4;
+  /// Pipelining cap per connection: when this many requests are
+  /// unanswered the sender blocks in recv() before sending more.  Keeps
+  /// the bytes parked in socket buffers bounded (a TCP-deadlock guard:
+  /// both sides writing with nobody reading) while still letting the
+  /// server batch deeply.
+  int max_outstanding = 256;
+  /// When set, end-to-end latency lands in histogram
+  /// `netclient.e2e_ns` and outcomes in `netclient.{ok,rejected,error}`
+  /// counters here.  Must outlive the call.
+  telemetry::Registry* registry = nullptr;
+  /// When set, arrival loops stop offering as soon as it turns true
+  /// (the CLI's SIGINT hook); in-flight requests still drain.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct NetLoadGenReport {
+  long long offered = 0;
+  long long ok = 0;        ///< Status::Ok responses
+  long long rejected = 0;  ///< Status::Rejected (server queue full)
+  long long errors = 0;    ///< Status::Error or broken connections
+  long long recovered = 0; ///< responses with the ER/recovery flag set
+  double seconds = 0.0;
+  double achieved_rate = 0.0;  ///< ok responses / second
+};
+
+/// Drive host:port with `connections` concurrent pipelined clients.
+/// Throws net::ConnectionError when the initial connects fail.
+NetLoadGenReport run_load_gen_net(const NetLoadGenConfig& config);
 
 }  // namespace vlsa::workloads

@@ -1,0 +1,561 @@
+// Tests for the network front-end: wire-protocol round-trips, the
+// incremental decoder against partial reads and hostile bytes (run
+// these under the `asan` preset — the decoder must reject garbage
+// without UB), and end-to-end loopback runs against a live epoll
+// server under both overflow policies, including recovery-triggering
+// traffic.  The aggregate `NetSuite` ctest entry carries the `net`
+// label; the TSan job runs it too (client threads vs event loops vs
+// service workers).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/aca.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "telemetry/registry.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "workloads/operand_stream.hpp"
+
+namespace vlsa {
+namespace {
+
+using net::DecoderLimits;
+using net::FrameDecoder;
+using net::FrameType;
+using net::RequestFrame;
+using net::ResponseFrame;
+using net::Status;
+using service::AdderService;
+using service::OverflowPolicy;
+using service::ServiceConfig;
+using util::BitVec;
+
+BitVec random_vec(util::Rng& rng, int width) {
+  BitVec v(width);
+  for (auto& limb : v.limbs()) limb = rng.next_u64();
+  if (!v.limbs().empty() && width % 64 != 0) {
+    v.limbs().back() &= (std::uint64_t{1} << (width % 64)) - 1;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Protocol: encode/decode round-trips
+
+TEST(NetProtocol, RequestRoundTripAcrossWidths) {
+  util::Rng rng(0x900d);
+  for (const int width : {1, 7, 8, 63, 64, 65, 256, 1024}) {
+    RequestFrame in;
+    in.id = rng.next_u64();
+    in.width = width;
+    in.window = width >= 8 ? 8 : 0;
+    in.a = random_vec(rng, width);
+    in.b = random_vec(rng, width);
+
+    std::vector<std::uint8_t> bytes;
+    net::encode_request(in, bytes);
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    RequestFrame out;
+    ResponseFrame unused;
+    ASSERT_EQ(decoder.next(out, unused), FrameDecoder::Result::Frame)
+        << "width " << width;
+    EXPECT_EQ(decoder.type(), FrameType::Request);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.width, width);
+    EXPECT_EQ(out.window, in.window);
+    EXPECT_EQ(out.a, in.a);
+    EXPECT_EQ(out.b, in.b);
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_EQ(decoder.next(out, unused), FrameDecoder::Result::NeedMore);
+  }
+}
+
+TEST(NetProtocol, ResponseRoundTripAllStatuses) {
+  util::Rng rng(0xd00d);
+  const int width = 128;
+  for (const Status status :
+       {Status::Ok, Status::Rejected, Status::Error}) {
+    ResponseFrame in;
+    in.id = rng.next_u64();
+    in.status = status;
+    in.width = width;
+    in.window = 12;
+    in.latency_ticks = 42;
+    if (status == Status::Ok) {
+      in.flags = net::kFlagRecovered;
+      in.sum = random_vec(rng, width);
+    }
+
+    std::vector<std::uint8_t> bytes;
+    net::encode_response(in, bytes);
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    RequestFrame unused;
+    ResponseFrame out;
+    ASSERT_EQ(decoder.next(unused, out), FrameDecoder::Result::Frame);
+    EXPECT_EQ(decoder.type(), FrameType::Response);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.status, status);
+    EXPECT_EQ(out.flags, in.flags);
+    EXPECT_EQ(out.latency_ticks, 42u);
+    if (status == Status::Ok) {
+      EXPECT_EQ(out.sum, in.sum);
+    } else {
+      EXPECT_EQ(out.sum.width(), 0);
+    }
+  }
+}
+
+TEST(NetProtocol, PipelinedFramesDecodeInOrder) {
+  util::Rng rng(0xcafe);
+  const int width = 96;
+  std::vector<RequestFrame> frames;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 17; ++i) {
+    RequestFrame f;
+    f.id = static_cast<std::uint64_t>(i) + 1;
+    f.width = width;
+    f.a = random_vec(rng, width);
+    f.b = random_vec(rng, width);
+    net::encode_request(f, bytes);
+    frames.push_back(std::move(f));
+  }
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  RequestFrame out;
+  ResponseFrame unused;
+  for (const RequestFrame& expected : frames) {
+    ASSERT_EQ(decoder.next(out, unused), FrameDecoder::Result::Frame);
+    EXPECT_EQ(out.id, expected.id);
+    EXPECT_EQ(out.a, expected.a);
+    EXPECT_EQ(out.b, expected.b);
+  }
+  EXPECT_EQ(decoder.next(out, unused), FrameDecoder::Result::NeedMore);
+}
+
+TEST(NetProtocol, OneByteAtATime) {
+  util::Rng rng(0x1b1b);
+  const int width = 200;
+  RequestFrame in;
+  in.id = 7;
+  in.width = width;
+  in.a = random_vec(rng, width);
+  in.b = random_vec(rng, width);
+  std::vector<std::uint8_t> bytes;
+  net::encode_request(in, bytes);
+
+  FrameDecoder decoder;
+  RequestFrame out;
+  ResponseFrame unused;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed(&bytes[i], 1);
+    ASSERT_EQ(decoder.next(out, unused), FrameDecoder::Result::NeedMore)
+        << "frame completed early at byte " << i;
+  }
+  decoder.feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.next(out, unused), FrameDecoder::Result::Frame);
+  EXPECT_EQ(out.a, in.a);
+  EXPECT_EQ(out.b, in.b);
+}
+
+TEST(NetProtocol, TruncationIsNeedMoreNotError) {
+  RequestFrame in;
+  in.id = 1;
+  in.width = 64;
+  in.a = BitVec::from_u64(64, 5);
+  in.b = BitVec::from_u64(64, 6);
+  std::vector<std::uint8_t> bytes;
+  net::encode_request(in, bytes);
+  // Every strict prefix must park the decoder, never poison it.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                net::kHeaderBytes - 1, net::kHeaderBytes,
+                                bytes.size() - 1}) {
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), cut);
+    RequestFrame out;
+    ResponseFrame unused;
+    EXPECT_EQ(decoder.next(out, unused), FrameDecoder::Result::NeedMore);
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+FrameDecoder::Result decode_raw(std::vector<std::uint8_t> bytes,
+                                std::string* error = nullptr) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  RequestFrame request;
+  ResponseFrame response;
+  const auto result = decoder.next(request, response);
+  if (error != nullptr) *error = decoder.error();
+  return result;
+}
+
+std::vector<std::uint8_t> valid_request_bytes() {
+  RequestFrame in;
+  in.id = 9;
+  in.width = 64;
+  in.a = BitVec::from_u64(64, 1);
+  in.b = BitVec::from_u64(64, 2);
+  std::vector<std::uint8_t> bytes;
+  net::encode_request(in, bytes);
+  return bytes;
+}
+
+TEST(NetProtocol, HostileHeadersAreFatal) {
+  // Each mutation of one header byte must poison the decoder.
+  struct Case {
+    std::size_t offset;
+    std::uint8_t value;
+    const char* what;
+  };
+  const Case cases[] = {
+      {0, 0x00, "bad magic"},        {4, 0x7f, "unknown version"},
+      {5, 0x00, "bad frame type"},   {5, 0x03, "unknown frame type"},
+      {6, 0x41, "unknown op"},       {7, 0x01, "request with flags"},
+      {24, 0x01, "request with latency"},
+  };
+  for (const Case& c : cases) {
+    auto bytes = valid_request_bytes();
+    bytes[c.offset] = c.value;
+    EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error)
+        << c.what;
+  }
+}
+
+TEST(NetProtocol, OversizedAndInconsistentLengthsAreFatal) {
+  {
+    // Declared width above the decoder limit.
+    auto bytes = valid_request_bytes();
+    bytes[16] = 0xff;
+    bytes[17] = 0xff;  // width 65535 > max_width
+    EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error);
+  }
+  {
+    // Zero width.
+    auto bytes = valid_request_bytes();
+    bytes[16] = 0;
+    bytes[17] = 0;
+    EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error);
+  }
+  {
+    // Payload length that disagrees with the declared width.
+    auto bytes = valid_request_bytes();
+    bytes[20] = 0xff;  // payload 255 != 16
+    EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error);
+  }
+  {
+    // Hostile operand padding: width 60 declared, but bits 60..63 set.
+    RequestFrame in;
+    in.id = 2;
+    in.width = 64;
+    in.a = BitVec::ones(64);
+    in.b = BitVec::ones(64);
+    std::vector<std::uint8_t> bytes;
+    net::encode_request(in, bytes);
+    bytes[16] = 60;  // shrink the declared width; payload stays 16 bytes
+    bytes[20] = 16;
+    EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error);
+  }
+}
+
+TEST(NetProtocol, PoisonIsSticky) {
+  auto bytes = valid_request_bytes();
+  bytes[0] = 0;  // bad magic
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  RequestFrame request;
+  ResponseFrame response;
+  EXPECT_EQ(decoder.next(request, response), FrameDecoder::Result::Error);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_FALSE(decoder.error().empty());
+  // Feeding perfectly valid bytes afterwards must not resurrect it —
+  // framing is gone for good.
+  const auto good = valid_request_bytes();
+  decoder.feed(good.data(), good.size());
+  EXPECT_EQ(decoder.next(request, response), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, RandomGarbageNeverCrashes) {
+  // Deterministic fuzz: random byte blobs in random chunk sizes.  The
+  // decoder may report anything except UB (ASan is the real assertion
+  // here); once poisoned it must stay poisoned.
+  util::Rng rng(0xfa22);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    RequestFrame request;
+    ResponseFrame response;
+    bool poisoned = false;
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      std::vector<std::uint8_t> blob(1 + rng.next_below(200));
+      for (auto& byte : blob) {
+        byte = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      decoder.feed(blob.data(), blob.size());
+      for (int pulls = 0; pulls < 64; ++pulls) {
+        const auto result = decoder.next(request, response);
+        if (result == FrameDecoder::Result::Error) {
+          poisoned = true;
+          break;
+        }
+        if (result == FrameDecoder::Result::NeedMore) break;
+      }
+      if (poisoned) break;
+    }
+    if (poisoned) {
+      EXPECT_EQ(decoder.next(request, response),
+                FrameDecoder::Result::Error);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over loopback
+
+ServiceConfig service_config(int width, int window, OverflowPolicy policy,
+                             std::size_t capacity = 1024) {
+  ServiceConfig config;
+  config.pipeline.width = width;
+  config.pipeline.window = window;
+  config.workers = 2;
+  config.queue_capacity = capacity;
+  config.overflow = policy;
+  return config;
+}
+
+TEST(NetLoopback, BlockingCallsMatchScalarModel) {
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  ASSERT_GT(server.port(), 0);
+
+  net::Client client("127.0.0.1", server.port());
+  util::Rng rng(0xabcd);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec a = random_vec(rng, width);
+    const BitVec b = random_vec(rng, width);
+    const ResponseFrame response = client.call(a, b);
+    ASSERT_EQ(response.status, Status::Ok);
+    EXPECT_EQ(response.sum, a + b);
+    EXPECT_EQ(response.width, width);
+    EXPECT_EQ(response.window, window);
+    EXPECT_GE(response.latency_ticks, 1u);
+    // The wire flag must agree with the scalar ACA model.
+    EXPECT_EQ((response.flags & net::kFlagRecovered) != 0,
+              core::aca_flag(a, b, window));
+  }
+}
+
+TEST(NetLoopback, PipelinedUnderBlockPolicyNothingDropped) {
+  // Tiny queue + saturating pipelined client: Block policy must stall
+  // the socket (TCP backpressure) rather than drop or reject anything.
+  const int width = 64, window = 8;
+  AdderService service(
+      service_config(width, window, OverflowPolicy::Block, 8));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+
+  util::Rng rng(0x8070);
+  const int n = 2000;
+  std::vector<BitVec> sums;
+  sums.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const BitVec a = random_vec(rng, width);
+    const BitVec b = random_vec(rng, width);
+    sums.push_back(a + b);
+    client.send(a, b);
+  }
+  int ok = 0;
+  while (client.outstanding() > 0) {
+    const ResponseFrame response = client.recv();
+    ASSERT_EQ(response.status, Status::Ok);
+    ASSERT_GE(response.id, 1u);
+    ASSERT_LE(response.id, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(response.sum, sums[response.id - 1]);
+    ++ok;
+  }
+  EXPECT_EQ(ok, n);
+}
+
+TEST(NetLoopback, RejectPolicyAnswersRejectedFrames) {
+  // Tiny queue + saturating pipelined client under Reject: every
+  // request gets SOME answer, and the correct ones are exact.
+  const int width = 64, window = 8;
+  AdderService service(
+      service_config(width, window, OverflowPolicy::Reject, 4));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+
+  util::Rng rng(0x7e7e);
+  const int n = 3000;
+  std::vector<BitVec> sums;
+  sums.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const BitVec a = random_vec(rng, width);
+    const BitVec b = random_vec(rng, width);
+    sums.push_back(a + b);
+    client.send(a, b);
+  }
+  int ok = 0, rejected = 0;
+  while (client.outstanding() > 0) {
+    const ResponseFrame response = client.recv();
+    if (response.status == Status::Rejected) {
+      ++rejected;
+      continue;
+    }
+    ASSERT_EQ(response.status, Status::Ok);
+    EXPECT_EQ(response.sum, sums[response.id - 1]);
+    ++ok;
+  }
+  EXPECT_EQ(ok + rejected, n);
+  EXPECT_GT(ok, 0);
+  // Backpressure must show up in the server's own accounting when any
+  // rejection happened (a fast machine may drain everything in time).
+  const auto snap = service.registry().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "net.frames_rejected") {
+      EXPECT_EQ(value, rejected);
+    }
+  }
+}
+
+TEST(NetLoopback, RecoveryTrafficCarriesTheFlag) {
+  // Complementary operands (b ≈ ~a) make nearly every addition
+  // propagate across the window — the adversarial traffic the ER flag
+  // exists for.  The wire must carry the recovery flag and the modeled
+  // latency must exceed the fast path's.
+  const int width = 256, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+
+  workloads::OperandStream stream(workloads::Distribution::Complementary,
+                                  width, 0x5eed);
+  int recovered = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto [a, b] = stream.next();
+    const ResponseFrame response = client.call(a, b);
+    ASSERT_EQ(response.status, Status::Ok);
+    EXPECT_EQ(response.sum, a + b);
+    const bool flagged = (response.flags & net::kFlagRecovered) != 0;
+    EXPECT_EQ(flagged, core::aca_flag(a, b, window));
+    if (flagged) ++recovered;
+  }
+  EXPECT_GT(recovered, 50);  // complementary traffic flags nearly always
+}
+
+TEST(NetLoopback, WidthMismatchIsAnErrorFrame) {
+  AdderService service(service_config(64, 8, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+  const ResponseFrame response =
+      client.call(BitVec::from_u64(32, 1), BitVec::from_u64(32, 2));
+  EXPECT_EQ(response.status, Status::Error);
+}
+
+TEST(NetLoopback, GarbageBytesCloseTheConnection) {
+  AdderService service(service_config(64, 8, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+  // A healthy exchange first, so the failure below is unambiguous.
+  const ResponseFrame ok =
+      client.call(BitVec::from_u64(64, 3), BitVec::from_u64(64, 4));
+  ASSERT_EQ(ok.status, Status::Ok);
+
+  // Raw garbage through a plain socket: the server must count a decode
+  // error and hang up (EOF), never answer or crash.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto bytes = valid_request_bytes();
+  bytes[0] = 0x00;  // break the magic
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  std::uint8_t buf[64];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+  }
+  EXPECT_EQ(n, 0) << "expected EOF after a protocol violation";
+  ::close(fd);
+
+  // The healthy connection keeps working: poisoning is per-connection.
+  const ResponseFrame still_ok =
+      client.call(BitVec::from_u64(64, 5), BitVec::from_u64(64, 6));
+  EXPECT_EQ(still_ok.status, Status::Ok);
+  const auto snap = service.registry().snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "net.decode_errors") {
+      EXPECT_EQ(value, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetLoopback, GracefulShutdownDrainsOutstanding) {
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  auto server = std::make_unique<net::Server>(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server->port());
+
+  util::Rng rng(0x57a9);
+  std::vector<BitVec> sums;
+  for (int i = 0; i < 500; ++i) {
+    const BitVec a = random_vec(rng, width);
+    const BitVec b = random_vec(rng, width);
+    sums.push_back(a + b);
+    client.send(a, b);
+  }
+  client.finish_sending();
+  server->shutdown();  // stop accepting + drain in-flight, then close
+  // Every accepted request must have been answered before the close.
+  int ok = 0;
+  try {
+    while (client.outstanding() > 0) {
+      const ResponseFrame response = client.recv();
+      ASSERT_EQ(response.status, Status::Ok);
+      EXPECT_EQ(response.sum, sums[response.id - 1]);
+      ++ok;
+    }
+  } catch (const net::ConnectionError&) {
+    ADD_FAILURE() << "connection closed with " << client.outstanding()
+                  << " responses undelivered (answered " << ok << ")";
+  }
+  EXPECT_EQ(ok, 500);
+  EXPECT_EQ(server->active_connections(), 0);
+  server.reset();  // second shutdown via destructor: must be a no-op
+}
+
+TEST(NetLoopback, ServerRefusesPumpModeService) {
+  ServiceConfig config = service_config(64, 8, OverflowPolicy::Block);
+  config.workers = 0;  // pump mode: nothing would ever drain the queue
+  AdderService service(config);
+  EXPECT_THROW(net::Server(net::ServerConfig{}, service),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlsa
