@@ -26,6 +26,7 @@ REQUIRED_DOCS = [
     "docs/formal_verification.md",
     "docs/hardware.md",
     "docs/integration.md",
+    "docs/model_checking.md",
     "docs/networking.md",
     "docs/observability.md",
     "docs/static_analysis.md",

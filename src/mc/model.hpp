@@ -1,0 +1,147 @@
+#pragma once
+// Shared vocabulary of the deterministic concurrency model checker
+// (docs/model_checking.md): the operation taxonomy the instrumented
+// primitives announce, the decision-list schedule format, the
+// exploration knobs, and the exploration result.
+//
+// A *schedule* is the complete nondeterminism of one execution: the
+// sequence of choices the scheduler made, one per step.  Re-running the
+// same test body under the same choices reproduces the execution
+// exactly — that is what makes every failure the checker reports
+// replayable.  Choices are encoded as `tid * 64 + action`, where
+// action 0 runs the thread's announced operation and action 1+j
+// commits the j-th entry of the thread's store buffer (the weak-memory
+// model of primitives.hpp).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vlsa::mc {
+
+/// Everything an instrumented primitive can announce to the scheduler.
+/// One yield per operation — this is the interleaving granularity.
+enum class OpKind : std::uint8_t {
+  kStart = 0,      ///< thread begins executing its function
+  kAtomicLoad,     ///< mc::atomic load
+  kAtomicStore,    ///< mc::atomic store (buffered unless seq_cst)
+  kAtomicRmw,      ///< fetch_add / exchange / CAS (flushes, then atomic)
+  kFence,          ///< mc::fence_release / fence_acquire / seq_cst
+  kMutexLock,      ///< blocking acquire (eligible only when free)
+  kMutexTryLock,   ///< non-blocking acquire (always eligible)
+  kMutexUnlock,    ///< release
+  kCvWait,         ///< untimed wait (eligible only when signaled)
+  kCvTimedWait,    ///< timed wait (always eligible — timeout path)
+  kCvNotifyOne,    ///< pushes a signal covering the current waiters
+  kCvNotifyAll,    ///< wakes every current waiter
+  kJoin,           ///< mc::Thread::join (eligible when target finished)
+  kSpawn,          ///< mc::Thread construction
+  kYield,          ///< explicit mc::yield() scheduling point
+  kCommit,         ///< store-buffer commit (coordinator-executed)
+  kDrain,          ///< thread function returned; store buffer draining
+};
+
+/// Which primitive an operation touched.  Ids are assigned per class in
+/// registration (construction) order, which is deterministic under a
+/// deterministic schedule — so "cv c0" names the same object in every
+/// execution of the same body, and schedules contain no addresses.
+enum class ObjClass : std::uint8_t {
+  kNone = 0,
+  kAtomic,  ///< a0, a1, ...
+  kMutex,   ///< m0, m1, ...
+  kCv,      ///< c0, c1, ...
+  kThread,  ///< t0 (the body), t1, ... in spawn order
+};
+
+/// Short stable name for an operation ("lock", "cv-wait", ...).
+const char* op_name(OpKind kind);
+
+/// Short stable prefix for an object class ("m", "c", "a", "t").
+const char* obj_prefix(ObjClass cls);
+
+/// A decision list: the complete schedule of one execution.
+struct Schedule {
+  std::vector<std::uint32_t> choices;
+
+  bool empty() const { return choices.empty(); }
+};
+
+/// Compact textual form, e.g. "64 0 65 129" — stable across runs and
+/// suitable for pinning in a regression test.
+std::string format_schedule(const Schedule& schedule);
+
+/// Inverse of format_schedule; throws std::invalid_argument on junk.
+Schedule parse_schedule(const std::string& text);
+
+/// Exploration knobs.
+struct Options {
+  enum class Mode {
+    kExhaustive,  ///< DFS over every choice, in deterministic order
+    kRandom,      ///< seeded uniform random walks
+  };
+
+  Mode mode = Mode::kExhaustive;
+
+  /// Maximum context switches away from a still-runnable thread per
+  /// schedule; < 0 = unbounded.  Most bugs fall at small bounds
+  /// (CHESS); explore_iterative() sweeps 0..bound for a minimal
+  /// counterexample.
+  int preemption_bound = -1;
+
+  /// Exploration budget: stop after this many executions even if the
+  /// DFS frontier is not exhausted (Result::budget_exhausted tells).
+  std::uint64_t max_schedules = 100000;
+
+  /// Per-execution step budget — the livelock / unbounded-spin guard.
+  std::uint64_t max_steps = 20000;
+
+  /// Random-mode seed; execution i uses a stream derived from seed+i.
+  std::uint64_t seed = 1;
+
+  /// Model per-thread store buffers (relaxed stores commit later, as
+  /// separate schedulable steps).  Off = sequentially consistent
+  /// interleaving semantics — smaller state space, right for
+  /// mutex/condvar code with no rawatomics under test.
+  bool weak_memory = false;
+
+  // Seeded-mutant fault injection: drop notify_one/notify_all calls on
+  // the cv with the given registration id (-1 = inject nothing).
+  // `suppress_notify_nth` selects one occurrence (0-based, counted per
+  // execution); -1 suppresses every call.  This is how the mutant
+  // suites delete a wakeup from *production* queue code without
+  // forking it (tests/test_mc_suites.cpp).
+  int suppress_notify_cv = -1;
+  int suppress_notify_nth = -1;
+};
+
+/// What exploration found.
+struct Result {
+  bool failed = false;
+  bool budget_exhausted = false;  ///< hit max_schedules with DFS unfinished
+  std::uint64_t schedules = 0;    ///< executions run (pruned ones included)
+  std::uint64_t steps = 0;        ///< total scheduling decisions made
+  Schedule failing;               ///< decision list of the failing run
+  std::string message;            ///< assertion text / deadlock / budget
+  std::string trace;              ///< human-readable failing schedule
+};
+
+/// Thrown by MC_ASSERT; the thread wrapper catches it and records the
+/// failure plus the schedule that produced it.
+struct McFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace vlsa::mc
+
+/// Checker-visible assertion: failing under exploration aborts the
+/// execution and reports the schedule that got here.  Usable from any
+/// controlled thread (outside exploration it throws McFailure to the
+/// caller).
+#define MC_ASSERT(cond)                                              \
+  (void)((cond) ||                                                   \
+         (::vlsa::mc::detail::assert_fail(#cond, __FILE__, __LINE__), 0))

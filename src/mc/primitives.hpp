@@ -1,0 +1,491 @@
+#pragma once
+// Instrumented drop-in synchronization primitives for the model
+// checker (docs/model_checking.md).  API-compatible with the types the
+// production code is parameterized over:
+//
+//   mc::atomic<T>                   <->  std::atomic<T>
+//   mc::Mutex/LockGuard/UniqueLock  <->  util::Mutex/LockGuard/UniqueLock
+//   mc::CondVar                     <->  util::CondVar
+//
+// plus the policy bundles the templates accept: `mc::Sync` for
+// `service::BoundedQueue<T, Sync>` and `mc::Atomics` for
+// `trace::BasicEventRing<Atomics>`.  Swapping the policy is the ONLY
+// difference between the code under test and the code in production —
+// the checker exercises the exact shipped algorithms.
+//
+// Every operation announces itself to the scheduler (sched.hpp) and
+// parks until granted, so each is one interleaving point.  The types
+// here are *models*, not real primitives: an mc::Mutex is a flag the
+// single-running-thread invariant makes safe, an mc::atomic's value
+// lives in a plain word plus the owning thread's store buffer.  Under
+// Options::weak_memory, relaxed/release stores are buffered per thread
+// and commit later as separate schedulable steps (release commits only
+// in order; a release fence bars reordering across it) — strong enough
+// to catch writer-side ordering mutants like a demoted release store.
+// Loads always see the newest committed value (plus the thread's own
+// buffer, store-forwarding style); read-side stale values are not
+// modeled.
+//
+// The classes carry the same Clang thread-safety annotations as the
+// util types, so templates annotated with GUARDED_BY/REQUIRES stay
+// clean under -Wthread-safety when instantiated with mc primitives.
+//
+// Outside a scheduler (no explore() active, or during abort unwind)
+// every operation falls back to plain unsynchronized behavior — mc
+// types are meaningful only under the checker.
+
+#include <atomic>  // std::memory_order
+#include <chrono>
+#include <condition_variable>  // std::cv_status
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "mc/model.hpp"
+#include "mc/sched.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::mc {
+
+namespace detail {
+
+/// Model state of one mutex.  Mutated only by the thread holding the
+/// scheduler token (or read by the parked coordinator) — never raced.
+struct MutexModel {
+  std::uint32_t id;
+  bool locked = false;
+  int owner = -1;
+};
+
+/// Model state of one condition variable.
+struct CvModel {
+  std::uint32_t id = 0;
+  std::uint64_t waiters = 0;  ///< bitmask of tids parked in wait
+  /// One entry per un-consumed notify_one: the waiter set at notify
+  /// time.  Which of those waiters consumes it is the scheduler's
+  /// choice — the wake-choice nondeterminism folds into the ordinary
+  /// "which thread runs next" decision.
+  std::vector<std::uint64_t> signals;
+  std::uint64_t woken = 0;  ///< notify_all: per-waiter woken bits
+};
+
+/// Model state of one atomic word (raw 64-bit representation).
+struct AtomicModel {
+  std::uint32_t id;
+  std::uint64_t committed = 0;  ///< globally visible value
+};
+
+/// What a primitive announces when it parks (see Hooks::yield).
+struct OpDesc {
+  OpKind kind;
+  ObjClass cls = ObjClass::kNone;
+  std::uint32_t obj = 0;
+  const char* site = "";
+  MutexModel* mutex = nullptr;  ///< lock target / cv-wait reacquire
+  CvModel* cv = nullptr;        ///< cv wait/notify target
+  int join_tid = -1;            ///< kJoin target
+  bool unwind_ctx = false;      ///< announced while unwinding: no McAbort
+};
+
+/// Low-level scheduler hooks (implemented in sched.cpp).
+struct PrimHooks {
+  /// Announce `op` and park until granted.  False = not controlled
+  /// (no scheduler, or unwinding from an abort): caller must fall back
+  /// to plain behavior.
+  static bool yield(const OpDesc& op);
+  static bool controlled();
+  static int self_tid();
+  static std::uint32_t register_object(ObjClass cls);
+  static const Options& options();
+  static bool suppress_notify(std::uint32_t cv_id);
+  // Store-buffer access for the calling thread (weak_memory only).
+  static void buffer_store(AtomicModel* a, std::uint64_t v, bool release);
+  static bool buffer_lookup(const AtomicModel* a, std::uint64_t* v);
+  static void buffer_flush();
+  static void buffer_fence();
+};
+
+[[noreturn]] void model_misuse(const char* what, const char* site);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Mutex / LockGuard / UniqueLock / CondVar — mirrors util/mutex.hpp.
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() : state_{detail::PrimHooks::register_object(ObjClass::kMutex)} {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    detail::OpDesc op{OpKind::kMutexLock, ObjClass::kMutex, state_.id,
+                      "Mutex::lock"};
+    op.mutex = &state_;
+    if (!detail::PrimHooks::yield(op)) {  // fallback / unwind
+      state_.locked = true;
+      return;
+    }
+    // Granted only while free (eligibility), by the one running thread.
+    state_.locked = true;
+    state_.owner = detail::PrimHooks::self_tid();
+  }
+
+  void unlock() RELEASE() {
+    detail::OpDesc op{OpKind::kMutexUnlock, ObjClass::kMutex, state_.id,
+                      "Mutex::unlock"};
+    op.mutex = &state_;
+    if (!detail::PrimHooks::yield(op)) {
+      state_.locked = false;
+      return;
+    }
+    if (!state_.locked || state_.owner != detail::PrimHooks::self_tid()) {
+      detail::model_misuse("unlock of a mutex not held by this thread",
+                           "Mutex::unlock");
+    }
+    state_.locked = false;
+    state_.owner = -1;
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    detail::OpDesc op{OpKind::kMutexTryLock, ObjClass::kMutex, state_.id,
+                      "Mutex::try_lock"};
+    op.mutex = &state_;
+    if (!detail::PrimHooks::yield(op)) {
+      state_.locked = true;
+      return true;
+    }
+    if (state_.locked) return false;
+    state_.locked = true;
+    state_.owner = detail::PrimHooks::self_tid();
+    return true;
+  }
+
+  detail::MutexModel& model() { return state_; }
+
+ private:
+  friend class CondVar;
+  detail::MutexModel state_;
+};
+
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) ACQUIRE(mutex)
+      : mutex_(&mutex), held_(true) {
+    mutex_->lock();
+  }
+  ~UniqueLock() RELEASE() {
+    if (held_) mutex_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mutex_->lock();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    mutex_->unlock();
+    held_ = false;
+  }
+
+  Mutex& mutex() { return *mutex_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mutex_;
+  bool held_;
+};
+
+/// Condition variable over mc::Mutex.  Untimed waits are eligible only
+/// once signaled — a deleted notify therefore shows up as a global
+/// deadlock with a schedule attached.  Timed waits are always eligible
+/// (the scheduler may grant the timeout path at any point, regardless
+/// of the deadline value — time itself is not modeled); a pending
+/// signal is preferred on grant.  Spurious wakeups are NOT injected.
+class CondVar {
+ public:
+  CondVar() {
+    state_.id = detail::PrimHooks::register_object(ObjClass::kCv);
+  }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { notify(false); }
+  void notify_all() noexcept { notify(true); }
+
+  void wait(UniqueLock& lock) { wait_impl(lock, /*timed=*/false); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& /*deadline*/) {
+    return wait_impl(lock, /*timed=*/true) ? std::cv_status::no_timeout
+                                           : std::cv_status::timeout;
+  }
+
+ private:
+  /// Returns true when woken by a signal, false on (modeled) timeout.
+  bool wait_impl(UniqueLock& lock, bool timed) {
+    if (!detail::PrimHooks::controlled()) return true;  // fallback
+    const int tid = detail::PrimHooks::self_tid();
+    const std::uint64_t bit = std::uint64_t{1} << tid;
+    detail::MutexModel& m = lock.mutex_->state_;
+    if (!m.locked || m.owner != tid) {
+      detail::model_misuse("cv wait without holding the lock",
+                           "CondVar::wait");
+    }
+    // Atomically (we hold the token): register as waiter, release the
+    // mutex, park.  Eligibility: mutex free AND (signal covers us, or
+    // woken by notify_all, or — timed waits only — the timeout path).
+    state_.waiters |= bit;
+    m.locked = false;
+    m.owner = -1;
+    // The lock is released in the model while we park; if the wait is
+    // aborted (McAbort unwinds through the caller), ~UniqueLock must
+    // not try to unlock a mutex this thread no longer owns.
+    lock.held_ = false;
+    detail::OpDesc op{timed ? OpKind::kCvTimedWait : OpKind::kCvWait,
+                      ObjClass::kCv, state_.id,
+                      timed ? "CondVar::wait_until" : "CondVar::wait"};
+    op.cv = &state_;
+    op.mutex = &m;
+    bool granted;
+    try {
+      granted = detail::PrimHooks::yield(op);
+    } catch (...) {
+      state_.waiters &= ~bit;
+      throw;
+    }
+    if (!granted) {  // lost scheduler control mid-wait: plain fallback
+      state_.waiters &= ~bit;
+      lock.held_ = true;
+      return true;
+    }
+    // Granted: consume a wakeup if one covers us (preferred over the
+    // timeout), reacquire the mutex (scheduler granted it free).
+    state_.waiters &= ~bit;
+    bool signaled = false;
+    if (state_.woken & bit) {
+      state_.woken &= ~bit;
+      signaled = true;
+    } else {
+      for (std::size_t i = 0; i < state_.signals.size(); ++i) {
+        if (state_.signals[i] & bit) {
+          state_.signals.erase(
+              state_.signals.begin() + static_cast<std::ptrdiff_t>(i));
+          signaled = true;
+          break;
+        }
+      }
+    }
+    m.locked = true;
+    m.owner = tid;
+    lock.held_ = true;
+    return signaled;
+  }
+
+  void notify(bool all) {
+    detail::OpDesc op{all ? OpKind::kCvNotifyAll : OpKind::kCvNotifyOne,
+                      ObjClass::kCv, state_.id,
+                      all ? "CondVar::notify_all" : "CondVar::notify_one"};
+    op.cv = &state_;
+    if (!detail::PrimHooks::yield(op)) return;
+    // Seeded-mutant hook: the exploration options may delete this
+    // notify (tests prove the checker catches the resulting lost
+    // wakeup; see Options::suppress_notify_cv).
+    if (detail::PrimHooks::suppress_notify(state_.id)) return;
+    if (all) {
+      state_.woken |= state_.waiters;
+    } else if (state_.waiters != 0) {
+      // Wake "some one" of the waiters present now; which one is the
+      // scheduler's choice when it next grants a covered waiter.
+      state_.signals.push_back(state_.waiters);
+    }
+    // A notify with no waiters is lost — exactly the real semantics.
+  }
+
+  detail::CvModel state_;
+};
+
+// ---------------------------------------------------------------------
+// atomic<T>
+
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "mc::atomic models <=64-bit trivially copyable types");
+
+ public:
+  atomic() : atomic(T{}) {}
+  explicit atomic(T value)
+      : state_{detail::PrimHooks::register_object(ObjClass::kAtomic)} {
+    state_.committed = to_raw(value);
+  }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const {
+    detail::OpDesc op{OpKind::kAtomicLoad, ObjClass::kAtomic, state_.id,
+                      "atomic::load"};
+    if (!detail::PrimHooks::yield(op)) return from_raw(state_.committed);
+    // Own-store forwarding: the newest value this thread buffered wins;
+    // otherwise the committed (globally visible) value.  Other
+    // threads' buffers are invisible — that is the store-buffer model.
+    std::uint64_t raw;
+    if (detail::PrimHooks::options().weak_memory &&
+        detail::PrimHooks::buffer_lookup(&state_, &raw)) {
+      return from_raw(raw);
+    }
+    return from_raw(state_.committed);
+  }
+
+  void store(T value, std::memory_order mo = std::memory_order_seq_cst) {
+    detail::OpDesc op{OpKind::kAtomicStore, ObjClass::kAtomic, state_.id,
+                      "atomic::store"};
+    if (!detail::PrimHooks::yield(op)) {
+      state_.committed = to_raw(value);
+      return;
+    }
+    if (detail::PrimHooks::options().weak_memory &&
+        mo != std::memory_order_seq_cst) {
+      // Buffered: becomes globally visible at a later, separately
+      // scheduled commit step.  A release store additionally may not
+      // commit before anything buffered ahead of it.
+      detail::PrimHooks::buffer_store(&state_, to_raw(value),
+                                      mo >= std::memory_order_release);
+      return;
+    }
+    if (detail::PrimHooks::options().weak_memory) {
+      detail::PrimHooks::buffer_flush();  // seq_cst: no reordering
+    }
+    state_.committed = to_raw(value);
+  }
+
+  T exchange(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([&](T) { return value; }, "atomic::exchange");
+  }
+
+  T fetch_add(T arg, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([&](T old) { return static_cast<T>(old + arg); },
+               "atomic::fetch_add");
+  }
+
+  T fetch_sub(T arg, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([&](T old) { return static_cast<T>(old - arg); },
+               "atomic::fetch_sub");
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst) {
+    bool ok = false;
+    rmw(
+        [&](T old) {
+          ok = raw_eq(old, expected);
+          if (!ok) expected = old;
+          return ok ? desired : old;
+        },
+        "atomic::compare_exchange");
+    return ok;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    // No spurious CAS failure in the model.
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+ private:
+  template <typename Fn>
+  T rmw(Fn&& fn, const char* site) {
+    detail::OpDesc op{OpKind::kAtomicRmw, ObjClass::kAtomic, state_.id, site};
+    if (!detail::PrimHooks::yield(op)) {
+      const T old = from_raw(state_.committed);
+      state_.committed = to_raw(fn(old));
+      return old;
+    }
+    // RMWs act on the latest value: drain the own buffer first, then
+    // read-modify-write the committed word in one step.
+    if (detail::PrimHooks::options().weak_memory) {
+      detail::PrimHooks::buffer_flush();
+    }
+    const T old = from_raw(state_.committed);
+    state_.committed = to_raw(fn(old));
+    return old;
+  }
+
+  static std::uint64_t to_raw(T value) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &value, sizeof(T));
+    return raw;
+  }
+  static T from_raw(std::uint64_t raw) {
+    T value;
+    std::memcpy(&value, &raw, sizeof(T));
+    return value;
+  }
+  static bool raw_eq(T a, T b) { return to_raw(a) == to_raw(b); }
+
+  mutable detail::AtomicModel state_;
+};
+
+/// Release fence: buffered stores issued after it may not commit while
+/// anything buffered before it remains (the barrier the seqlock's
+/// busy-mark ordering relies on).
+inline void fence_release() {
+  detail::OpDesc op{OpKind::kFence, ObjClass::kNone, 0, "fence_release"};
+  if (!detail::PrimHooks::yield(op)) return;
+  if (detail::PrimHooks::options().weak_memory) {
+    detail::PrimHooks::buffer_fence();
+  }
+}
+
+/// Acquire fence: a scheduling point only — read-side reordering is
+/// not modeled (loads always see the newest committed value).
+inline void fence_acquire() {
+  detail::OpDesc op{OpKind::kFence, ObjClass::kNone, 0, "fence_acquire"};
+  (void)detail::PrimHooks::yield(op);
+}
+
+// ---------------------------------------------------------------------
+// Policy bundles the production templates accept.
+
+/// Drop-in for service::DefaultSync (service/bounded_queue.hpp):
+/// `BoundedQueue<T, mc::Sync>` is the production queue running on
+/// checker-controlled primitives.
+struct Sync {
+  using Mutex = mc::Mutex;
+  using LockGuard = mc::LockGuard;
+  using UniqueLock = mc::UniqueLock;
+  using CondVar = mc::CondVar;
+};
+
+/// Drop-in for trace::StdAtomics (trace/trace.hpp):
+/// `BasicEventRing<mc::Atomics>` is the production seqlock ring on
+/// checker-controlled atomics.
+struct Atomics {
+  template <typename U>
+  using Atomic = mc::atomic<U>;
+  static void fence_release() { mc::fence_release(); }
+  static void fence_acquire() { mc::fence_acquire(); }
+};
+
+}  // namespace vlsa::mc

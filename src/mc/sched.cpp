@@ -1,0 +1,936 @@
+// The model checker's scheduler and exploration engine (sched.hpp).
+//
+// Concurrency structure: the explore() caller is the *coordinator*.
+// Controlled threads are real std::threads, but all parking/granting
+// goes through one mutex + condvar (m_/cv_) and a single token — at
+// any instant either exactly one controlled thread runs (token_ ==
+// its tid) or the coordinator does (token_ == kCoordinator).  Model
+// state (mutex/cv/atomic models, store buffers, the thread table) is
+// therefore never accessed concurrently, and every cross-slice access
+// is ordered by the m_ handoff.
+//
+// Stateless exploration: every schedule re-executes the body from
+// scratch.  The DFS keeps a stack of frames, one per decision, each
+// holding the deterministic enabled-choice list, the index currently
+// being followed, and the sleep set inherited from its parent
+// (Godefroid-style: a choice explored at a node need not be re-explored
+// from a sibling branch unless a dependent action ran in between).
+// Preemption bounding filters frame candidates by the switch budget;
+// since staying on the current thread (or switching away from a
+// blocked one) costs nothing, the bound can never empty a non-empty
+// enabled set — only sleep sets can, and such executions abort early
+// as "pruned".
+//
+// Failure unwinding is serialized: on the first failure (assert,
+// deadlock, step budget) the coordinator grants each remaining thread
+// the token with the abort flag set — younger threads first, the body
+// (t0, whose stack owns the shared objects) last — so each unwinds and
+// exits while everything it references is still alive.  Primitive
+// calls made during unwinding bypass the scheduler entirely.
+
+#include "mc/sched.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "mc/primitives.hpp"
+
+namespace vlsa::mc {
+
+namespace {
+constexpr int kCoordinator = -1;
+constexpr int kMaxThreads = 62;            // tid bitmasks are uint64
+constexpr std::uint32_t kActionsPerTid = 64;
+constexpr std::uint32_t kNoId = ~std::uint32_t{0};
+
+/// Thrown into a controlled thread granted the token while the
+/// scheduler is aborting the execution; caught by the thread wrapper.
+struct McAbort {};
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kStart: return "start";
+    case OpKind::kAtomicLoad: return "load";
+    case OpKind::kAtomicStore: return "store";
+    case OpKind::kAtomicRmw: return "rmw";
+    case OpKind::kFence: return "fence";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kMutexTryLock: return "try-lock";
+    case OpKind::kMutexUnlock: return "unlock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvTimedWait: return "cv-timed-wait";
+    case OpKind::kCvNotifyOne: return "notify-one";
+    case OpKind::kCvNotifyAll: return "notify-all";
+    case OpKind::kJoin: return "join";
+    case OpKind::kSpawn: return "spawn";
+    case OpKind::kYield: return "yield";
+    case OpKind::kDrain: return "drain";
+    case OpKind::kCommit: return "commit";
+  }
+  return "?";
+}
+
+const char* obj_prefix(ObjClass cls) {
+  switch (cls) {
+    case ObjClass::kNone: return "";
+    case ObjClass::kAtomic: return "a";
+    case ObjClass::kMutex: return "m";
+    case ObjClass::kCv: return "c";
+    case ObjClass::kThread: return "t";
+  }
+  return "?";
+}
+
+std::string format_schedule(const Schedule& schedule) {
+  std::string out;
+  for (std::size_t i = 0; i < schedule.choices.size(); ++i) {
+    if (i) out.push_back(' ');
+    out += std::to_string(schedule.choices[i]);
+  }
+  return out;
+}
+
+Schedule parse_schedule(const std::string& text) {
+  Schedule schedule;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) {
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size()) {
+      throw std::invalid_argument("parse_schedule: bad token '" + tok + "'");
+    }
+    schedule.choices.push_back(static_cast<std::uint32_t>(value));
+  }
+  return schedule;
+}
+
+namespace detail {
+
+void model_misuse(const char* what, const char* site) {
+  throw McFailure(std::string("model misuse: ") + what + " (" + site + ")");
+}
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::string where(file);
+  const std::size_t slash = where.find_last_of('/');
+  if (slash != std::string::npos) where.erase(0, slash + 1);
+  throw McFailure(std::string("MC_ASSERT failed: ") + expr + " at " + where +
+                  ":" + std::to_string(line));
+}
+
+namespace {
+
+struct StoreEntry {
+  AtomicModel* obj;
+  std::uint64_t value;
+  bool release;      ///< may only commit as the oldest entry
+  bool fence_guard;  ///< a release fence precedes: same constraint
+};
+
+struct ThreadRec {
+  int tid = -1;
+  std::thread sys;
+  bool parked = false;    // guarded by Scheduler::m_
+  bool finished = false;  // guarded by Scheduler::m_
+  OpDesc op{OpKind::kStart};
+  std::vector<StoreEntry> buffer;
+  bool fence_active = false;
+};
+
+/// One schedulable choice, with enough op identity recorded for the
+/// sleep-set dependence check and the human-readable trace.
+struct Choice {
+  std::uint32_t code;  // tid * 64 + action
+  int tid;
+  int action;  // 0 = run announced op, 1+j = commit buffer entry j
+  OpKind kind;
+  ObjClass cls;
+  std::uint32_t obj;
+  const char* site;
+};
+
+enum class ExecStatus { kOk, kFailed, kPruned };
+
+class Scheduler;
+thread_local Scheduler* tls_sched = nullptr;
+thread_local int tls_tid = -1;
+thread_local ThreadRec* tls_rec = nullptr;
+
+class Scheduler {
+ public:
+  Result run(const std::function<void()>& body, const Options& opts) {
+    opts_ = opts;
+    if (opts_.mode == Options::Mode::kRandom) return run_random(body);
+    return run_dfs(body);
+  }
+
+  Result run_replay(const std::function<void()>& body,
+                    const Schedule& schedule, const Options& opts) {
+    opts_ = opts;
+    Result result;
+    replay_list_ = &schedule.choices;
+    replay_pos_ = 0;
+    ExecStatus status = run_execution(body, [&](const std::vector<Choice>& eligible) {
+      if (replay_pos_ >= replay_list_->size()) {
+        // Schedule exhausted with the body still making choices: the
+        // original execution ended here (in a failure the recorded
+        // choices stop at the failing step), so anything more means
+        // the pinned schedule no longer matches the body.
+        fail("replay: schedule exhausted before the execution ended");
+        return -1;
+      }
+      const std::uint32_t want = (*replay_list_)[replay_pos_++];
+      for (std::size_t i = 0; i < eligible.size(); ++i) {
+        if (eligible[i].code == want) return static_cast<int>(i);
+      }
+      fail("replay: schedule diverged (choice " + std::to_string(want) +
+           " not enabled at step " + std::to_string(trace_.size()) + ")");
+      return -1;
+    });
+    if (status == ExecStatus::kOk && replay_pos_ < replay_list_->size()) {
+      // The body finished with choices left over: it no longer matches
+      // the schedule (e.g. a pinned schedule from different code).
+      fail("replay: execution ended with " +
+           std::to_string(replay_list_->size() - replay_pos_) +
+           " schedule choices unconsumed");
+      status = ExecStatus::kFailed;
+    }
+    result.schedules = 1;
+    result.steps = steps_run_;
+    finish_result(result, status);
+    replay_list_ = nullptr;
+    return result;
+  }
+
+  // ----- hooks called by the primitives (see PrimHooks) -----
+
+  bool yield_op(const OpDesc& op) {
+    ThreadRec& t = *tls_rec;
+    std::unique_lock<std::mutex> lk(m_);
+    t.op = op;
+    t.parked = true;
+    token_ = kCoordinator;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return token_ == t.tid; });
+    if (abort_) {
+      // Unlock and notify are announced from noexcept contexts
+      // (~LockGuard, CondVar::notify_*); throwing the abort unwinder
+      // through them would std::terminate.  Let those ops complete —
+      // abort_all() re-grants this thread until it parks at an
+      // interruptible operation (or its function returns).
+      const bool noexcept_ctx = op.kind == OpKind::kMutexUnlock ||
+                                op.kind == OpKind::kCvNotifyOne ||
+                                op.kind == OpKind::kCvNotifyAll ||
+                                op.unwind_ctx;
+      if (!noexcept_ctx) {
+        lk.unlock();
+        throw McAbort{};
+      }
+    }
+    return true;
+  }
+
+  std::uint32_t register_object(ObjClass cls) {
+    return obj_counters_[static_cast<std::size_t>(cls)]++;
+  }
+
+  const Options& options() const { return opts_; }
+
+  bool suppress_notify(std::uint32_t cv_id) {
+    if (opts_.suppress_notify_cv < 0 ||
+        static_cast<std::uint32_t>(opts_.suppress_notify_cv) != cv_id) {
+      return false;
+    }
+    const int seen = suppress_seen_++;
+    return opts_.suppress_notify_nth < 0 || opts_.suppress_notify_nth == seen;
+  }
+
+  void buffer_store(AtomicModel* a, std::uint64_t v, bool release) {
+    ThreadRec& t = *tls_rec;
+    t.buffer.push_back(
+        StoreEntry{a, v, release, t.fence_active && !t.buffer.empty()});
+  }
+
+  bool buffer_lookup(const AtomicModel* a, std::uint64_t* v) const {
+    const ThreadRec& t = *tls_rec;
+    for (auto it = t.buffer.rbegin(); it != t.buffer.rend(); ++it) {
+      if (it->obj == a) {
+        *v = it->value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void buffer_flush() {
+    ThreadRec& t = *tls_rec;
+    for (const StoreEntry& e : t.buffer) e.obj->committed = e.value;
+    t.buffer.clear();
+    t.fence_active = false;
+  }
+
+  void buffer_fence() {
+    ThreadRec& t = *tls_rec;
+    if (!t.buffer.empty()) t.fence_active = true;
+  }
+
+  int spawn(std::function<void()> fn) {
+    OpDesc op{OpKind::kSpawn, ObjClass::kThread,
+              static_cast<std::uint32_t>(threads_.size()), "Thread::Thread"};
+    if (!yield_op(op)) return -1;
+    const int tid = static_cast<int>(threads_.size());
+    if (tid >= kMaxThreads) {
+      model_misuse("too many threads (max 62)", "Thread::Thread");
+    }
+    auto rec = std::make_unique<ThreadRec>();
+    ThreadRec& t = *rec;
+    t.tid = tid;
+    {
+      // The coordinator iterates `threads_` from the cv_ predicate, so
+      // the vector only ever mutates under m_.
+      std::lock_guard<std::mutex> lk(m_);
+      threads_.push_back(std::move(rec));
+    }
+    t.sys = std::thread([this, rec_ptr = &t, fn = std::move(fn)] {
+      thread_main(rec_ptr, fn);
+    });
+    return tid;
+  }
+
+  void join(int target) {
+    OpDesc op{OpKind::kJoin, ObjClass::kThread,
+              static_cast<std::uint32_t>(target), "Thread::join"};
+    op.join_tid = target;
+    if (!yield_op(op)) return;  // unreachable: yield_op throws or true
+    // Eligibility guaranteed target finished; reap the system thread.
+    ThreadRec& t = *threads_[static_cast<std::size_t>(target)];
+    if (t.sys.joinable()) t.sys.join();
+  }
+
+  /// Join for the unwind path (~Thread while an McFailure or McAbort
+  /// propagates).  The unwinder still holds the scheduling token, so a
+  /// plain sys.join() on an unfinished target would deadlock the whole
+  /// checker: the target may be parked mid-body or draining its store
+  /// buffer and only the coordinator can advance it.  Instead, park as
+  /// a join op and hand the token back; the coordinator runs the
+  /// target to completion (or abort_all() does, younger threads
+  /// first), then grants us.  unwind_ctx makes an abort grant complete
+  /// normally — throwing McAbort through an active unwind would
+  /// std::terminate.
+  void join_unwind(int target) {
+    ThreadRec& t = *threads_[static_cast<std::size_t>(target)];
+    bool finished;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      finished = t.finished;
+    }
+    if (!finished) {
+      OpDesc op{OpKind::kJoin, ObjClass::kThread,
+                static_cast<std::uint32_t>(target), "Thread::~Thread(unwind)"};
+      op.join_tid = target;
+      op.unwind_ctx = true;
+      yield_op(op);
+    }
+    if (t.sys.joinable()) t.sys.join();
+  }
+
+ private:
+  // Chooser: index into the eligible list, or -1 to prune/abort.
+  using Chooser = std::function<int(const std::vector<Choice>&)>;
+
+  // ----- per-execution engine -----
+
+  ExecStatus run_execution(const std::function<void()>& body,
+                           const Chooser& choose) {
+    threads_.clear();
+    obj_counters_.fill(0);
+    failed_ = false;
+    fail_msg_.clear();
+    abort_ = false;
+    token_ = kCoordinator;
+    choices_.clear();
+    trace_.clear();
+    steps_run_ = 0;
+    cur_tid_ = -1;
+    suppress_seen_ = 0;
+
+    threads_.push_back(std::make_unique<ThreadRec>());
+    ThreadRec& t0 = *threads_.back();
+    t0.tid = 0;
+    t0.sys = std::thread([this, rec_ptr = &t0, &body] {
+      thread_main(rec_ptr, body);
+    });
+
+    ExecStatus status = ExecStatus::kOk;
+    for (;;) {
+      bool failed_now = false;
+      bool all_done = true;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] {
+          return token_ == kCoordinator &&
+                 (failed_ || all_parked_or_finished());
+        });
+        failed_now = failed_;
+        for (const auto& t : threads_) {
+          if (!t->finished) all_done = false;
+        }
+      }
+      if (failed_now) {
+        status = ExecStatus::kFailed;
+        break;
+      }
+      if (all_done) {
+        status = ExecStatus::kOk;
+        break;
+      }
+      std::vector<Choice> eligible = compute_eligible();
+      if (eligible.empty()) {
+        fail(deadlock_message());
+        status = ExecStatus::kFailed;
+        break;
+      }
+      if (steps_run_ >= opts_.max_steps) {
+        fail("step budget exceeded (" + std::to_string(opts_.max_steps) +
+             " steps): livelock or unbounded spin");
+        status = ExecStatus::kFailed;
+        break;
+      }
+      const int idx = choose(eligible);
+      if (idx < 0) {
+        status = failed_ ? ExecStatus::kFailed : ExecStatus::kPruned;
+        break;
+      }
+      const Choice c = eligible[static_cast<std::size_t>(idx)];
+      choices_.push_back(c.code);
+      trace_.push_back(c);
+      ++steps_run_;
+      if (c.action > 0) {
+        execute_commit(c.tid, c.action - 1);
+        continue;
+      }
+      cur_tid_ = c.tid;
+      std::lock_guard<std::mutex> lk(m_);
+      threads_[static_cast<std::size_t>(c.tid)]->parked = false;
+      token_ = c.tid;
+      cv_.notify_all();
+    }
+    abort_all();
+    return status;
+  }
+
+  void thread_main(ThreadRec* rec, const std::function<void()>& fn) {
+    tls_sched = this;
+    tls_tid = rec->tid;
+    tls_rec = rec;
+    const int tid = rec->tid;
+    ThreadRec& t = *rec;
+    try {
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        t.parked = true;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return token_ == tid; });
+        if (abort_) throw McAbort{};
+      }
+      fn();
+      // A finished function's buffered stores remain schedulable: park
+      // until every entry has committed (kDrain is eligible only with
+      // an empty buffer), so a late out-of-order commit interleaving
+      // with other threads stays explorable right up to thread exit.
+      while (!t.buffer.empty()) {
+        OpDesc drain{OpKind::kDrain, ObjClass::kNone, 0, "thread-exit"};
+        yield_op(drain);
+      }
+    } catch (const McAbort&) {
+    } catch (const McFailure& f) {
+      fail(std::string(f.what()) + " (thread t" + std::to_string(tid) + ")");
+    } catch (const std::exception& e) {
+      fail(std::string("uncaught exception in thread t") +
+           std::to_string(tid) + ": " + e.what());
+    }
+    // Aborted threads abandon their store buffer: nothing uncommitted
+    // becomes visible from a cancelled execution.
+    t.buffer.clear();
+    std::lock_guard<std::mutex> lk(m_);
+    t.finished = true;
+    t.parked = false;
+    token_ = kCoordinator;
+    cv_.notify_all();
+  }
+
+  bool all_parked_or_finished() const {
+    for (const auto& t : threads_) {
+      if (!t->finished && !t->parked) return false;
+    }
+    return true;
+  }
+
+  void fail(const std::string& msg) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!failed_) {
+      failed_ = true;
+      fail_msg_ = msg;
+    }
+  }
+
+  std::string deadlock_message() const {
+    std::string msg = "deadlock: no eligible thread;";
+    for (const auto& t : threads_) {
+      if (t->finished) continue;
+      msg += " t" + std::to_string(t->tid) + " blocked in " +
+             op_name(t->op.kind);
+      if (t->op.cls != ObjClass::kNone) {
+        msg += std::string(" ") + obj_prefix(t->op.cls) +
+               std::to_string(t->op.obj);
+      }
+      msg += ";";
+    }
+    return msg;
+  }
+
+  bool thread_eligible(const ThreadRec& t) const {
+    if (t.finished || !t.parked) return false;
+    switch (t.op.kind) {
+      case OpKind::kMutexLock:
+        return !t.op.mutex->locked;
+      case OpKind::kCvTimedWait:
+        // The timeout path keeps a timed wait always grantable (once
+        // the lock can be retaken); a pending signal is preferred at
+        // wake time, but time itself is not modeled.
+        return !t.op.mutex->locked;
+      case OpKind::kCvWait: {
+        if (t.op.mutex->locked) return false;
+        const std::uint64_t bit = std::uint64_t{1} << t.tid;
+        if (t.op.cv->woken & bit) return true;
+        for (const std::uint64_t mask : t.op.cv->signals) {
+          if (mask & bit) return true;
+        }
+        return false;
+      }
+      case OpKind::kJoin:
+        return threads_[static_cast<std::size_t>(t.op.join_tid)]->finished;
+      case OpKind::kDrain:
+        // Grantable only once every buffered store has committed (via
+        // scheduled kCommit steps), so a thread cannot finish with
+        // stores still invisible to the rest of the execution.
+        return t.buffer.empty();
+      default:
+        return true;
+    }
+  }
+
+  bool commit_committable(const ThreadRec& t, std::size_t j) const {
+    const StoreEntry& e = t.buffer[j];
+    if (j > 0 && (e.release || e.fence_guard)) return false;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (t.buffer[i].obj == e.obj) return false;  // per-object coherence
+    }
+    return true;
+  }
+
+  /// Deterministic order: the currently running thread first, the rest
+  /// by ascending tid, store-buffer commits last.
+  std::vector<Choice> compute_eligible() const {
+    std::vector<Choice> out;
+    auto add_run = [&](const ThreadRec& t) {
+      if (!thread_eligible(t)) return;
+      out.push_back(Choice{
+          static_cast<std::uint32_t>(t.tid) * kActionsPerTid, t.tid, 0,
+          t.op.kind, t.op.cls, t.op.obj, t.op.site});
+    };
+    if (cur_tid_ >= 0 &&
+        static_cast<std::size_t>(cur_tid_) < threads_.size()) {
+      add_run(*threads_[static_cast<std::size_t>(cur_tid_)]);
+    }
+    for (const auto& t : threads_) {
+      if (t->tid != cur_tid_) add_run(*t);
+    }
+    for (const auto& t : threads_) {
+      const std::size_t limit =
+          std::min<std::size_t>(t->buffer.size(), kActionsPerTid - 1);
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (!commit_committable(*t, j)) continue;
+        out.push_back(Choice{static_cast<std::uint32_t>(t->tid) *
+                                     kActionsPerTid +
+                                 1 + static_cast<std::uint32_t>(j),
+                             t->tid, 1 + static_cast<int>(j), OpKind::kCommit,
+                             ObjClass::kAtomic, t->buffer[j].obj->id,
+                             "commit"});
+      }
+    }
+    return out;
+  }
+
+  void execute_commit(int tid, int j) {
+    ThreadRec& t = *threads_[static_cast<std::size_t>(tid)];
+    const StoreEntry e = t.buffer[static_cast<std::size_t>(j)];
+    e.obj->committed = e.value;
+    t.buffer.erase(t.buffer.begin() + j);
+    if (t.buffer.empty()) t.fence_active = false;
+  }
+
+  /// Serialized unwind of whatever threads remain (no-op when all
+  /// finished): younger threads first, the body (t0) last, each run to
+  /// completion before the next is granted.
+  void abort_all() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      abort_ = true;
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = static_cast<int>(threads_.size()) - 1; i >= 0; --i) {
+        if ((pass == 0) == (i == 0)) continue;  // pass 0: all but t0
+        ThreadRec& t = *threads_[static_cast<std::size_t>(i)];
+        std::unique_lock<std::mutex> lk(m_);
+        // Re-grant until the thread finishes: an abort grant at an
+        // unlock/notify op completes that op and parks again.
+        while (!t.finished) {
+          cv_.wait(lk, [&] { return t.finished || t.parked; });
+          if (t.finished) break;
+          t.parked = false;
+          token_ = t.tid;
+          cv_.notify_all();
+          cv_.wait(lk, [&] { return t.finished || t.parked; });
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      abort_ = false;
+      token_ = kCoordinator;
+    }
+    for (const auto& t : threads_) {
+      if (t->sys.joinable()) t->sys.join();
+    }
+  }
+
+  void finish_result(Result& result, ExecStatus status) {
+    if (status != ExecStatus::kFailed) return;
+    result.failed = true;
+    result.message = fail_msg_;
+    result.failing.choices = choices_;
+    std::string trace;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Choice& c = trace_[i];
+      trace += "  step " + std::to_string(i) + ": t" +
+               std::to_string(c.tid) + " " + op_name(c.kind);
+      if (c.cls != ObjClass::kNone) {
+        trace += std::string(" ") + obj_prefix(c.cls) + std::to_string(c.obj);
+      }
+      if (c.site && c.site[0]) trace += std::string(" @") + c.site;
+      trace += "\n";
+    }
+    trace += "  => " + fail_msg_ + "\n";
+    result.trace = trace;
+  }
+
+  // ----- exhaustive DFS with preemption bounding + sleep sets -----
+
+  /// Ops on the same object conflict unless both only read; thread
+  /// management is conservatively dependent with everything.  Used
+  /// only to shrink sleep sets — over-reporting dependence costs
+  /// pruning, never soundness.
+  static bool dependent(const Choice& a, const Choice& b) {
+    if (a.tid == b.tid) return true;
+    auto global = [](OpKind k) {
+      return k == OpKind::kStart || k == OpKind::kSpawn ||
+             k == OpKind::kJoin || k == OpKind::kFence ||
+             k == OpKind::kDrain;
+    };
+    if (global(a.kind) || global(b.kind)) return true;
+    if (a.cls == ObjClass::kNone || b.cls == ObjClass::kNone) return false;
+    if (a.cls != b.cls || a.obj != b.obj) return false;
+    return !(a.kind == OpKind::kAtomicLoad && b.kind == OpKind::kAtomicLoad);
+  }
+
+  struct Frame {
+    std::vector<Choice> enabled;  ///< candidates after sleep/bound filter
+    std::size_t next = 0;         ///< index followed this execution
+    std::vector<Choice> slept;    ///< inherited sleep set (thread-runs only)
+    std::vector<Choice> done;     ///< explored siblings
+    int preempt_used = 0;         ///< context switches spent on the prefix
+    int cur_tid_before = -1;      ///< running thread on arrival
+  };
+
+  Result run_dfs(const std::function<void()>& body) {
+    Result result;
+    std::vector<Frame> stack;
+    while (result.schedules < opts_.max_schedules) {
+      ++result.schedules;
+      std::size_t depth = 0;
+      const ExecStatus status = run_execution(body, [&](const std::vector<Choice>& eligible) {
+        if (depth < stack.size()) {
+          // Prefix replay: follow the frame's current choice, checking
+          // the body is actually deterministic.
+          Frame& frame = stack[depth];
+          const std::uint32_t want = frame.enabled[frame.next].code;
+          for (std::size_t i = 0; i < eligible.size(); ++i) {
+            if (eligible[i].code == want) {
+              ++depth;
+              return static_cast<int>(i);
+            }
+          }
+          fail("nondeterminism detected: recorded choice " +
+               std::to_string(want) + " not enabled on re-execution " +
+               "(the body must not use real time, randomness, or " +
+               "uninstrumented synchronization)");
+          return -1;
+        }
+        // Frontier: build a new frame.
+        Frame frame;
+        frame.cur_tid_before = cur_tid_;
+        if (!stack.empty()) {
+          const Frame& parent = stack.back();
+          const Choice& chosen = parent.enabled[parent.next];
+          frame.preempt_used = parent.preempt_used +
+                               switch_cost(parent, chosen);
+          for (const Choice& s : parent.slept) {
+            if (!dependent(s, chosen)) frame.slept.push_back(s);
+          }
+          for (const Choice& s : parent.done) {
+            if (s.action == 0 && !dependent(s, chosen)) {
+              frame.slept.push_back(s);
+            }
+          }
+        }
+        for (const Choice& c : eligible) {
+          if (c.action == 0) {
+            bool sleeping = false;
+            for (const Choice& s : frame.slept) {
+              if (s.tid == c.tid && s.code == c.code) sleeping = true;
+            }
+            if (sleeping) continue;
+            if (opts_.preemption_bound >= 0 &&
+                frame.preempt_used + choice_cost(c, eligible) >
+                    opts_.preemption_bound) {
+              continue;
+            }
+          }
+          frame.enabled.push_back(c);
+        }
+        if (frame.enabled.empty()) return -1;  // fully slept: prune
+        stack.push_back(std::move(frame));
+        const Choice& chosen = stack.back().enabled[0];
+        ++depth;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+          if (eligible[i].code == chosen.code) return static_cast<int>(i);
+        }
+        return -1;  // unreachable
+      });
+      result.steps += steps_run_;
+      if (status == ExecStatus::kFailed) {
+        finish_result(result, status);
+        return result;
+      }
+      // Backtrack to the deepest frame with an untried sibling.
+      bool more = false;
+      while (!stack.empty()) {
+        Frame& top = stack.back();
+        top.done.push_back(top.enabled[top.next]);
+        ++top.next;
+        if (top.next < top.enabled.size()) {
+          more = true;
+          break;
+        }
+        stack.pop_back();
+      }
+      if (!more) return result;  // state space exhausted
+    }
+    result.budget_exhausted = true;
+    return result;
+  }
+
+  /// Cost of the switch the parent actually made (for the child's
+  /// preemption budget).
+  int switch_cost(const Frame& parent, const Choice& chosen) const {
+    if (chosen.action != 0) return 0;  // commits are not switches
+    if (parent.cur_tid_before < 0 || chosen.tid == parent.cur_tid_before) {
+      return 0;
+    }
+    // Switching away from a thread that could have continued is a
+    // preemption; switching away from a blocked one is free.
+    for (const Choice& c : parent.enabled) {
+      if (c.action == 0 && c.tid == parent.cur_tid_before) return 1;
+    }
+    // The previous thread may have been filtered from `enabled` by the
+    // sleep set while still eligible; check the recorded list instead.
+    return 0;
+  }
+
+  /// Same computation against the *current* eligible list, for
+  /// filtering frontier candidates.
+  int choice_cost(const Choice& c, const std::vector<Choice>& eligible) const {
+    if (c.action != 0) return 0;
+    if (cur_tid_ < 0 || c.tid == cur_tid_) return 0;
+    for (const Choice& e : eligible) {
+      if (e.action == 0 && e.tid == cur_tid_) return 1;
+    }
+    return 0;
+  }
+
+  Result run_random(const std::function<void()>& body) {
+    Result result;
+    for (std::uint64_t i = 0; i < opts_.max_schedules; ++i) {
+      ++result.schedules;
+      std::uint64_t rng = opts_.seed + 0x632be59bd9b4e019ULL * (i + 1);
+      const ExecStatus status = run_execution(body, [&](const std::vector<Choice>& eligible) {
+        return static_cast<int>(splitmix64(rng) % eligible.size());
+      });
+      result.steps += steps_run_;
+      if (status == ExecStatus::kFailed) {
+        finish_result(result, status);
+        return result;
+      }
+    }
+    result.budget_exhausted = true;
+    return result;
+  }
+
+  // ----- state -----
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  int token_ = kCoordinator;
+  bool abort_ = false;
+  bool failed_ = false;
+  std::string fail_msg_;
+
+  Options opts_;
+  std::vector<std::unique_ptr<ThreadRec>> threads_;
+  std::array<std::uint32_t, 5> obj_counters_{};
+  std::vector<std::uint32_t> choices_;
+  std::vector<Choice> trace_;
+  std::uint64_t steps_run_ = 0;
+  int cur_tid_ = -1;
+  int suppress_seen_ = 0;
+  const std::vector<std::uint32_t>* replay_list_ = nullptr;
+  std::size_t replay_pos_ = 0;
+};
+
+}  // namespace
+
+// ----- PrimHooks: the bridge the header-only primitives call -----
+
+bool PrimHooks::controlled() {
+  return tls_sched != nullptr && tls_tid >= 0 &&
+         std::uncaught_exceptions() == 0;
+}
+
+bool PrimHooks::yield(const OpDesc& op) {
+  if (!controlled()) return false;
+  return tls_sched->yield_op(op);
+}
+
+int PrimHooks::self_tid() { return tls_tid; }
+
+std::uint32_t PrimHooks::register_object(ObjClass cls) {
+  if (tls_sched == nullptr || tls_tid < 0) return kNoId;
+  return tls_sched->register_object(cls);
+}
+
+const Options& PrimHooks::options() {
+  static const Options kDefault;
+  return tls_sched ? tls_sched->options() : kDefault;
+}
+
+bool PrimHooks::suppress_notify(std::uint32_t cv_id) {
+  if (!controlled()) return false;
+  return tls_sched->suppress_notify(cv_id);
+}
+
+void PrimHooks::buffer_store(AtomicModel* a, std::uint64_t v, bool release) {
+  tls_sched->buffer_store(a, v, release);
+}
+
+bool PrimHooks::buffer_lookup(const AtomicModel* a, std::uint64_t* v) {
+  return tls_sched->buffer_lookup(a, v);
+}
+
+void PrimHooks::buffer_flush() { tls_sched->buffer_flush(); }
+
+void PrimHooks::buffer_fence() { tls_sched->buffer_fence(); }
+
+}  // namespace detail
+
+// ----- public API -----
+
+Thread::Thread(std::function<void()> fn) {
+  if (!detail::PrimHooks::controlled()) {
+    detail::model_misuse("mc::Thread outside an explore() body",
+                         "Thread::Thread");
+  }
+  tid_ = detail::tls_sched->spawn(std::move(fn));
+}
+
+Thread::~Thread() noexcept(false) {
+  if (!joined_) join();
+}
+
+void Thread::join() {
+  if (joined_ || tid_ < 0) return;
+  joined_ = true;
+  if (detail::PrimHooks::controlled()) {
+    detail::tls_sched->join(tid_);
+  } else if (detail::tls_sched != nullptr) {
+    detail::tls_sched->join_unwind(tid_);
+  }
+}
+
+void yield() {
+  detail::OpDesc op{OpKind::kYield, ObjClass::kNone, 0, "yield"};
+  (void)detail::PrimHooks::yield(op);
+}
+
+Result explore(const std::function<void()>& body, const Options& opts) {
+  detail::Scheduler scheduler;
+  return scheduler.run(body, opts);
+}
+
+Result explore_iterative(const std::function<void()>& body,
+                         int max_preemptions, Options opts) {
+  Result total;
+  for (int bound = 0; bound <= max_preemptions; ++bound) {
+    opts.preemption_bound = bound;
+    Result round = explore(body, opts);
+    total.schedules += round.schedules;
+    total.steps += round.steps;
+    total.budget_exhausted = round.budget_exhausted;
+    if (round.failed) {
+      total.failed = true;
+      total.failing = std::move(round.failing);
+      total.message = std::move(round.message);
+      total.trace = std::move(round.trace);
+      return total;
+    }
+  }
+  return total;
+}
+
+Result replay(const std::function<void()>& body, const Schedule& schedule,
+              const Options& opts) {
+  detail::Scheduler scheduler;
+  return scheduler.run_replay(body, schedule, opts);
+}
+
+}  // namespace vlsa::mc

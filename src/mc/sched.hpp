@@ -1,0 +1,86 @@
+#pragma once
+// The cooperative scheduler at the heart of the model checker
+// (docs/model_checking.md).  CHESS/Loom style, stateless:
+//
+//   * The test body and every mc::Thread it spawns run on *real*
+//     std::threads, but exactly one is ever runnable — a token is
+//     handed from the coordinator (the explore() caller) to one thread
+//     and back per step, so an execution is a pure function of its
+//     decision list.
+//   * Instrumented primitives (primitives.hpp) announce each operation
+//     and park; the coordinator computes which threads are *eligible*
+//     (a thread blocked on a held mutex, an unsignaled condvar, or an
+//     unfinished join simply is not), picks one choice, and grants it.
+//     Blocked threads are never woken to retry — eligibility is a pure
+//     function of the model state, recomputed every step.
+//   * Exploration re-executes the body from scratch for every
+//     schedule: exhaustive DFS (deterministic choice order, optional
+//     preemption bound, sleep-set pruning) or seeded random walks.
+//
+// Failure modes reported with a replayable schedule: MC_ASSERT
+// violations, global deadlock (no eligible choice with threads left),
+// and step-budget exhaustion (livelock guard).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/model.hpp"
+
+namespace vlsa::mc {
+
+// The hooks the instrumented primitives call into the scheduler live
+// in primitives.hpp (detail::PrimHooks) and are implemented by
+// sched.cpp.
+
+/// A thread under the checker.  API-compatible subset of std::thread:
+/// construct with a callable, join() exactly once (the destructor
+/// joins if you did not).  Must be constructed from a controlled
+/// thread (inside an explore()/replay() body).
+class Thread {
+ public:
+  explicit Thread(std::function<void()> fn);
+  /// Joins if join() was never called; may propagate the abort
+  /// unwinder when the execution is being torn down.
+  ~Thread() noexcept(false);
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join();
+  bool joinable() const { return !joined_; }
+
+  /// The checker's id for this thread ("t1", "t2", ... in schedules).
+  int tid() const { return tid_; }
+
+ private:
+  int tid_ = -1;
+  bool joined_ = false;
+};
+
+/// Explicit scheduling point — lets a plain-computation loop be
+/// preempted (rarely needed; every primitive op already yields).
+void yield();
+
+/// Run `body` under the checker, exploring schedules per `opts`.
+/// The body executes as thread t0; it may spawn mc::Thread workers and
+/// must join them before returning.  Returns after the first failing
+/// schedule (Result::failed, with the replayable decision list) or
+/// when exploration finishes/exhausts its budget.
+Result explore(const std::function<void()>& body, const Options& opts = {});
+
+/// Iterative preemption bounding: explore with bound 0, 1, ... up to
+/// `max_preemptions`, returning the first failure found — which is
+/// therefore a minimal-preemption counterexample.  Schedule/step
+/// counts accumulate across rounds.
+Result explore_iterative(const std::function<void()>& body,
+                         int max_preemptions, Options opts = {});
+
+/// Re-execute `body` under one fixed decision list (e.g. a pinned
+/// failing schedule).  Deterministic: the same schedule reproduces the
+/// same failure.  A schedule that diverges from the body's actual
+/// choice points is itself reported as a failure.
+Result replay(const std::function<void()>& body, const Schedule& schedule,
+              const Options& opts = {});
+
+}  // namespace vlsa::mc

@@ -143,6 +143,15 @@ struct Connection : std::enable_shared_from_this<Connection> {
   }
 };
 
+// A fake capability naming the event-loop thread itself.  State marked
+// GUARDED_BY(loop_role_) has no mutex: it is single-threaded by
+// construction, touched only from run() and its callees.  The
+// annotation turns that ownership convention into something
+// `clang++ -Wthread-safety` can prove — any future code path that
+// reaches conns_/stalled_ from the acceptor or a completion callback
+// fails the thread-safety preset instead of becoming a data race.
+class CAPABILITY("role") LoopRole {};
+
 // ---------------------------------------------------------------------
 // One epoll event loop.  Connections are handed over by the acceptor
 // through the notifier; everything else happens on the loop thread.
@@ -215,7 +224,12 @@ class EventLoop {
             .count());
   }
 
+  /// The loop thread holds its role for its entire lifetime; this
+  /// no-op tells the analysis so (there is no lock to acquire).
+  void assume_loop_role() const ASSERT_CAPABILITY(loop_role_) {}
+
   void run() {
+    assume_loop_role();
     std::vector<std::uint8_t> chunk(config_.read_chunk);
     std::array<epoll_event, 64> events;
     for (;;) {
@@ -258,7 +272,8 @@ class EventLoop {
     }
   }
 
-  void process_ready(std::vector<std::uint8_t>& chunk) {
+  void process_ready(std::vector<std::uint8_t>& chunk)
+      REQUIRES(loop_role_) {
     for (auto& conn : notifier_->take()) {
       if (conn == nullptr) continue;  // pure wakeup
       if (!conn->in_epoll && conn->fd >= 0 && !conn->close_requested) {
@@ -277,7 +292,8 @@ class EventLoop {
     }
   }
 
-  void register_conn(const std::shared_ptr<Connection>& conn) {
+  void register_conn(const std::shared_ptr<Connection>& conn)
+      REQUIRES(loop_role_) {
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
     ev.data.fd = conn->fd;
@@ -302,8 +318,8 @@ class EventLoop {
   // the decoder and dispatching complete frames as they appear.  Under
   // Block-policy backpressure (a parked frame) the read stops — bytes
   // accumulate in the kernel buffer and TCP pushes back on the client.
-  void handle_readable(Connection& conn,
-                       std::vector<std::uint8_t>& chunk) {
+  void handle_readable(Connection& conn, std::vector<std::uint8_t>& chunk)
+      REQUIRES(loop_role_) {
     if (conn.fd < 0 || conn.read_done || conn.close_requested) return;
     if (conn.stalled.has_value()) {
       metrics_->read_stalls.increment();
@@ -351,7 +367,7 @@ class EventLoop {
 
   /// Decode and dispatch every complete frame currently buffered.
   /// Returns false when the connection is now fatally broken.
-  bool process_buffered(Connection& conn) {
+  bool process_buffered(Connection& conn) REQUIRES(loop_role_) {
     const bool sampled = trace::enabled() && trace::sample();
     const auto t_decode = std::chrono::steady_clock::now();
     RequestFrame request;
@@ -392,7 +408,8 @@ class EventLoop {
     return ok;
   }
 
-  void dispatch_request(Connection& conn, RequestFrame request) {
+  void dispatch_request(Connection& conn, RequestFrame request)
+      REQUIRES(loop_role_) {
     if (request.width != width_ ||
         (request.window != 0 && request.window != window_)) {
       ResponseFrame error;
@@ -425,7 +442,8 @@ class EventLoop {
   /// operands back untouched when the queue is full, so the frame
   /// survives a failed attempt (the Block-policy retry path re-submits
   /// the SAME parked frame) and the success path never pays a copy.
-  bool try_submit(Connection& conn, RequestFrame& request) {
+  bool try_submit(Connection& conn, RequestFrame& request)
+      REQUIRES(loop_role_) {
     auto shared = conn.shared_from_this();
     const std::uint64_t rid = request.id;
     const int width = width_;
@@ -492,7 +510,8 @@ class EventLoop {
   /// Loop-thread response path (errors/rejections): same pending
   /// buffer as the completion callbacks, so byte ordering on the wire
   /// is a single append order.
-  void enqueue_response(Connection& conn, const ResponseFrame& response) {
+  void enqueue_response(Connection& conn, const ResponseFrame& response)
+      REQUIRES(loop_role_) {
     {
       util::LockGuard lock(conn.pending_mutex);
       encode_response(response, conn.pending);
@@ -501,7 +520,7 @@ class EventLoop {
     flush_writes(conn);
   }
 
-  void flush_writes(Connection& conn) {
+  void flush_writes(Connection& conn) REQUIRES(loop_role_) {
     if (conn.fd < 0) return;
     {
       util::LockGuard lock(conn.pending_mutex);
@@ -557,7 +576,8 @@ class EventLoop {
     }
   }
 
-  void retry_stalled(std::vector<std::uint8_t>& chunk) {
+  void retry_stalled(std::vector<std::uint8_t>& chunk)
+      REQUIRES(loop_role_) {
     if (stalled_.empty()) return;
     auto fds = std::vector<int>(stalled_.begin(), stalled_.end());
     for (const int fd : fds) {
@@ -580,7 +600,8 @@ class EventLoop {
     }
   }
 
-  void drain_tick(std::vector<std::uint8_t>& chunk) {
+  void drain_tick(std::vector<std::uint8_t>& chunk)
+      REQUIRES(loop_role_) {
     // Lame-duck service: existing connections keep being read and
     // served — frames the client already put on the wire (including a
     // half-close) are honored — but each connection is closed as soon
@@ -607,7 +628,7 @@ class EventLoop {
     }
   }
 
-  void maybe_close(Connection& conn) {
+  void maybe_close(Connection& conn) REQUIRES(loop_role_) {
     if (conn.fd < 0) return;
     const bool no_inflight =
         conn.inflight.load(std::memory_order_acquire) == 0;
@@ -621,7 +642,7 @@ class EventLoop {
     }
   }
 
-  void destroy(Connection& conn) {
+  void destroy(Connection& conn) REQUIRES(loop_role_) {
     if (conn.fd < 0) return;
     if (conn.in_epoll) {
       ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.fd, nullptr);
@@ -654,9 +675,11 @@ class EventLoop {
   std::atomic<bool> draining_{false};
   std::atomic<long long> drain_deadline_ms_{0};
   std::atomic<long long> active_{0};
-  // Loop-thread-only state.
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
-  std::set<int> stalled_;
+  // Loop-thread-only state, guarded by the role capability above.
+  LoopRole loop_role_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_
+      GUARDED_BY(loop_role_);
+  std::set<int> stalled_ GUARDED_BY(loop_role_);
 };
 
 }  // namespace detail

@@ -22,6 +22,14 @@
 // written as explicit `while (!condition) wait` loops rather than
 // predicate lambdas so the analysis sees every guarded read under the
 // capability (see util/mutex.hpp).
+//
+// The synchronization primitives are a policy template parameter:
+// production code uses the default `DefaultSync` (util::Mutex et al.,
+// zero overhead — the default instantiation is byte-identical to the
+// pre-policy queue), while the model-checker tests instantiate
+// `BoundedQueue<T, mc::Sync>` so the *exact same* push/pop/linger code
+// runs under schedule-injected primitives (src/mc/,
+// docs/model_checking.md).
 
 #include <chrono>
 #include <cstddef>
@@ -33,7 +41,15 @@
 
 namespace vlsa::service {
 
-template <typename T>
+/// Production sync policy: the util wrappers over std primitives.
+struct DefaultSync {
+  using Mutex = util::Mutex;
+  using LockGuard = util::LockGuard;
+  using UniqueLock = util::UniqueLock;
+  using CondVar = util::CondVar;
+};
+
+template <typename T, typename Sync = DefaultSync>
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity)
@@ -46,7 +62,7 @@ class BoundedQueue {
   bool try_push(T&& item) {
     bool wake = false;
     {
-      util::LockGuard lock(mutex_);
+      typename Sync::LockGuard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       wake = waiting_consumers_ > 0;
@@ -59,7 +75,7 @@ class BoundedQueue {
   bool push_block(T&& item) {
     bool wake = false;
     {
-      util::UniqueLock lock(mutex_);
+      typename Sync::UniqueLock lock(mutex_);
       ++waiting_producers_;
       while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
       --waiting_producers_;
@@ -82,7 +98,7 @@ class BoundedQueue {
     while (pushed < items.size()) {
       bool wake = false;
       {
-        util::UniqueLock lock(mutex_);
+        typename Sync::UniqueLock lock(mutex_);
         ++waiting_producers_;
         while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
         --waiting_producers_;
@@ -108,7 +124,7 @@ class BoundedQueue {
     std::size_t taken = 0;
     bool wake = false;
     {
-      util::UniqueLock lock(mutex_);
+      typename Sync::UniqueLock lock(mutex_);
       ++waiting_consumers_;
       while (!closed_ && items_.empty()) not_empty_.wait(lock);
       --waiting_consumers_;
@@ -144,7 +160,7 @@ class BoundedQueue {
     std::size_t taken = 0;
     bool wake = false;
     {
-      util::LockGuard lock(mutex_);
+      typename Sync::LockGuard lock(mutex_);
       taken = take_locked(out, max);
       wake = taken > 0 && waiting_producers_ > 0;
     }
@@ -156,7 +172,7 @@ class BoundedQueue {
   /// poppable so workers drain before exiting.
   void close() {
     {
-      util::LockGuard lock(mutex_);
+      typename Sync::LockGuard lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -164,12 +180,12 @@ class BoundedQueue {
   }
 
   std::size_t size() const {
-    util::LockGuard lock(mutex_);
+    typename Sync::LockGuard lock(mutex_);
     return items_.size();
   }
 
   bool closed() const {
-    util::LockGuard lock(mutex_);
+    typename Sync::LockGuard lock(mutex_);
     return closed_;
   }
 
@@ -185,9 +201,9 @@ class BoundedQueue {
     return taken;
   }
 
-  mutable util::Mutex mutex_;
-  util::CondVar not_empty_;
-  util::CondVar not_full_;
+  mutable typename Sync::Mutex mutex_;
+  typename Sync::CondVar not_empty_;
+  typename Sync::CondVar not_full_;
   std::deque<T> items_ GUARDED_BY(mutex_);
   const std::size_t capacity_;
   bool closed_ GUARDED_BY(mutex_) = false;

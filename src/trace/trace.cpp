@@ -208,56 +208,8 @@ const char* event_name(EventName name) {
 }
 
 // -------------------------------------------------------------------
-// EventRing
-
-EventRing::EventRing(std::size_t capacity) {
-  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(capacity, 2));
-  slots_ = std::vector<Slot>(cap);
-  mask_ = cap - 1;
-}
-
-void EventRing::push(const TraceEvent& event) {
-  const std::uint64_t ticket = head_.load(std::memory_order_relaxed);
-  Slot& slot = slots_[ticket & mask_];
-  // Odd = mid-write; collectors that read it discard the slot.
-  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
-  const auto words = event.encode();
-  for (int i = 0; i < TraceEvent::kWords; ++i) {
-    slot.words[static_cast<std::size_t>(i)].store(
-        words[static_cast<std::size_t>(i)], std::memory_order_relaxed);
-  }
-  // Even = published; release so a collector that reads this seq sees
-  // the payload stores above.
-  slot.seq.store(2 * ticket + 2, std::memory_order_release);
-  head_.store(ticket + 1, std::memory_order_release);
-}
-
-std::size_t EventRing::collect(std::vector<TraceEvent>& out) const {
-  const std::uint64_t head = head_.load(std::memory_order_acquire);
-  const std::uint64_t cap = mask_ + 1;
-  const std::uint64_t first = head > cap ? head - cap : 0;
-  std::size_t appended = 0;
-  std::array<std::uint64_t, TraceEvent::kWords> words{};
-  for (std::uint64_t ticket = first; ticket < head; ++ticket) {
-    const Slot& slot = slots_[ticket & mask_];
-    const std::uint64_t expect = 2 * ticket + 2;
-    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
-    if (before != expect) continue;  // overwritten or mid-write
-    for (int i = 0; i < TraceEvent::kWords; ++i) {
-      words[static_cast<std::size_t>(i)] =
-          slot.words[static_cast<std::size_t>(i)].load(
-              std::memory_order_relaxed);
-    }
-    // The fence orders the payload copies before the validating
-    // re-read; a concurrent overwrite flips seq first (relaxed odd
-    // store), so a matching re-read proves the copy is untorn.
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != expect) continue;
-    out.push_back(TraceEvent::decode(words));
-    ++appended;
-  }
-  return appended;
-}
+// EventRing push/collect live in trace.hpp now (BasicEventRing is a
+// template over its atomics policy for the model checker).
 
 // -------------------------------------------------------------------
 // Hot-path free functions

@@ -46,15 +46,32 @@
 //    and config are written), load acquire in the per-thread
 //    registration check: a thread that observes the new generation also
 //    observes the session's epoch/config.
-//  * slot seq — writer: relaxed odd mark, payload stores relaxed, even
-//    mark release; reader: acquire first read, relaxed payload copies,
-//    acquire fence, relaxed re-read.  The classic seqlock handshake,
-//    with atomic payload words so no read is ever UB.
+//  * slot seq — writer: relaxed odd mark, release *fence*, payload
+//    stores relaxed, even mark release; reader: acquire first read,
+//    relaxed payload copies, acquire fence, relaxed re-read.  The
+//    classic seqlock handshake, with atomic payload words so no read is
+//    ever UB.  The release fence after the odd mark is load-bearing on
+//    overwrite: it orders busy-mark-before-payload, so a reader whose
+//    validating re-read still sees the old even seq cannot have copied
+//    any of the overwriting payload stores.  (Without it the relaxed
+//    odd mark may become visible *after* the new payload words and a
+//    torn copy validates — the model checker's WeakAtomics mutant in
+//    tests/test_mc_suites.cpp demonstrates exactly this.)  Free on
+//    x86/TSO; one `dmb ish` on ARM.
 //  * ring head_ — store release after the slot is published so a
 //    collector that reads head_ (acquire) sees every slot it covers.
+//
+// The ring's atomics are a policy template parameter (`BasicEventRing`)
+// so the model checker (src/mc/, docs/model_checking.md) can run the
+// *exact same* push/collect code under schedule-injected atomics with
+// simulated store buffers.  Production code uses the `EventRing` alias
+// (= BasicEventRing<StdAtomics>), which instantiates to byte-identical
+// code with plain std::atomic.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -131,20 +148,49 @@ struct TraceEvent {
   static TraceEvent decode(const std::array<std::uint64_t, kWords>& words);
 };
 
+/// Production atomics policy: plain std::atomic and std fences.
+struct StdAtomics {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+  static void fence_release() {
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  static void fence_acquire() {
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+};
+
 /// Single-writer event ring with seqlock slots; any thread may collect.
 /// Capacity is rounded up to a power of two.  The writer never blocks
 /// and never fails: a full ring overwrites its oldest slot.
-class EventRing {
+///
+/// `Atomics` injects the atomic type and fences (see StdAtomics above);
+/// use the `EventRing` alias outside the model-checker tests.
+template <typename Atomics = StdAtomics>
+class BasicEventRing {
  public:
-  explicit EventRing(std::size_t capacity);
+  explicit BasicEventRing(std::size_t capacity) {
+    const std::size_t cap =
+        std::bit_ceil(std::max<std::size_t>(capacity, 2));
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
 
-  EventRing(const EventRing&) = delete;
-  EventRing& operator=(const EventRing&) = delete;
+  BasicEventRing(const BasicEventRing&) = delete;
+  BasicEventRing& operator=(const BasicEventRing&) = delete;
 
   std::size_t capacity() const { return slots_.size(); }
 
   /// Record one event.  Single writer only (the owning thread).
-  void push(const TraceEvent& event);
+  void push(const TraceEvent& event) { push_impl(event, false); }
+
+  /// Seeded-mutant hook for the model checker: a push whose busy mark
+  /// is *not* ordered before the payload (the release fence is
+  /// skipped), reintroducing the torn-overwrite window the audit note
+  /// above describes.  Never call outside tests/test_mc_suites.cpp.
+  void push_skipping_busy_fence_for_test(const TraceEvent& event) {
+    push_impl(event, true);
+  }
 
   /// Total events ever pushed (monotone; collect() uses it to report
   /// drops).
@@ -156,17 +202,68 @@ class EventRing {
   /// Safe concurrently with the writer; slots the writer is mid-update
   /// on (or overwrote during the copy) are skipped, never torn.
   /// Returns the number of events appended.
-  std::size_t collect(std::vector<TraceEvent>& out) const;
+  std::size_t collect(std::vector<TraceEvent>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = mask_ + 1;
+    const std::uint64_t first = head > cap ? head - cap : 0;
+    std::size_t appended = 0;
+    std::array<std::uint64_t, TraceEvent::kWords> words{};
+    for (std::uint64_t ticket = first; ticket < head; ++ticket) {
+      const Slot& slot = slots_[ticket & mask_];
+      const std::uint64_t expect = 2 * ticket + 2;
+      const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+      if (before != expect) continue;  // overwritten or mid-write
+      for (int i = 0; i < TraceEvent::kWords; ++i) {
+        words[static_cast<std::size_t>(i)] =
+            slot.words[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+      }
+      // The fence orders the payload copies before the validating
+      // re-read; a concurrent overwrite flips seq first (the writer's
+      // release fence), so a matching re-read proves the copy is
+      // untorn.
+      Atomics::fence_acquire();
+      if (slot.seq.load(std::memory_order_relaxed) != expect) continue;
+      out.push_back(TraceEvent::decode(words));
+      ++appended;
+    }
+    return appended;
+  }
 
  private:
+  using AtomicWord = typename Atomics::template Atomic<std::uint64_t>;
+
   struct Slot {
-    std::atomic<std::uint64_t> seq{0};
-    std::array<std::atomic<std::uint64_t>, TraceEvent::kWords> words{};
+    AtomicWord seq{0};
+    std::array<AtomicWord, TraceEvent::kWords> words{};
   };
+
+  void push_impl(const TraceEvent& event, bool skip_busy_fence) {
+    const std::uint64_t ticket = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[ticket & mask_];
+    // Odd = mid-write; collectors that read it discard the slot.
+    slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+    // Order the busy mark before the payload stores (see the
+    // memory-ordering audit in the file header).
+    if (!skip_busy_fence) Atomics::fence_release();
+    const auto words = event.encode();
+    for (int i = 0; i < TraceEvent::kWords; ++i) {
+      slot.words[static_cast<std::size_t>(i)].store(
+          words[static_cast<std::size_t>(i)], std::memory_order_relaxed);
+    }
+    // Even = published; release so a collector that reads this seq sees
+    // the payload stores above.
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+    head_.store(ticket + 1, std::memory_order_release);
+  }
+
   std::vector<Slot> slots_;
   std::uint64_t mask_;
-  std::atomic<std::uint64_t> head_{0};
+  AtomicWord head_{0};
 };
+
+/// The production instantiation every non-checker caller uses.
+using EventRing = BasicEventRing<StdAtomics>;
 
 /// Session knobs.
 struct TraceConfig {

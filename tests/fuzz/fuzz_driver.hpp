@@ -1,0 +1,21 @@
+#pragma once
+// Shared contract between the fuzz harnesses and the fixed-iteration
+// fallback driver (driver_main.cpp, used when the toolchain has no
+// libFuzzer — see CMakeLists.txt here and docs/static_analysis.md).
+//
+// Each harness defines the standard libFuzzer entry point plus a small
+// seed corpus the fallback driver mutates from.  Under a real
+// `clang++ -fsanitize=fuzzer` build only LLVMFuzzerTestOneInput is
+// used; the seeds double as the `-runs=N` smoke baseline either way.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Seed inputs the fallback driver starts its mutations from.  Keep
+/// them small and structurally interesting (valid frames, valid
+/// netlists) so random byte flips explore deep paths.
+const std::vector<std::vector<std::uint8_t>>& fuzz_seed_inputs();

@@ -1,0 +1,110 @@
+// Fuzz harness for net::FrameDecoder (src/net/protocol.hpp): hostile
+// bytes, arbitrarily fragmented, must never crash the decoder, never
+// grow its buffer past the limit-implied bound, and must poison it
+// permanently on the first protocol violation.
+//
+// The input's first byte picks the fragmentation pattern (how the
+// remaining bytes are split into feed() calls) so the fuzzer explores
+// the incremental-parse state machine, not just whole-buffer decodes.
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "fuzz_driver.hpp"
+#include "net/protocol.hpp"
+#include "util/bitvec.hpp"
+
+namespace {
+
+void require(bool cond) {
+  if (!cond) std::abort();  // invariant violation -> fuzzer finding
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  vlsa::net::DecoderLimits limits;
+  limits.max_width = 256;  // keep the buffered-bytes bound tight
+  vlsa::net::FrameDecoder decoder(limits);
+  vlsa::net::RequestFrame request;
+  vlsa::net::ResponseFrame response;
+
+  const std::size_t chunk =
+      size == 0 ? 1 : static_cast<std::size_t>(data[0] % 37) + 1;
+  std::size_t offset = size == 0 ? 0 : 1;
+  bool errored = false;
+  while (offset < size) {
+    const std::size_t n = std::min(chunk, size - offset);
+    decoder.feed(data + offset, n);
+    offset += n;
+    for (;;) {
+      const auto result = decoder.next(request, response);
+      if (result == vlsa::net::FrameDecoder::Result::NeedMore) break;
+      if (result == vlsa::net::FrameDecoder::Result::Error) {
+        errored = true;
+        require(decoder.poisoned());
+        require(!decoder.error().empty());
+        break;
+      }
+      // A decoded frame obeys the limits the decoder enforces.
+      if (decoder.type() == vlsa::net::FrameType::Request) {
+        require(request.width >= 1 && request.width <= limits.max_width);
+        require(request.a.width() == request.width);
+        require(request.b.width() == request.width);
+      } else {
+        require(response.width >= 1 && response.width <= limits.max_width);
+      }
+    }
+    if (errored) break;
+  }
+  if (errored) {
+    // Poisoned is forever: more bytes never resurrect the stream.
+    const std::uint8_t junk[4] = {0xDE, 0xAD, 0xBE, 0xEF};
+    decoder.feed(junk, sizeof junk);
+    require(decoder.next(request, response) ==
+            vlsa::net::FrameDecoder::Result::Error);
+  } else {
+    // No error: buffered bytes are bounded by one max-size frame plus
+    // one read burst (the decoder compacts consumed prefixes).
+    const std::size_t bound =
+        vlsa::net::kHeaderBytes +
+        2 * vlsa::net::operand_bytes(limits.max_width) + size + 64;
+    require(decoder.buffered() <= bound);
+  }
+  return 0;
+}
+
+const std::vector<std::vector<std::uint8_t>>& fuzz_seed_inputs() {
+  static const auto* seeds = [] {
+    auto* s = new std::vector<std::vector<std::uint8_t>>;
+    // A valid request and a valid response, each prefixed with the
+    // fragmentation-pattern byte the harness consumes.
+    {
+      vlsa::net::RequestFrame f;
+      f.id = 7;
+      f.width = 64;
+      f.window = 8;
+      f.a = vlsa::util::BitVec::from_u64(64, 0x0123456789ABCDEFull);
+      f.b = vlsa::util::BitVec::from_u64(64, 0xFEDCBA9876543210ull);
+      std::vector<std::uint8_t> bytes{5};  // chunk pattern
+      encode_request(f, bytes);
+      s->push_back(bytes);
+    }
+    {
+      vlsa::net::ResponseFrame f;
+      f.id = 7;
+      f.status = vlsa::net::Status::Ok;
+      f.width = 64;
+      f.window = 8;
+      f.latency_ticks = 3;
+      f.sum = vlsa::util::BitVec::from_u64(64, 0x1111111111111111ull);
+      std::vector<std::uint8_t> bytes{9};
+      encode_response(f, bytes);
+      s->push_back(bytes);
+    }
+    return s;
+  }();
+  return *seeds;
+}
