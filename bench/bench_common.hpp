@@ -9,6 +9,7 @@
 
 #include "analysis/aca_probability.hpp"
 #include "sim/isa.hpp"
+#include "telemetry/registry.hpp"
 #include "util/json.hpp"
 
 // Set by bench.cmake at configure time (the commit the build tree was
@@ -70,6 +71,20 @@ inline void write_provenance(util::JsonWriter& json) {
   json.kv("isa", sim::isa_name(sim::active_isa()));
   json.kv("engine_lanes", sim::active_lanes());
   json.end_object();
+}
+
+/// Register the `build_info` info metric — the same provenance block
+/// as write_provenance, but carried *inside* the registry, so it rides
+/// every surface a snapshot reaches: the Prometheus exporter renders
+/// it as `vlsa_build_info{git_sha=...,build_type=...,isa=...,
+/// engine_lanes=...} 1` (what /metrics and scrape-time identity
+/// checks key on) and registry JSON sidecars gain an "infos" block.
+inline void register_build_info(telemetry::Registry& registry) {
+  registry.info("build_info",
+                {{"git_sha", VLSA_GIT_SHA},
+                 {"build_type", VLSA_BUILD_TYPE},
+                 {"isa", sim::isa_name(sim::active_isa())},
+                 {"engine_lanes", std::to_string(sim::active_lanes())}});
 }
 
 }  // namespace vlsa::bench

@@ -140,11 +140,13 @@ int main() {
   telemetry::HistogramSnapshot e2e, read_ns, decode_ns, write_ns, server_ns;
   {
     service::AdderService service(service_config());
+    bench::register_build_info(service.registry());
     net::ServerConfig server_config;
     server_config.event_threads = 1;  // the acceptor is its own thread
     net::Server server(server_config, service);
 
     telemetry::Registry client_registry;
+    bench::register_build_info(client_registry);
     workloads::NetLoadGenConfig config;
     config.base = saturate_config();
     config.host = "127.0.0.1";

@@ -288,6 +288,9 @@ int main() {
     config.queue_capacity = 8192;
     config.overflow = service::OverflowPolicy::Reject;
     service::AdderService service(config);
+    // The sidecar embeds the full registry snapshot below — carry the
+    // build_info identity inside it so trajectory diffs are self-dated.
+    bench::register_build_info(service.registry());
 
     workloads::LoadGenConfig load;
     load.distribution = distribution;

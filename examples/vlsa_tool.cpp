@@ -23,13 +23,23 @@
 //                                                  arithmetic service
 //   vlsa_tool serve    <width> [k] --listen host:port [--workers W
 //                      --queue Q --policy block|reject --threads T]
+//                      [--admin host:port] [--drain-grace-ms N]
 //                      [obs flags]                 epoll TCP server speaking
 //                                                  the binary framing of
 //                                                  docs/networking.md;
 //                                                  SIGINT/SIGTERM drains and
 //                                                  exits 0, dumping the
 //                                                  telemetry registry as
-//                                                  Prometheus text on stdout
+//                                                  Prometheus text on stdout.
+//                                                  --admin serves the live
+//                                                  admin plane (/metrics,
+//                                                  /healthz, /readyz,
+//                                                  /statusz, /tracez,
+//                                                  /driftz, /postmortemz);
+//                                                  --drain-grace-ms keeps the
+//                                                  data port serving N ms
+//                                                  after /readyz flips to 503
+//                                                  (lame-duck window)
 //   vlsa_tool loadgen  <width> [k] [--rate R --dist D --arrival A
 //                      --requests N --workers W --batch B --queue Q
 //                      --policy block|reject --seed S --json PATH]
@@ -45,6 +55,13 @@
 //   vlsa_tool trace    <width> [k] [loadgen flags] loadgen with tracing on
 //                                                  (default --trace-out
 //                                                  trace.json)
+//   vlsa_tool trace    --merge <a.json> <b.json> [...] [--out PATH]
+//                                                  stitch per-process trace
+//                                                  exports (e.g. a loadgen
+//                                                  client and a serve
+//                                                  process) into one Perfetto
+//                                                  timeline, aligned on the
+//                                                  metadata epoch_ns
 //   vlsa_tool stats service <width> [k] [--requests N --dist D
 //                      --format json|prom]         run a quick load, dump
 //                                                  the telemetry registry
@@ -72,6 +89,7 @@
 #include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -93,15 +111,28 @@
 #include "netlist/opt.hpp"
 #include "netlist/serialize.hpp"
 #include "netlist/sta.hpp"
+#include "net/admin.hpp"
 #include "net/server.hpp"
 #include "service/service.hpp"
+#include "sim/isa.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/drift.hpp"
+#include "trace/merge.hpp"
 #include "trace/postmortem.hpp"
 #include "trace/trace.hpp"
+#include "util/json.hpp"
 #include "workloads/load_gen.hpp"
 #include "workloads/operand_stream.hpp"
+
+// Build provenance, set by examples/CMakeLists.txt (and bench.cmake for
+// the bench sidecars); "unknown" outside a configured build tree.
+#ifndef VLSA_GIT_SHA
+#define VLSA_GIT_SHA "unknown"
+#endif
+#ifndef VLSA_BUILD_TYPE
+#define VLSA_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -384,6 +415,19 @@ std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
   return {s.substr(0, pos), static_cast<std::uint16_t>(port)};
 }
 
+// Register the `build_info` info metric: the Prometheus exporter
+// renders it as `vlsa_build_info{git_sha=...,build_type=...,isa=...,
+// engine_lanes=...} 1`, so every scrape (and the drain-time dump)
+// carries the identity of the binary that produced the numbers.
+void register_build_info(vlsa::telemetry::Registry& registry) {
+  registry.info("build_info",
+                {{"git_sha", VLSA_GIT_SHA},
+                 {"build_type", VLSA_BUILD_TYPE},
+                 {"isa", vlsa::sim::isa_name(vlsa::sim::active_isa())},
+                 {"engine_lanes",
+                  std::to_string(vlsa::sim::active_lanes())}});
+}
+
 // Zero-extend a parsed operand to the service width.
 vlsa::util::BitVec pad_to(const vlsa::util::BitVec& v, int width) {
   if (v.width() == width) return v;
@@ -512,6 +556,15 @@ class Observability {
            << ")\n";
   }
 
+  // Admin-plane accessors (/driftz, /postmortemz, /tracez): the
+  // handlers run on the admin thread, and each of these is safe there
+  // (DriftMonitor and PostmortemRing are internally locked; session()
+  // only hands out the pointer — the session itself is thread-safe to
+  // export while recording).
+  vlsa::trace::DriftStatus drift_status() const { return drift_->status(); }
+  std::string postmortem_json() const { return postmortem_.to_json(); }
+  vlsa::trace::TraceSession* session() { return session_.get(); }
+
  private:
   const ObsOptions obs_;
   vlsa::trace::PostmortemRing postmortem_;
@@ -531,10 +584,155 @@ class Observability {
 // "listening on host:port" line up front (the CI smoke test parses the
 // bound port out of it) and the final telemetry registry as Prometheus
 // exposition text after the drain.
+// Wire the standard admin endpoint set (docs/observability.md) onto an
+// AdminServer.  Everything captured by reference outlives the admin
+// server: serve_network shuts it down before the service block ends.
+void wire_admin_endpoints(vlsa::net::AdminServer& admin_server,
+                          vlsa::telemetry::Registry& registry,
+                          vlsa::net::Server& server,
+                          Observability& observability,
+                          const ObsOptions& obs,
+                          const vlsa::service::ServiceConfig& config,
+                          int width, int window, int event_threads,
+                          std::chrono::steady_clock::time_point started,
+                          std::mutex& tracez_mutex,
+                          std::unique_ptr<vlsa::trace::TraceSession>&
+                              tracez_session) {
+  const auto text = [](int status, std::string body) {
+    vlsa::net::AdminResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
+  };
+  const auto json_response = [](std::string body) {
+    vlsa::net::AdminResponse response;
+    response.content_type = "application/json";
+    response.body = std::move(body);
+    return response;
+  };
+  // Readiness is the lame-duck signal: it must flip the moment drain
+  // is *requested* (the signal flag), before Server::shutdown() starts
+  // closing connections — g_stop leads, server.draining() covers
+  // programmatic shutdown.
+  const auto ready = [&server] {
+    return !g_stop.load(std::memory_order_relaxed) && !server.draining();
+  };
+
+  admin_server.handle("/metrics", [&registry](const auto&) {
+    std::ostringstream os;
+    vlsa::telemetry::write_prometheus(registry.snapshot(), os);
+    vlsa::net::AdminResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = os.str();
+    return response;
+  });
+  admin_server.handle("/healthz",
+                      [text](const auto&) { return text(200, "ok\n"); });
+  admin_server.handle("/readyz", [text, ready](const auto&) {
+    return ready() ? text(200, "ready\n") : text(503, "draining\n");
+  });
+  admin_server.handle(
+      "/statusz",
+      [json_response, ready, &server, &config, width, window, event_threads,
+       started](const auto&) {
+        std::ostringstream os;
+        vlsa::util::JsonWriter json(os);
+        json.begin_object();
+        json.kv("git_sha", VLSA_GIT_SHA);
+        json.kv("build_type", VLSA_BUILD_TYPE);
+        json.kv("isa", vlsa::sim::isa_name(vlsa::sim::active_isa()));
+        json.kv("engine_lanes", vlsa::sim::active_lanes());
+        json.kv("width", width);
+        json.kv("window", window);
+        json.kv("workers", config.workers);
+        json.kv("queue_capacity",
+                static_cast<unsigned long long>(config.queue_capacity));
+        json.kv("overflow_policy",
+                config.overflow == vlsa::service::OverflowPolicy::Block
+                    ? "block"
+                    : "reject");
+        json.kv("event_threads", event_threads);
+        json.kv("listen", server.address());
+        json.kv("active_connections",
+                static_cast<unsigned long long>(server.active_connections()));
+        json.kv("uptime_s",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count());
+        json.kv("ready", ready());
+        json.end_object();
+        os << "\n";
+        return json_response(os.str());
+      });
+  admin_server.handle(
+      "/tracez",
+      [text, json_response, &observability, &obs, &tracez_mutex,
+       &tracez_session](const vlsa::net::AdminRequest& request) {
+        std::lock_guard<std::mutex> lock(tracez_mutex);
+        if (request.query == "start") {
+          if (tracez_session != nullptr ||
+              observability.session() != nullptr) {
+            return text(409, "a trace session is already active\n");
+          }
+          vlsa::trace::TraceConfig trace_config;
+          trace_config.sample_rate = obs.trace_sample;
+          trace_config.ring_capacity = obs.trace_ring;
+          try {
+            tracez_session =
+                std::make_unique<vlsa::trace::TraceSession>(trace_config);
+          } catch (const std::logic_error&) {
+            return text(409, "a trace session is already active\n");
+          }
+          return text(200, "tracing started\n");
+        }
+        vlsa::trace::TraceSession* session = tracez_session != nullptr
+                                                 ? tracez_session.get()
+                                                 : observability.session();
+        if (session == nullptr) {
+          return text(409, "no active trace session\n");
+        }
+        if (request.query == "stop") session->stop();
+        std::ostringstream os;
+        session->write_chrome_json(os);
+        // ?stop tears the admin-owned session down after the export so
+        // a later ?start can begin a fresh window; a --trace-out
+        // session stays (serve still owns its artifact on drain).
+        if (request.query == "stop" && tracez_session != nullptr) {
+          tracez_session.reset();
+        }
+        return json_response(os.str());
+      });
+  admin_server.handle("/driftz", [json_response,
+                                  &observability](const auto&) {
+    const auto drift = observability.drift_status();
+    std::ostringstream os;
+    vlsa::util::JsonWriter json(os);
+    json.begin_object();
+    json.kv("total", drift.total);
+    json.kv("flagged", drift.flagged);
+    json.kv("windows", drift.windows);
+    json.kv("windows_out_of_band", drift.windows_out_of_band);
+    json.kv("expected", drift.expected);
+    json.kv("last_observed", drift.last_observed);
+    json.kv("last_z", drift.last_z);
+    json.kv("out_of_band", drift.out_of_band);
+    json.end_object();
+    os << "\n";
+    return json_response(os.str());
+  });
+  admin_server.handle("/postmortemz",
+                      [json_response, &observability](const auto&) {
+                        return json_response(
+                            observability.postmortem_json() + "\n");
+                      });
+}
+
 int serve_network(int width, int window, const std::string& listen,
+                  const std::string& admin, long long drain_grace_ms,
                   vlsa::service::ServiceConfig config, int event_threads,
                   const ObsOptions& obs) {
   vlsa::telemetry::Registry registry;
+  register_build_info(registry);
   Observability observability(obs, registry, width, window);
   observability.attach(config);
   {
@@ -547,14 +745,48 @@ int serve_network(int width, int window, const std::string& listen,
     vlsa::net::Server server(server_config, service);
     install_stop_handlers();
     std::cout << "listening on " << server.address() << std::endl;
+
+    // The admin plane (declared after the server/observability it
+    // captures, so its thread is joined before they die).
+    std::mutex tracez_mutex;
+    std::unique_ptr<vlsa::trace::TraceSession> tracez_session;
+    std::unique_ptr<vlsa::net::AdminServer> admin_server;
+    const auto started = std::chrono::steady_clock::now();
+    if (!admin.empty()) {
+      vlsa::net::AdminConfig admin_config;
+      const auto [admin_host, admin_port] = parse_hostport(admin);
+      admin_config.host = admin_host;
+      admin_config.port = admin_port;
+      admin_server = std::make_unique<vlsa::net::AdminServer>(admin_config);
+      wire_admin_endpoints(*admin_server, registry, server, observability,
+                           obs, config, width, window, event_threads,
+                           started, tracez_mutex, tracez_session);
+      std::cout << "admin on " << admin_server->address() << std::endl;
+    }
+
     while (!g_stop.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (drain_grace_ms > 0) {
+      // Lame-duck window: /readyz already answers 503 (it reads
+      // g_stop), the data port keeps serving — load balancers get
+      // drain_grace_ms to reroute before connections start closing.
+      std::cerr << "serve: lame-duck for " << drain_grace_ms << " ms\n";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(drain_grace_ms));
     }
     std::cerr << "serve: draining (" << server.active_connections()
               << " connections active)\n";
     server.shutdown();
     service.close();
     vlsa::telemetry::write_prometheus(registry.snapshot(), std::cout);
+    if (admin_server != nullptr) {
+      admin_server->shutdown();
+    }
+    {
+      std::lock_guard<std::mutex> lock(tracez_mutex);
+      tracez_session.reset();
+    }
   }
   if (obs.any_artifacts()) {
     observability.finish(std::cerr);
@@ -566,6 +798,8 @@ int cmd_serve(int width, int window, const std::vector<std::string>& args,
               std::size_t next) {
   ObsOptions obs;
   std::string listen;
+  std::string admin;
+  long long drain_grace_ms = 0;
   vlsa::service::ServiceConfig config;
   config.pipeline.width = width;
   config.pipeline.window = window;
@@ -580,6 +814,10 @@ int cmd_serve(int width, int window, const std::vector<std::string>& args,
     const std::string& value = args[i + 1];
     if (flag == "--listen") {
       listen = value;
+    } else if (flag == "--admin") {
+      admin = value;
+    } else if (flag == "--drain-grace-ms") {
+      drain_grace_ms = std::stoll(value);
     } else if (flag == "--workers") {
       config.workers = std::stoi(value);
     } else if (flag == "--queue") {
@@ -600,7 +838,11 @@ int cmd_serve(int width, int window, const std::vector<std::string>& args,
     }
   }
   if (!listen.empty()) {
-    return serve_network(width, window, listen, config, event_threads, obs);
+    return serve_network(width, window, listen, admin, drain_grace_ms,
+                         config, event_threads, obs);
+  }
+  if (!admin.empty()) {
+    throw std::invalid_argument("--admin requires --listen");
   }
   install_stop_handlers();  // SIGINT: stdin read ends, we drain + exit 0
   std::ostringstream buffer;
@@ -715,9 +957,15 @@ int cmd_loadgen(int width, int window,
       throw std::invalid_argument("unknown flag '" + flag + "'");
     }
   }
+  // `vlsa_tool trace` is loadgen with tracing on by default (both the
+  // in-process and --connect modes).
+  if (force_trace && obs.trace_out.empty()) obs.trace_out = "trace.json";
   if (!connect.empty()) {
     // Network mode: the service lives in another process (`vlsa_tool
-    // serve --listen`); everything here is client-side.
+    // serve --listen`); everything here is client-side.  With tracing
+    // on, the client's sampling decision rides the wire (the
+    // kFlagTraceSampled frame bit), so this export pairs with the
+    // server's for `vlsa_tool trace --merge`.
     install_stop_handlers();  // SIGINT: stop offering, drain, exit
     vlsa::workloads::NetLoadGenConfig net_config;
     net_config.base = load;
@@ -730,6 +978,13 @@ int cmd_loadgen(int width, int window,
     net_config.stop = &g_stop;
     vlsa::telemetry::Registry registry;
     net_config.registry = &registry;
+    std::unique_ptr<vlsa::trace::TraceSession> session;
+    if (obs.tracing()) {
+      vlsa::trace::TraceConfig trace_config;
+      trace_config.sample_rate = obs.trace_sample;
+      trace_config.ring_capacity = obs.trace_ring;
+      session = std::make_unique<vlsa::trace::TraceSession>(trace_config);
+    }
     const auto report = vlsa::workloads::run_load_gen_net(net_config);
     std::cout << "loadgen(net): " << connect << " x " << connections
               << " connections, "
@@ -744,13 +999,32 @@ int cmd_loadgen(int width, int window,
               << "  recovered " << report.recovered << "\n"
               << "  achieved  " << report.achieved_rate << " req/s over "
               << report.seconds << " s\n";
+    // Client-observed end-to-end latency, per arrival phase (the phase
+    // is decided at send time — see load_gen.hpp).  The burst line
+    // only exists for Bursty arrivals.
     const auto snap = registry.snapshot();
-    for (const auto& h : snap.histograms) {
-      if (h.name == "netclient.e2e_ns") {
-        std::cout << "  e2e ns: p50 " << h.p50() << ", p90 " << h.p90()
-                  << ", p99 " << h.p99() << ", p999 " << h.p999()
-                  << ", max " << h.max << "\n";
+    const auto e2e_line = [&snap](const char* label, const char* name) {
+      for (const auto& h : snap.histograms) {
+        if (h.name == name && h.count > 0) {
+          std::cout << "  " << label << " p50 " << h.p50() << ", p99 "
+                    << h.p99() << ", p999 " << h.p999() << ", max "
+                    << h.max << " (n=" << h.count << ")\n";
+        }
       }
+    };
+    e2e_line("e2e ns (all)   ", "netclient.e2e_ns");
+    e2e_line("e2e ns (steady)", "netclient.e2e_steady_ns");
+    e2e_line("e2e ns (burst) ", "netclient.e2e_burst_ns");
+    if (session != nullptr) {
+      session->stop();
+      std::ofstream out(obs.trace_out);
+      if (!out) {
+        throw std::runtime_error("cannot open " + obs.trace_out);
+      }
+      const auto stats = session->write_chrome_json(out);
+      std::cout << "  trace     -> " << obs.trace_out << " ("
+                << stats.events << " events, " << stats.dropped
+                << " dropped, " << stats.threads << " threads)\n";
     }
     if (!json_path.empty()) {
       std::ofstream out(json_path);
@@ -762,8 +1036,6 @@ int cmd_loadgen(int width, int window,
     }
     return report.errors > 0 ? 1 : 0;
   }
-  // `vlsa_tool trace` is loadgen with tracing on by default.
-  if (force_trace && obs.trace_out.empty()) obs.trace_out = "trace.json";
   vlsa::telemetry::Registry registry;
   Observability observability(obs, registry, width, window);
   observability.attach(config);
@@ -814,6 +1086,53 @@ int cmd_loadgen(int width, int window,
     std::cout << "  telemetry -> " << json_path << "\n";
   }
   observability.finish(std::cout);
+  return 0;
+}
+
+// `vlsa_tool trace --merge a.json b.json [...] [--out PATH]` — stitch
+// per-process Chrome trace exports into one Perfetto timeline.  Each
+// source becomes its own pid with a process_name label; timestamps are
+// aligned on the `metadata.epoch_ns` every export stamps (the shared
+// steady-clock epoch), and stderr reports how many request ids were
+// seen on more than one side — the distributed-trace join working.
+int cmd_trace_merge(const std::vector<std::string>& args) {
+  std::vector<vlsa::trace::MergeInput> inputs;
+  std::string out_path;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for --out");
+      }
+      out_path = args[++i];
+    } else {
+      std::ifstream in(args[i]);
+      if (!in) {
+        throw std::runtime_error("cannot open " + args[i]);
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      inputs.push_back({args[i], buffer.str()});
+    }
+  }
+  if (inputs.size() < 2) {
+    std::cerr << "usage: vlsa_tool trace --merge <a.json> <b.json> [...] "
+                 "[--out PATH]\n";
+    return 1;
+  }
+  vlsa::trace::MergeStats stats;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      throw std::runtime_error("cannot open " + out_path);
+    }
+    stats = vlsa::trace::merge(inputs, out);
+    std::cerr << "merged -> " << out_path << "\n";
+  } else {
+    stats = vlsa::trace::merge(inputs, std::cout);
+  }
+  std::cerr << "merged " << stats.sources << " traces, " << stats.events
+            << " events, " << stats.matched_reqs
+            << " request id(s) matched across sources\n";
   return 0;
 }
 
@@ -901,6 +1220,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string& cmd = args[0];
+    if (cmd == "trace" && args.size() > 1 && args[1] == "--merge") {
+      return cmd_trace_merge(args);
+    }
     const bool stats_service =
         cmd == "stats" && args.size() > 1 && args[1] == "service";
     if (cmd == "serve" || cmd == "loadgen" || cmd == "trace" ||

@@ -9,7 +9,10 @@ Checks, in order:
      actually implements (parsed from the usage string in
      examples/vlsa_tool.cpp);
   4. docs/architecture.md names every src/ subsystem, and
-     docs/benchmarks.md names every bench binary.
+     docs/benchmarks.md names every bench binary;
+  5. every admin-plane endpoint `vlsa_tool serve --admin` registers
+     (parsed from the handle() calls in examples/vlsa_tool.cpp) is
+     documented in docs/observability.md.
 
 Stdlib only; exits non-zero with one line per problem.
 """
@@ -80,6 +83,18 @@ def prove_modes() -> set:
     return set(match.group(1).split("|"))
 
 
+def admin_endpoints() -> set:
+    """Every path `vlsa_tool serve --admin` registers on its admin
+    server (the handle("/path", ...) calls; the path literal may sit
+    on the line after `handle(` at deeper indents)."""
+    source = (REPO / "examples" / "vlsa_tool.cpp").read_text()
+    paths = set(re.findall(r'handle\(\s*"(/[a-z]+)"', source))
+    if not paths:
+        sys.exit("check_docs: cannot find admin handle() registrations "
+                 "in examples/vlsa_tool.cpp")
+    return paths
+
+
 def main() -> int:
     problems = []
 
@@ -134,6 +149,18 @@ def main() -> int:
             if not re.search(rf"\bprove\s+{re.escape(mode)}\b", formal_text):
                 problems.append(
                     f"docs/formal_verification.md: prove mode '{mode}' "
+                    "not documented")
+
+    # Every live admin endpoint must be documented on the
+    # observability page (the admin plane is an operator surface;
+    # an undocumented endpoint is an unfindable one).
+    observability = (REPO / "docs" / "observability.md")
+    if observability.is_file():
+        obs_text = observability.read_text()
+        for endpoint in sorted(admin_endpoints()):
+            if f"`{endpoint}`" not in obs_text:
+                problems.append(
+                    f"docs/observability.md: admin endpoint '{endpoint}' "
                     "not documented")
 
     benchmarks = (REPO / "docs" / "benchmarks.md")

@@ -2,12 +2,18 @@
 """CI smoke check for the observability artifacts.
 
 Usage: check_observability.py TRACE_JSON METRICS_PROM [POSTMORTEM_JSON]
+       check_observability.py --merged MERGED_JSON
 
 Validates that a `vlsa_tool loadgen --trace-out ... --metrics-out ...`
 run produced (1) a well-formed Chrome trace_event document with the
 expected event taxonomy and recovery-span args, (2) a parseable
 Prometheus exposition file carrying the service counters, and
 (3, optional) a postmortem dump whose records are self-consistent.
+
+With --merged, validates a `vlsa_tool trace --merge` artifact instead:
+at least two pids (one per source process), and at least one sampled
+request id that appears on a client span (client-send/client-recv) AND
+a server span (net-serve) — the distributed-trace join actually joined.
 Exits non-zero with a message on the first violation.
 """
 
@@ -23,7 +29,19 @@ EXPECTED_EVENT_NAMES = {
     "er-check",
     "recovery",
     "complete",
+    "net-accept",
+    "net-read",
+    "net-decode",
+    "net-dispatch",
+    "net-write",
+    "net-close",
+    "client-send",
+    "client-recv",
+    "net-serve",
 }
+
+CLIENT_SPANS = {"client-send", "client-recv"}
+SERVER_SPANS = {"net-serve"}
 
 
 def fail(message):
@@ -62,6 +80,10 @@ def check_trace(path):
             if args["chain"] < args["k"]:
                 fail(f"{path}: recovery chain {args['chain']} < k {args['k']}"
                      " (flag fired without a >=k propagate run)")
+        if name in CLIENT_SPANS | SERVER_SPANS:
+            if "req" not in event.get("args", {}):
+                fail(f"{path}: {name} span without a req id (the"
+                     " distributed-trace join key)")
     # submit/engine-eval always fire under default sampling; recovery
     # only if the workload flagged, so don't require it here.
     for required in ("submit", "engine-eval", "complete"):
@@ -70,8 +92,10 @@ def check_trace(path):
     print(f"  trace ok: {len(events)} events, names {sorted(seen)}")
 
 
+# A sample value is an integer, a float, NaN, +Inf, or -Inf (the last
+# three appear on empty summary quantiles and histogram bucket bounds).
 METRIC_LINE = re.compile(
-    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9]")
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? (-?[0-9][0-9.eE+-]*|NaN|[+-]Inf)$")
 
 
 def check_metrics(path):
@@ -92,7 +116,7 @@ def check_metrics(path):
         if line.startswith("# TYPE "):
             parts = line.split()
             if len(parts) != 4 or parts[3] not in ("counter", "gauge",
-                                                   "summary"):
+                                                   "summary", "histogram"):
                 fail(f"{path}: malformed TYPE line: {line}")
             continue
         if line.startswith("#"):
@@ -125,7 +149,51 @@ def check_postmortem(path):
           f" of {doc.get('total_recorded')} total")
 
 
+def check_merged(path):
+    """Validate a `vlsa_tool trace --merge` artifact: client and server
+    exports stitched into one timeline, joined on sampled request ids."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+    pids = set()
+    names = {}  # pid -> process_name label
+    client_reqs = set()
+    server_reqs = set()
+    for event in events:
+        pid = event.get("pid")
+        if not isinstance(pid, int):
+            fail(f"{path}: event without integer pid: {event}")
+        pids.add(pid)
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                names[pid] = event.get("args", {}).get("name")
+            continue
+        name = event.get("name")
+        req = event.get("args", {}).get("req")
+        if name in CLIENT_SPANS and req is not None:
+            client_reqs.add(req)
+        if name in SERVER_SPANS and req is not None:
+            server_reqs.add(req)
+    if len(pids) < 2:
+        fail(f"{path}: merged trace has {len(pids)} pid(s); expected one"
+             " per source process")
+    matched = client_reqs & server_reqs
+    if not matched:
+        fail(f"{path}: no request id appears on both a client span"
+             f" ({len(client_reqs)} client ids) and a server span"
+             f" ({len(server_reqs)} server ids) — the merge joined nothing")
+    label = ", ".join(f"pid {p} = {names.get(p)!r}" for p in sorted(pids))
+    print(f"  merged ok: {len(events)} events across {len(pids)} sources"
+          f" ({label}); {len(matched)} request id(s) joined end-to-end")
+
+
 def main(argv):
+    if len(argv) >= 3 and argv[1] == "--merged":
+        check_merged(argv[2])
+        print("check_observability: OK")
+        return 0
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2

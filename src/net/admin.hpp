@@ -1,0 +1,148 @@
+#pragma once
+// Live admin plane of the network front-end — a minimal HTTP/1.1
+// server (GET only, no bodies, Connection: close) on its own port, so
+// the service becomes scrapeable and debuggable while it runs instead
+// of only dumping state on drain.
+//
+// `vlsa_tool serve --admin host:port` wires the standard endpoint set:
+//
+//   /metrics      Prometheus exposition of the shared registry — the
+//                 primary scrape path (the file reporter remains for
+//                 textfile collectors)
+//   /healthz      liveness: 200 as long as the process serves
+//   /readyz       readiness: 200 "ready", or 503 "draining" the moment
+//                 graceful drain begins (Server::draining()) — the
+//                 lame-duck signal a load balancer needs BEFORE
+//                 connections start closing
+//   /statusz      build SHA, build type, active ISA, engine lanes,
+//                 service config, uptime (JSON)
+//   /tracez       ?start starts a bounded TraceSession (409 when one
+//                 is already active), ?stop stops it; a plain GET
+//                 streams the current session's Perfetto JSON
+//   /driftz       drift-monitor status (JSON)
+//   /postmortemz  ER postmortem ring dump (JSON)
+//
+// Design: ONE admin thread, poll(2) over non-blocking sockets — admin
+// traffic is a handful of requests a second, so the data plane's epoll
+// machinery would be over-engineering; what matters is that a slow or
+// hostile admin client can never touch the data port (separate thread,
+// separate fds, bounded request size, bounded connection count).
+// Request parsing is incremental (HttpRequestParser below, unit-tested
+// against partial reads and hostile input in tests/test_net.cpp):
+// oversized heads answer 431, malformed ones 400, non-GET methods 405,
+// unknown paths 404 — each followed by a close, never a crash.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace vlsa::net {
+
+struct AdminConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  int listen_backlog = 16;
+  /// Request heads larger than this answer 431 and close.
+  std::size_t max_request_bytes = 8192;
+  /// Simultaneous admin connections; accepts beyond it are closed
+  /// immediately (the admin plane is not a data plane).
+  std::size_t max_connections = 16;
+};
+
+struct AdminRequest {
+  std::string method;  ///< "GET" (anything else answers 405)
+  std::string path;    ///< "/metrics" — no query string
+  std::string query;   ///< bytes after '?', "" when absent
+};
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Incremental HTTP/1.1 request-head parser, scoped to what the admin
+/// plane accepts: a request line plus headers, terminated by CRLFCRLF
+/// (bare LFLF tolerated), no message body.  Feed bytes as they arrive;
+/// a head split across reads costs no re-parse of consumed bytes.
+/// After Error the parser is poisoned (the connection must close);
+/// `error_status()` is the HTTP status to answer with (400 malformed,
+/// 431 oversized).
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(std::size_t max_bytes = 8192);
+
+  enum class Result {
+    NeedMore,  ///< head incomplete
+    Request,   ///< one request parsed; see request()
+    Error,     ///< malformed or oversized; see error_status()
+  };
+
+  Result feed(const char* data, std::size_t size);
+
+  const AdminRequest& request() const { return request_; }
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+  bool poisoned() const { return error_status_ != 0; }
+
+ private:
+  Result fail(int status, const std::string& message);
+
+  std::size_t max_bytes_;
+  std::string buffer_;
+  AdminRequest request_;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+/// The admin HTTP server.  Handlers are exact-path; each runs on the
+/// admin thread (keep them snapshot-cheap — every standard endpoint
+/// is).  Unregistered paths answer 404.
+class AdminServer {
+ public:
+  using Handler = std::function<AdminResponse(const AdminRequest&)>;
+
+  /// Binds and starts the admin thread.  Throws std::runtime_error
+  /// when the socket cannot be bound.
+  explicit AdminServer(const AdminConfig& config);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Register (or replace) the handler for an exact path.
+  void handle(const std::string& path, Handler handler);
+
+  std::uint16_t port() const { return port_; }
+  std::string address() const;
+
+  /// Stop accepting, close every admin connection, join the thread.
+  /// Idempotent and thread-safe.
+  void shutdown();
+
+ private:
+  struct Connection;
+
+  void loop();
+  void serve_connection(Connection& conn);
+  AdminResponse dispatch(const AdminRequest& request);
+
+  AdminConfig config_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: shutdown() pokes the poll loop
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+
+  mutable util::Mutex mutex_;
+  std::map<std::string, Handler> handlers_ GUARDED_BY(mutex_);
+  bool shutdown_done_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace vlsa::net

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace vlsa::net {
 
 namespace {
@@ -96,13 +98,26 @@ std::uint64_t Client::send(const util::BitVec& a, const util::BitVec& b,
     throw std::invalid_argument("net: operand widths differ");
   }
   const std::uint64_t id = next_id_++;
+  // The client owns the distributed-tracing sampling decision: a
+  // sampled request carries kFlagTraceSampled on the wire, so the
+  // server records its spans under the same request id and echoes the
+  // bit back for the client-recv span (docs/observability.md).
+  const bool sampled = trace::enabled() && trace::sample();
+  const std::uint64_t t0 = sampled ? trace::now_ns() : 0;
   if (!corked_) sendbuf_.clear();
-  encode_request(id, window, a, b, sendbuf_);
+  encode_request(id, window, a, b, sendbuf_,
+                 sampled ? kFlagTraceSampled : std::uint8_t{0});
   ++outstanding_;
   if (corked_) {
     if (sendbuf_.size() >= kCorkFlushBytes) flush();
   } else {
     write_all(fd_, sendbuf_.data(), sendbuf_.size());
+  }
+  if (sampled) {
+    trace::EventArgs args;
+    args.req = id;
+    args.has_req = true;
+    trace::emit_complete(trace::EventName::kClientSend, t0, args);
   }
   return id;
 }
@@ -147,6 +162,8 @@ ResponseFrame Client::call(const util::BitVec& a, const util::BitVec& b,
 ResponseFrame Client::read_one() {
   if (fd_ < 0) throw ConnectionError("net: recv on closed client");
   flush();  // never block on responses to frames we kept buffered
+  const bool tracing = trace::enabled();
+  const std::uint64_t t0 = tracing ? trace::now_ns() : 0;
   RequestFrame request;
   ResponseFrame response;
   for (;;) {
@@ -156,6 +173,16 @@ ResponseFrame Client::read_one() {
         throw ProtocolError("net: server sent a request frame");
       }
       if (outstanding_ > 0) --outstanding_;
+      // The span covers blocking-read through decode of a response the
+      // server marked trace-sampled; `req` joins it to the client-send
+      // and server-side spans in a merged trace.
+      if (tracing && (response.flags & kFlagTraceSampled) != 0) {
+        trace::EventArgs args;
+        args.req = response.id;
+        args.has_req = true;
+        args.er = (response.flags & kFlagRecovered) != 0 ? 1 : 0;
+        trace::emit_complete(trace::EventName::kClientRecv, t0, args);
+      }
       return response;
     }
     if (result == FrameDecoder::Result::Error) {

@@ -114,16 +114,17 @@ void put_header(std::vector<std::uint8_t>& out, FrameType type,
 
 void encode_request(const RequestFrame& frame,
                     std::vector<std::uint8_t>& out) {
-  encode_request(frame.id, frame.window, frame.a, frame.b, out);
+  encode_request(frame.id, frame.window, frame.a, frame.b, out, frame.flags);
 }
 
 void encode_request(std::uint64_t id, int window, const util::BitVec& a,
-                    const util::BitVec& b, std::vector<std::uint8_t>& out) {
+                    const util::BitVec& b, std::vector<std::uint8_t>& out,
+                    std::uint8_t flags) {
   const int width = a.width();
   const auto payload = static_cast<std::uint32_t>(2 * operand_bytes(width));
   out.reserve(out.size() + kHeaderBytes + payload);
   put_header(out, FrameType::Request, static_cast<std::uint8_t>(Op::Add),
-             /*flags=*/0, id, width, window, payload,
+             flags, id, width, window, payload,
              /*latency_ticks=*/0);
   put_operand(out, a);
   put_operand(out, b);
@@ -200,7 +201,9 @@ FrameDecoder::Result FrameDecoder::next(RequestFrame& request,
     if (op_or_status != static_cast<std::uint8_t>(Op::Add)) {
       return fail("unknown op " + std::to_string(int{op_or_status}));
     }
-    if (flags != 0) return fail("nonzero request flags");
+    if ((flags & ~kFlagTraceSampled) != 0) {
+      return fail("unknown request flags");
+    }
     if (latency_ticks != 0) return fail("nonzero request latency field");
     if (payload != 2 * op_bytes) {
       return fail("request payload length " + std::to_string(payload) +
@@ -216,7 +219,7 @@ FrameDecoder::Result FrameDecoder::next(RequestFrame& request,
       return fail("response payload length " + std::to_string(payload) +
                   " != " + std::to_string(expected));
     }
-    if ((flags & ~(kFlagRecovered | kFlagWrong)) != 0) {
+    if ((flags & ~(kFlagRecovered | kFlagWrong | kFlagTraceSampled)) != 0) {
       return fail("unknown response flags");
     }
   }
@@ -228,6 +231,7 @@ FrameDecoder::Result FrameDecoder::next(RequestFrame& request,
     request = RequestFrame();
     request.id = id;
     request.op = static_cast<Op>(op_or_status);
+    request.flags = flags;
     request.width = width;
     request.window = window;
     if (!get_operand(body, width, request.a) ||

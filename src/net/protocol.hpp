@@ -12,7 +12,8 @@
 //   5       1     type           1 = request, 2 = response
 //   6       1     op / status    request: Op; response: Status
 //   7       1     flags          response: bit0 ER/recovery, bit1 the
-//                                speculative one-cycle sum was wrong
+//                                speculative one-cycle sum was wrong;
+//                                bit2 (both directions) trace-sampled
 //   8       8     request id     client-chosen, echoed verbatim
 //   16      2     width          operand width in bits
 //   18      2     window         speculation window k (request; 0 means
@@ -68,6 +69,13 @@ enum class Status : std::uint8_t {
 inline constexpr std::uint8_t kFlagRecovered = 1;  ///< ER fired
 inline constexpr std::uint8_t kFlagWrong = 2;      ///< speculation was wrong
 
+/// Valid on requests AND responses: the sender sampled this frame into
+/// an active trace session.  The client's sampling decision propagates
+/// to the server (which records its spans under the same request id),
+/// and the server echoes the bit so the client knows its `client-recv`
+/// span completes a distributed trace (docs/observability.md).
+inline constexpr std::uint8_t kFlagTraceSampled = 4;
+
 /// Bytes one operand of `width` bits occupies on the wire.
 inline std::size_t operand_bytes(int width) {
   return static_cast<std::size_t>((width + 7) / 8);
@@ -76,8 +84,9 @@ inline std::size_t operand_bytes(int width) {
 struct RequestFrame {
   std::uint64_t id = 0;
   Op op = Op::Add;
-  int width = 0;   ///< operand width in bits
-  int window = 0;  ///< requested k; 0 = server default
+  std::uint8_t flags = 0;  ///< kFlagTraceSampled is the only valid bit
+  int width = 0;           ///< operand width in bits
+  int window = 0;          ///< requested k; 0 = server default
   util::BitVec a, b;
 };
 
@@ -100,7 +109,8 @@ void encode_response(const ResponseFrame& frame,
 /// Request encode from parts — what Client::send uses on its hot path
 /// so a per-request RequestFrame (two operand copies) never exists.
 void encode_request(std::uint64_t id, int window, const util::BitVec& a,
-                    const util::BitVec& b, std::vector<std::uint8_t>& out);
+                    const util::BitVec& b, std::vector<std::uint8_t>& out,
+                    std::uint8_t flags = 0);
 
 struct DecoderLimits {
   /// Largest operand width a peer may name; bounds the payload (and so

@@ -448,17 +448,24 @@ class EventLoop {
     const std::uint64_t rid = request.id;
     const int width = width_;
     const int window = window_;
+    // The client's sampling decision, carried on the wire: echo it in
+    // the response and bracket dispatch -> response-encoded with a
+    // net-serve span under the same request id, so trace::merge can
+    // stitch the client's and server's views of this request together.
+    const bool wire_sampled =
+        (request.flags & kFlagTraceSampled) != 0 && trace::enabled();
     auto metrics = metrics_;
     const auto t0 = std::chrono::steady_clock::now();
     auto callback = [shared = std::move(shared), rid, width, window,
-                     metrics = std::move(metrics),
-                     t0](service::Completion completion) {
+                     metrics = std::move(metrics), t0,
+                     wire_sampled](service::Completion completion) {
       ResponseFrame response;
       response.id = rid;
       response.status = Status::Ok;
       response.flags = static_cast<std::uint8_t>(
           (completion.flagged ? kFlagRecovered : 0) |
-          (completion.speculative_wrong ? kFlagWrong : 0));
+          (completion.speculative_wrong ? kFlagWrong : 0) |
+          (wire_sampled ? kFlagTraceSampled : 0));
       response.width = width;
       response.window = window;
       response.latency_ticks =
@@ -469,10 +476,21 @@ class EventLoop {
         encode_response(response, shared->pending);
       }
       metrics->frames_out.increment();
-      metrics->server_ns.record(static_cast<std::uint64_t>(
+      const auto server_ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
-              .count()));
+              .count());
+      metrics->server_ns.record(server_ns);
+      if (wire_sampled && trace::enabled()) {
+        trace::EventArgs args;
+        args.batch = shared->id;
+        args.k = window;
+        args.er = completion.flagged ? 1 : 0;
+        args.req = rid;
+        args.has_req = true;
+        trace::emit_span(trace::EventName::kNetServe,
+                         trace::to_session_ns(t0), server_ns, args);
+      }
       shared->inflight.fetch_sub(1, std::memory_order_acq_rel);
       shared->notifier->push(shared);
     };
@@ -498,10 +516,14 @@ class EventLoop {
       conn.inflight.fetch_sub(1, std::memory_order_acq_rel);
       return false;
     }
-    if (trace::enabled() && trace::sample()) {
+    if (wire_sampled || (trace::enabled() && trace::sample())) {
       trace::EventArgs args;
       args.batch = conn.id;
       args.k = window_;
+      if (wire_sampled) {
+        args.req = rid;
+        args.has_req = true;
+      }
       trace::emit_instant(trace::EventName::kNetDispatch, args);
     }
     return true;

@@ -119,6 +119,12 @@ class Server {
   /// while running; exact once quiesced).
   long long active_connections() const;
 
+  /// True once graceful drain has begun (shutdown() entered) — the
+  /// admin plane's /readyz flips not-ready on exactly this edge, before
+  /// a single connection is closed, so load balancers stop sending new
+  /// work while the lame duck finishes the old.
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
+
  private:
   void acceptor_loop();
 

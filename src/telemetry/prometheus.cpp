@@ -23,6 +23,20 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 namespace {
 
 std::string full_name(std::string_view prefix, std::string_view name) {
@@ -31,16 +45,57 @@ std::string full_name(std::string_view prefix, std::string_view name) {
 }
 
 void quantile_line(std::ostream& os, const std::string& name, double q,
-                   std::uint64_t value) {
+                   std::uint64_t value, bool empty) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%g", q);
-  os << name << "{quantile=\"" << buf << "\"} " << value << "\n";
+  os << name << "{quantile=\"" << buf << "\"} ";
+  // The text-format spec's value for a quantile of an empty
+  // distribution is NaN (0 would claim an observation at 0).
+  if (empty) {
+    os << "NaN\n";
+  } else {
+    os << value << "\n";
+  }
+}
+
+/// Cumulative le-bucket lines for the native histogram rendering.  The
+/// log-bucket layout is integral, so bucket i's inclusive upper bound
+/// is lower_bound(i + 1) - 1; only boundaries where the cumulative
+/// count changes get a line (plus the mandatory +Inf terminal), so the
+/// 496-bucket layout never bloats the scrape.
+void bucket_lines(std::ostream& os, const std::string& metric,
+                  const HistogramSnapshot& h) {
+  std::uint64_t cumulative = 0;
+  const int n = static_cast<int>(h.buckets.size());
+  for (int i = 0; i < n && i + 1 < HistogramBuckets::kNumBuckets; ++i) {
+    if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
+    cumulative += h.buckets[static_cast<std::size_t>(i)];
+    os << metric << "_bucket{le=\""
+       << (HistogramBuckets::lower_bound(i + 1) - 1) << "\"} " << cumulative
+       << "\n";
+  }
+  os << metric << "_bucket{le=\"+Inf\"} " << h.count << "\n";
 }
 
 }  // namespace
 
 void write_prometheus(const Snapshot& snapshot, std::ostream& os,
                       std::string_view prefix) {
+  // Info metrics lead the document (`vlsa_build_info` is the first
+  // thing a human reads in a scrape): constant 1 with identity labels.
+  for (const auto& info : snapshot.infos) {
+    const std::string metric = full_name(prefix, info.name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << "{";
+    bool first = true;
+    for (const auto& [key, value] : info.labels) {
+      if (!first) os << ",";
+      first = false;
+      os << prometheus_name(key) << "=\"" << prometheus_label_value(value)
+         << "\"";
+    }
+    os << "} 1\n";
+  }
   for (const auto& [name, value] : snapshot.counters) {
     const std::string metric = full_name(prefix, name);
     os << "# TYPE " << metric << " counter\n";
@@ -57,12 +112,21 @@ void write_prometheus(const Snapshot& snapshot, std::ostream& os,
     // histogram (no le-bucket re-aggregation is possible server-side
     // anyway with log-bucketed lower bounds).
     os << "# TYPE " << metric << " summary\n";
-    quantile_line(os, metric, 0.5, h.p50());
-    quantile_line(os, metric, 0.9, h.p90());
-    quantile_line(os, metric, 0.99, h.p99());
-    quantile_line(os, metric, 0.999, h.p999());
+    const bool empty = h.count == 0;
+    quantile_line(os, metric, 0.5, h.p50(), empty);
+    quantile_line(os, metric, 0.9, h.p90(), empty);
+    quantile_line(os, metric, 0.99, h.p99(), empty);
+    quantile_line(os, metric, 0.999, h.p999(), empty);
     os << metric << "_sum " << h.sum << "\n";
     os << metric << "_count " << h.count << "\n";
+    // The same distribution as a native le-bucket histogram (suffix
+    // `_hist` keeps the summary and histogram families distinct, which
+    // the exposition format requires).  Unlike the summary quantiles,
+    // these series aggregate across instances server-side.
+    os << "# TYPE " << metric << "_hist histogram\n";
+    bucket_lines(os, metric + "_hist", h);
+    os << metric << "_hist_sum " << h.sum << "\n";
+    os << metric << "_hist_count " << h.count << "\n";
     // Tracked extremes: exact values, not bucket representatives.
     os << "# TYPE " << metric << "_min gauge\n";
     os << metric << "_min " << h.min << "\n";

@@ -12,9 +12,20 @@
 //   Gauge      -> gauge       vlsa_service_queue_depth 17
 //   Histogram  -> summary     vlsa_service_latency_ns{quantile="0.5"} ...
 //                             ..._sum / ..._count
+//              -> histogram   ..._hist_bucket{le="..."} cumulative
+//                             counts (native le-buckets from the log
+//                             bucket layout, mandatory +Inf terminal)
+//                             so scraped series support server-side
+//                             quantile aggregation across instances
 //              -> two gauges  ..._min / ..._max (exact tracked extremes —
 //                             quantiles are bucket lower bounds, min/max
 //                             are not derivable from them)
+//   Info       -> gauge 1     vlsa_build_info{git_sha="...",...} 1
+//
+// Edge cases follow the text-format spec: empty summaries render their
+// quantiles as NaN (count/sum still 0), empty histograms still carry
+// the +Inf bucket, and label values escape backslash, double quote,
+// and newline.
 //
 // Metric names are sanitized (dots and any non-[a-zA-Z0-9_] become '_')
 // and prefixed ("vlsa_" by default); snapshots are name-sorted already,
@@ -38,6 +49,11 @@ namespace vlsa::telemetry {
 /// outside [a-zA-Z0-9_] map to '_', and a leading digit gains a '_'
 /// prefix ("service.latency_ns" -> "service_latency_ns").
 std::string prometheus_name(std::string_view name);
+
+/// Escape one label value for exposition text: backslash -> `\\`,
+/// double quote -> `\"`, newline -> `\n` (the three escapes the
+/// text-format spec defines for label values).
+std::string prometheus_label_value(std::string_view value);
 
 /// Render a snapshot as exposition text.  `prefix` is prepended to
 /// every metric name with a '_' separator (pass "" for none).

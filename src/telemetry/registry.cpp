@@ -37,6 +37,7 @@ Counter& Registry::counter(std::string_view name) {
   util::LockGuard lock(mutex_);
   reject_if_present(gauges_, key, "gauge");
   reject_if_present(histograms_, key, "histogram");
+  reject_if_present(infos_, key, "info");
   return find_or_create(counters_, key);
 }
 
@@ -45,6 +46,7 @@ Gauge& Registry::gauge(std::string_view name) {
   util::LockGuard lock(mutex_);
   reject_if_present(counters_, key, "counter");
   reject_if_present(histograms_, key, "histogram");
+  reject_if_present(infos_, key, "info");
   return find_or_create(gauges_, key);
 }
 
@@ -53,7 +55,19 @@ Histogram& Registry::histogram(std::string_view name) {
   util::LockGuard lock(mutex_);
   reject_if_present(counters_, key, "counter");
   reject_if_present(gauges_, key, "gauge");
+  reject_if_present(infos_, key, "info");
   return find_or_create(histograms_, key);
+}
+
+void Registry::info(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  const std::string key(name);
+  util::LockGuard lock(mutex_);
+  reject_if_present(counters_, key, "counter");
+  reject_if_present(gauges_, key, "gauge");
+  reject_if_present(histograms_, key, "histogram");
+  infos_[key] = std::move(labels);
 }
 
 Snapshot Registry::snapshot() const {
@@ -70,6 +84,10 @@ Snapshot Registry::snapshot() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms.push_back(histogram->snapshot(name));
+  }
+  snap.infos.reserve(infos_.size());
+  for (const auto& [name, labels] : infos_) {
+    snap.infos.push_back(InfoSnapshot{name, labels});
   }
   return snap;
 }
@@ -103,6 +121,20 @@ void Snapshot::write_json(util::JsonWriter& json) const {
     json.end_object();
   }
   json.end_array();
+  // Omitted entirely when empty: snapshot documents from registries
+  // that never register an info metric keep their historical bytes.
+  if (!infos.empty()) {
+    json.key("infos").begin_array();
+    for (const auto& info : infos) {
+      json.begin_object();
+      json.kv("name", info.name);
+      json.key("labels").begin_object();
+      for (const auto& [key, value] : info.labels) json.kv(key, value);
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
 }
 

@@ -66,16 +66,30 @@ class Gauge {
   std::atomic<long long> value_{0};
 };
 
+/// An info metric: constant value 1 with identity carried in labels
+/// (the Prometheus build-info idiom — `vlsa_build_info{git_sha=...} 1`).
+/// Labels are fixed at registration and never mutate, so exposure needs
+/// no synchronization beyond the registry map lock.
+struct InfoSnapshot {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+
+  bool operator==(const InfoSnapshot&) const = default;
+};
+
 /// Point-in-time copy of every metric in a registry, sorted by name.
 struct Snapshot {
   std::vector<std::pair<std::string, long long>> counters;
   std::vector<std::pair<std::string, long long>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<InfoSnapshot> infos;
 
   /// Emit as a JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": [{name, count, sum, min, max, mean, p50..p999,
-  /// buckets: [[lower_bound, count], ...]}, ...]}.  Keys are sorted, so
-  /// equal snapshots serialize to identical bytes.
+  /// buckets: [[lower_bound, count], ...]}, ...]}, plus "infos" when
+  /// any info metric is registered (omitted otherwise, so documents
+  /// from registries that predate the info kind are byte-stable).
+  /// Keys are sorted, so equal snapshots serialize to identical bytes.
   void write_json(util::JsonWriter& json) const;
 
   /// The same document as a string (convenience for tests and the CLI).
@@ -98,6 +112,12 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Register an info metric (see InfoSnapshot).  Re-registering the
+  /// same name replaces its labels — idempotent for the build-info use
+  /// where every caller computes identical labels.
+  void info(std::string_view name,
+            std::vector<std::pair<std::string, std::string>> labels);
+
   Snapshot snapshot() const;
 
  private:
@@ -111,6 +131,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      infos_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vlsa::telemetry

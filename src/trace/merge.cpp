@@ -1,0 +1,395 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace vlsa::trace {
+
+namespace {
+
+// -------------------------------------------------------------------
+// Minimal JSON document model + recursive-descent parser.  Scope: the
+// output of TraceSession::write_chrome_json (and close relatives).
+// Object key order is preserved so a parse→emit round trip stays
+// byte-stable modulo the merge transformations.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< number: original text, re-emitted losslessly
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("trace::merge: JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.str = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // BMP-only UTF-8 encoding; our exporter never emits
+          // surrogate pairs (it only \u-escapes control bytes).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.raw = std::string(text_.substr(start, pos_ - start));
+    v.number = std::strtod(v.raw.c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Emit a parsed value through the streaming writer.  Integral-looking
+/// numbers (no '.', no exponent) re-emit via the integer path so 64-bit
+/// ids survive; everything else goes through double.
+void write_value(util::JsonWriter& json, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::Null:
+      json.value(0.0 / 0.0);  // JsonWriter maps NaN to null
+      break;
+    case JsonValue::Kind::Bool:
+      json.value(v.boolean);
+      break;
+    case JsonValue::Kind::Number:
+      if (v.raw.find_first_of(".eE") == std::string::npos) {
+        if (!v.raw.empty() && v.raw[0] == '-') {
+          json.value(static_cast<long long>(
+              std::strtoll(v.raw.c_str(), nullptr, 10)));
+        } else {
+          json.value(static_cast<unsigned long long>(
+              std::strtoull(v.raw.c_str(), nullptr, 10)));
+        }
+      } else {
+        json.value(v.number);
+      }
+      break;
+    case JsonValue::Kind::String:
+      json.value(v.str);
+      break;
+    case JsonValue::Kind::Object:
+      json.begin_object();
+      for (const auto& [key, child] : v.object) {
+        json.key(key);
+        write_value(json, child);
+      }
+      json.end_object();
+      break;
+    case JsonValue::Kind::Array:
+      json.begin_array();
+      for (const auto& child : v.array) write_value(json, child);
+      json.end_array();
+      break;
+  }
+}
+
+struct ParsedSource {
+  JsonValue doc;
+  std::int64_t epoch_ns = 0;
+  const JsonValue* events = nullptr;
+};
+
+}  // namespace
+
+MergeStats merge(const std::vector<MergeInput>& inputs, std::ostream& os) {
+  if (inputs.empty()) {
+    throw std::runtime_error("trace::merge: no input documents");
+  }
+  std::vector<ParsedSource> sources;
+  sources.reserve(inputs.size());
+  std::int64_t min_epoch = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ParsedSource src;
+    src.doc = Parser(inputs[i].json).parse_document();
+    const JsonValue* meta = src.doc.find("metadata");
+    const JsonValue* epoch =
+        meta != nullptr ? meta->find("epoch_ns") : nullptr;
+    if (epoch == nullptr || epoch->kind != JsonValue::Kind::Number) {
+      throw std::runtime_error("trace::merge: input " + std::to_string(i) +
+                               " (" + inputs[i].label +
+                               ") has no metadata.epoch_ns");
+    }
+    src.epoch_ns = static_cast<std::int64_t>(
+        std::strtoll(epoch->raw.c_str(), nullptr, 10));
+    src.events = src.doc.find("traceEvents");
+    if (src.events == nullptr ||
+        src.events->kind != JsonValue::Kind::Array) {
+      throw std::runtime_error("trace::merge: input " + std::to_string(i) +
+                               " (" + inputs[i].label +
+                               ") has no traceEvents array");
+    }
+    min_epoch = i == 0 ? src.epoch_ns : std::min(min_epoch, src.epoch_ns);
+    sources.push_back(std::move(src));
+  }
+
+  // Which sources saw each request id — the cross-process join.
+  std::map<std::uint64_t, unsigned> req_sources;
+  MergeStats stats;
+  stats.sources = inputs.size();
+
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.kv("displayTimeUnit", "ns");
+  json.key("metadata").begin_object();
+  json.kv("tool", "vlsa_trace_merge");
+  json.kv("sources", static_cast<unsigned long long>(inputs.size()));
+  json.kv("epoch_ns", static_cast<long long>(min_epoch));
+  json.end_object();
+  json.key("traceEvents").begin_array();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const long long pid = static_cast<long long>(i) + 1;
+    // Process-name metadata so Perfetto labels each source's track
+    // group ("client", "server", ...).
+    json.begin_object();
+    json.kv("name", "process_name").kv("ph", "M");
+    json.kv("pid", pid).kv("tid", 0LL);
+    json.key("args").begin_object();
+    json.kv("name", inputs[i].label);
+    json.end_object();
+    json.end_object();
+
+    const double shift_us =
+        static_cast<double>(sources[i].epoch_ns - min_epoch) / 1000.0;
+    for (const JsonValue& e : sources[i].events->array) {
+      if (e.kind != JsonValue::Kind::Object) {
+        throw std::runtime_error("trace::merge: non-object trace event");
+      }
+      const JsonValue* ph = e.find("ph");
+      const bool is_meta = ph != nullptr &&
+                           ph->kind == JsonValue::Kind::String &&
+                           ph->str == "M";
+      json.begin_object();
+      for (const auto& [key, child] : e.object) {
+        if (key == "pid") {
+          json.kv("pid", pid);
+        } else if (!is_meta && key == "ts" &&
+                   child.kind == JsonValue::Kind::Number) {
+          json.kv("ts", child.number + shift_us);
+        } else {
+          json.key(key);
+          write_value(json, child);
+        }
+      }
+      json.end_object();
+      if (!is_meta) {
+        ++stats.events;
+        const JsonValue* args = e.find("args");
+        const JsonValue* req =
+            args != nullptr ? args->find("req") : nullptr;
+        if (req != nullptr && req->kind == JsonValue::Kind::Number) {
+          req_sources[std::strtoull(req->raw.c_str(), nullptr, 10)] |=
+              1u << i;
+        }
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+  os << "\n";
+
+  for (const auto& [req, mask] : req_sources) {
+    (void)req;
+    if ((mask & (mask - 1)) != 0) ++stats.matched_reqs;
+  }
+  return stats;
+}
+
+}  // namespace vlsa::trace

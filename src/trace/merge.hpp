@@ -1,0 +1,49 @@
+#pragma once
+// Merge Chrome/Perfetto trace documents from separate processes into
+// one timeline — the final pass of the wire-level distributed-tracing
+// story (docs/observability.md).
+//
+// A trace-sampled request (net/protocol.hpp, kFlagTraceSampled) leaves
+// spans in two processes: the client records client-send / client-recv
+// and the server records net-* and service spans, all carrying the wire
+// request id in their "req" arg.  Each process exports its own JSON
+// with its own session-relative clock; merge() re-bases every event
+// onto a shared timeline using the steady_clock session epoch each
+// exporter stamps into metadata ("epoch_ns" — both processes run on
+// the same host, so the steady clock is shared), assigns each source
+// document its own pid with a process_name metadata record, and emits
+// one document where a sampled request reads client-send → net-read →
+// net-decode → queue-wait → engine-eval → (recovery) → net-write →
+// client-recv across two process tracks.
+//
+// The parser underneath is deliberately minimal: just enough JSON
+// (objects, arrays, strings with the escapes our writer emits, numbers,
+// true/false/null) to round-trip our own exporter's output.  It is not
+// a general-purpose JSON library and rejects anything malformed.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vlsa::trace {
+
+/// One input to merge(): a trace document plus the label its process
+/// track gets in the merged view ("client", "server", ...).
+struct MergeInput {
+  std::string label;
+  std::string json;  ///< a write_chrome_json document
+};
+
+struct MergeStats {
+  std::uint64_t events = 0;        ///< trace events in the merged doc
+  std::uint64_t sources = 0;       ///< input documents
+  std::uint64_t matched_reqs = 0;  ///< distinct "req" ids seen in >1 source
+};
+
+/// Merge trace documents into one (see file header).  Source i becomes
+/// pid i+1, in input order.  Throws std::runtime_error on malformed
+/// input (bad JSON, missing traceEvents, missing epoch_ns metadata).
+MergeStats merge(const std::vector<MergeInput>& inputs, std::ostream& os);
+
+}  // namespace vlsa::trace

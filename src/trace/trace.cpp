@@ -119,10 +119,12 @@ std::uint64_t steady_now_ns() {
 }  // namespace
 
 // -------------------------------------------------------------------
-// Event encoding: 7 words per slot (see TraceEvent::kWords).
+// Event encoding: 8 words per slot (see TraceEvent::kWords).
 //   w0 ts_ns   w1 dur_ns   w2 batch   w3 a_lo   w4 b_lo
 //   w5 tid<<32 | lane16<<16 | k16
 //   w6 name<<0 | phase<<8 | er<<16 | has_operands<<24 | chain16<<32
+//        | has_req<<48
+//   w7 req (wire request id; meaningful only when has_req)
 // lane/k/chain use 0xffff as "absent"; er uses 0xff.
 
 namespace {
@@ -151,7 +153,9 @@ std::array<std::uint64_t, TraceEvent::kWords> TraceEvent::encode() const {
   w[6] = static_cast<std::uint64_t>(name) |
          (static_cast<std::uint64_t>(phase) << 8) | (er << 16) |
          (static_cast<std::uint64_t>(args.has_operands ? 1 : 0) << 24) |
-         (pack16(args.chain) << 32);
+         (pack16(args.chain) << 32) |
+         (static_cast<std::uint64_t>(args.has_req ? 1 : 0) << 48);
+  w[7] = args.req;
   return w;
 }
 
@@ -172,6 +176,8 @@ TraceEvent TraceEvent::decode(
   e.args.er = er == kAbsent8 ? -1 : static_cast<int>(er);
   e.args.has_operands = ((w[6] >> 24) & 0xff) != 0;
   e.args.chain = unpack16((w[6] >> 32) & 0xffff);
+  e.args.has_req = ((w[6] >> 48) & 0xffff) != 0;
+  e.args.req = w[7];
   return e;
 }
 
@@ -203,6 +209,12 @@ const char* event_name(EventName name) {
       return "net-write";
     case EventName::kNetClose:
       return "net-close";
+    case EventName::kClientSend:
+      return "client-send";
+    case EventName::kClientRecv:
+      return "client-recv";
+    case EventName::kNetServe:
+      return "net-serve";
   }
   return "unknown";
 }
@@ -346,6 +358,10 @@ CollectStats TraceSession::write_chrome_json(std::ostream& os) const {
   json.kv("tool", "vlsa_trace");
   json.kv("events", stats.events);
   json.kv("dropped", stats.dropped);
+  // Session epoch as steady_clock ns: processes on the same host share
+  // this clock, so trace::merge aligns documents by epoch delta.
+  json.kv("epoch_ns", static_cast<long long>(
+                          state().epoch_ns.load(std::memory_order_relaxed)));
   json.end_object();
   json.key("traceEvents").begin_array();
   // Thread-name metadata first, so Perfetto labels the tracks.
@@ -383,6 +399,7 @@ CollectStats TraceSession::write_chrome_json(std::ostream& os) const {
     if (e.args.k >= 0) json.kv("k", e.args.k);
     if (e.args.er >= 0) json.kv("er", e.args.er);
     if (e.args.chain >= 0) json.kv("chain", e.args.chain);
+    if (e.args.has_req) json.kv("req", e.args.req);
     if (e.args.has_operands) {
       std::snprintf(hex, sizeof hex, "0x%016llx",
                     static_cast<unsigned long long>(e.args.a_lo));

@@ -103,8 +103,15 @@ enum class EventName : std::uint8_t {
   kNetDispatch = 10, ///< instant: a decoded frame entered the service
   kNetWrite = 11,    ///< span: one flush of the connection write buffer
   kNetClose = 12,    ///< instant: connection torn down
+  // Distributed tracing across the wire (net/client.cpp, the
+  // kFlagTraceSampled frame bit): spans on both sides of a sampled
+  // request carry the frame id in `args.req`, so trace::merge can
+  // stitch one Perfetto timeline out of a client and a server export.
+  kClientSend = 13,  ///< span: client encode+buffer of one request
+  kClientRecv = 14,  ///< span: client blocking read → response decoded
+  kNetServe = 15,    ///< span: server dispatch → response encoded
 };
-inline constexpr int kNumEventNames = 13;
+inline constexpr int kNumEventNames = 16;
 
 /// Stable lowercase-dashed name ("engine-eval") used in exports.
 const char* event_name(EventName name);
@@ -130,12 +137,17 @@ struct EventArgs {
   std::uint64_t a_lo = 0;
   std::uint64_t b_lo = 0;
   bool has_operands = false;
+  /// Wire request id of a trace-sampled frame (client-send /
+  /// client-recv / net-serve / net-dispatch) — the join key of the
+  /// distributed trace.
+  std::uint64_t req = 0;
+  bool has_req = false;
 };
 
 /// One decoded trace event, as stored in the rings.
 struct TraceEvent {
   /// Number of 64-bit words a slot payload occupies.
-  static constexpr int kWords = 7;
+  static constexpr int kWords = 8;
 
   std::uint64_t ts_ns = 0;   ///< since session start
   std::uint64_t dur_ns = 0;  ///< kComplete spans only

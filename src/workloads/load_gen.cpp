@@ -170,17 +170,22 @@ class SentAtRing {
     slots_.resize(cap);
   }
 
-  void insert(std::uint64_t id, Clock::time_point t) {
-    slots_[id & (slots_.size() - 1)] = Slot{id, t};
+  struct Sent {
+    Clock::time_point at{};
+    bool burst = false;  ///< arrival phase at send time
+  };
+
+  void insert(std::uint64_t id, Clock::time_point t, bool burst) {
+    slots_[id & (slots_.size() - 1)] = Slot{id, t, burst};
   }
 
-  /// Removes and returns the timestamp, or nullopt if unknown.
-  std::optional<Clock::time_point> take(std::uint64_t id) {
+  /// Removes and returns the send record, or nullopt if unknown.
+  std::optional<Sent> take(std::uint64_t id) {
     Slot& slot = slots_[id & (slots_.size() - 1)];
     if (slot.id != id || slot.at == Clock::time_point{}) return std::nullopt;
-    const auto t = slot.at;
+    const Sent sent{slot.at, slot.burst};
     slot.at = Clock::time_point{};
-    return t;
+    return sent;
   }
 
   long long in_flight() const {
@@ -195,19 +200,32 @@ class SentAtRing {
   struct Slot {
     std::uint64_t id = 0;
     Clock::time_point at{};
+    bool burst = false;
   };
   std::vector<Slot> slots_;
 };
 
+/// Client-observed e2e latency sinks: the aggregate and the per-phase
+/// split (steady vs burst arrivals).  Phase attribution happens at
+/// *send* time — what matters for tail analysis is what the request
+/// experienced, and a request launched inside a burst rides the
+/// congested queue no matter when its response lands.
+struct E2eHistograms {
+  telemetry::Histogram* all = nullptr;
+  telemetry::Histogram* steady = nullptr;
+  telemetry::Histogram* burst = nullptr;
+};
+
 void count_response(const net::ResponseFrame& response, SentAtRing& sent_at,
-                    telemetry::Histogram* e2e, ConnStats& stats) {
-  if (const auto t0 = sent_at.take(response.id)) {
-    if (e2e != nullptr) {
-      e2e->record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                               *t0)
-              .count()));
-    }
+                    const E2eHistograms& e2e, ConnStats& stats) {
+  if (const auto sent = sent_at.take(response.id)) {
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             sent->at)
+            .count());
+    if (e2e.all != nullptr) e2e.all->record(ns);
+    telemetry::Histogram* phase = sent->burst ? e2e.burst : e2e.steady;
+    if (phase != nullptr) phase->record(ns);
   }
   switch (response.status) {
     case net::Status::Ok:
@@ -238,10 +256,16 @@ void run_connection(const NetLoadGenConfig& config, int index,
       config.base.rate_per_sec / std::max(config.connections, 1);
   ArrivalClock arrivals(arrival_config, util::Rng(seed).split(0x715e));
 
-  telemetry::Histogram* e2e =
-      config.registry != nullptr
-          ? &config.registry->histogram("netclient.e2e_ns")
-          : nullptr;
+  E2eHistograms e2e;
+  if (config.registry != nullptr) {
+    e2e.all = &config.registry->histogram("netclient.e2e_ns");
+    e2e.steady = &config.registry->histogram("netclient.e2e_steady_ns");
+    // The burst histogram only exists for the arrival process that has
+    // a burst phase, so scrapes never show a phantom all-zero phase.
+    if (config.base.arrival == ArrivalProcess::Bursty) {
+      e2e.burst = &config.registry->histogram("netclient.e2e_burst_ns");
+    }
+  }
 
   SentAtRing sent_at(config.max_outstanding);
   net::Client client(config.host, config.port);
@@ -279,7 +303,7 @@ void run_connection(const NetLoadGenConfig& config, int index,
       auto [a, b] = operands.next();
       const auto t0 = Clock::now();
       const std::uint64_t id = client.send(a, b);
-      sent_at.insert(id, t0);
+      sent_at.insert(id, t0, arrivals.in_burst());
       ++stats.offered;
     }
     while (client.outstanding() > 0) {

@@ -107,9 +107,11 @@ struct NetLoadGenConfig {
   /// both sides writing with nobody reading) while still letting the
   /// server batch deeply.
   int max_outstanding = 256;
-  /// When set, end-to-end latency lands in histogram
-  /// `netclient.e2e_ns` and outcomes in `netclient.{ok,rejected,error}`
-  /// counters here.  Must outlive the call.
+  /// When set, client-observed end-to-end latency lands in histograms
+  /// here — `netclient.e2e_ns` (aggregate), `netclient.e2e_steady_ns`,
+  /// and, for Bursty arrivals, `netclient.e2e_burst_ns` (phase decided
+  /// at send time) — and outcomes in `netclient.{ok,rejected,error}`
+  /// counters.  Must outlive the call.
   telemetry::Registry* registry = nullptr;
   /// When set, arrival loops stop offering as soon as it turns true
   /// (the CLI's SIGINT hook); in-flight requests still drain.

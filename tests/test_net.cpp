@@ -14,19 +14,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/aca.hpp"
+#include "net/admin.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
 #include "service/service.hpp"
 #include "telemetry/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "workloads/operand_stream.hpp"
@@ -229,7 +233,7 @@ TEST(NetProtocol, HostileHeadersAreFatal) {
   const Case cases[] = {
       {0, 0x00, "bad magic"},        {4, 0x7f, "unknown version"},
       {5, 0x00, "bad frame type"},   {5, 0x03, "unknown frame type"},
-      {6, 0x41, "unknown op"},       {7, 0x01, "request with flags"},
+      {6, 0x41, "unknown op"},       {7, 0x01, "response-only flag bit"},
       {24, 0x01, "request with latency"},
   };
   for (const Case& c : cases) {
@@ -238,6 +242,54 @@ TEST(NetProtocol, HostileHeadersAreFatal) {
     EXPECT_EQ(decode_raw(std::move(bytes)), FrameDecoder::Result::Error)
         << c.what;
   }
+}
+
+TEST(NetProtocol, TraceSampledFlagRoundTripsBothDirections) {
+  // Bit 2 is the one flag valid on requests: the client's sampling
+  // decision riding the wire.  It must round-trip on requests, echo on
+  // responses, and remain the ONLY acceptable request flag bit.
+  RequestFrame in;
+  in.id = 77;
+  in.width = 64;
+  in.window = 8;
+  in.a = BitVec::from_u64(64, 1);
+  in.b = BitVec::from_u64(64, 2);
+  in.flags = net::kFlagTraceSampled;
+  std::vector<std::uint8_t> bytes;
+  net::encode_request(in, bytes);
+  EXPECT_EQ(bytes[7], net::kFlagTraceSampled);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  RequestFrame out;
+  ResponseFrame unused;
+  ASSERT_EQ(decoder.next(out, unused), FrameDecoder::Result::Frame);
+  EXPECT_EQ(out.flags, net::kFlagTraceSampled);
+  EXPECT_EQ(out.id, 77u);
+
+  // Any higher bit stays fatal.
+  auto hostile = valid_request_bytes();
+  hostile[7] = 0x08;
+  EXPECT_EQ(decode_raw(std::move(hostile)), FrameDecoder::Result::Error);
+
+  // Response side: the echo coexists with the recovery flag.
+  ResponseFrame response_in;
+  response_in.id = 77;
+  response_in.status = Status::Ok;
+  response_in.width = 64;
+  response_in.window = 8;
+  response_in.flags = net::kFlagRecovered | net::kFlagTraceSampled;
+  response_in.sum = BitVec::from_u64(64, 3);
+  std::vector<std::uint8_t> response_bytes;
+  net::encode_response(response_in, response_bytes);
+  FrameDecoder response_decoder;
+  response_decoder.feed(response_bytes.data(), response_bytes.size());
+  RequestFrame runused;
+  ResponseFrame response_out;
+  ASSERT_EQ(response_decoder.next(runused, response_out),
+            FrameDecoder::Result::Frame);
+  EXPECT_EQ(response_out.flags,
+            net::kFlagRecovered | net::kFlagTraceSampled);
 }
 
 TEST(NetProtocol, OversizedAndInconsistentLengthsAreFatal) {
@@ -555,6 +607,268 @@ TEST(NetLoopback, ServerRefusesPumpModeService) {
   AdderService service(config);
   EXPECT_THROW(net::Server(net::ServerConfig{}, service),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Distributed tracing: the sampled flag across the wire
+
+TEST(NetTracing, SampledRequestJoinsClientAndServerSpans) {
+  // With a session active, every client send is sampled (rate 1.0),
+  // the flag rides the wire, the server emits a net-serve span keyed
+  // by the same request id, and the echoed flag keys the client-recv
+  // span — the three spans trace::merge later joins across processes.
+  trace::TraceSession session;
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+  util::Rng rng(0x7ace);
+  for (int i = 0; i < 20; ++i) {
+    const BitVec a = random_vec(rng, width);
+    const BitVec b = random_vec(rng, width);
+    const ResponseFrame response = client.call(a, b);
+    ASSERT_EQ(response.status, Status::Ok);
+    EXPECT_NE(response.flags & net::kFlagTraceSampled, 0)
+        << "server must echo the trace-sampled bit";
+  }
+  session.stop();
+
+  const auto events = session.collect();
+  std::vector<std::uint64_t> send_reqs, recv_reqs, serve_reqs;
+  for (const auto& e : events) {
+    if (!e.args.has_req) continue;
+    if (e.name == trace::EventName::kClientSend) {
+      send_reqs.push_back(e.args.req);
+    } else if (e.name == trace::EventName::kClientRecv) {
+      recv_reqs.push_back(e.args.req);
+    } else if (e.name == trace::EventName::kNetServe) {
+      serve_reqs.push_back(e.args.req);
+    }
+  }
+  EXPECT_EQ(send_reqs.size(), 20u);
+  EXPECT_EQ(recv_reqs.size(), 20u);
+  EXPECT_EQ(serve_reqs.size(), 20u);
+  // Every request id appears on all three spans.
+  std::sort(send_reqs.begin(), send_reqs.end());
+  std::sort(recv_reqs.begin(), recv_reqs.end());
+  std::sort(serve_reqs.begin(), serve_reqs.end());
+  EXPECT_EQ(send_reqs, recv_reqs);
+  EXPECT_EQ(send_reqs, serve_reqs);
+}
+
+TEST(NetTracing, NoSessionMeansNoFlagOnTheWire) {
+  // trace::enabled() gates the client's sampling decision: without a
+  // session the flag must stay clear (zero per-request overhead, and
+  // the server never emits distributed-trace spans).
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+  const ResponseFrame response =
+      client.call(BitVec::from_u64(64, 1), BitVec::from_u64(64, 2));
+  ASSERT_EQ(response.status, Status::Ok);
+  EXPECT_EQ(response.flags & net::kFlagTraceSampled, 0);
+}
+
+// ---------------------------------------------------------------------
+// Admin plane: HTTP parser against partial reads and hostile input
+
+using net::AdminConfig;
+using net::AdminRequest;
+using net::AdminResponse;
+using net::AdminServer;
+using net::HttpRequestParser;
+
+TEST(AdminHttp, ParsesAGetByteAtATime) {
+  const std::string head = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  HttpRequestParser parser;
+  auto result = HttpRequestParser::Result::NeedMore;
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    result = parser.feed(head.data() + i, 1);
+    if (i + 1 < head.size()) {
+      ASSERT_EQ(result, HttpRequestParser::Result::NeedMore) << "byte " << i;
+    }
+  }
+  ASSERT_EQ(result, HttpRequestParser::Result::Request);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/metrics");
+  EXPECT_EQ(parser.request().query, "");
+}
+
+TEST(AdminHttp, QuerySplitsFromPathAndBareLfIsTolerated) {
+  const std::string head = "GET /tracez?start HTTP/1.0\n\n";
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.feed(head.data(), head.size()),
+            HttpRequestParser::Result::Request);
+  EXPECT_EQ(parser.request().path, "/tracez");
+  EXPECT_EQ(parser.request().query, "start");
+}
+
+TEST(AdminHttp, OversizedHeadIs431) {
+  HttpRequestParser parser(/*max_bytes=*/64);
+  const std::string filler(200, 'a');
+  const std::string head = "GET /" + filler + " HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(parser.feed(head.data(), head.size()),
+            HttpRequestParser::Result::Error);
+  EXPECT_EQ(parser.error_status(), 431);
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(AdminHttp, MalformedRequestsAre400) {
+  const char* cases[] = {
+      "GARBAGE\r\n\r\n",                    // no METHOD SP TARGET SP VERSION
+      "GET /x\r\n\r\n",                     // missing HTTP version
+      "GET metrics HTTP/1.1\r\n\r\n",       // target must start with '/'
+      "GET /x SMTP/1.1\r\n\r\n",            // not HTTP
+      "\x01\x02 /x HTTP/1.1\r\n\r\n",       // control bytes
+  };
+  for (const char* head : cases) {
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.feed(head, std::strlen(head)),
+              HttpRequestParser::Result::Error)
+        << head;
+    EXPECT_EQ(parser.error_status(), 400) << head;
+  }
+}
+
+TEST(AdminHttp, PoisonIsSticky) {
+  HttpRequestParser parser;
+  const std::string bad = "GARBAGE\r\n\r\n";
+  ASSERT_EQ(parser.feed(bad.data(), bad.size()),
+            HttpRequestParser::Result::Error);
+  const std::string good = "GET / HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(parser.feed(good.data(), good.size()),
+            HttpRequestParser::Result::Error);
+}
+
+// ---------------------------------------------------------------------
+// Admin plane: the live HTTP server
+
+// Minimal blocking HTTP exchange: write `request` bytes, half-close,
+// read to EOF (the admin server always answers Connection: close; the
+// half-close lets it reject byte streams that never finish a head).
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_exchange(port, "GET " + target + " HTTP/1.1\r\n\r\n");
+}
+
+TEST(AdminPlane, ServesRegisteredPathsAndRejectsTheRest) {
+  AdminServer admin(AdminConfig{});
+  ASSERT_GT(admin.port(), 0);
+  admin.handle("/ping", [](const AdminRequest&) {
+    AdminResponse response;
+    response.body = "pong\n";
+    return response;
+  });
+  admin.handle("/boom", [](const AdminRequest&) -> AdminResponse {
+    throw std::runtime_error("handler exploded");
+  });
+
+  EXPECT_NE(http_get(admin.port(), "/ping").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(http_get(admin.port(), "/ping").find("pong"),
+            std::string::npos);
+  EXPECT_NE(http_get(admin.port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(admin.port(), "POST /ping HTTP/1.1\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(admin.port(), "GARBAGE\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(http_exchange(admin.port(),
+                          "GET /" + std::string(20000, 'a') +
+                              " HTTP/1.1\r\n\r\n")
+                .find("431"),
+            std::string::npos);
+  // A handler that throws answers 500, and the server survives it.
+  EXPECT_NE(http_get(admin.port(), "/boom").find("500"),
+            std::string::npos);
+  EXPECT_NE(http_get(admin.port(), "/ping").find("pong"),
+            std::string::npos);
+  admin.shutdown();  // idempotent with the destructor's shutdown
+}
+
+TEST(AdminPlane, HostileAdminTrafficNeverTouchesTheDataPort) {
+  // The whole point of the separate admin thread: garbage on the admin
+  // port must not poison, stall, or close data-plane connections.
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  net::Client client("127.0.0.1", server.port());
+  AdminServer admin(AdminConfig{});
+
+  const ResponseFrame before =
+      client.call(BitVec::from_u64(64, 1), BitVec::from_u64(64, 2));
+  ASSERT_EQ(before.status, Status::Ok);
+
+  http_exchange(admin.port(), std::string(4096, '\xff'));
+  http_exchange(admin.port(), "POST / HTTP/1.1\r\n\r\n");
+  http_exchange(admin.port(), "GET /" + std::string(20000, 'b') + " \r\n");
+
+  const ResponseFrame after =
+      client.call(BitVec::from_u64(64, 3), BitVec::from_u64(64, 4));
+  EXPECT_EQ(after.status, Status::Ok);
+  EXPECT_EQ(after.sum, BitVec::from_u64(64, 7));
+  const auto snap = service.registry().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "net.decode_errors") {
+      EXPECT_EQ(value, 0) << "admin garbage leaked into the data plane";
+    }
+  }
+}
+
+TEST(AdminPlane, ReadyzFlipsTheMomentDrainBegins) {
+  // The lame-duck contract: Server::draining() turns true at the START
+  // of shutdown (before connections close), and a /readyz wired to it
+  // answers 503 from then on.
+  const int width = 64, window = 8;
+  AdderService service(service_config(width, window, OverflowPolicy::Block));
+  net::Server server(net::ServerConfig{}, service);
+  AdminServer admin(AdminConfig{});
+  admin.handle("/readyz", [&server](const AdminRequest&) {
+    AdminResponse response;
+    if (server.draining()) {
+      response.status = 503;
+      response.body = "draining\n";
+    } else {
+      response.body = "ready\n";
+    }
+    return response;
+  });
+
+  EXPECT_FALSE(server.draining());
+  EXPECT_NE(http_get(admin.port(), "/readyz").find("200"),
+            std::string::npos);
+  server.shutdown();
+  EXPECT_TRUE(server.draining());
+  EXPECT_NE(http_get(admin.port(), "/readyz").find("503"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,15 +1,20 @@
 // Tests for the telemetry layer: bucket math, quantile extraction,
-// concurrent recording, registry semantics, and deterministic JSON
-// serialization (the property the service determinism test builds on).
+// concurrent recording, registry semantics, deterministic JSON
+// serialization (the property the service determinism test builds on),
+// info metrics, and the Prometheus exposition edge cases the admin
+// plane's /metrics endpoint must honor.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "telemetry/histogram.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
 
 namespace vlsa {
@@ -158,6 +163,109 @@ TEST(TelemetryRegistry, IdenticalHistoriesSerializeIdentically) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"p99\""), std::string::npos);
   EXPECT_NE(a.find("\"requests\": 42"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, InfoMetricRoundTripsAndCollides) {
+  Registry registry;
+  registry.info("build_info", {{"git_sha", "abc123"}, {"isa", "avx2"}});
+  // Re-registering replaces the labels (idempotent for build info).
+  registry.info("build_info", {{"git_sha", "abc123"}, {"isa", "avx512"}});
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.infos.size(), 1u);
+  EXPECT_EQ(snap.infos[0].name, "build_info");
+  ASSERT_EQ(snap.infos[0].labels.size(), 2u);
+  EXPECT_EQ(snap.infos[0].labels[1].second, "avx512");
+
+  // Cross-kind collisions throw in both directions.
+  EXPECT_THROW(registry.counter("build_info"), std::invalid_argument);
+  EXPECT_THROW(registry.gauge("build_info"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("build_info"), std::invalid_argument);
+  registry.counter("c");
+  EXPECT_THROW(registry.info("c", {}), std::invalid_argument);
+
+  // JSON carries an "infos" block only when one exists (keeping
+  // info-free registries byte-identical to their pre-info form).
+  EXPECT_NE(snap.to_json().find("\"infos\""), std::string::npos);
+  Registry bare;
+  bare.counter("c").increment();
+  EXPECT_EQ(bare.snapshot().to_json().find("\"infos\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition edge cases (the admin plane's /metrics)
+
+TEST(TelemetryPrometheus, LabelValuesAreEscaped) {
+  EXPECT_EQ(telemetry::prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(telemetry::prometheus_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::prometheus_label_value("say \"hi\""),
+            "say \\\"hi\\\"");
+  EXPECT_EQ(telemetry::prometheus_label_value("line\nbreak"),
+            "line\\nbreak");
+}
+
+TEST(TelemetryPrometheus, InfoRendersAsGaugeWithEscapedLabels) {
+  Registry registry;
+  registry.info("build_info",
+                {{"git_sha", "abc\"123"}, {"note", "a\\b\nc"}});
+  std::ostringstream os;
+  telemetry::write_prometheus(registry.snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE vlsa_build_info gauge"), std::string::npos);
+  EXPECT_NE(out.find("vlsa_build_info{git_sha=\"abc\\\"123\","
+                     "note=\"a\\\\b\\nc\"} 1"),
+            std::string::npos);
+}
+
+TEST(TelemetryPrometheus, EmptySummaryQuantilesAreNaN) {
+  Registry registry;
+  registry.histogram("latency_ns");  // registered, never recorded
+  std::ostringstream os;
+  telemetry::write_prometheus(registry.snapshot(), os);
+  const std::string out = os.str();
+  // Per the spec, quantiles of an empty summary are NaN — 0 would
+  // claim a latency that was never observed.
+  EXPECT_NE(out.find("vlsa_latency_ns{quantile=\"0.5\"} NaN"),
+            std::string::npos);
+  EXPECT_NE(out.find("vlsa_latency_ns_count 0"), std::string::npos);
+  // The native histogram still carries its mandatory +Inf bucket.
+  EXPECT_NE(out.find("vlsa_latency_ns_hist_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(out.find("vlsa_latency_ns_hist_count 0"), std::string::npos);
+}
+
+TEST(TelemetryPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  Registry registry;
+  auto& h = registry.histogram("lat");
+  h.record(1);
+  h.record(1);
+  h.record(5);
+  h.record(1'000'000);
+  std::ostringstream os;
+  telemetry::write_prometheus(registry.snapshot(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE vlsa_lat_hist histogram"), std::string::npos);
+  // le="1" covers both 1s; le="5" adds the 5; +Inf covers everything.
+  EXPECT_NE(out.find("vlsa_lat_hist_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("vlsa_lat_hist_bucket{le=\"5\"} 3"),
+            std::string::npos);
+  EXPECT_NE(out.find("vlsa_lat_hist_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(out.find("vlsa_lat_hist_count 4"), std::string::npos);
+  EXPECT_NE(out.find("vlsa_lat_hist_sum 1000007"), std::string::npos);
+
+  // Cumulative counts never decrease across the rendered buckets.
+  std::uint64_t previous = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto pos = line.find("vlsa_lat_hist_bucket{le=\"");
+    if (pos != 0 || line.find("+Inf") != std::string::npos) continue;
+    const auto space = line.rfind(' ');
+    const std::uint64_t count = std::stoull(line.substr(space + 1));
+    EXPECT_GE(count, previous) << line;
+    previous = count;
+  }
 }
 
 TEST(TelemetryRegistry, ConcurrentMetricCreationIsSafe) {

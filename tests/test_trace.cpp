@@ -23,6 +23,7 @@
 #include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/drift.hpp"
+#include "trace/merge.hpp"
 #include "trace/postmortem.hpp"
 #include "trace/trace.hpp"
 #include "util/bitvec.hpp"
@@ -152,6 +153,8 @@ TEST(TraceRing, EncodeDecodeRoundTrips) {
   event.args.a_lo = 0xdeadbeefcafef00dULL;
   event.args.b_lo = 0x0123456789abcdefULL;
   event.args.has_operands = true;
+  event.args.req = 0xfedcba9876543210ULL;  // full 64-bit wire id
+  event.args.has_req = true;
 
   const auto decoded = trace::TraceEvent::decode(event.encode());
   EXPECT_EQ(decoded.ts_ns, event.ts_ns);
@@ -167,6 +170,8 @@ TEST(TraceRing, EncodeDecodeRoundTrips) {
   EXPECT_EQ(decoded.args.a_lo, event.args.a_lo);
   EXPECT_EQ(decoded.args.b_lo, event.args.b_lo);
   EXPECT_TRUE(decoded.args.has_operands);
+  EXPECT_EQ(decoded.args.req, event.args.req);
+  EXPECT_TRUE(decoded.args.has_req);
 
   // Absent-marker round trip (the sentinels share slot words with real
   // values, so "unset" must survive encoding too).
@@ -178,6 +183,8 @@ TEST(TraceRing, EncodeDecodeRoundTrips) {
   EXPECT_EQ(bare_decoded.args.er, -1);
   EXPECT_EQ(bare_decoded.args.chain, -1);
   EXPECT_FALSE(bare_decoded.args.has_operands);
+  EXPECT_FALSE(bare_decoded.args.has_req);
+  EXPECT_EQ(bare_decoded.args.req, 0u);
 }
 
 TEST(TraceRing, WraparoundKeepsTheNewestEvents) {
@@ -357,6 +364,81 @@ TEST(TraceSession, SamplingRateZeroStillRecordsRecoveryEvents) {
                 event.name == trace::EventName::kComplete)
         << "unexpected detail event " << trace::event_name(event.name);
   }
+}
+
+// ---------------------------------------------------------------------
+// trace::merge — stitching per-process exports into one timeline
+
+TEST(TraceMerge, StitchesClientAndServerExportsByRequestId) {
+  // Two sequential sessions stand in for two processes: a "client"
+  // recording send/recv spans for one sampled request, and a "server"
+  // recording the matching net-serve span.  The shared join key is the
+  // wire request id in args.req.
+  constexpr std::uint64_t kReq = 0xabcdef0112345678ULL;
+  std::string client_json, server_json;
+  {
+    trace::TraceSession session;
+    trace::EventArgs args;
+    args.req = kReq;
+    args.has_req = true;
+    trace::emit_span(trace::EventName::kClientSend, 1000, 500, args);
+    trace::emit_span(trace::EventName::kClientRecv, 9000, 700, args);
+    session.stop();
+    client_json = session.chrome_json();
+  }
+  {
+    trace::TraceSession session;
+    trace::EventArgs args;
+    args.req = kReq;
+    args.has_req = true;
+    args.k = 8;
+    trace::emit_span(trace::EventName::kNetServe, 3000, 2000, args);
+    session.stop();
+    server_json = session.chrome_json();
+  }
+
+  std::ostringstream os;
+  const auto stats =
+      trace::merge({{"client", client_json}, {"server", server_json}}, os);
+  EXPECT_EQ(stats.sources, 2u);
+  EXPECT_EQ(stats.matched_reqs, 1u) << "the request id must join the sides";
+  EXPECT_GE(stats.events, 3u);
+
+  const std::string merged = os.str();
+  JsonValidator validator(merged);
+  EXPECT_TRUE(validator.valid()) << "merged export is not well-formed JSON";
+
+  // Each source becomes its own pid with a process_name label, and the
+  // three distributed-tracing span names all survive the merge.
+  EXPECT_NE(merged.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(merged.find("\"client\""), std::string::npos);
+  EXPECT_NE(merged.find("\"server\""), std::string::npos);
+  EXPECT_NE(merged.find("\"client-send\""), std::string::npos);
+  EXPECT_NE(merged.find("\"client-recv\""), std::string::npos);
+  EXPECT_NE(merged.find("\"net-serve\""), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\": 2"), std::string::npos);
+
+  // The full 64-bit request id re-emits losslessly (the merger keeps
+  // raw number text; a double round-trip would corrupt the high bits)
+  // — once per span, on both sides.
+  const std::string req_decimal = std::to_string(kReq);
+  std::size_t occurrences = 0;
+  for (std::size_t pos = merged.find(req_decimal);
+       pos != std::string::npos; pos = merged.find(req_decimal, pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 3u);
+}
+
+TEST(TraceMerge, MalformedInputThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(trace::merge({{"a", "{"}, {"b", "{}"}}, os),
+               std::runtime_error);
+  // Structurally valid JSON but missing the epoch_ns alignment key.
+  EXPECT_THROW(trace::merge({{"a", R"({"traceEvents": []})"},
+                             {"b", R"({"traceEvents": []})"}},
+                            os),
+               std::runtime_error);
 }
 
 TEST(TracePostmortem, RingKeepsTheLastNMispredictions) {
