@@ -21,6 +21,16 @@
 //   3. Poisson vs bursty arrivals at the same mean rate — burstiness
 //      alone (same operands, same mean load) fattens the wall-clock
 //      tail and triggers reject-policy backpressure.
+//   4. Sharded scaling — throughput vs shard count (1/2/4/8) at width
+//      1024.  Each shard models one independent VLSA functional unit
+//      with its own virtual clock, so the modeled axis (requests per
+//      makespan cycle) measures the architecture and the wall-clock
+//      axis measures the host; the acceptance floor (>= 3x at 4 shards
+//      vs 1) is on the modeled axis, with `hardware_threads` recorded
+//      so a reader can interpret the wall numbers on small machines.
+//      The section is also written standalone to BENCH_scaling.json
+//      (the committed curve at the repo root; see docs/scaling.md), and
+//      `--scaling [--quick]` runs just this section for the CI smoke.
 //
 // Everything lands in service_throughput.bench.json (with provenance)
 // for cross-PR trajectories.
@@ -134,9 +144,185 @@ ThroughputPoint measure_throughput(int workers, int max_batch,
   return point;
 }
 
+struct ScalingPoint {
+  int shards = 0;
+  int workers = 0;
+  long long requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  long long makespan_cycles = 0;
+  double requests_per_cycle = 0.0;
+};
+
+// One scaling-curve point: N shards, one dispatcher worker per shard,
+// round-robin routing (provably even split at chunk granularity — the
+// curve should measure sharding, not hash luck).  The modeled number
+// divides by now_cycles(), the max over per-shard virtual clocks
+// (makespan): N balanced shards retire N batches per makespan cycle.
+ScalingPoint measure_scaling(int shards, long long requests, int width) {
+  auto config = base_config(/*workers=*/shards, sim::kBatchLanes, width);
+  config.shards = shards;
+  config.route = service::RoutePolicy::RoundRobin;
+  config.record_wall_time = false;
+  service::AdderService service(config);
+  using Chunk = std::vector<std::pair<util::BitVec, util::BitVec>>;
+  std::vector<std::vector<Chunk>> feeds(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    workloads::OperandStream stream(workloads::Distribution::Uniform, width,
+                                    0x5ca1e + p);
+    const long long share = requests / kProducers;
+    constexpr long long kChunk = 64;
+    for (long long i = 0; i < share; i += kChunk) {
+      Chunk ops;
+      ops.reserve(static_cast<std::size_t>(std::min(kChunk, share - i)));
+      for (long long j = 0; j < std::min(kChunk, share - i); ++j) {
+        ops.push_back(stream.next());
+      }
+      feeds[p].push_back(std::move(ops));
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, &feeds, p] {
+      for (auto& ops : feeds[p]) {
+        service.submit_many(std::move(ops));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  service.flush();
+  const auto t1 = std::chrono::steady_clock::now();
+  ScalingPoint point;
+  point.shards = shards;
+  point.workers = shards;
+  point.requests = requests / kProducers * kProducers;
+  point.seconds = std::chrono::duration<double>(t1 - t0).count();
+  point.requests_per_sec = point.requests / point.seconds;
+  point.makespan_cycles = service.now_cycles();
+  point.requests_per_cycle =
+      point.makespan_cycles == 0
+          ? 0.0
+          : static_cast<double>(point.requests) /
+                static_cast<double>(point.makespan_cycles);
+  return point;
+}
+
+// The scaling study (experiment 4).  Standalone output always lands in
+// BENCH_scaling.json in the working directory; when `parent` is set the
+// same section is embedded in the main bench sidecar under "scaling".
+// Quick mode (the CI smoke) measures shard counts {1, 2} with a smaller
+// request count and a 1.3x floor at 2 shards.
+void run_scaling(bool quick, util::JsonWriter* parent) {
+  bench::banner(quick
+                    ? "Sharded scaling (quick) — shards {1, 2}, width 1024"
+                    : "Sharded scaling — throughput vs shard count, "
+                      "width 1024");
+  constexpr int kScalingWidth = 1024;
+  const long long requests = quick ? 24'000 : 96'000;
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  std::vector<ScalingPoint> points;
+  points.reserve(shard_counts.size());
+  for (const int shards : shard_counts) {
+    points.push_back(measure_scaling(shards, requests, kScalingWidth));
+  }
+  const ScalingPoint& base = points.front();
+  util::Table table({"shards", "Mreq/s", "wall x", "makespan cyc",
+                     "req/cycle", "modeled x"});
+  double modeled_2 = 0.0, modeled_4 = 0.0;
+  for (const auto& point : points) {
+    const double wall_x = point.requests_per_sec / base.requests_per_sec;
+    const double modeled_x =
+        point.requests_per_cycle / base.requests_per_cycle;
+    if (point.shards == 2) modeled_2 = modeled_x;
+    if (point.shards == 4) modeled_4 = modeled_x;
+    table.add_row({std::to_string(point.shards),
+                   util::Table::num(point.requests_per_sec / 1e6, 3),
+                   util::Table::num(wall_x, 2),
+                   std::to_string(point.makespan_cycles),
+                   util::Table::num(point.requests_per_cycle, 1),
+                   util::Table::num(modeled_x, 2)});
+  }
+  table.print(std::cout);
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::cout << "(modeled axis: requests per makespan cycle, each shard one "
+               "VLSA functional unit; wall axis bounded by "
+            << hardware_threads << " hardware thread(s) on this host)\n";
+  if (quick) {
+    std::cout << "2-shard modeled speedup: " << util::Table::num(modeled_2, 2)
+              << "x (quick floor is 1.3x)\n";
+  } else {
+    std::cout << "4-shard modeled speedup: " << util::Table::num(modeled_4, 2)
+              << "x (acceptance floor is 3x)\n";
+  }
+  const auto write_scaling_json = [&](util::JsonWriter& out) {
+    out.kv("width", kScalingWidth);
+    out.kv("window", bench::window_9999(kScalingWidth));
+    out.kv("producers", kProducers);
+    out.kv("requests", requests / kProducers * kProducers);
+    out.kv("route", "rr");
+    out.kv("quick", quick);
+    out.kv("hardware_threads", hardware_threads);
+    out.key("points").begin_array();
+    for (const auto& point : points) {
+      out.begin_object();
+      out.kv("shards", point.shards).kv("workers", point.workers);
+      out.kv("requests", point.requests).kv("seconds", point.seconds);
+      out.kv("requests_per_sec", point.requests_per_sec);
+      out.kv("makespan_cycles", point.makespan_cycles);
+      out.kv("requests_per_cycle", point.requests_per_cycle);
+      out.kv("wall_speedup_vs_1",
+             point.requests_per_sec / base.requests_per_sec);
+      out.kv("modeled_speedup_vs_1",
+             point.requests_per_cycle / base.requests_per_cycle);
+      out.end_object();
+    }
+    out.end_array();
+    out.kv("modeled_speedup_2_shards", modeled_2);
+    if (!quick) {
+      out.kv("modeled_speedup_4_shards", modeled_4);
+      out.kv("meets_3x_modeled_floor", modeled_4 >= 3.0);
+    }
+    out.kv("meets_1_3x_quick_floor", modeled_2 >= 1.3);
+  };
+  {
+    std::ofstream scaling_file("BENCH_scaling.json");
+    std::cout << "(scaling curve -> BENCH_scaling.json)\n";
+    util::JsonWriter scaling_json(scaling_file);
+    scaling_json.begin_object();
+    scaling_json.kv("bench", "BENCH_scaling");
+    bench::write_provenance(scaling_json);
+    write_scaling_json(scaling_json);
+    scaling_json.end_object();
+  }
+  if (parent != nullptr) {
+    parent->key("scaling").begin_object();
+    write_scaling_json(*parent);
+    parent->end_object();
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool scaling_only = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scaling") {
+      scaling_only = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: service_throughput [--scaling [--quick]]\n";
+      return 2;
+    }
+  }
+  if (scaling_only) {
+    run_scaling(quick, nullptr);
+    return 0;
+  }
   auto json_file = bench::open_bench_json("service_throughput");
   util::JsonWriter json(json_file);
   json.begin_object();
@@ -413,6 +599,8 @@ int main() {
   json.kv("tracing_idle_rps", idle.requests_per_sec);
   json.kv("tracing_sampled_1pct_rps", sampled_rps);
   json.kv("tracing_sampled_1pct_overhead", overhead);
+
+  run_scaling(quick, &json);
 
   json.end_object();
   return 0;

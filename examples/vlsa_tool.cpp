@@ -23,6 +23,8 @@
 //                                                  arithmetic service
 //   vlsa_tool serve    <width> [k] --listen host:port [--workers W
 //                      --queue Q --policy block|reject --threads T]
+//                      [--shards N --route hash|rr --steal none|neighbor
+//                      --pin on|off]
 //                      [--admin host:port] [--drain-grace-ms N]
 //                      [obs flags]                 epoll TCP server speaking
 //                                                  the binary framing of
@@ -43,6 +45,8 @@
 //   vlsa_tool loadgen  <width> [k] [--rate R --dist D --arrival A
 //                      --requests N --workers W --batch B --queue Q
 //                      --policy block|reject --seed S --json PATH]
+//                      [--shards N --route hash|rr --steal none|neighbor
+//                      --pin on|off]
 //                      [obs flags]                 drive the service with
 //                                                  synthetic load, report
 //                                                  tail latencies
@@ -487,6 +491,44 @@ bool parse_obs_flag(ObsOptions& obs, const std::string& flag,
   return true;
 }
 
+// Returns true when `flag` is a sharding flag (value consumed) —
+// shared by serve and loadgen (docs/scaling.md).
+bool parse_shard_flag(vlsa::service::ServiceConfig& config,
+                      const std::string& flag, const std::string& value) {
+  if (flag == "--shards") {
+    config.shards = std::stoi(value);
+  } else if (flag == "--route") {
+    if (value == "hash") {
+      config.route = vlsa::service::RoutePolicy::Hash;
+    } else if (value == "rr") {
+      config.route = vlsa::service::RoutePolicy::RoundRobin;
+    } else {
+      throw std::invalid_argument("unknown route '" + value +
+                                  "' (hash, rr)");
+    }
+  } else if (flag == "--steal") {
+    if (value == "none") {
+      config.steal = vlsa::service::StealPolicy::None;
+    } else if (value == "neighbor") {
+      config.steal = vlsa::service::StealPolicy::Neighbor;
+    } else {
+      throw std::invalid_argument("unknown steal policy '" + value +
+                                  "' (none, neighbor)");
+    }
+  } else if (flag == "--pin") {
+    if (value == "on" || value == "1") {
+      config.pin_threads = true;
+    } else if (value == "off" || value == "0") {
+      config.pin_threads = false;
+    } else {
+      throw std::invalid_argument("--pin takes on|off");
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
 // Assembles the optional observability pieces around one service run:
 // trace session, drift monitor, postmortem ring, metrics reporter.
 // Construct before the AdderService, call attach() on its config, and
@@ -645,6 +687,15 @@ void wire_admin_endpoints(vlsa::net::AdminServer& admin_server,
         json.kv("width", width);
         json.kv("window", window);
         json.kv("workers", config.workers);
+        json.kv("shards", config.shards);
+        json.kv("route",
+                config.route == vlsa::service::RoutePolicy::Hash ? "hash"
+                                                                 : "rr");
+        json.kv("steal",
+                config.steal == vlsa::service::StealPolicy::Neighbor
+                    ? "neighbor"
+                    : "none");
+        json.kv("pin_threads", config.pin_threads);
         json.kv("queue_capacity",
                 static_cast<unsigned long long>(config.queue_capacity));
         json.kv("overflow_policy",
@@ -833,7 +884,8 @@ int cmd_serve(int width, int window, const std::vector<std::string>& args,
       }
     } else if (flag == "--threads") {
       event_threads = std::stoi(value);
-    } else if (!parse_obs_flag(obs, flag, value)) {
+    } else if (!parse_shard_flag(config, flag, value) &&
+               !parse_obs_flag(obs, flag, value)) {
       throw std::invalid_argument("unknown serve flag '" + flag + "'");
     }
   }
@@ -953,7 +1005,8 @@ int cmd_loadgen(int width, int window,
       connections = std::stoi(value);
     } else if (flag == "--outstanding") {
       outstanding = std::stoi(value);
-    } else if (!parse_obs_flag(obs, flag, value)) {
+    } else if (!parse_shard_flag(config, flag, value) &&
+               !parse_obs_flag(obs, flag, value)) {
       throw std::invalid_argument("unknown flag '" + flag + "'");
     }
   }

@@ -32,6 +32,7 @@ REQUIRED_DOCS = [
     "docs/model_checking.md",
     "docs/networking.md",
     "docs/observability.md",
+    "docs/scaling.md",
     "docs/static_analysis.md",
     "docs/theory.md",
 ]

@@ -155,6 +155,73 @@ class BoundedQueue {
     return taken;
   }
 
+  /// Result of a timed pop.  `done` is the worker-exit signal: it is
+  /// true only when the queue was closed AND empty, evaluated together
+  /// under the queue lock.  The obvious-looking alternative — return a
+  /// count, let the caller test `closed()` separately on timeout — has
+  /// a drain race: an item pushed between the timeout return and the
+  /// `closed()` check (close() fails *future* pushes, not in-flight
+  /// ones that already hold the lock) is seen by neither, and a worker
+  /// that exits on `closed()` strands it forever.  With N shard queues
+  /// draining concurrently during lame-duck the window is hit in
+  /// practice; the mc two-queue drain suite (tests/test_mc_suites.cpp)
+  /// pins the atomic evaluation with a replayable schedule.
+  struct PopResult {
+    std::size_t taken = 0;
+    bool done = false;  ///< closed && empty, checked atomically
+  };
+
+  /// Timed variant of pop_batch for workers that must wake while their
+  /// queue is idle (the work-stealing dispatchers): waits up to
+  /// `timeout` for the first item, then lingers like pop_batch.  A
+  /// `{0, false}` return means the timeout expired with the queue open
+  /// (or open-and-racing) — retry or go steal; `{_, true}` means closed
+  /// and fully drained — exit.  Never returns done with items left.
+  PopResult pop_batch_for(std::vector<T>& out, std::size_t max,
+                          std::chrono::microseconds linger,
+                          std::chrono::microseconds timeout) {
+    PopResult result;
+    bool wake = false;
+    {
+      typename Sync::UniqueLock lock(mutex_);
+      const auto wait_deadline = std::chrono::steady_clock::now() + timeout;
+      ++waiting_consumers_;
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(lock, wait_deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      --waiting_consumers_;
+      result.taken += take_locked(out, max);
+      if (!closed_ && result.taken > 0 && result.taken < max &&
+          linger.count() > 0) {
+        const auto deadline = std::chrono::steady_clock::now() + linger;
+        while (result.taken < max && !closed_) {
+          ++waiting_consumers_;
+          bool got = true;
+          while (!closed_ && items_.empty()) {
+            if (not_empty_.wait_until(lock, deadline) ==
+                std::cv_status::timeout) {
+              got = closed_ || !items_.empty();
+              break;
+            }
+          }
+          --waiting_consumers_;
+          if (!got) break;  // linger expired
+          result.taken += take_locked(out, max - result.taken);
+        }
+      }
+      // The load-bearing line: closed-and-empty is decided under the
+      // same lock that serializes pushes, so no item can slip between
+      // "nothing taken" and "we are done".
+      result.done = closed_ && items_.empty();
+      wake = result.taken > 0 && waiting_producers_ > 0;
+    }
+    if (wake) not_full_.notify_all();
+    return result;
+  }
+
   /// Non-blocking variant: grab whatever is there, up to `max`.
   std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
     std::size_t taken = 0;

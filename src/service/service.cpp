@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "core/aca.hpp"
 #include "trace/drift.hpp"
@@ -27,8 +33,20 @@ ServiceConfig validated(ServiceConfig config) {
   if (config.workers < 0) {
     throw std::invalid_argument("AdderService: negative workers");
   }
+  if (config.shards < 1) {
+    throw std::invalid_argument("AdderService: shards < 1");
+  }
   if (config.max_batch < 0) {
     throw std::invalid_argument("AdderService: negative max_batch");
+  }
+  // Every shard needs at least one dispatcher or its queue never
+  // drains; round the total up to a multiple of shards and reflect the
+  // effective count back (workers=4, shards=4 -> one per shard, the
+  // per-core intent).  Pump mode (workers == 0) is exempt: the caller's
+  // pump() rotates over all shards itself.
+  if (config.workers > 0 && config.shards > 1) {
+    const int per_shard = std::max(1, config.workers / config.shards);
+    config.workers = per_shard * config.shards;
   }
   // 0 = auto: pack to the SIMD lane width this process dispatches on.
   const int lanes = sim::active_lanes();
@@ -36,6 +54,43 @@ ServiceConfig validated(ServiceConfig config) {
       config.max_batch == 0 ? lanes : std::clamp(config.max_batch, 1, lanes);
   return config;
 }
+
+/// Fibonacci + murmur3-final mix over the operand low limbs: cheap,
+/// deterministic, and uniform enough that hash routing spreads any
+/// non-adversarial operand distribution across shards (the
+/// hash-distribution test in tests/test_service.cpp checks no shard
+/// starves under uniform operands).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Best-effort: pin `thread` to core (shard index mod hardware
+/// concurrency).  A refused affinity call (restricted cgroup mask) is
+/// ignored — pinning is a performance hint, never a correctness
+/// requirement.
+void pin_to_core(std::thread& thread, std::size_t shard_index) {
+#ifdef __linux__
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(shard_index) % cores, &set);
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof set, &set);
+#else
+  (void)thread;
+  (void)shard_index;
+#endif
+}
+
+/// How long a steal-enabled worker parks on its own empty queue before
+/// checking the neighbor's backlog.  Short enough that a skewed load is
+/// picked up promptly; long enough that balanced shards don't burn
+/// cycles polling each other.
+constexpr std::chrono::microseconds kStealPoll{200};
 
 }  // namespace
 
@@ -46,8 +101,6 @@ AdderService::AdderService(const ServiceConfig& config,
                           ? std::make_unique<telemetry::Registry>()
                           : nullptr),
       registry_(registry == nullptr ? owned_registry_.get() : registry),
-      queue_(config_.queue_capacity),
-      recovery_queue_(config_.queue_capacity + sim::kMaxBatchLanes),
       submitted_(registry_->counter("service.submitted")),
       rejected_(registry_->counter("service.rejected")),
       completed_(registry_->counter("service.completed")),
@@ -59,16 +112,86 @@ AdderService::AdderService(const ServiceConfig& config,
       latency_cycles_(registry_->histogram("service.latency_cycles")),
       batch_occupancy_(registry_->histogram("service.batch_occupancy")),
       latency_ns_(registry_->histogram("service.latency_ns")) {
-  if (config_.workers > 0) {
-    workers_.reserve(static_cast<std::size_t>(config_.workers));
-    for (int i = 0; i < config_.workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+  const auto n_shards = static_cast<std::size_t>(config_.shards);
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        config_.queue_capacity,
+        config_.queue_capacity + sim::kMaxBatchLanes));
+  }
+  // Per-shard labeled metrics only above one shard: single-shard
+  // snapshots must stay byte-identical to the pre-sharding service
+  // (tests/test_service.cpp fixed-seed determinism).  The label block
+  // is embedded in the registry name; the Prometheus writer renders it
+  // as a real label set (telemetry/prometheus.cpp).
+  if (n_shards > 1) {
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      Shard& shard = *shards_[i];
+      const std::string suffix = "{shard=" + std::to_string(i) + "}";
+      shard.submitted = &registry_->counter("service.submitted" + suffix);
+      shard.completed = &registry_->counter("service.completed" + suffix);
+      shard.rejected = &registry_->counter("service.rejected" + suffix);
+      shard.recovered = &registry_->counter("service.recovered" + suffix);
+      shard.batches = &registry_->counter("service.batches" + suffix);
+      shard.stolen = &registry_->counter("service.stolen" + suffix);
+      shard.queue_depth = &registry_->gauge("service.queue_depth" + suffix);
     }
-    recovery_worker_ = std::thread([this] { recovery_loop(); });
+  }
+  if (config_.workers > 0) {
+    const int per_shard = config_.workers / config_.shards;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      Shard& shard = *shards_[i];
+      shard.workers.reserve(static_cast<std::size_t>(per_shard));
+      for (int j = 0; j < per_shard; ++j) {
+        shard.workers.emplace_back([this, i] { worker_loop(i); });
+      }
+      if (config_.pin_threads) {
+        for (auto& worker : shard.workers) pin_to_core(worker, i);
+      }
+      shard.recovery_worker =
+          std::thread([this, &shard] { recovery_loop(shard); });
+    }
   }
 }
 
 AdderService::~AdderService() { close(); }
+
+long long AdderService::now_cycles() const {
+  long long makespan = 0;
+  for (const auto& shard : shards_) {
+    makespan =
+        std::max(makespan, shard->vclock.load(std::memory_order_relaxed));
+  }
+  return makespan;
+}
+
+long long AdderService::shard_cycles(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))
+      ->vclock.load(std::memory_order_relaxed);
+}
+
+std::size_t AdderService::shard_queue_depth(int shard) const {
+  return shards_.at(static_cast<std::size_t>(shard))->queue.size();
+}
+
+std::size_t AdderService::route_of(const BitVec& a, const BitVec& b) const {
+  const std::size_t n_shards = shards_.size();
+  if (n_shards == 1) return 0;
+  const std::uint64_t h =
+      mix64(a.limbs()[0] * 0x9e3779b97f4a7c15ULL + (b.limbs()[0] ^
+            0x6a09e667f3bcc909ULL));
+  return static_cast<std::size_t>(h % n_shards);
+}
+
+std::size_t AdderService::pick_shard(const BitVec& a, const BitVec& b) {
+  const std::size_t n_shards = shards_.size();
+  if (n_shards == 1) return 0;
+  if (config_.route == RoutePolicy::RoundRobin) {
+    return static_cast<std::size_t>(
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % n_shards);
+  }
+  return route_of(a, b);
+}
 
 std::optional<std::future<Completion>> AdderService::submit(BitVec a,
                                                             BitVec b) {
@@ -79,10 +202,12 @@ std::optional<std::future<Completion>> AdderService::submit(BitVec a,
       b.width() != config_.pipeline.width) {
     throw std::invalid_argument("AdderService: operand width mismatch");
   }
+  const std::size_t shard_index = pick_shard(a, b);
+  Shard& shard = *shards_[shard_index];
   Request request;
   request.a = std::move(a);
   request.b = std::move(b);
-  request.arrival_cycle = vclock_.load(std::memory_order_relaxed);
+  request.arrival_cycle = shard.vclock.load(std::memory_order_relaxed);
   if (config_.record_wall_time) {
     request.arrival_time = std::chrono::steady_clock::now();
   }
@@ -93,20 +218,23 @@ std::optional<std::future<Completion>> AdderService::submit(BitVec a,
   // drains until the caller pumps), so pump mode always rejects.
   const bool block = config_.overflow == OverflowPolicy::Block &&
                      config_.workers > 0;
-  const bool accepted = block ? queue_.push_block(std::move(request))
-                              : queue_.try_push(std::move(request));
+  const bool accepted = block ? shard.queue.push_block(std::move(request))
+                              : shard.queue.try_push(std::move(request));
   if (!accepted) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    if (queue_.closed()) {
+    if (shard.queue.closed()) {
       throw std::runtime_error("AdderService: submit after close");
     }
     rejected_.increment();
+    if (shard.rejected != nullptr) shard.rejected->increment();
     return std::nullopt;
   }
   submitted_.increment();
+  if (shard.submitted != nullptr) shard.submitted->increment();
   if (trace::enabled() && trace::sample()) {
     trace::EventArgs args;
     args.k = config_.pipeline.window;
+    if (config_.shards > 1) args.shard = static_cast<int>(shard_index);
     trace::emit_instant(trace::EventName::kSubmit, args);
   }
   return future;
@@ -121,11 +249,16 @@ bool AdderService::try_submit_callback(BitVec&& a, BitVec&& b,
       b.width() != config_.pipeline.width) {
     throw std::invalid_argument("AdderService: operand width mismatch");
   }
+  // Hash routing keeps net-server backpressure per-shard: a retry of
+  // the same parked frame recomputes the same shard, so a full shard
+  // stalls exactly the connections feeding it and no others.
+  const std::size_t shard_index = pick_shard(a, b);
+  Shard& shard = *shards_[shard_index];
   Request request;
   request.a = std::move(a);
   request.b = std::move(b);
   request.callback = std::move(callback);
-  request.arrival_cycle = vclock_.load(std::memory_order_relaxed);
+  request.arrival_cycle = shard.vclock.load(std::memory_order_relaxed);
   if (config_.record_wall_time) {
     request.arrival_time = std::chrono::steady_clock::now();
   }
@@ -134,23 +267,28 @@ bool AdderService::try_submit_callback(BitVec&& a, BitVec&& b,
   // never park on a condition variable.  The caller translates a full
   // queue into its own backpressure (socket read stall or REJECTED
   // frame); only the Reject policy counts it as a service rejection.
-  if (!queue_.try_push(std::move(request))) {
+  if (!shard.queue.try_push(std::move(request))) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
     // Not consumed on failure: hand the operands back so a Block-policy
     // caller can park them for retry without having paid a defensive
     // copy on every successful submit (the overwhelmingly common case).
     a = std::move(request.a);
     b = std::move(request.b);
-    if (queue_.closed()) {
+    if (shard.queue.closed()) {
       throw std::runtime_error("AdderService: submit after close");
     }
-    if (config_.overflow == OverflowPolicy::Reject) rejected_.increment();
+    if (config_.overflow == OverflowPolicy::Reject) {
+      rejected_.increment();
+      if (shard.rejected != nullptr) shard.rejected->increment();
+    }
     return false;
   }
   submitted_.increment();
+  if (shard.submitted != nullptr) shard.submitted->increment();
   if (trace::enabled() && trace::sample()) {
     trace::EventArgs args;
     args.k = config_.pipeline.window;
+    if (config_.shards > 1) args.shard = static_cast<int>(shard_index);
     trace::emit_instant(trace::EventName::kSubmit, args);
   }
   return true;
@@ -161,50 +299,92 @@ AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
   if (closed_.load(std::memory_order_acquire)) {
     throw std::runtime_error("AdderService: submit after close");
   }
-  std::vector<Request> requests;
-  requests.reserve(ops.size());
+  const std::size_t n_shards = shards_.size();
+  // Routing granularity: RoundRobin takes ONE ticket for the whole
+  // chunk (the chunk is submit_many's unit of work — rotating chunks
+  // keeps the one-bulk-transaction batching win), Hash buckets request
+  // by request and pays one bulk push per non-empty bucket.
+  std::size_t chunk_shard = 0;
+  if (n_shards > 1 && config_.route == RoutePolicy::RoundRobin) {
+    chunk_shard = static_cast<std::size_t>(
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % n_shards);
+  }
+  std::vector<std::vector<Request>> buckets(n_shards);
+  std::vector<std::vector<std::size_t>> origin(n_shards);
   std::vector<std::optional<std::future<Completion>>> futures;
   futures.reserve(ops.size());
-  const long long arrival = vclock_.load(std::memory_order_relaxed);
+  // Arrival stamps are read once per shard, not per request: requests
+  // of one chunk landing on one shard share an arrival cycle, which is
+  // what lets dispatch aggregate their latency records into runs.
+  std::vector<long long> arrival(n_shards, -1);
   const auto now = config_.record_wall_time
                        ? std::chrono::steady_clock::now()
                        : std::chrono::steady_clock::time_point{};
-  for (auto& [a, b] : ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    auto& [a, b] = ops[i];
     if (a.width() != config_.pipeline.width ||
         b.width() != config_.pipeline.width) {
       throw std::invalid_argument("AdderService: operand width mismatch");
     }
+    const std::size_t shard_index =
+        (n_shards > 1 && config_.route == RoutePolicy::Hash)
+            ? route_of(a, b)
+            : chunk_shard;
+    if (arrival[shard_index] < 0) {
+      arrival[shard_index] =
+          shards_[shard_index]->vclock.load(std::memory_order_relaxed);
+    }
     Request request;
     request.a = std::move(a);
     request.b = std::move(b);
-    request.arrival_cycle = arrival;
+    request.arrival_cycle = arrival[shard_index];
     request.arrival_time = now;
     futures.push_back(request.promise.emplace().get_future());
-    requests.push_back(std::move(request));
+    origin[shard_index].push_back(i);
+    buckets[shard_index].push_back(std::move(request));
   }
-  inflight_.fetch_add(static_cast<long long>(requests.size()),
+  inflight_.fetch_add(static_cast<long long>(ops.size()),
                       std::memory_order_acq_rel);
+  const bool block = config_.overflow == OverflowPolicy::Block &&
+                     config_.workers > 0;
   std::size_t accepted = 0;
-  if (config_.overflow == OverflowPolicy::Block && config_.workers > 0) {
-    accepted = queue_.push_many_block(requests);
-  } else {
-    // Reject policy (and pump mode, where blocking would deadlock):
-    // leading requests are accepted until the queue fills.
-    for (auto& request : requests) {
-      if (!queue_.try_push(std::move(request))) break;
-      ++accepted;
+  bool any_closed = false;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::size_t taken = 0;
+    if (block) {
+      taken = shard.queue.push_many_block(buckets[s]);
+    } else {
+      // Reject policy (and pump mode, where blocking would deadlock):
+      // leading requests are accepted until the queue fills.
+      for (auto& request : buckets[s]) {
+        if (!shard.queue.try_push(std::move(request))) break;
+        ++taken;
+      }
+    }
+    accepted += taken;
+    if (shard.submitted != nullptr) {
+      shard.submitted->increment(static_cast<long long>(taken));
+    }
+    const std::size_t dropped_here = buckets[s].size() - taken;
+    if (dropped_here > 0) {
+      any_closed = any_closed || shard.queue.closed();
+      if (shard.rejected != nullptr) {
+        shard.rejected->increment(static_cast<long long>(dropped_here));
+      }
+      for (std::size_t j = taken; j < buckets[s].size(); ++j) {
+        futures[origin[s][j]].reset();
+      }
     }
   }
-  const auto dropped = static_cast<long long>(requests.size() - accepted);
+  const auto dropped = static_cast<long long>(ops.size() - accepted);
   if (dropped > 0) {
     inflight_.fetch_sub(dropped, std::memory_order_acq_rel);
-    if (queue_.closed()) {
+    if (any_closed) {
       throw std::runtime_error("AdderService: submit after close");
     }
     rejected_.increment(dropped);
-    for (std::size_t i = accepted; i < futures.size(); ++i) {
-      futures[i].reset();
-    }
   }
   submitted_.increment(static_cast<long long>(accepted));
   // One submit instant per chunk (not per request): submit_many is the
@@ -217,31 +397,81 @@ AdderService::submit_many(std::vector<std::pair<BitVec, BitVec>> ops) {
   return futures;
 }
 
-void AdderService::worker_loop() {
+void AdderService::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  const auto max_batch = static_cast<std::size_t>(config_.max_batch);
   std::vector<Request> batch;
-  batch.reserve(static_cast<std::size_t>(config_.max_batch));
+  batch.reserve(max_batch);
   sim::WideResult scratch;
-  while (queue_.pop_batch(batch, static_cast<std::size_t>(config_.max_batch),
-                          config_.max_linger) > 0) {
-    // Depth is sampled per batch, not per submission: the gauge is a
-    // load indicator and must stay off the producers' hot path.
-    queue_depth_.set(static_cast<long long>(queue_.size()));
-    dispatch(batch, scratch, &recovery_queue_);
-    batch.clear();
+  const bool steal =
+      config_.steal == StealPolicy::Neighbor && shards_.size() > 1;
+  if (!steal) {
+    while (shard.queue.pop_batch(batch, max_batch, config_.max_linger) > 0) {
+      // Depth is sampled per batch, not per submission: the gauge is a
+      // load indicator and must stay off the producers' hot path.
+      const auto depth = static_cast<long long>(shard.queue.size());
+      queue_depth_.set(depth);
+      if (shard.queue_depth != nullptr) shard.queue_depth->set(depth);
+      dispatch(batch, scratch, shard, shard_index, false,
+               &shard.recovery_queue);
+      batch.clear();
+    }
+    return;
+  }
+  // Steal-enabled loop: park on the own queue for at most kStealPoll,
+  // then opportunistically drain the right-hand neighbor.  Exit only on
+  // pop_batch_for's atomic closed-and-empty signal — checking closed()
+  // separately after a timeout is exactly the lost-item drain race the
+  // mc two-queue suite pins down (see BoundedQueue::PopResult).
+  Shard& victim = *shards_[(shard_index + 1) % shards_.size()];
+  for (;;) {
+    const auto result = shard.queue.pop_batch_for(
+        batch, max_batch, config_.max_linger, kStealPoll);
+    if (result.taken > 0) {
+      const auto depth = static_cast<long long>(shard.queue.size());
+      queue_depth_.set(depth);
+      if (shard.queue_depth != nullptr) shard.queue_depth->set(depth);
+      dispatch(batch, scratch, shard, shard_index, false,
+               &shard.recovery_queue);
+      batch.clear();
+      continue;
+    }
+    if (result.done) return;
+    // Own queue idle: alternate own-queue checks with neighbor steals
+    // so a refilling home queue preempts further stealing.
+    for (;;) {
+      if (shard.queue.try_pop_batch(batch, max_batch) > 0) {
+        dispatch(batch, scratch, shard, shard_index, false,
+                 &shard.recovery_queue);
+        batch.clear();
+        break;
+      }
+      if (victim.queue.try_pop_batch(batch, max_batch) > 0) {
+        // Stolen work runs on OUR engine and recovery lane, clocked by
+        // OUR vclock — provenance lands in service.stolen{shard=us},
+        // Completion::shard, and the trace shard id.
+        dispatch(batch, scratch, shard, shard_index, true,
+                 &shard.recovery_queue);
+        batch.clear();
+        continue;
+      }
+      break;  // both queues empty — back to the timed wait
+    }
   }
 }
 
-void AdderService::recovery_loop() {
+void AdderService::recovery_loop(Shard& shard) {
   std::vector<RecoveryItem> items;
-  while (recovery_queue_.pop_batch(items, sim::kMaxBatchLanes,
-                                   std::chrono::microseconds{0}) > 0) {
+  while (shard.recovery_queue.pop_batch(items, sim::kMaxBatchLanes,
+                                        std::chrono::microseconds{0}) > 0) {
     for (auto& item : items) recover_one(std::move(item));
     items.clear();
   }
 }
 
 std::size_t AdderService::dispatch(std::vector<Request>& batch,
-                                   sim::WideResult& scratch,
+                                   sim::WideResult& scratch, Shard& shard,
+                                   std::size_t shard_index, bool stolen,
                                    BoundedQueue<RecoveryItem>* recovery) {
   const int width = config_.pipeline.width;
   const int window = config_.pipeline.window;
@@ -249,10 +479,15 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   // partial pop (or the batch-1 baseline) keeps the 64-lane cost, a
   // full SIMD-width pop runs one AVX2/AVX-512 evaluation.
   const int lanes = sim::lanes_for_batch(static_cast<int>(batch.size()));
-  // One modeled VLSA cycle per dispatched batch; `round` is this
-  // batch's cycle, so a request submitted and dispatched in the same
-  // round completes with the minimum latency of 1 cycle.
-  const long long round = vclock_.fetch_add(1, std::memory_order_relaxed);
+  // One modeled cycle per dispatched batch on THIS shard's clock —
+  // each shard models an independent VLSA functional unit, so N shards
+  // advance N clocks in parallel and the makespan (now_cycles(), the
+  // max) is what the scaling bench divides by.  `round` is this batch's
+  // cycle; a request submitted and dispatched in the same round
+  // completes with the minimum latency of 1 cycle.
+  const long long round = shard.vclock.fetch_add(1, std::memory_order_relaxed);
+  const int trace_shard =
+      config_.shards > 1 ? static_cast<int>(shard_index) : -1;
 
   // Tracing gates, resolved once per batch: `tracing` is the single
   // relaxed load that keeps the idle cost at one branch; `sampled`
@@ -278,6 +513,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
     args.batch = batch_id;
     args.k = window;
     args.lane = static_cast<int>(batch.size());  // occupancy, not a lane
+    args.shard = trace_shard;
     trace::emit_complete(trace::EventName::kBatchPack, t_pack, args);
   }
   const std::uint64_t t_eval = sampled ? trace::now_ns() : 0;
@@ -286,6 +522,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
     trace::EventArgs args;
     args.batch = batch_id;
     args.k = window;
+    args.shard = trace_shard;
     trace::emit_complete(trace::EventName::kEngineEval, t_eval, args);
   }
 
@@ -296,6 +533,10 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   }
 
   batches_.increment();
+  if (shard.batches != nullptr) shard.batches->increment();
+  if (stolen && shard.stolen != nullptr) {
+    shard.stolen->increment(static_cast<long long>(batch.size()));
+  }
   batch_occupancy_.record(batch.size());
 
   // One word-level un-transpose for the whole batch instead of a
@@ -325,7 +566,12 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
               ? sim::wide_lane_value(scratch.sum_spec, width, lanes / 64,
                                      static_cast<int>(lane))
               : std::move(sums[lane]);
-      completion.latency_cycles = round + 1 - request.arrival_cycle;
+      completion.shard = static_cast<int>(shard_index);
+      // Clamped at the 1-cycle floor: a STOLEN request was stamped
+      // against its home shard's clock but completes on the thief's,
+      // and the two clocks are unordered.
+      completion.latency_cycles =
+          std::max<long long>(1, round + 1 - request.arrival_cycle);
       const auto cycles =
           static_cast<std::uint64_t>(completion.latency_cycles);
       if (run_count > 0 && cycles != run_value) {
@@ -347,6 +593,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
         args.lane = static_cast<int>(lane);
         args.k = window;
         args.er = 0;
+        args.shard = trace_shard;
         // Queue-wait needs the arrival timestamp, which only exists
         // when wall-clock recording is on.
         if (config_.record_wall_time) {
@@ -364,12 +611,14 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
     item.speculative_wrong = wrong;
     item.batch = batch_id;
     item.lane = static_cast<int>(lane);
+    item.shard = static_cast<int>(shard_index);
     if (trace_recovery) {
       trace::EventArgs args;
       args.batch = batch_id;
       args.lane = static_cast<int>(lane);
       args.k = window;
       args.er = 1;
+      args.shard = trace_shard;
       if (sampled && config_.record_wall_time) {
         trace::emit_complete(trace::EventName::kQueueWait,
                              trace::to_session_ns(request.arrival_time),
@@ -378,13 +627,16 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
       trace::emit_instant(trace::EventName::kErCheck, args);
     }
     {
-      // The recovery lane is a serial resource: it picks the request up
-      // no earlier than the cycle after detection and holds it for
-      // recovery_cycles — queued flags congest, fattening the tail.
-      util::LockGuard lock(recovery_clock_mutex_);
-      recovery_free_at_ = std::max(recovery_free_at_, round + 1) +
-                          config_.pipeline.recovery_cycles;
-      item.latency_cycles = recovery_free_at_ - request.arrival_cycle;
+      // The recovery lane is a serial resource PER SHARD: it picks the
+      // request up no earlier than the cycle after detection and holds
+      // it for recovery_cycles — queued flags congest, fattening the
+      // tail of the shard they flagged on.
+      util::LockGuard lock(shard.recovery_clock_mutex);
+      shard.recovery_free_at =
+          std::max(shard.recovery_free_at, round + 1) +
+          config_.pipeline.recovery_cycles;
+      item.latency_cycles = std::max<long long>(
+          1, shard.recovery_free_at - request.arrival_cycle);
     }
     request.a = std::move(pairs[lane].first);
     request.b = std::move(pairs[lane].second);
@@ -399,6 +651,7 @@ std::size_t AdderService::dispatch(std::vector<Request>& batch,
   if (n_fast > 0) {
     fast_path_.increment(n_fast);
     completed_.increment(n_fast);
+    if (shard.completed != nullptr) shard.completed->increment(n_fast);
     inflight_.fetch_sub(n_fast, std::memory_order_acq_rel);
   }
   return batch.size();
@@ -422,6 +675,7 @@ void AdderService::recover_one(RecoveryItem item) {
     args.lane = item.lane;
     args.k = config_.pipeline.window;
     args.er = 1;
+    args.shard = config_.shards > 1 ? item.shard : -1;
     args.chain =
         core::longest_propagate_chain(item.request.a, item.request.b);
     args.a_lo = item.request.a.limbs()[0];
@@ -431,12 +685,15 @@ void AdderService::recover_one(RecoveryItem item) {
     trace::emit_instant(trace::EventName::kComplete, args);
   }
   recovered_.increment();
+  Shard& shard = *shards_[static_cast<std::size_t>(item.shard)];
+  if (shard.recovered != nullptr) shard.recovered->increment();
   if (item.speculative_wrong) wrong_.increment();
   Completion completion;
   completion.sum = std::move(exact.sum);
   completion.flagged = true;
   completion.speculative_wrong = item.speculative_wrong;
   completion.latency_cycles = item.latency_cycles;
+  completion.shard = item.shard;
   complete(item.request, std::move(completion));
 }
 
@@ -452,6 +709,8 @@ void AdderService::complete(Request& request, Completion completion) {
   }
   if (!completion.flagged) fast_path_.increment();
   completed_.increment();
+  Shard& shard = *shards_[static_cast<std::size_t>(completion.shard)];
+  if (shard.completed != nullptr) shard.completed->increment();
   deliver(request, std::move(completion));
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
 }
@@ -470,12 +729,23 @@ std::size_t AdderService::pump() {
   }
   std::vector<Request> batch;
   sim::WideResult scratch;
-  if (queue_.try_pop_batch(batch,
-                           static_cast<std::size_t>(config_.max_batch)) == 0) {
-    return 0;
+  const std::size_t n_shards = shards_.size();
+  // Rotate so no shard starves when several hold work; pump mode is
+  // single-threaded by contract, so plain member state suffices.
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    const std::size_t idx = (pump_next_ + i) % n_shards;
+    Shard& shard = *shards_[idx];
+    if (shard.queue.try_pop_batch(
+            batch, static_cast<std::size_t>(config_.max_batch)) == 0) {
+      continue;
+    }
+    pump_next_ = (idx + 1) % n_shards;
+    const auto depth = static_cast<long long>(shard.queue.size());
+    queue_depth_.set(depth);
+    if (shard.queue_depth != nullptr) shard.queue_depth->set(depth);
+    return dispatch(batch, scratch, shard, idx, false, nullptr);
   }
-  queue_depth_.set(static_cast<long long>(queue_.size()));
-  return dispatch(batch, scratch, nullptr);
+  return 0;
 }
 
 void AdderService::flush() {
@@ -492,14 +762,28 @@ void AdderService::close() {
   util::LockGuard lock(close_mutex_);
   if (close_finished_) return;
   closed_.store(true, std::memory_order_release);
-  queue_.close();
+  // Shutdown ordering across N shards (the lame-duck drain):
+  //   1. close EVERY submission queue — no shard accepts new work;
+  //   2. join EVERY dispatcher — each drains its own queue to the
+  //      atomic closed-and-empty signal (a thief may also drain its
+  //      neighbor's leftovers, which only speeds this up);
+  //   3. only then close the recovery queues and join their workers —
+  //      dispatch() ignores push_block's return, so a recovery queue
+  //      must outlive every thread that might still push into it.
+  // Closing recovery queues shard-by-shard interleaved with step 2
+  // would reintroduce the drain race the mc suite pins.
+  for (auto& shard : shards_) shard->queue.close();
   if (config_.workers == 0) {
     while (pump() > 0) {
     }
   } else {
-    for (auto& worker : workers_) worker.join();
-    recovery_queue_.close();
-    if (recovery_worker_.joinable()) recovery_worker_.join();
+    for (auto& shard : shards_) {
+      for (auto& worker : shard->workers) worker.join();
+    }
+    for (auto& shard : shards_) shard->recovery_queue.close();
+    for (auto& shard : shards_) {
+      if (shard->recovery_worker.joinable()) shard->recovery_worker.join();
+    }
   }
   close_finished_ = true;
 }

@@ -38,6 +38,17 @@
 // whole layer (tests/test_service.cpp).  With `workers >= 1` batching
 // depends on real arrival timing, so only the counters (totals, flags)
 // are schedule-independent; histogram shapes vary with load.
+//
+// Sharding (`ServiceConfig::shards`, docs/scaling.md): above one shard
+// the service becomes N independent {queue, engine, recovery lane}
+// units — the single global MPMC queue stops being the serialization
+// point.  Submissions route by operand hash or round-robin
+// (`RoutePolicy`); idle workers can steal a neighbor shard's backlog
+// (`StealPolicy::Neighbor`); workers optionally pin to cores.  Each
+// shard owns a modeled cycle clock (one VLSA functional unit per
+// shard), its own serial recovery lane, and labeled per-shard metrics
+// ("service.submitted{shard=3}").  shards == 1 is byte-for-byte the
+// pre-sharding service — no routing, no labels, same snapshots.
 
 #include <atomic>
 #include <chrono>
@@ -72,12 +83,50 @@ enum class OverflowPolicy {
   Reject,  ///< submission fails fast, counted in service.rejected
 };
 
+/// How submissions pick a shard (meaningful only when shards > 1).
+enum class RoutePolicy {
+  /// Operand hash — deterministic, so a Block-policy retry of the same
+  /// frame lands on the same (still-full) shard and backpressure stays
+  /// per-shard instead of leaking onto a neighbor.
+  Hash,
+  /// Strict rotation — perfectly even under any operand distribution,
+  /// at the cost of one shared atomic counter on the submit path.
+  RoundRobin,
+};
+
+/// What an idle shard worker does about a busy neighbor's backlog.
+enum class StealPolicy {
+  None,      ///< shards are fully independent (strict per-shard FIFO)
+  Neighbor,  ///< idle workers drain shard (i+1) % shards opportunistically
+};
+
 struct ServiceConfig {
   /// width / window / recovery_cycles of the modeled VLSA datapath.
   sim::PipelineConfig pipeline;
-  /// Dispatcher threads.  0 = pump mode: no threads, the caller calls
-  /// pump() — fully deterministic (see file comment).
+  /// Dispatcher threads, TOTAL across shards.  0 = pump mode: no
+  /// threads, the caller calls pump() — fully deterministic (see file
+  /// comment).  In sharded mode each shard gets max(1, workers/shards)
+  /// dispatchers, so the effective total (reflected back into this
+  /// field by the constructor) is never below `shards`.
   int workers = 1;
+  /// Shard count: independent {queue, engine, recovery lane} units.
+  /// 1 (the default) is byte-for-byte the pre-sharding service: one
+  /// queue, no routing, no per-shard metric labels.  Each shard models
+  /// one VLSA functional unit with its own cycle clock, so the modeled
+  /// throughput scales with shards even where the host's cores do not
+  /// (docs/scaling.md).
+  int shards = 1;
+  /// Shard selection for submissions (shards > 1 only).
+  RoutePolicy route = RoutePolicy::Hash;
+  /// Work stealing between shard workers (shards > 1 only).  Stealing
+  /// trades strict per-shard FIFO for tail latency under skew: a stolen
+  /// request executes (and is clocked) on the thief's shard, counted in
+  /// that shard's `service.stolen{shard=i}`.
+  StealPolicy steal = StealPolicy::None;
+  /// Pin each shard's dispatcher threads to core (shard index mod
+  /// hardware_concurrency).  Linux-only; a no-op elsewhere and off by
+  /// default — pinning helps dedicated hosts and hurts shared ones.
+  bool pin_threads = false;
   /// Requests packed per batch-engine evaluation, in
   /// [1, sim::active_lanes()].  0 (the default) packs to the detected
   /// SIMD lane width (64 scalar, 256 AVX2, 512 AVX-512 — or whatever
@@ -86,7 +135,7 @@ struct ServiceConfig {
   /// at the smallest lane count that fits the batch it actually popped
   /// (sim::lanes_for_batch), so small batches keep the 64-lane cost.
   int max_batch = 0;
-  /// Submission queue bound — the backpressure knob.
+  /// Submission queue bound, PER SHARD — the backpressure knob.
   std::size_t queue_capacity = 1024;
   /// How long a dispatcher holds a partial batch open for latecomers.
   std::chrono::microseconds max_linger{50};
@@ -112,6 +161,9 @@ struct Completion {
   bool flagged = false;    ///< ER fired; took the recovery lane
   bool speculative_wrong = false;  ///< the one-cycle answer was wrong
   long long latency_cycles = 0;    ///< modeled: queue wait + service
+  /// Shard whose engine produced the sum — equals the routed shard
+  /// unless a neighbor stole the request (work-steal provenance).
+  int shard = 0;
 };
 
 class AdderService {
@@ -185,10 +237,27 @@ class AdderService {
   telemetry::Registry& registry() { return *registry_; }
   const telemetry::Registry& registry() const { return *registry_; }
 
-  /// Modeled cycle clock (1 tick per dispatched batch).
-  long long now_cycles() const {
-    return vclock_.load(std::memory_order_relaxed);
-  }
+  /// Modeled cycle clock: the furthest-advanced shard clock (each shard
+  /// ticks once per batch it dispatches).  With shards == 1 this is the
+  /// pre-sharding global clock.  The max is the modeled *makespan* —
+  /// N independent functional units running in parallel finish when the
+  /// busiest one does — which is what the scaling bench divides request
+  /// counts by (bench/service_throughput.cpp, docs/scaling.md).
+  long long now_cycles() const;
+
+  /// Effective shard count (>= 1).
+  int shards() const { return config_.shards; }
+
+  /// One shard's modeled cycle clock (index in [0, shards())).
+  long long shard_cycles(int shard) const;
+
+  /// Depth of one shard's submission queue (tests, /statusz).
+  std::size_t shard_queue_depth(int shard) const;
+
+  /// The shard a request with these operands routes to — exposed so
+  /// tests and capacity planners can predict placement under Hash
+  /// routing (RoundRobin placement depends on global submission order).
+  std::size_t route_of(const BitVec& a, const BitVec& b) const;
 
  private:
   struct Request {
@@ -209,14 +278,54 @@ class AdderService {
     long long latency_cycles = 0;  ///< modeled, fixed at dispatch time
     std::uint64_t batch = 0;       ///< dispatch round that flagged it
     int lane = -1;                 ///< lane within that batch
+    int shard = 0;                 ///< shard whose recovery lane runs it
   };
 
-  void worker_loop();
-  void recovery_loop();
-  /// Evaluate one batch; flagged lanes go to `recovery` (worker mode)
-  /// or are recovered inline when `recovery == nullptr` (pump mode).
+  /// One shard: a complete, independent copy of the pre-sharding
+  /// service's data plane — submission queue, dispatcher threads,
+  /// recovery lane, modeled clocks — plus its labeled metrics.  Shards
+  /// share only the engine code, the registry, and the global
+  /// inflight/closed bookkeeping.
+  struct Shard {
+    Shard(std::size_t queue_capacity, std::size_t recovery_capacity)
+        : queue(queue_capacity), recovery_queue(recovery_capacity) {}
+
+    BoundedQueue<Request> queue;
+    BoundedQueue<RecoveryItem> recovery_queue;
+    std::vector<std::thread> workers;
+    std::thread recovery_worker;
+
+    /// This shard's modeled cycle clock (1 tick per dispatched batch).
+    /// Relaxed everywhere, same audit as the old global vclock below.
+    std::atomic<long long> vclock{0};
+    util::Mutex recovery_clock_mutex;
+    /// Modeled cycle this shard's serial recovery lane frees up.
+    long long recovery_free_at GUARDED_BY(recovery_clock_mutex) = 0;
+
+    // Labeled per-shard metrics ("service.submitted{shard=3}" etc.),
+    // registered only when shards > 1 — single-shard snapshots stay
+    // byte-identical to the pre-sharding service.  Null otherwise.
+    telemetry::Counter* submitted = nullptr;
+    telemetry::Counter* completed = nullptr;
+    telemetry::Counter* rejected = nullptr;
+    telemetry::Counter* recovered = nullptr;
+    telemetry::Counter* batches = nullptr;
+    telemetry::Counter* stolen = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+  };
+
+  void worker_loop(std::size_t shard_index);
+  void recovery_loop(Shard& shard);
+  /// Pick the shard for a submission (Hash mixes the operand low limbs;
+  /// RoundRobin takes a ticket from rr_next_).
+  std::size_t pick_shard(const BitVec& a, const BitVec& b);
+  /// Evaluate one batch on `shard`'s engine; flagged lanes go to
+  /// `recovery` (worker mode) or are recovered inline when
+  /// `recovery == nullptr` (pump mode).  `stolen` marks a batch the
+  /// executing worker took from a neighbor's queue.
   std::size_t dispatch(std::vector<Request>& batch,
-                       sim::WideResult& scratch,
+                       sim::WideResult& scratch, Shard& shard,
+                       std::size_t shard_index, bool stolen,
                        BoundedQueue<RecoveryItem>* recovery);
   void recover_one(RecoveryItem item);
   void complete(Request& request, Completion completion);
@@ -228,18 +337,19 @@ class AdderService {
   std::unique_ptr<telemetry::Registry> owned_registry_;
   telemetry::Registry* registry_;
 
-  BoundedQueue<Request> queue_;
-  BoundedQueue<RecoveryItem> recovery_queue_;
-  std::vector<std::thread> workers_;
-  std::thread recovery_worker_;
+  /// shards() entries; unique_ptr because a Shard owns non-movable
+  /// members (mutex, atomics) and the vector is sized once.
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   // Memory-ordering audit (every atomic below, and why its ordering is
   // what it is):
   //
-  //  * vclock_ — relaxed everywhere.  A pure tick counter: values are
-  //    compared arithmetically to compute modeled latencies, and no
+  //  * Shard::vclock — relaxed everywhere.  A pure tick counter: values
+  //    are compared arithmetically to compute modeled latencies, and no
   //    other data is published through it.  fetch_add is already atomic
   //    read-modify-write, so ticks are never lost.
+  //  * rr_next_ — relaxed fetch_add; a rotation ticket, publishes
+  //    nothing.
   //  * inflight_ — fetch_add/fetch_sub acq_rel, loads acquire.  The
   //    release half of each decrement orders the promise fulfillment
   //    (set_value) before the count drop, so a flush() that observes 0
@@ -249,12 +359,12 @@ class AdderService {
   //    per-batch path.
   //  * closed_ — store release in close(), load acquire in the submit
   //    paths: a submitter that sees closed_ == true also sees the
-  //    queue_.close() that preceded the store (it will observe
-  //    queue_.closed() and throw rather than silently drop).
-  std::atomic<long long> vclock_{0};
-  util::Mutex recovery_clock_mutex_;
-  /// Modeled cycle the serial recovery lane frees up.
-  long long recovery_free_at_ GUARDED_BY(recovery_clock_mutex_) = 0;
+  //    queue close() calls that preceded the store (it will observe
+  //    queue.closed() and throw rather than silently drop).
+  std::atomic<std::uint64_t> rr_next_{0};
+  /// Pump mode is single-threaded by definition, so plain rotation
+  /// state is fine here.
+  std::size_t pump_next_ = 0;
 
   std::atomic<long long> inflight_{0};
   std::atomic<bool> closed_{false};

@@ -44,11 +44,72 @@ std::string full_name(std::string_view prefix, std::string_view name) {
   return prometheus_name(prefix) + "_" + prometheus_name(name);
 }
 
-void quantile_line(std::ostream& os, const std::string& name, double q,
-                   std::uint64_t value, bool empty) {
+/// A registry metric name with an embedded label block, split apart:
+/// "service.submitted{shard=3}" -> base "service.submitted", labels
+/// `shard="3"` (rendered, brace-free).  The registry itself is
+/// label-unaware — labeled series are just distinct names — so the
+/// writer is the one place the convention is interpreted.  Names
+/// without a block pass through with empty labels.
+struct SplitName {
+  std::string base;
+  std::string labels;
+};
+
+SplitName split_labels(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return {std::string(name), {}};
+  }
+  SplitName split;
+  split.base = std::string(name.substr(0, brace));
+  std::string_view inner = name.substr(brace + 1, name.size() - brace - 2);
+  while (!inner.empty()) {
+    const auto comma = inner.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? inner : inner.substr(0, comma);
+    inner = comma == std::string_view::npos ? std::string_view{}
+                                            : inner.substr(comma + 1);
+    const auto eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : pair.substr(eq + 1);
+    if (!split.labels.empty()) split.labels += ",";
+    split.labels +=
+        prometheus_name(key) + "=\"" + prometheus_label_value(value) + "\"";
+  }
+  return split;
+}
+
+/// "{a,b}" from pre-rendered label fragments, or "" when both empty.
+std::string label_block(const std::string& labels,
+                        const std::string& extra = {}) {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  return all.empty() ? std::string{} : "{" + all + "}";
+}
+
+/// Emit "# TYPE" only on a family change: labeled series of one family
+/// ("x", "x{shard=0}", "x{shard=1}") sort adjacent in the snapshot, and
+/// the exposition format forbids repeating TYPE within a family.
+void type_line(std::ostream& os, const std::string& metric,
+               const char* type, std::string& last_family) {
+  if (metric == last_family) return;
+  os << "# TYPE " << metric << " " << type << "\n";
+  last_family = metric;
+}
+
+void quantile_line(std::ostream& os, const std::string& name,
+                   const std::string& labels, double q, std::uint64_t value,
+                   bool empty) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%g", q);
-  os << name << "{quantile=\"" << buf << "\"} ";
+  os << name << label_block(labels, std::string("quantile=\"") + buf + "\"")
+     << " ";
   // The text-format spec's value for a quantile of an empty
   // distribution is NaN (0 would claim an observation at 0).
   if (empty) {
@@ -64,17 +125,22 @@ void quantile_line(std::ostream& os, const std::string& name, double q,
 /// count changes get a line (plus the mandatory +Inf terminal), so the
 /// 496-bucket layout never bloats the scrape.
 void bucket_lines(std::ostream& os, const std::string& metric,
-                  const HistogramSnapshot& h) {
+                  const std::string& labels, const HistogramSnapshot& h) {
   std::uint64_t cumulative = 0;
   const int n = static_cast<int>(h.buckets.size());
   for (int i = 0; i < n && i + 1 < HistogramBuckets::kNumBuckets; ++i) {
     if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
     cumulative += h.buckets[static_cast<std::size_t>(i)];
-    os << metric << "_bucket{le=\""
-       << (HistogramBuckets::lower_bound(i + 1) - 1) << "\"} " << cumulative
-       << "\n";
+    os << metric << "_bucket"
+       << label_block(labels,
+                      "le=\"" +
+                          std::to_string(HistogramBuckets::lower_bound(i + 1) -
+                                         1) +
+                          "\"")
+       << " " << cumulative << "\n";
   }
-  os << metric << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+  os << metric << "_bucket" << label_block(labels, "le=\"+Inf\"") << " "
+     << h.count << "\n";
 }
 
 }  // namespace
@@ -96,42 +162,51 @@ void write_prometheus(const Snapshot& snapshot, std::ostream& os,
     }
     os << "} 1\n";
   }
+  std::string last_family;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string metric = full_name(prefix, name);
-    os << "# TYPE " << metric << " counter\n";
-    os << metric << " " << value << "\n";
+    const auto [base, labels] = split_labels(name);
+    const std::string metric = full_name(prefix, base);
+    type_line(os, metric, "counter", last_family);
+    os << metric << label_block(labels) << " " << value << "\n";
   }
+  last_family.clear();
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string metric = full_name(prefix, name);
-    os << "# TYPE " << metric << " gauge\n";
-    os << metric << " " << value << "\n";
+    const auto [base, labels] = split_labels(name);
+    const std::string metric = full_name(prefix, base);
+    type_line(os, metric, "gauge", last_family);
+    os << metric << label_block(labels) << " " << value << "\n";
   }
+  std::string last_summary, last_hist, last_min, last_max;
   for (const auto& h : snapshot.histograms) {
-    const std::string metric = full_name(prefix, h.name);
+    const auto [base, labels] = split_labels(h.name);
+    const std::string metric = full_name(prefix, base);
     // Quantiles are precomputed bucket lower bounds -> summary, not
     // histogram (no le-bucket re-aggregation is possible server-side
     // anyway with log-bucketed lower bounds).
-    os << "# TYPE " << metric << " summary\n";
+    type_line(os, metric, "summary", last_summary);
     const bool empty = h.count == 0;
-    quantile_line(os, metric, 0.5, h.p50(), empty);
-    quantile_line(os, metric, 0.9, h.p90(), empty);
-    quantile_line(os, metric, 0.99, h.p99(), empty);
-    quantile_line(os, metric, 0.999, h.p999(), empty);
-    os << metric << "_sum " << h.sum << "\n";
-    os << metric << "_count " << h.count << "\n";
+    quantile_line(os, metric, labels, 0.5, h.p50(), empty);
+    quantile_line(os, metric, labels, 0.9, h.p90(), empty);
+    quantile_line(os, metric, labels, 0.99, h.p99(), empty);
+    quantile_line(os, metric, labels, 0.999, h.p999(), empty);
+    os << metric << "_sum" << label_block(labels) << " " << h.sum << "\n";
+    os << metric << "_count" << label_block(labels) << " " << h.count
+       << "\n";
     // The same distribution as a native le-bucket histogram (suffix
     // `_hist` keeps the summary and histogram families distinct, which
     // the exposition format requires).  Unlike the summary quantiles,
     // these series aggregate across instances server-side.
-    os << "# TYPE " << metric << "_hist histogram\n";
-    bucket_lines(os, metric + "_hist", h);
-    os << metric << "_hist_sum " << h.sum << "\n";
-    os << metric << "_hist_count " << h.count << "\n";
+    type_line(os, metric + "_hist", "histogram", last_hist);
+    bucket_lines(os, metric + "_hist", labels, h);
+    os << metric << "_hist_sum" << label_block(labels) << " " << h.sum
+       << "\n";
+    os << metric << "_hist_count" << label_block(labels) << " " << h.count
+       << "\n";
     // Tracked extremes: exact values, not bucket representatives.
-    os << "# TYPE " << metric << "_min gauge\n";
-    os << metric << "_min " << h.min << "\n";
-    os << "# TYPE " << metric << "_max gauge\n";
-    os << metric << "_max " << h.max << "\n";
+    type_line(os, metric + "_min", "gauge", last_min);
+    os << metric << "_min" << label_block(labels) << " " << h.min << "\n";
+    type_line(os, metric + "_max", "gauge", last_max);
+    os << metric << "_max" << label_block(labels) << " " << h.max << "\n";
   }
 }
 

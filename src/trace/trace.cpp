@@ -123,9 +123,10 @@ std::uint64_t steady_now_ns() {
 //   w0 ts_ns   w1 dur_ns   w2 batch   w3 a_lo   w4 b_lo
 //   w5 tid<<32 | lane16<<16 | k16
 //   w6 name<<0 | phase<<8 | er<<16 | has_operands<<24 | chain16<<32
-//        | has_req<<48
+//        | has_req<<48 | (shard+1)15<<49
 //   w7 req (wire request id; meaningful only when has_req)
-// lane/k/chain use 0xffff as "absent"; er uses 0xff.
+// lane/k/chain use 0xffff as "absent"; er uses 0xff; shard is stored
+// biased by one so an all-zero word decodes to "absent" (-1).
 
 namespace {
 constexpr std::uint64_t kAbsent16 = 0xffff;
@@ -150,11 +151,20 @@ std::array<std::uint64_t, TraceEvent::kWords> TraceEvent::encode() const {
          pack16(args.k);
   const std::uint64_t er =
       args.er < 0 ? kAbsent8 : static_cast<std::uint64_t>(args.er & 1);
+  // Shard rides the 15 bits above has_req, biased by one so "absent"
+  // (-1) encodes as zero; values past the field cap saturate to it
+  // (no real deployment shards past 32766 ways).
+  const std::uint64_t shard1 =
+      args.shard < 0
+          ? 0
+          : std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(args.shard) + 1, 0x7fff);
   w[6] = static_cast<std::uint64_t>(name) |
          (static_cast<std::uint64_t>(phase) << 8) | (er << 16) |
          (static_cast<std::uint64_t>(args.has_operands ? 1 : 0) << 24) |
          (pack16(args.chain) << 32) |
-         (static_cast<std::uint64_t>(args.has_req ? 1 : 0) << 48);
+         (static_cast<std::uint64_t>(args.has_req ? 1 : 0) << 48) |
+         (shard1 << 49);
   w[7] = args.req;
   return w;
 }
@@ -176,7 +186,11 @@ TraceEvent TraceEvent::decode(
   e.args.er = er == kAbsent8 ? -1 : static_cast<int>(er);
   e.args.has_operands = ((w[6] >> 24) & 0xff) != 0;
   e.args.chain = unpack16((w[6] >> 32) & 0xffff);
-  e.args.has_req = ((w[6] >> 48) & 0xffff) != 0;
+  // Bit 48 exactly: bits 49-63 are the shard field now (older encoders
+  // always wrote them as zero, so old captures still decode right).
+  e.args.has_req = ((w[6] >> 48) & 1) != 0;
+  const std::uint64_t shard1 = (w[6] >> 49) & 0x7fff;
+  e.args.shard = shard1 == 0 ? -1 : static_cast<int>(shard1 - 1);
   e.args.req = w[7];
   return e;
 }
@@ -399,6 +413,7 @@ CollectStats TraceSession::write_chrome_json(std::ostream& os) const {
     if (e.args.k >= 0) json.kv("k", e.args.k);
     if (e.args.er >= 0) json.kv("er", e.args.er);
     if (e.args.chain >= 0) json.kv("chain", e.args.chain);
+    if (e.args.shard >= 0) json.kv("shard", e.args.shard);
     if (e.args.has_req) json.kv("req", e.args.req);
     if (e.args.has_operands) {
       std::snprintf(hex, sizeof hex, "0x%016llx",

@@ -142,6 +142,11 @@ struct EventArgs {
   /// distributed trace.
   std::uint64_t req = 0;
   bool has_req = false;
+  /// Shard the event happened on (-1 = absent; the service sets it
+  /// only in sharded mode, so single-shard exports are unchanged).
+  /// For stolen batches this is the THIEF's shard — the engine that
+  /// actually ran the work.
+  int shard = -1;
 };
 
 /// One decoded trace event, as stored in the rings.

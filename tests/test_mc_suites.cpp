@@ -371,6 +371,131 @@ TEST(McService, CompetingWorkersDeliverExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------
+// McShardedDrain — the N-shard close/drain protocol the sharded
+// service's steal-capable workers run (service.cpp worker_loop):
+// pop_batch_for computes `done` (closed && empty) under the same lock
+// as the pop, so "may I exit?" and "did I get the last item?" are one
+// atomic question.  The two-step alternative — a timed pop returning 0
+// followed by a separate closed() probe — loses the item pushed
+// between the two steps; McMutant.TimedDrainSeparateClosedCheckLosesItem
+// below pins that schedule.
+//
+// Loop-shape note: timed waits are always eligible via the modeled
+// timeout path, so an unbounded retry loop would spin into the step
+// budget.  These bodies therefore make a BOUNDED number of concurrent
+// probes and finish with a post-join drain that the protocol
+// guarantees completes in one call.
+
+constexpr std::chrono::microseconds kProbeTimeout{100};
+
+TEST(McShardedDrain, DoneImpliesTheOnlyConsumerTookEverything) {
+  // Single queue, single consumer racing a push+close: whenever a
+  // probe reports done, this consumer — the only one — must already
+  // hold every pushed item.  This is the atomicity the separate
+  // closed() check lacks.
+  mc::Options o;
+  o.preemption_bound = 2;
+  o.max_schedules = 20000;
+  const mc::Result r = mc::explore(
+      [] {
+        McQueueT q(2);
+        mc::Thread p([&] {
+          MC_ASSERT(q.push_block(7));
+          q.close();
+        });
+        int drained = 0;
+        bool done = false;
+        std::vector<int> out;
+        for (int probe = 0; probe < 2 && !done; ++probe) {
+          out.clear();
+          const auto result = q.pop_batch_for(out, 2, kNoLinger,
+                                              kProbeTimeout);
+          drained += static_cast<int>(result.taken);
+          done = result.done;
+          if (done) MC_ASSERT(drained == 1);  // exit implies drained
+        }
+        p.join();
+        if (!done) {
+          // Closed queue: one call returns the full residue AND done —
+          // no second "see the close" call like pop_batch needs.
+          out.clear();
+          const auto result = q.pop_batch_for(out, 2, kNoLinger,
+                                              kProbeTimeout);
+          drained += static_cast<int>(result.taken);
+          MC_ASSERT(result.done);
+        }
+        MC_ASSERT(drained == 1);
+      },
+      o);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  // Sleep-set pruning leaves a small but real frontier here; the point
+  // is exhaustion without a violation, not raw schedule count.
+  EXPECT_GE(r.schedules, 20u);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(McShardedDrain, TwoQueueNeighborStealDrainNeverStrandsItems) {
+  // The full sharded shape: two shard queues, one producer/closer,
+  // two drainers each probing its own queue then stealing from the
+  // neighbor (StealPolicy::Neighbor's pop pattern).  After both
+  // drainers and the closer finish, the body's final pop_batch_for on
+  // each queue must report done immediately, and every item must have
+  // been popped exactly once across own-pops, steals, and the final
+  // sweep.
+  mc::Options o;
+  o.preemption_bound = 2;
+  o.max_schedules = 40000;
+  const mc::Result r = mc::explore(
+      [] {
+        McQueueT q0(2);
+        McQueueT q1(2);
+        mc::atomic<int> count7{0};
+        mc::atomic<int> count8{0};
+        auto tally = [&](const std::vector<int>& out) {
+          for (const int v : out) {
+            MC_ASSERT(v == 7 || v == 8);
+            (v == 7 ? count7 : count8).fetch_add(1);
+          }
+        };
+        mc::Thread p([&] {
+          MC_ASSERT(q0.push_block(7));
+          MC_ASSERT(q1.push_block(8));
+          q0.close();
+          q1.close();
+        });
+        auto drain_pass = [&](McQueueT& own, McQueueT& victim) {
+          std::vector<int> out;
+          (void)own.pop_batch_for(out, 2, kNoLinger, kProbeTimeout);
+          tally(out);
+          out.clear();
+          (void)victim.try_pop_batch(out, 2);  // the neighbor steal
+          tally(out);
+        };
+        mc::Thread d0([&] { drain_pass(q0, q1); });
+        mc::Thread d1([&] { drain_pass(q1, q0); });
+        d0.join();
+        d1.join();
+        p.join();
+        // Quiescent sweep: both queues are closed, so one call each
+        // must take any residue and report done at the same time.
+        std::vector<int> out;
+        const auto r0 = q0.pop_batch_for(out, 2, kNoLinger, kProbeTimeout);
+        tally(out);
+        MC_ASSERT(r0.done);
+        out.clear();
+        const auto r1 = q1.pop_batch_for(out, 2, kNoLinger, kProbeTimeout);
+        tally(out);
+        MC_ASSERT(r1.done);
+        // No loss, no duplication across own-pop, steal, and sweep.
+        MC_ASSERT(count7.load() == 1);
+        MC_ASSERT(count8.load() == 1);
+      },
+      o);
+  EXPECT_FALSE(r.failed) << r.message << "\n" << r.trace;
+  EXPECT_GT(r.schedules, 100u);
+}
+
+// ---------------------------------------------------------------------
 // McMutant — seeded bugs the checker MUST catch, each replayable from
 // its reported decision list.
 
@@ -575,6 +700,45 @@ TEST(McMutant, ServicePublishBeforeResultCaught) {
   const mc::Result r = mc::explore(body, o);
   expect_replayable_failure(body, r, o);
   EXPECT_NE(r.message.find("== 42"), std::string::npos) << r.message;
+}
+
+// Mutant 8: the drain race PopResult::done exists to close.  Exit on
+// "timed pop took nothing AND a separate closed() probe says closed":
+// between the pop's unlock and the closed() call the producer pushes
+// the last item and closes, the probe sees closed == true, and the
+// drainer exits with the item stranded.  The sharded close sequence
+// (close all queues, then join all dispatchers) makes this window real
+// — which is why worker_loop exits on the atomic `done` instead.
+TEST(McMutant, TimedDrainSeparateClosedCheckLosesItem) {
+  auto body = [] {
+    McQueueT q(2);
+    mc::Thread p([&] {
+      MC_ASSERT(q.push_block(7));
+      q.close();
+    });
+    int drained = 0;
+    bool exited = false;
+    std::vector<int> out;
+    for (int probe = 0; probe < 3 && !exited; ++probe) {
+      out.clear();
+      drained += static_cast<int>(
+          q.pop_batch_for(out, 2, kNoLinger, kProbeTimeout).taken);
+      // MUTANT: ignore PopResult::done; re-derive the exit condition
+      // from a second, separately-locked probe.
+      if (out.empty() && q.closed()) exited = true;
+    }
+    p.join();
+    if (!exited) {
+      out.clear();
+      drained += static_cast<int>(
+          q.pop_batch_for(out, 2, kNoLinger, kProbeTimeout).taken);
+    }
+    MC_ASSERT(drained == 1);
+  };
+  mc::Options o;
+  const mc::Result r = mc::explore_iterative(body, 2, o);
+  expect_replayable_failure(body, r, o);
+  EXPECT_NE(r.message.find("drained == 1"), std::string::npos) << r.message;
 }
 
 }  // namespace

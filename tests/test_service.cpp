@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -387,6 +389,298 @@ TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
   // ...and then reports shutdown immediately (no block).
   EXPECT_EQ(queue.pop_batch(out, 64, std::chrono::microseconds(1'000'000)),
             0u);
+}
+
+// Like counter_value but tolerant of a not-yet-registered name: used
+// for polling loops where failing the test on a race would be wrong.
+long long counter_or_zero(const telemetry::Snapshot& snap,
+                          const std::string& name) {
+  for (const auto& [key, value] : snap.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+TEST(ServiceShardedRouting, HashSpreadsUniformTrafficAcrossShards) {
+  // Hash routing over uniform operands must land within a loose band of
+  // the even split on every shard — a collapsed or starved shard means
+  // the mixer is broken, not that the test got unlucky (8000 draws at
+  // p=1/4 put 6 sigma well inside the band).
+  auto config = pump_config(64, 8);
+  config.shards = 4;
+  AdderService service(config);
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64,
+                                  0x40a5);
+  std::array<int, 4> counts{};
+  constexpr int kDraws = 8000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [a, b] = stream.next();
+    counts[service.route_of(a, b)]++;
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[static_cast<std::size_t>(s)], kDraws * 15 / 100)
+        << "shard " << s << " starved";
+    EXPECT_LT(counts[static_cast<std::size_t>(s)], kDraws * 35 / 100)
+        << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ServiceShardedRouting, RouteIsDeterministicPerOperandPair) {
+  // Block-policy network retries re-submit the same operands; hash
+  // routing must send the retry to the same shard (and the same
+  // operands must route identically across service instances with the
+  // same shard count).
+  auto config = pump_config(64, 8);
+  config.shards = 4;
+  AdderService first(config);
+  AdderService second(config);
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64, 77);
+  for (int i = 0; i < 256; ++i) {
+    const auto [a, b] = stream.next();
+    const auto shard = first.route_of(a, b);
+    EXPECT_EQ(shard, first.route_of(a, b));
+    EXPECT_EQ(shard, second.route_of(a, b));
+  }
+}
+
+TEST(ServiceSharded, PerShardCompletionOrderIsFifoNoLossNoDup) {
+  // 4 shards x 1 dispatcher each, no stealing, a window that never
+  // flags: each shard's completions must be exactly its submissions in
+  // submission order — FIFO, no loss, no duplicates, and the executing
+  // shard (Completion::shard) must equal the routed shard.
+  ServiceConfig config;
+  config.pipeline.width = 64;
+  config.pipeline.window = 64;  // never flags: no recovery reordering
+  config.workers = 4;
+  config.shards = 4;
+  config.queue_capacity = 4096;
+  config.record_wall_time = false;
+  telemetry::Registry registry;
+  AdderService service(config, &registry);
+  std::mutex mutex;
+  std::array<std::vector<int>, 4> completed;
+  std::array<std::vector<int>, 4> expected;
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64,
+                                  0xf1f0);
+  constexpr int kRequests = 4000;
+  for (int i = 0; i < kRequests; ++i) {
+    auto [a, b] = stream.next();
+    const auto shard = service.route_of(a, b);
+    expected[shard].push_back(i);
+    const bool ok = service.try_submit_callback(
+        std::move(a), std::move(b), [&mutex, &completed, i](Completion c) {
+          std::lock_guard<std::mutex> lock(mutex);
+          completed[static_cast<std::size_t>(c.shard)].push_back(i);
+        });
+    ASSERT_TRUE(ok) << "backpressure below capacity at " << i;
+  }
+  service.flush();
+  std::lock_guard<std::mutex> lock(mutex);
+  std::size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(completed[static_cast<std::size_t>(s)],
+              expected[static_cast<std::size_t>(s)])
+        << "shard " << s << " broke per-shard FIFO";
+    total += completed[static_cast<std::size_t>(s)].size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kRequests));
+}
+
+TEST(ServiceSharded, MultiProducerBlockCompletesAllAndLabelsAddUp) {
+  // Sharded version of the Block-policy soak: small per-shard queues
+  // force blocking, and afterwards the per-shard labeled counters must
+  // sum exactly to the global ones (every request accounted to exactly
+  // one shard).
+  telemetry::Registry registry;
+  {
+    ServiceConfig config;
+    config.pipeline.width = 64;
+    config.pipeline.window = 6;
+    config.workers = 4;
+    config.shards = 4;
+    config.queue_capacity = 64;
+    config.overflow = OverflowPolicy::Block;
+    AdderService service(config, &registry);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 2000;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&service, p] {
+        workloads::OperandStream stream(workloads::Distribution::Uniform,
+                                        64, 300 + p);
+        for (int i = 0; i < kPerProducer; ++i) {
+          auto [a, b] = stream.next();
+          ASSERT_TRUE(
+              service.submit(std::move(a), std::move(b)).has_value());
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    service.flush();
+    const auto snap = registry.snapshot();
+    constexpr long long kTotal = kProducers * kPerProducer;
+    EXPECT_EQ(counter_value(snap, "service.completed"), kTotal);
+    EXPECT_EQ(counter_value(snap, "service.rejected"), 0);
+    long long submitted = 0, completed = 0;
+    for (int s = 0; s < 4; ++s) {
+      const std::string suffix = "{shard=" + std::to_string(s) + "}";
+      submitted += counter_value(snap, "service.submitted" + suffix);
+      completed += counter_value(snap, "service.completed" + suffix);
+      EXPECT_GT(counter_value(snap, "service.submitted" + suffix), 0)
+          << "shard " << s << " never saw traffic";
+    }
+    EXPECT_EQ(submitted, kTotal);
+    EXPECT_EQ(completed, kTotal);
+  }
+}
+
+TEST(ServiceSharded, RejectPolicyCountsAgainstTheRoutedShard) {
+  // Pump mode, 2 shards, 8-slot per-shard queues, Reject policy: keep
+  // submitting operands that hash-route to one shard until it overflows
+  // — rejections must land on that shard's labeled counter only, and
+  // the other shard must stay writable throughout.
+  auto config = pump_config(64, 8, /*capacity=*/8);
+  config.shards = 2;
+  config.overflow = OverflowPolicy::Reject;
+  AdderService service(config);
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64,
+                                  0x0dd);
+  int accepted_to_0 = 0, rejected_from_0 = 0;
+  std::pair<BitVec, BitVec> shard1_ops;
+  bool have_shard1 = false;
+  while (rejected_from_0 < 3) {
+    auto [a, b] = stream.next();
+    if (service.route_of(a, b) != 0) {
+      if (!have_shard1) {
+        shard1_ops = {a, b};
+        have_shard1 = true;
+      }
+      continue;
+    }
+    if (service.submit(std::move(a), std::move(b)).has_value()) {
+      ++accepted_to_0;
+      ASSERT_LE(accepted_to_0, 8) << "accepted beyond per-shard capacity";
+    } else {
+      ++rejected_from_0;
+    }
+  }
+  EXPECT_EQ(accepted_to_0, 8);
+  // The sibling shard's queue is empty — it must still accept.
+  ASSERT_TRUE(have_shard1);
+  EXPECT_TRUE(service
+                  .submit(std::move(shard1_ops.first),
+                          std::move(shard1_ops.second))
+                  .has_value());
+  const auto snap = service.registry().snapshot();
+  EXPECT_EQ(counter_value(snap, "service.rejected"), 3);
+  EXPECT_EQ(counter_value(snap, "service.rejected{shard=0}"), 3);
+  EXPECT_EQ(counter_value(snap, "service.rejected{shard=1}"), 0);
+  service.flush();
+}
+
+TEST(ServiceSharded, NeighborStealExecutesOnThiefWithProvenance) {
+  // 2 shards, all traffic hash-routed to shard 0, stealing on: shard
+  // 1's idle dispatcher must lift batches from its neighbor, and every
+  // stolen completion must carry the thief's shard id (Completion::
+  // shard == 1) while the sums stay exact.  Sustained load with a
+  // generous round cap keeps this deterministic-in-outcome even on a
+  // single hardware thread.
+  ServiceConfig config;
+  config.pipeline.width = 64;
+  config.pipeline.window = 64;  // never flags: isolate the steal path
+  config.workers = 2;
+  config.shards = 2;
+  config.steal = service::StealPolicy::Neighbor;
+  config.queue_capacity = 512;
+  config.overflow = OverflowPolicy::Block;
+  config.record_wall_time = false;
+  telemetry::Registry registry;
+  AdderService service(config, &registry);
+  workloads::OperandStream stream(workloads::Distribution::Uniform, 64,
+                                  0x57ea1);
+  std::vector<std::pair<BitVec, BitVec>> pool;
+  while (pool.size() < 256) {
+    auto [a, b] = stream.next();
+    if (service.route_of(a, b) == 0) pool.emplace_back(a, b);
+  }
+  std::vector<BitVec> sums;
+  std::vector<std::future<Completion>> futures;
+  bool stolen_seen = false;
+  for (int round = 0; round < 400 && !stolen_seen; ++round) {
+    for (const auto& [a, b] : pool) {
+      auto future = service.submit(a, b);
+      ASSERT_TRUE(future.has_value());
+      sums.push_back(a + b);
+      futures.push_back(std::move(*future));
+    }
+    stolen_seen = counter_or_zero(registry.snapshot(),
+                                  "service.stolen{shard=1}") > 0;
+  }
+  service.flush();
+  EXPECT_TRUE(stolen_seen) << "shard 1 never stole from its neighbor";
+  int executed_on_thief = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Completion got = futures[i].get();
+    EXPECT_EQ(got.sum, sums[i]);
+    if (got.shard == 1) ++executed_on_thief;
+  }
+  EXPECT_GT(executed_on_thief, 0);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(counter_or_zero(snap, "service.stolen{shard=0}"), 0)
+      << "shard 0 had nothing to steal from an empty neighbor";
+  EXPECT_EQ(counter_value(snap, "service.completed"),
+            static_cast<long long>(futures.size()));
+}
+
+TEST(ServiceSharded, SingleShardSnapshotHasNoShardLabels) {
+  // shards == 1 must be byte-identical to the pre-sharding service:
+  // in particular no `{shard=...}` labeled series may appear (the
+  // fixed-seed determinism test above depends on this).
+  AdderService service(pump_config(64, 8));
+  const BitVec a = BitVec::from_u64(64, 7);
+  const BitVec b = BitVec::from_u64(64, 9);
+  ASSERT_TRUE(service.submit(a, b).has_value());
+  service.flush();
+  const auto snap = service.registry().snapshot();
+  for (const auto& [key, value] : snap.counters) {
+    EXPECT_EQ(key.find("{shard="), std::string::npos) << key;
+  }
+  for (const auto& [key, value] : snap.gauges) {
+    EXPECT_EQ(key.find("{shard="), std::string::npos) << key;
+  }
+}
+
+TEST(BoundedQueue, PopBatchForReportsDoneAtomicallyWithTheLastPop) {
+  // The close/linger drain race: `done` must be computed under the same
+  // lock as the pop, so a drainer can never see (taken == 0, done ==
+  // false) forever nor exit while items remain.  The mc two-queue suite
+  // (test_mc_suites.cpp) pins the interleaving; this is the plain unit
+  // coverage.
+  service::BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  std::vector<int> out;
+  // Open queue with items: taken > 0, not done.
+  auto result = queue.pop_batch_for(out, 64, std::chrono::microseconds(0),
+                                    std::chrono::microseconds(1000));
+  EXPECT_EQ(result.taken, 2u);
+  EXPECT_FALSE(result.done);
+  // Open queue, empty: times out with nothing, still not done.
+  out.clear();
+  result = queue.pop_batch_for(out, 64, std::chrono::microseconds(0),
+                               std::chrono::microseconds(1000));
+  EXPECT_EQ(result.taken, 0u);
+  EXPECT_FALSE(result.done);
+  // Closed with a residual item: the pop that takes the last item also
+  // reports done — one call, no separate closed() check.
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  out.clear();
+  result = queue.pop_batch_for(out, 64, std::chrono::microseconds(0),
+                               std::chrono::microseconds(1'000'000));
+  EXPECT_EQ(result.taken, 1u);
+  EXPECT_EQ(out, (std::vector<int>{3}));
+  EXPECT_TRUE(result.done);
 }
 
 TEST(BoundedQueue, PopBatchLingerCollectsLateArrivals) {
